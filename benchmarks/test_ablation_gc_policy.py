@@ -1,0 +1,50 @@
+"""Ablation: the GC policy's second knob (THRESH_F) and its removal.
+
+The paper fixes THRESH_F heuristically at 4/minute (Section 5.5) and
+sweeps only THRESH_T.  This ablation completes the picture:
+
+* sweeping THRESH_F at the paper's THRESH_T = 50 s — a larger rate
+  threshold collects more aggressively (more shadows qualify), trading
+  latency for memory in the same direction as a smaller THRESH_T;
+* removing the frequency gate entirely (THRESH_F = inf: age alone
+  decides) versus removing the age gate (THRESH_T = 0: frequency alone
+  decides) shows both conditions carry weight under the bursty trace.
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.harness.scenarios import gc_stress
+
+
+def test_ablation_thresh_f_direction(benchmark):
+    def run():
+        strict = gc_stress(50.0, thresh_f=2, duration_ms=300_000.0)
+        default = gc_stress(50.0, thresh_f=4, duration_ms=300_000.0)
+        lax = gc_stress(50.0, thresh_f=12, duration_ms=300_000.0)
+        return strict, default, lax
+
+    strict, default, lax = run_once(benchmark, run)
+    # A larger THRESH_F collects at least as often (the gate is
+    # "rate >= THRESH_F protects"): collections grow monotonically.
+    assert strict.collections <= default.collections <= lax.collections
+    # ... and resident-shadow memory moves the other way.
+    assert lax.mean_memory_mb <= strict.mean_memory_mb + 0.5
+
+
+def test_ablation_each_gate_matters(benchmark):
+    def run():
+        age_only = gc_stress(50.0, thresh_f=10**9, duration_ms=300_000.0)
+        freq_only = gc_stress(0.001, thresh_f=4, duration_ms=300_000.0)
+        both = gc_stress(50.0, thresh_f=4, duration_ms=300_000.0)
+        return age_only, freq_only, both
+
+    age_only, freq_only, both = run_once(benchmark, run)
+    # Dropping the frequency gate makes the age gate collect everything
+    # past 50 s; dropping the age gate collects as soon as the rate
+    # drops. Both extremes collect at least as much as the combined
+    # policy, which is the most conservative of the three.
+    assert both.collections <= age_only.collections
+    assert both.collections <= freq_only.collections
+    # The combined policy keeps handling latency at the plateau level.
+    assert both.mean_handling_ms <= freq_only.mean_handling_ms + 1e-6

@@ -1,0 +1,103 @@
+"""Ablation: switching RCHDroid's sub-mechanisms off one at a time.
+
+* Coin flip off -> every change pays the init path; handling time rises
+  to the RCHDroid-init curve of Fig. 10a (this is the design choice the
+  coin flip exists to avoid).
+* Lazy migration off -> no crash (the shadow still absorbs the async
+  return) but the sunny tree goes stale: transparency is lost.
+* GC off (infinite THRESH_T) -> memory stays at the two-instance level
+  forever; with aggressive GC it returns to one-instance level.
+"""
+
+from statistics import mean
+
+import pytest
+
+from conftest import run_once
+from repro import (
+    AndroidSystem,
+    GcThresholds,
+    RCHDroidConfig,
+    RCHDroidPolicy,
+)
+from repro.apps import make_benchmark_app
+from repro.apps.benchmark import IMAGE_ID_BASE
+
+
+def _steady_handling(config, rotations=5):
+    system = AndroidSystem(policy=RCHDroidPolicy(config))
+    app = make_benchmark_app(4)
+    system.launch(app)
+    for _ in range(rotations):
+        system.rotate()
+        system.run_for(1_000.0)
+    tail = [ms for ms, _ in system.handling_times()[1:]]
+    return mean(tail)
+
+
+def test_ablate_coin_flip(benchmark):
+    def run():
+        with_flip = _steady_handling(RCHDroidConfig())
+        without_flip = _steady_handling(
+            RCHDroidConfig(coin_flip_enabled=False)
+        )
+        return with_flip, without_flip
+
+    with_flip, without_flip = run_once(benchmark, run)
+    assert with_flip < without_flip
+    # The paper's Fig 10a gap at 4 views: ~89 vs ~157 ms.
+    assert without_flip / with_flip > 1.5
+
+
+def test_ablate_lazy_migration(benchmark):
+    def run():
+        policy = RCHDroidPolicy(RCHDroidConfig(lazy_migration_enabled=False))
+        system = AndroidSystem(policy=policy)
+        app = make_benchmark_app(4)
+        system.launch(app)
+        system.start_async(app)
+        system.rotate()
+        system.run_until_idle()
+        sunny = system.foreground_activity(app.package)
+        return (
+            system.crashed(app.package),
+            sunny.require_view(IMAGE_ID_BASE).get_attr("drawable"),
+        )
+
+    crashed, drawable = run_once(benchmark, run)
+    assert not crashed                      # shadow still absorbs the return
+    assert not drawable.startswith("loaded")  # but the user never sees it
+
+
+def test_ablate_gc(benchmark):
+    def run():
+        # GC effectively off: nothing is ever old enough.
+        keep = RCHDroidPolicy(
+            RCHDroidConfig(thresholds=GcThresholds(thresh_t_ms=1e12))
+        )
+        system_keep = AndroidSystem(policy=keep)
+        app_a = make_benchmark_app(16)
+        system_keep.launch(app_a)
+        system_keep.rotate()
+        system_keep.run_for(120_000.0)
+        mem_keep = system_keep.memory_of(app_a.package)
+
+        # Aggressive GC: collect as soon as the frequency gate allows.
+        drop = RCHDroidPolicy(
+            RCHDroidConfig(
+                thresholds=GcThresholds(
+                    thresh_t_ms=2_000.0, thresh_f=4,
+                    frequency_window_ms=5_000.0,
+                )
+            )
+        )
+        system_drop = AndroidSystem(policy=drop)
+        app_b = make_benchmark_app(16)
+        system_drop.launch(app_b)
+        system_drop.rotate()
+        system_drop.run_for(120_000.0)
+        mem_drop = system_drop.memory_of(app_b.package)
+        return mem_keep, mem_drop
+
+    mem_keep, mem_drop = run_once(benchmark, run)
+    assert mem_keep > mem_drop

@@ -1,0 +1,43 @@
+"""Extension bench: dynamic view trees (fragments, Section 2.2).
+
+Quantifies the paper's qualitative argument: app-level static patching
+cannot reconstruct dynamically assembled view trees, the system level
+can.  Expected: RCHDroid preserves fragment state in 100 % of the
+corpus; Android-10 and RuntimeDroid (which must fall back to the stock
+restart on such apps) preserve none of it.
+"""
+
+from conftest import run_once
+from repro.harness.experiments import ext_fragments
+
+
+def test_ext_fragments_preservation_rates(benchmark):
+    result = run_once(benchmark, ext_fragments.run)
+    assert result.preservation_rate("rchdroid") == 1.0
+    assert result.preservation_rate("android10") == 0.0
+    assert result.preservation_rate("runtimedroid") == 0.0
+    print(ext_fragments.format_report(result))
+
+
+def test_ext_fragments_structure_always_restored(benchmark):
+    """Even stock Android re-attaches the fragments (framework state);
+    what it loses is the view state inside them."""
+    from repro import Android10Policy, AndroidSystem
+    from repro.harness.experiments.ext_fragments import (
+        CONTAINER_ID,
+        build_fragment_app,
+    )
+
+    def run():
+        system = AndroidSystem(policy=Android10Policy())
+        app = build_fragment_app(0, 2)
+        system.launch(app)
+        activity = system.foreground_activity(app.package)
+        activity.fragments.attach("f0", "frag0", CONTAINER_ID)
+        activity.fragments.attach("f1", "frag1", CONTAINER_ID)
+        system.rotate()
+        fresh = system.foreground_activity(app.package)
+        return [record.tag for record in fresh.fragments.attached]
+
+    tags = run_once(benchmark, run)
+    assert tags == ["f0", "f1"]

@@ -1,0 +1,20 @@
+"""Extension bench: robustness under random event storms.
+
+Expected shape: stock Android crashes in a substantial fraction of
+storms and loses state in the rest; RCHDroid survives every storm with
+state intact and zero invariant violations.
+"""
+
+from conftest import run_once
+from repro.harness.experiments import ext_robustness
+
+
+def test_ext_robustness_storm_sweep(benchmark):
+    result = run_once(benchmark, lambda: ext_robustness.run(storms=15))
+    assert result.rchdroid.crashes == 0
+    assert result.rchdroid.state_losses == 0
+    assert result.rchdroid.invariant_violations == 0
+    # Stock breaks (crash or loss) in the vast majority of storms.
+    broken = result.stock.crashes + result.stock.state_losses
+    assert broken >= 0.8 * result.stock.storms
+    print(ext_robustness.format_report(result))

@@ -1,0 +1,60 @@
+"""Fig. 10: scalability in the number of views.
+
+Paper: (a) RCHDroid flip flat at 89.2 ms < Android-10 at 141.8 ms;
+RCHDroid-init 154.6 -> 180.2 ms over 1 -> 32 views.  (b) Asynchronous
+migration 8.6 -> 20.2 ms over 1 -> 16 views, linear, far below a restart.
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.harness.experiments import fig10
+
+
+@pytest.fixture(scope="module")
+def result():
+    return fig10.run()
+
+
+def test_fig10a_absolute_points(benchmark):
+    result = run_once(benchmark, fig10.run)
+    assert result.point_at(4).android10_ms == pytest.approx(141.8, rel=0.03)
+    assert result.point_at(4).rchdroid_ms == pytest.approx(89.2, rel=0.03)
+    assert result.point_at(1).rchdroid_init_ms == pytest.approx(154.6, rel=0.03)
+    assert result.point_at(32).rchdroid_init_ms == pytest.approx(180.2, rel=0.03)
+    print(fig10.format_report(result))
+
+
+def test_fig10a_orderings(benchmark, result):
+    run_once(benchmark, lambda: result)  # shared module result
+    for point in result.points:
+        assert point.rchdroid_ms < point.android10_ms < point.rchdroid_init_ms \
+            or point.rchdroid_ms < point.android10_ms  # init < a10 at small n
+        assert point.rchdroid_ms < point.rchdroid_init_ms
+
+
+def test_fig10a_flip_path_is_flat(benchmark, result):
+    run_once(benchmark, lambda: result)  # shared module result
+    flips = [p.rchdroid_ms for p in result.points]
+    assert max(flips) / min(flips) < 1.08
+
+
+def test_fig10b_migration_is_linear_and_cheap(benchmark, result):
+    run_once(benchmark, lambda: result)  # shared module result
+    xs = [p.num_views for p in result.points]
+    ys = [p.migration_ms for p in result.points]
+    assert ys == sorted(ys)
+    # Linearity: slope between consecutive points is near-constant.
+    slopes = [
+        (y2 - y1) / (x2 - x1)
+        for (x1, y1), (x2, y2) in zip(zip(xs, ys), zip(xs[1:], ys[1:]))
+    ]
+    assert max(slopes) - min(slopes) < 0.05
+    for point in result.points:
+        assert point.migration_ms < point.android10_ms
+
+
+def test_fig10b_absolute_points(benchmark, result):
+    run_once(benchmark, lambda: result)  # shared module result
+    assert result.point_at(1).migration_ms == pytest.approx(8.6, rel=0.05)
+    assert result.point_at(16).migration_ms == pytest.approx(20.2, rel=0.05)

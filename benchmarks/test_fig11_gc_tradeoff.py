@@ -1,0 +1,58 @@
+"""Fig. 11: the GC trade-off over THRESH_T.
+
+Paper shapes: as THRESH_T grows, handling latency and CPU overhead fall
+while memory rises; all three flatten at THRESH_T = 50 s, the operating
+point the paper selects.
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.harness.experiments import fig11
+
+
+@pytest.fixture(scope="module")
+def result():
+    return fig11.run()
+
+
+def test_fig11_sweep(benchmark):
+    result = run_once(benchmark, fig11.run)
+    assert result.latency_monotone_nonincreasing
+    assert result.plateau_after_50s
+    print(fig11.format_report(result))
+
+
+def test_fig11_latency_decreases_meaningfully(benchmark, result):
+    run_once(benchmark, lambda: result)  # shared module result
+    first = result.point_at(10.0).mean_handling_ms
+    at_50 = result.point_at(50.0).mean_handling_ms
+    assert at_50 < first * 0.95  # a real decrease, not noise
+
+
+def test_fig11_memory_rises_with_thresh_t(benchmark, result):
+    run_once(benchmark, lambda: result)  # shared module result
+    assert (
+        result.point_at(50.0).mean_memory_mb
+        > result.point_at(10.0).mean_memory_mb
+    )
+
+
+def test_fig11_cpu_overhead_falls_with_thresh_t(benchmark, result):
+    run_once(benchmark, lambda: result)  # shared module result
+    assert (
+        result.point_at(50.0).cpu_overhead_ms
+        < result.point_at(10.0).cpu_overhead_ms
+    )
+
+
+def test_fig11_collections_vanish_beyond_the_plateau(benchmark, result):
+    run_once(benchmark, lambda: result)  # shared module result
+    assert result.point_at(10.0).collections > result.point_at(70.0).collections
+    assert result.point_at(70.0).collections == 0
+
+
+def test_fig11_more_flips_at_larger_thresh_t(benchmark, result):
+    run_once(benchmark, lambda: result)  # shared module result
+    assert result.point_at(70.0).flip_count > result.point_at(10.0).flip_count
+    assert result.point_at(70.0).init_count < result.point_at(10.0).init_count

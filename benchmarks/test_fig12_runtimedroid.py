@@ -1,0 +1,27 @@
+"""Fig. 12 + Table 4: comparison with RuntimeDroid.
+
+Paper shapes: RuntimeDroid handles changes faster than RCHDroid (it
+masks the relaunch at the app level), both beat stock Android-10; but
+RuntimeDroid requires 760-2077 modified LoC per app while RCHDroid
+requires none.
+"""
+
+from conftest import run_once
+from repro.harness.experiments import fig12
+
+
+def test_fig12_ordering_and_modifications(benchmark):
+    result = run_once(benchmark, fig12.run)
+    assert result.ordering_holds
+    assert result.rchdroid_modifications_loc == 0
+    for row in result.rows:
+        assert 0.0 < row.runtimedroid_normalized < row.rchdroid_normalized < 1.0
+        assert 760 <= row.runtimedroid_mod_loc <= 2077
+    print(fig12.format_report(result))
+
+
+def test_fig12_rchdroid_normalized_band(benchmark):
+    """RCHDroid sits around 0.6-0.75 of Android-10 on the Table 4 apps."""
+    result = run_once(benchmark, fig12.run)
+    for row in result.rows:
+        assert 0.55 <= row.rchdroid_normalized <= 0.80

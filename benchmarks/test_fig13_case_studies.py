@@ -1,0 +1,18 @@
+"""Fig. 13: the four concrete issue examples (Twitter, Disney+,
+KJVBible, Orbot), reproduced with their actual widget classes.
+
+Expected: all four user values are lost after the change on stock
+Android-10 (reset to the widget default) and preserved under RCHDroid.
+"""
+
+from conftest import run_once
+from repro.harness.experiments import fig13
+
+
+def test_fig13_all_four_cases(benchmark):
+    result = run_once(benchmark, fig13.run)
+    assert result.all_reproduced
+    for row in result.rows:
+        assert row.stock_after == row.case.default_value
+        assert row.rchdroid_after == row.case.user_value
+    print(fig13.format_report(result))

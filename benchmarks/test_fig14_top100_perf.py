@@ -1,0 +1,65 @@
+"""Fig. 14: top-100 performance over the 59 fixable apps.
+
+Paper: mean handling 250.39 ms (RCHDroid) vs 420.58 ms (Android-10):
+38.60 % saving, and 44.96 % vs RCHDroid-init; mean memory 173.85 vs
+162.28 MB: 7.13 % overhead.
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.harness.experiments import fig14
+
+
+@pytest.fixture(scope="module")
+def result():
+    return fig14.run()
+
+
+def test_fig14a_handling_time(benchmark):
+    result = run_once(benchmark, fig14.run)
+    assert result.mean_android10_ms == pytest.approx(
+        fig14.PAPER["android10_ms"], rel=0.05
+    )
+    assert result.mean_rchdroid_ms == pytest.approx(
+        fig14.PAPER["rchdroid_ms"], rel=0.05
+    )
+    assert abs(
+        result.mean_saving_vs_android10_percent
+        - fig14.PAPER["saving_vs_android10_percent"]
+    ) < 5.0
+    assert abs(
+        result.mean_saving_vs_init_percent
+        - fig14.PAPER["saving_vs_init_percent"]
+    ) < 5.0
+    print(fig14.format_report(result))
+
+
+def test_fig14a_rchdroid_wins_on_every_app(benchmark, result):
+    run_once(benchmark, lambda: result)  # shared module result
+    for row in result.rows:
+        assert row.rchdroid_ms < row.android10_ms
+        assert row.rchdroid_ms < row.rchdroid_init_ms
+
+
+def test_fig14b_memory(benchmark, result):
+    run_once(benchmark, lambda: result)  # shared module result
+    assert result.mean_android10_mb == pytest.approx(
+        fig14.PAPER["android10_mb"], rel=0.05
+    )
+    assert result.mean_rchdroid_mb == pytest.approx(
+        fig14.PAPER["rchdroid_mb"], rel=0.05
+    )
+    assert abs(
+        result.memory_overhead_percent - fig14.PAPER["memory_overhead_percent"]
+    ) < 2.5
+
+
+def test_fig14_top100_apps_are_heavier_than_tp37(benchmark, result):
+    run_once(benchmark, lambda: result)  # shared module result
+    """Sanity on the corpus scale: top-100 handling times are several
+    times the 27-set's (bigger apps)."""
+    from repro.harness.experiments import fig7
+
+    small = fig7.run()
+    assert result.mean_android10_ms > 1.5 * small.mean_android10_ms

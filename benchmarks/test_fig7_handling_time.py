@@ -1,0 +1,23 @@
+"""Fig. 7: handling time over the 27 apps.
+
+Paper: RCHDroid saves 25.46 % of the runtime change handling time on
+average; every app is faster under RCHDroid's steady-state (flip) path.
+"""
+
+from conftest import run_once
+from repro.harness.experiments import fig7
+
+
+def test_fig7_mean_saving(benchmark):
+    result = run_once(benchmark, fig7.run)
+    # Who wins: RCHDroid, on every app.
+    assert all(row.rchdroid_ms < row.android10_ms for row in result.rows)
+    # By roughly what factor: the paper's 25.46% mean saving, +-5 points.
+    assert abs(result.mean_saving_percent - fig7.PAPER_MEAN_SAVING_PERCENT) < 5.0
+    print(fig7.format_report(result))
+
+
+def test_fig7_init_is_slower_than_flip(benchmark):
+    result = run_once(benchmark, fig7.run)
+    for row in result.rows:
+        assert row.rchdroid_ms < row.rchdroid_init_ms

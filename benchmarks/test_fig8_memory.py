@@ -1,0 +1,28 @@
+"""Fig. 8: memory usage over the 27 apps.
+
+Paper: 53.53 MB (RCHDroid) vs 47.56 MB (Android-10) on average — a 1.12x
+overhead from the retained shadow-state activity.
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.harness.experiments import fig8
+
+
+def test_fig8_memory_overhead(benchmark):
+    result = run_once(benchmark, fig8.run)
+    assert result.mean_android10_mb == pytest.approx(
+        fig8.PAPER_ANDROID10_MB, rel=0.05
+    )
+    assert result.mean_rchdroid_mb == pytest.approx(
+        fig8.PAPER_RCHDROID_MB, rel=0.05
+    )
+    assert result.ratio == pytest.approx(fig8.PAPER_RATIO, abs=0.04)
+    print(fig8.format_report(result))
+
+
+def test_fig8_every_app_pays_some_shadow_overhead(benchmark):
+    result = run_once(benchmark, fig8.run)
+    for row in result.rows:
+        assert row.rchdroid_mb > row.android10_mb

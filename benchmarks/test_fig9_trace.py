@@ -1,0 +1,40 @@
+"""Fig. 9: CPU/memory over time on the 4-ImageView benchmark app.
+
+Paper shapes: Android-10 crashes (NullPointer) when the AsyncTask
+returns after the second change and its memory drops to 0 MB; RCHDroid
+survives and migrates the update; RCHDroid's CPU spike at the second
+change is lower than at the first (coin flip vs mapping build).
+"""
+
+from conftest import run_once
+from repro.harness.experiments import fig9
+
+
+def test_fig9_android10_crashes_and_heap_drops_to_zero(benchmark):
+    result = run_once(benchmark, fig9.run)
+    assert result.android10.crashed
+    assert result.android10_crashed_at_return
+    assert result.android10_heap_after_crash == 0.0
+    print(fig9.format_report(result))
+
+
+def test_fig9_rchdroid_survives_and_keeps_heap(benchmark):
+    result = run_once(benchmark, fig9.run)
+    assert not result.rchdroid.crashed
+    assert result.rchdroid_heap_after_return > 30.0
+
+
+def test_fig9_rchdroid_cpu_drops_thanks_to_coinflip(benchmark):
+    result = run_once(benchmark, fig9.run)
+    rch_first, rch_second = result.peaks(result.rchdroid)
+    assert rch_second < rch_first
+    a10_first, _ = result.peaks(result.android10)
+    # RCHDroid's first change is the more expensive one (mapping build).
+    assert rch_first > a10_first
+
+
+def test_fig9_rchdroid_memory_shows_two_instances(benchmark):
+    result = run_once(benchmark, fig9.run)
+    heap_before_change = result.rchdroid.heap_at(10_000.0)
+    heap_after_change = result.rchdroid.heap_at(40_000.0)
+    assert heap_after_change > heap_before_change

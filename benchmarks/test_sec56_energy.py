@@ -1,0 +1,23 @@
+"""Section 5.6: energy consumption.
+
+Paper: board power is 4.03 W after runtime changes for all 27 apps under
+both systems — the shadow activity is inactive and draws nothing.
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.harness.experiments import sec56_energy
+
+
+def test_sec56_power_flat_at_paper_reading(benchmark):
+    result = run_once(benchmark, sec56_energy.run)
+    assert result.mean_android10_w == pytest.approx(4.03, abs=0.05)
+    assert result.mean_rchdroid_w == pytest.approx(4.03, abs=0.05)
+    print(sec56_energy.format_report(result))
+
+
+def test_sec56_shadow_adds_no_measurable_power(benchmark):
+    result = run_once(benchmark, sec56_energy.run)
+    # < 10 mW divergence on every app: below any power-meter resolution.
+    assert result.max_divergence_w < 0.01

@@ -1,0 +1,23 @@
+"""Section 5.7: deployment overhead.
+
+Paper: deploying RCHDroid is one 92,870 ms system flash; RuntimeDroid
+patches each app (12,867-161,598 ms per app).
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.harness.experiments import sec57_deployment
+
+
+def test_sec57_deployment_costs(benchmark):
+    result = run_once(benchmark, sec57_deployment.run)
+    assert result.rchdroid_total_ms == pytest.approx(92_870.0)
+    assert result.runtimedroid_min_ms == pytest.approx(12_867.0, rel=0.05)
+    assert result.runtimedroid_max_ms > result.rchdroid_total_ms
+    print(sec57_deployment.format_report(result))
+
+
+def test_sec57_flash_amortises_quickly(benchmark):
+    result = run_once(benchmark, sec57_deployment.run)
+    assert result.rchdroid_cheaper_beyond_apps <= 3

@@ -1,0 +1,62 @@
+"""Table 1: the type-directed migration policy, exercised end to end.
+
+One benchmark app per Table 1 view type: an async task mutates the
+type's migrated attribute across a runtime change; the sunny tree must
+show the update after lazy migration.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import run_once
+from repro import AndroidSystem, RCHDroidPolicy
+from repro.android.views.inflate import ViewSpec
+from repro.apps.dsl import AppSpec, AsyncScript, two_orientation_resources
+
+TABLE1 = [
+    ("TextView", "text", "migrated-text", "setText"),
+    ("ImageView", "drawable", "migrated-drawable", "setDrawable"),
+    ("AbsListView", "selector_position", 17, "positionSelector"),
+    ("AbsListView", "checked_item", 3, "setItemChecked"),
+    ("VideoView", "video_uri", "content://clip", "setVideoURI"),
+    ("ProgressBar", "progress", 64, "setProgress"),
+]
+
+
+def _run_policy_row(widget, attr, value):
+    policy = RCHDroidPolicy()
+    system = AndroidSystem(policy=policy)
+    app = AppSpec(
+        package=f"table1.{widget.lower()}.{attr}",
+        label=widget,
+        resources=two_orientation_resources(
+            "main", [ViewSpec(widget, view_id=10)]
+        ),
+        async_script=AsyncScript("bg", 2_000.0, ((10, attr, value),)),
+    )
+    system.launch(app)
+    system.start_async(app)
+    system.rotate()
+    system.run_until_idle()
+    sunny = system.foreground_activity(app.package)
+    return system, sunny.require_view(10).get_attr(attr)
+
+
+@pytest.mark.parametrize("widget,attr,value,setter", TABLE1)
+def test_table1_policy_row(benchmark, widget, attr, value, setter):
+    system, migrated = run_once(
+        benchmark, lambda: _run_policy_row(widget, attr, value)
+    )
+    assert migrated == value
+    assert not system.ctx.recorder.crashes
+    assert system.ctx.recorder.counters["migration-hit"] >= 1
+
+
+def test_table1_subtype_inherits_parent_policy(benchmark):
+    """A user-defined view (here: SeekBar extending ProgressBar) migrates
+    according to the basic type it belongs to."""
+    system, migrated = run_once(
+        benchmark, lambda: _run_policy_row("SeekBar", "progress", 80)
+    )
+    assert migrated == 80

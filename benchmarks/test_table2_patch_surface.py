@@ -1,0 +1,11 @@
+"""Table 2: the patch inventory and its simulator counterparts."""
+
+from conftest import run_once
+from repro.harness.experiments import table2
+
+
+def test_table2_patch_inventory(benchmark, capsys):
+    result = run_once(benchmark, table2.run)
+    assert result.total_loc == 348
+    assert result.all_symbols_exist
+    print(table2.format_report(result))

@@ -1,0 +1,24 @@
+"""Table 3: effectiveness on the 27-app set.
+
+Paper: all 27 apps show issues under stock Android-10; RCHDroid solves
+25 of 27; the two unsolved are DiskDiggerPro (#9) and Dock4Droid (#10),
+whose state lives in bare fields without onSaveInstanceState.
+"""
+
+from conftest import run_once
+from repro.apps.appset27 import UNFIXABLE_APPS
+from repro.harness.experiments import table3
+
+
+def test_table3_effectiveness(benchmark):
+    result = run_once(benchmark, table3.run)
+    assert result.issues_on_stock == 27
+    assert result.solved == 25
+    assert set(result.unsolved_labels) == set(UNFIXABLE_APPS)
+    print(table3.format_report(result))
+
+
+def test_table3_stock_never_solves_view_state_bugs(benchmark):
+    result = run_once(benchmark, table3.run)
+    for row in result.rows:
+        assert not row.stock.issue_solved

@@ -1,0 +1,111 @@
+"""Export every figure's plotted data to ``results/`` as CSV/JSON.
+
+Runs the full experiment registry and writes one machine-readable file
+per table/figure, so the paper's plots can be regenerated with any
+plotting tool (the repository itself stays dependency-free).
+
+Run:  python examples/export_all_figures.py [outdir]
+"""
+
+import csv
+import io
+import json
+import sys
+from pathlib import Path
+
+from repro.harness.experiments import (
+    fig7, fig8, fig10, fig11, fig12, fig13, fig14,
+    table3, table5, sec57_deployment,
+)
+
+
+def _write_csv(path: Path, header: list[str], rows: list[list]) -> None:
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(header)
+    writer.writerows(rows)
+    path.write_text(buffer.getvalue())
+    print(f"wrote {path}")
+
+
+def main() -> None:
+    outdir = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("results")
+    outdir.mkdir(parents=True, exist_ok=True)
+
+    r = table3.run()
+    _write_csv(outdir / "table3.csv",
+               ["app", "issue_on_stock", "solved_by_rchdroid"],
+               [[row.label, row.issue_on_stock, row.solved_by_rchdroid]
+                for row in r.rows])
+
+    r = fig7.run()
+    _write_csv(outdir / "fig7.csv",
+               ["app", "android10_ms", "rchdroid_ms", "rchdroid_init_ms"],
+               [[row.label, row.android10_ms, row.rchdroid_ms,
+                 row.rchdroid_init_ms] for row in r.rows])
+
+    r = fig8.run()
+    _write_csv(outdir / "fig8.csv",
+               ["app", "android10_mb", "rchdroid_mb"],
+               [[row.label, row.android10_mb, row.rchdroid_mb]
+                for row in r.rows])
+
+    r = fig10.run()
+    _write_csv(outdir / "fig10.csv",
+               ["num_views", "android10_ms", "rchdroid_ms",
+                "rchdroid_init_ms", "migration_ms"],
+               [[p.num_views, p.android10_ms, p.rchdroid_ms,
+                 p.rchdroid_init_ms, p.migration_ms] for p in r.points])
+
+    r = fig11.run()
+    _write_csv(outdir / "fig11.csv",
+               ["thresh_t_s", "handling_ms", "cpu_busy_ms", "memory_mb",
+                "inits", "flips", "collections"],
+               [[p.thresh_t_s, p.mean_handling_ms, p.cpu_overhead_ms,
+                 p.mean_memory_mb, p.init_count, p.flip_count,
+                 p.collections] for p in r.points])
+
+    r = fig12.run()
+    _write_csv(outdir / "fig12.csv",
+               ["app", "runtimedroid_norm", "rchdroid_norm",
+                "runtimedroid_mod_loc"],
+               [[row.label, row.runtimedroid_normalized,
+                 row.rchdroid_normalized, row.runtimedroid_mod_loc]
+                for row in r.rows])
+
+    r = fig13.run()
+    _write_csv(outdir / "fig13.csv",
+               ["figure", "app", "widget", "user_value", "stock_after",
+                "rchdroid_after"],
+               [[row.case.figure, row.case.app, row.case.widget,
+                 row.case.user_value, row.stock_after, row.rchdroid_after]
+                for row in r.rows])
+
+    r = table5.run()
+    _write_csv(outdir / "table5.csv",
+               ["rank", "app", "declared_issue", "observed_issue",
+                "solved_by_rchdroid"],
+               [[row.rank, row.label, row.declared_issue,
+                 row.observed_issue_on_stock,
+                 row.solved_by_rchdroid if row.observed_issue_on_stock
+                 else ""] for row in r.rows])
+
+    r = fig14.run()
+    _write_csv(outdir / "fig14.csv",
+               ["app", "android10_ms", "rchdroid_ms", "rchdroid_init_ms",
+                "android10_mb", "rchdroid_mb"],
+               [[row.label, row.android10_ms, row.rchdroid_ms,
+                 row.rchdroid_init_ms, row.android10_mb, row.rchdroid_mb]
+                for row in r.rows])
+
+    r = sec57_deployment.run()
+    (outdir / "sec57_deployment.json").write_text(json.dumps({
+        "rchdroid_total_ms": r.rchdroid_total_ms,
+        "runtimedroid_per_app_ms": dict(r.runtimedroid_per_app_ms),
+    }, indent=2))
+    print(f"wrote {outdir / 'sec57_deployment.json'}")
+    print("\nall figure data exported; plot with your tool of choice")
+
+
+if __name__ == "__main__":
+    main()

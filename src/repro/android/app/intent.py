@@ -1,0 +1,40 @@
+"""Intents and launch flags.
+
+``IntentFlag.SUNNY`` is the 4-LoC Intent-class extension of the RCHDroid
+patch (Table 2): it marks an activity-creation request as runtime-change
+handling so the ActivityStarter allows a second instance of the activity
+already on top of the stack (Section 3.4, Fig. 6(1)).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.apps.dsl import AppSpec
+
+
+class IntentFlag(enum.Flag):
+    DEFAULT = 0
+    NEW_TASK = enum.auto()
+    SINGLE_TOP = enum.auto()
+    # RCHDroid addition:
+    SUNNY = enum.auto()
+
+
+@dataclass
+class Intent:
+    """An activity start request."""
+
+    app: "AppSpec"
+    activity_name: str = "main"
+    flags: IntentFlag = IntentFlag.DEFAULT
+    extras: dict = field(default_factory=dict)
+
+    def has_flag(self, flag: IntentFlag) -> bool:
+        return bool(self.flags & flag)
+
+    def with_flag(self, flag: IntentFlag) -> "Intent":
+        return Intent(self.app, self.activity_name, self.flags | flag, dict(self.extras))

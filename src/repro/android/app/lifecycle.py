@@ -1,0 +1,59 @@
+"""Activity lifecycle states, including the two RCHDroid additions.
+
+Mirrors the state diagram of Fig. 4: the solid-line boxes are stock
+Android's lifecycle; SHADOW and SUNNY are the dotted-line states RCHDroid
+adds.  ``LEGAL_TRANSITIONS`` encodes the diagram's edges; the framework
+asserts every transition against it, so an illegal lifecycle move is a
+loud test failure rather than silent corruption.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.errors import LifecycleError
+
+
+class LifecycleState(enum.Enum):
+    INITIALIZED = "initialized"
+    CREATED = "created"
+    STARTED = "started"
+    RESUMED = "resumed"
+    PAUSED = "paused"
+    STOPPED = "stopped"
+    DESTROYED = "destroyed"
+    # RCHDroid additions (Fig. 4, dotted boxes):
+    SHADOW = "shadow"
+    SUNNY = "sunny"
+
+
+_S = LifecycleState
+
+LEGAL_TRANSITIONS: dict[LifecycleState, frozenset[LifecycleState]] = {
+    _S.INITIALIZED: frozenset({_S.CREATED}),
+    _S.CREATED: frozenset({_S.STARTED, _S.DESTROYED}),
+    _S.STARTED: frozenset({_S.RESUMED, _S.SUNNY, _S.STOPPED}),
+    _S.RESUMED: frozenset({_S.PAUSED, _S.SHADOW}),
+    _S.PAUSED: frozenset({_S.RESUMED, _S.STOPPED, _S.SHADOW}),
+    _S.STOPPED: frozenset({_S.STARTED, _S.DESTROYED, _S.SHADOW}),
+    _S.DESTROYED: frozenset(),
+    # A shadow activity is revived by a coin flip (→ SUNNY via relayout),
+    # or garbage-collected (→ DESTROYED).
+    _S.SHADOW: frozenset({_S.SUNNY, _S.DESTROYED}),
+    # A sunny activity behaves as RESUMED; it can be re-shadowed by the
+    # next flip, pause like any foreground activity, or be destroyed when
+    # its task is removed.
+    _S.SUNNY: frozenset({_S.SHADOW, _S.PAUSED, _S.DESTROYED}),
+}
+
+VISIBLE_STATES = frozenset({_S.RESUMED, _S.SUNNY})
+ALIVE_STATES = frozenset(set(_S) - {_S.DESTROYED, _S.INITIALIZED})
+RCHDROID_STATES = frozenset({_S.SHADOW, _S.SUNNY})
+
+
+def check_transition(current: LifecycleState, target: LifecycleState) -> None:
+    """Raise :class:`LifecycleError` if ``current → target`` is illegal."""
+    if target not in LEGAL_TRANSITIONS[current]:
+        raise LifecycleError(
+            f"illegal lifecycle transition {current.value} -> {target.value}"
+        )

@@ -1,0 +1,61 @@
+"""Binder-style IPC with per-hop latency.
+
+The paper's handling time is "the time between the configuration change
+arriving at the ATMS and the corresponding activity resumed"
+(Section 5.1); the path crosses the activity-thread ↔ system-server
+boundary several times (Fig. 2(b)), so each crossing costs one
+``ipc_call_ms`` of UI-thread time here.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, TypeVar
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.context import SimContext
+
+R = TypeVar("R")
+
+
+class Binder:
+    """One logical binder channel between a client process and a service."""
+
+    def __init__(self, ctx: "SimContext", client_process: str, service: str):
+        self._ctx = ctx
+        self.client_process = client_process
+        self.service = service
+        self.calls_made = 0
+
+    def call(self, fn: Callable[[], R], label: str = "") -> R:
+        """Synchronous transact: pay one hop, run ``fn``, pay the reply hop.
+
+        Work done inside ``fn`` is attributed by ``fn`` itself (the service
+        consumes its own time); the two hops are billed to the client's UI
+        thread, which is where a blocked ``startActivity`` caller waits.
+        """
+        self.calls_made += 1
+        self._ctx.consume(
+            self._ctx.costs.ipc_call_ms,
+            self.client_process,
+            thread="binder",
+            label=f"ipc:{self.service}:{label}",
+        )
+        result = fn()
+        self._ctx.consume(
+            self._ctx.costs.ipc_call_ms,
+            self.client_process,
+            thread="binder",
+            label=f"ipc-reply:{self.service}:{label}",
+        )
+        return result
+
+    def oneway(self, fn: Callable[[], None], label: str = "") -> None:
+        """Async transact: one hop, no reply wait."""
+        self.calls_made += 1
+        self._ctx.consume(
+            self._ctx.costs.ipc_call_ms,
+            self.client_process,
+            thread="binder",
+            label=f"ipc-oneway:{self.service}:{label}",
+        )
+        fn()

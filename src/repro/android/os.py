@@ -1,0 +1,132 @@
+"""OS layer: Bundle, Parcel, and the app process model.
+
+``Bundle`` is the state container the paper's view-tree migration is built
+on: ``onSaveInstanceState`` recursively saves each view's state into a
+bundle, and RCHDroid replays that bundle into the sunny-state activity
+(Section 3.3).  ``Process`` carries the crash semantics: an uncaught
+:class:`~repro.errors.AppCrash` on the UI thread kills the process, drops
+its simulated heap to zero, and notifies death watchers (the ATMS).
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import TYPE_CHECKING, Any, Callable, Iterator
+
+from repro.errors import AppCrash
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.context import SimContext
+
+
+class Bundle:
+    """Typed key-value state container, nestable like Android's Bundle."""
+
+    def __init__(self) -> None:
+        self._data: dict[str, Any] = {}
+
+    def put(self, key: str, value: Any) -> None:
+        self._data[key] = value
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self._data.get(key, default)
+
+    def put_bundle(self, key: str, value: "Bundle") -> None:
+        self._data[key] = value
+
+    def get_bundle(self, key: str) -> "Bundle | None":
+        value = self._data.get(key)
+        return value if isinstance(value, Bundle) else None
+
+    def contains(self, key: str) -> bool:
+        return key in self._data
+
+    def keys(self) -> list[str]:
+        return list(self._data)
+
+    def items(self) -> Iterator[tuple[str, Any]]:
+        return iter(self._data.items())
+
+    def size(self) -> int:
+        """Number of entries, counting nested bundles recursively."""
+        total = 0
+        for value in self._data.values():
+            total += value.size() if isinstance(value, Bundle) else 1
+        return total
+
+    def is_empty(self) -> bool:
+        return not self._data
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"Bundle({self._data!r})"
+
+
+class Parcel:
+    """Marshalling helper: deep-copies bundles across the process boundary.
+
+    The simulator runs everything in one Python process, so "sending" a
+    bundle over binder is a deep copy — which also guarantees the shadow
+    activity's snapshot cannot alias live view state.
+    """
+
+    @staticmethod
+    def deep_copy(bundle: Bundle) -> Bundle:
+        clone = Bundle()
+        for key, value in bundle.items():
+            if isinstance(value, Bundle):
+                clone.put(key, Parcel.deep_copy(value))
+            else:
+                clone.put(key, copy.deepcopy(value))
+        return clone
+
+
+class Process:
+    """A simulated app process (one per installed package)."""
+
+    def __init__(self, ctx: "SimContext", name: str, base_heap_mb: float):
+        self.ctx = ctx
+        self.name = name
+        self.alive = True
+        self.crash_record: AppCrash | None = None
+        self.application_state: dict[str, object] = {}
+        """Process-lifetime state (the Application object): survives any
+        activity restart, dies with the process."""
+        self._death_watchers: list[Callable[["Process"], None]] = []
+        ctx.memory.allocate(name, ("process", name), base_heap_mb)
+
+    # ------------------------------------------------------------------
+    def on_death(self, watcher: Callable[["Process"], None]) -> None:
+        self._death_watchers.append(watcher)
+
+    def crash(self, exc: AppCrash) -> None:
+        """Kill the process due to an uncaught exception (Fig. 9 event)."""
+        if not self.alive:
+            return
+        self.alive = False
+        self.crash_record = exc
+        self.ctx.recorder.record_crash(
+            self.ctx.now_ms, self.name, type(exc).__name__, str(exc)
+        )
+        self.ctx.memory.drop_process(self.name)
+        for watcher in list(self._death_watchers):
+            watcher(self)
+
+    def kill(self) -> None:
+        """Normal process death (task removed, app switched away for good)."""
+        if not self.alive:
+            return
+        self.alive = False
+        self.ctx.memory.drop_process(self.name)
+        for watcher in list(self._death_watchers):
+            watcher(self)
+
+    @property
+    def heap_mb(self) -> float:
+        return self.ctx.memory.total_mb(self.name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        status = "alive" if self.alive else "dead"
+        return f"Process({self.name}, {status}, {self.heap_mb:.1f} MB)"

@@ -1,0 +1,178 @@
+"""Resources and configurations.
+
+A :class:`Configuration` captures the device dimensions whose runtime
+changes the paper studies: screen orientation, screen size, locale,
+keyboard attachment, and font scale.  A :class:`ResourceTable` holds an
+app's per-qualifier resources (layout variants for portrait/landscape,
+strings per locale) and resolves them against a configuration, consuming
+the AssetManager load cost.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.apps.dsl import LayoutSpec
+    from repro.sim.context import SimContext
+
+
+class Orientation(enum.Enum):
+    PORTRAIT = "portrait"
+    LANDSCAPE = "landscape"
+
+    def flipped(self) -> "Orientation":
+        if self is Orientation.PORTRAIT:
+            return Orientation.LANDSCAPE
+        return Orientation.PORTRAIT
+
+
+@dataclass(frozen=True)
+class StringRes:
+    """A reference to a localised string resource (``R.string.<key>``).
+
+    Layout attributes may carry a :class:`StringRes` instead of a
+    literal; the inflater resolves it against the app's resource table
+    for the *current* configuration.  A language switch therefore
+    re-resolves the text on the newly inflated tree — and RCHDroid's
+    migration must not (and does not) clobber it with the old locale's
+    value, because inflate-time defaults are not runtime-set state.
+    """
+
+    key: str
+
+
+class ConfigDimension(enum.Enum):
+    """The configuration dimensions whose change triggers handling."""
+
+    ORIENTATION = "orientation"
+    SCREEN_SIZE = "screenSize"
+    LOCALE = "locale"
+    KEYBOARD = "keyboard"
+    FONT_SCALE = "fontScale"
+    NIGHT_MODE = "uiMode"
+
+
+@dataclass(frozen=True)
+class Configuration:
+    """An immutable device configuration snapshot."""
+
+    orientation: Orientation = Orientation.LANDSCAPE
+    width_px: int = 1920
+    height_px: int = 1080
+    locale: str = "en"
+    keyboard_attached: bool = False
+    font_scale: float = 1.0
+    night_mode: bool = False
+
+    # ------------------------------------------------------------------
+    # transitions used by workloads
+    # ------------------------------------------------------------------
+    def rotated(self) -> "Configuration":
+        """Flip orientation and swap the screen dimensions."""
+        return replace(
+            self,
+            orientation=self.orientation.flipped(),
+            width_px=self.height_px,
+            height_px=self.width_px,
+        )
+
+    def resized(self, width_px: int, height_px: int) -> "Configuration":
+        """Explicit ``wm size WxH`` resize (the artifact's trigger)."""
+        orientation = (
+            Orientation.LANDSCAPE if width_px >= height_px else Orientation.PORTRAIT
+        )
+        return replace(
+            self, width_px=width_px, height_px=height_px, orientation=orientation
+        )
+
+    def with_locale(self, locale: str) -> "Configuration":
+        return replace(self, locale=locale)
+
+    def with_keyboard(self, attached: bool) -> "Configuration":
+        return replace(self, keyboard_attached=attached)
+
+    def with_font_scale(self, scale: float) -> "Configuration":
+        return replace(self, font_scale=scale)
+
+    def with_night_mode(self, night: bool) -> "Configuration":
+        return replace(self, night_mode=night)
+
+    # ------------------------------------------------------------------
+    def diff(self, other: "Configuration") -> set[ConfigDimension]:
+        """The set of changed dimensions between two configurations."""
+        changed: set[ConfigDimension] = set()
+        if self.orientation is not other.orientation:
+            changed.add(ConfigDimension.ORIENTATION)
+        if (self.width_px, self.height_px) != (other.width_px, other.height_px):
+            changed.add(ConfigDimension.SCREEN_SIZE)
+        if self.locale != other.locale:
+            changed.add(ConfigDimension.LOCALE)
+        if self.keyboard_attached != other.keyboard_attached:
+            changed.add(ConfigDimension.KEYBOARD)
+        if self.font_scale != other.font_scale:
+            changed.add(ConfigDimension.FONT_SCALE)
+        if self.night_mode != other.night_mode:
+            changed.add(ConfigDimension.NIGHT_MODE)
+        return changed
+
+
+DEFAULT_LANDSCAPE = Configuration()
+DEFAULT_PORTRAIT = Configuration().rotated()
+
+
+@dataclass
+class ResourceTable:
+    """Per-app resources, selected by configuration qualifiers.
+
+    ``layouts`` maps layout name → {qualifier → LayoutSpec} where the
+    qualifier is an :class:`Orientation` or ``None`` (the default
+    variant).  ``strings`` maps locale → {key → text}.
+    ``resource_factor`` scales the AssetManager load cost: bigger apps
+    ship bigger resource sets.
+    """
+
+    layouts: dict[str, dict[Orientation | None, "LayoutSpec"]] = field(
+        default_factory=dict
+    )
+    strings: dict[str, dict[str, str]] = field(default_factory=dict)
+    resource_factor: float = 1.0
+
+    # ------------------------------------------------------------------
+    def add_layout(
+        self,
+        name: str,
+        spec: "LayoutSpec",
+        qualifier: Orientation | None = None,
+    ) -> None:
+        self.layouts.setdefault(name, {})[qualifier] = spec
+
+    def add_string(self, key: str, text: str, locale: str = "en") -> None:
+        self.strings.setdefault(locale, {})[key] = text
+
+    # ------------------------------------------------------------------
+    def resolve_layout(self, name: str, config: Configuration) -> "LayoutSpec":
+        """Best-match layout for the configuration (qualifier → default)."""
+        variants = self.layouts[name]
+        if config.orientation in variants:
+            return variants[config.orientation]
+        if None in variants:
+            return variants[None]
+        # Single-qualifier apps: fall back to whichever variant exists.
+        return next(iter(variants.values()))
+
+    def resolve_string(self, key: str, config: Configuration) -> str:
+        locale_table = self.strings.get(config.locale)
+        if locale_table and key in locale_table:
+            return locale_table[key]
+        return self.strings.get("en", {}).get(key, key)
+
+    def load(self, ctx: "SimContext", process: str, config: Configuration) -> None:
+        """Charge the AssetManager cost of (re)loading this resource set."""
+        ctx.consume(
+            ctx.costs.resource_load_base_ms * self.resource_factor,
+            process,
+            label=f"resource-load:{config.orientation.value}",
+        )

@@ -1,0 +1,20 @@
+"""System-server side of the framework (Fig. 2(b)).
+
+The ATMS owns the activity stack; task records hold per-app activity
+record stacks; the starter implements activity-creation semantics,
+including the RCHDroid sunny-flag path and the coin-flipping search.
+"""
+
+from repro.android.server.atms import ActivityTaskManagerService
+from repro.android.server.records import ActivityRecord, TaskRecord
+from repro.android.server.stack import ActivityStack
+from repro.android.server.starter import ActivityStarter, StartResult
+
+__all__ = [
+    "ActivityRecord",
+    "ActivityStack",
+    "ActivityStarter",
+    "ActivityTaskManagerService",
+    "StartResult",
+    "TaskRecord",
+]

@@ -1,0 +1,85 @@
+"""Activity and task records, the ATMS's bookkeeping objects.
+
+An :class:`ActivityRecord` is the server-side twin of an activity
+instance in some app process; a :class:`TaskRecord` is one app's record
+stack (Fig. 2(b)).  The RCHDroid patch surface on the record (Table 2:
+11 LoC) is the ``shadow_state`` flag plus its accessors.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.android.app.activity import Activity
+    from repro.android.app.activity_thread import ActivityThread
+    from repro.android.res import Configuration
+    from repro.apps.dsl import AppSpec
+
+class ActivityRecord:
+    """Server-side record of one activity instance."""
+
+    def __init__(
+        self,
+        app: "AppSpec",
+        activity_name: str,
+        config: "Configuration",
+        thread: "ActivityThread",
+    ):
+        self.token = thread.ctx.next_id("activity-token", start=1000)
+        self.app = app
+        self.activity_name = activity_name
+        self.config = config
+        self.thread = thread
+        self.task: "TaskRecord | None" = None
+        self.instance: "Activity | None" = None
+        # RCHDroid patch surface (ActivityRecord class, Table 2):
+        self.shadow_state = False
+
+    # RCHDroid accessors (the "related interfaces" of the patch):
+    def set_shadow_state(self, shadow: bool) -> None:
+        self.shadow_state = shadow
+
+    def is_shadow(self) -> bool:
+        return self.shadow_state
+
+    @property
+    def instance_alive(self) -> bool:
+        return self.instance is not None and self.instance.alive
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        flag = " shadow" if self.shadow_state else ""
+        return (
+            f"ActivityRecord(token={self.token}, {self.app.package}/"
+            f"{self.activity_name}{flag})"
+        )
+
+
+class TaskRecord:
+    """One task: an app's stack of activity records (top is last)."""
+
+    def __init__(self, app: "AppSpec", task_id: int = 0):
+        self.task_id = task_id
+        self.app = app
+        self.records: list[ActivityRecord] = []
+
+    def push(self, record: ActivityRecord) -> None:
+        record.task = self
+        self.records.append(record)
+
+    def remove(self, record: ActivityRecord) -> None:
+        self.records.remove(record)
+        record.task = None
+
+    def top(self) -> ActivityRecord | None:
+        return self.records[-1] if self.records else None
+
+    def move_to_top(self, record: ActivityRecord) -> None:
+        self.records.remove(record)
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"TaskRecord(#{self.task_id}, {self.app.package}, {len(self)} records)"

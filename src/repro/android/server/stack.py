@@ -1,0 +1,78 @@
+"""The global activity stack of the ATMS (Fig. 2(b)).
+
+Holds task records, topmost = foreground app.  The RCHDroid patch surface
+(ActivityStack class, Table 2: 29 LoC) is ``find_shadow_activity_locked``,
+the search the coin-flipping scheme runs before creating a new record.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.android.server.records import ActivityRecord, TaskRecord
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.context import SimContext
+
+
+class ActivityStack:
+    """Stack of task records; each task stacks activity records."""
+
+    def __init__(self, ctx: "SimContext"):
+        self.ctx = ctx
+        self.tasks: list[TaskRecord] = []
+
+    # ------------------------------------------------------------------
+    # task management
+    # ------------------------------------------------------------------
+    def push_task(self, task: TaskRecord) -> None:
+        self.tasks.append(task)
+
+    def remove_task(self, task: TaskRecord) -> None:
+        self.tasks.remove(task)
+
+    def move_task_to_top(self, task: TaskRecord) -> None:
+        self.tasks.remove(task)
+        self.tasks.append(task)
+
+    def top_task(self) -> TaskRecord | None:
+        return self.tasks[-1] if self.tasks else None
+
+    def top_record(self) -> ActivityRecord | None:
+        task = self.top_task()
+        return task.top() if task is not None else None
+
+    def find_task(self, package: str) -> TaskRecord | None:
+        for task in reversed(self.tasks):
+            if task.app.package == package:
+                return task
+        return None
+
+    # ------------------------------------------------------------------
+    # RCHDroid patch surface (ActivityStack class, Table 2)
+    # ------------------------------------------------------------------
+    def find_shadow_activity_locked(
+        self,
+        task: TaskRecord,
+        exclude: ActivityRecord | None = None,
+        billing_process: str | None = None,
+    ) -> ActivityRecord | None:
+        """Search a task's record stack for a live shadow-state record.
+
+        Only records whose instance is still alive (i.e. not yet
+        garbage-collected) qualify for the coin flip.  ``exclude`` skips
+        the record currently being flipped into the shadow state.
+        """
+        if billing_process is not None:
+            self.ctx.consume(
+                self.ctx.costs.atms_stack_search_ms,
+                billing_process,
+                thread="server",
+                label="findShadowActivityLocked",
+            )
+        for record in reversed(task.records):
+            if record is exclude:
+                continue
+            if record.is_shadow() and record.instance_alive:
+                return record
+        return None

@@ -1,0 +1,128 @@
+"""The ActivityStarter: activity-creation semantics.
+
+Implements both behaviours of Fig. 6:
+
+* **Stock dedup** — with a default flag, starting the activity already on
+  top of the stack creates nothing (Android assumes one instance per
+  activity).
+* **Sunny path** (RCHDroid patch, Table 2: 41 LoC) — a request carrying
+  ``IntentFlag.SUNNY`` first runs the coin-flipping search
+  (``find_shadow_activity_locked``); a live shadow record is reordered to
+  the top and its shadow flag cleared, otherwise a *second* record of the
+  same activity is created and pushed — the behaviour stock Android
+  forbids.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.android.app.intent import Intent, IntentFlag
+from repro.android.server.records import ActivityRecord, TaskRecord
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.android.res import Configuration
+    from repro.android.server.stack import ActivityStack
+    from repro.sim.context import SimContext
+
+
+@dataclass
+class StartResult:
+    """Outcome of one start request."""
+
+    record: ActivityRecord
+    created: bool
+    flipped: bool
+
+
+class ActivityStarter:
+    """startActivityUnchecked / setTaskFromIntentActivity."""
+
+    def __init__(self, ctx: "SimContext", stack: "ActivityStack"):
+        self.ctx = ctx
+        self.stack = stack
+
+    def start_activity_unchecked(
+        self,
+        intent: Intent,
+        task: TaskRecord,
+        config: "Configuration",
+        current: ActivityRecord | None = None,
+    ) -> StartResult:
+        """Resolve a start request against a task's record stack.
+
+        ``current`` is the record initiating the request (for the sunny
+        path: the record being pushed into the shadow state, which must
+        not satisfy its own coin-flip search).
+        """
+        if intent.has_flag(IntentFlag.SUNNY):
+            return self._start_sunny(intent, task, config, current)
+        return self._start_default(intent, task, config)
+
+    # ------------------------------------------------------------------
+    def _start_default(
+        self, intent: Intent, task: TaskRecord, config: "Configuration"
+    ) -> StartResult:
+        top = task.top()
+        if (
+            top is not None
+            and top.activity_name == intent.activity_name
+            and not intent.has_flag(IntentFlag.NEW_TASK)
+        ):
+            # Stock dedup: same activity on top -> reuse, create nothing.
+            return StartResult(record=top, created=False, flipped=False)
+        record = self._create_record(intent, task, config)
+        return StartResult(record=record, created=True, flipped=False)
+
+    def _start_sunny(
+        self,
+        intent: Intent,
+        task: TaskRecord,
+        config: "Configuration",
+        current: ActivityRecord | None,
+    ) -> StartResult:
+        """The patched path: coin-flip first, create second instance else."""
+        billing = task.app.package
+        shadow = self.stack.find_shadow_activity_locked(
+            task, exclude=current, billing_process=billing
+        )
+        if shadow is not None:
+            # Coin flip (Fig. 6(2)): reorder to top, clear the shadow flag.
+            self.ctx.consume(
+                self.ctx.costs.atms_stack_reorder_ms,
+                billing,
+                thread="server",
+                label="coin-flip-reorder",
+            )
+            task.move_to_top(shadow)
+            shadow.set_shadow_state(False)
+            shadow.config = config
+            self.ctx.recorder.bump("coinflip-hit")
+            return StartResult(record=shadow, created=False, flipped=True)
+        # First-time change (or shadow was GC'd): create a second record
+        # of the same activity — allowed only on the sunny path.
+        self.ctx.recorder.bump("coinflip-miss")
+        record = self._create_record(intent, task, config)
+        return StartResult(record=record, created=True, flipped=False)
+
+    # ------------------------------------------------------------------
+    def _create_record(
+        self, intent: Intent, task: TaskRecord, config: "Configuration"
+    ) -> ActivityRecord:
+        self.ctx.consume(
+            self.ctx.costs.atms_record_create_ms,
+            task.app.package,
+            thread="server",
+            label="create-activity-record",
+        )
+        top = task.top()
+        thread = top.thread if top is not None else None
+        if thread is None:
+            raise ValueError(
+                f"task {task.task_id} has no thread; launch the app via the "
+                "ATMS before starting more activities"
+            )
+        record = ActivityRecord(intent.app, intent.activity_name, config, thread)
+        task.push(record)
+        return record

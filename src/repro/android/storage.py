@@ -1,0 +1,67 @@
+"""SharedPreferences: per-package persistent key-value storage.
+
+The last rung of the state-durability ladder the evaluation exercises:
+
+| storage                 | survives restart | survives crash |
+|-------------------------|------------------|----------------|
+| bare activity field     | no               | no             |
+| non-auto-saved view attr| RCHDroid only    | no             |
+| onSaveInstanceState     | yes              | no             |
+| Application object      | yes              | no             |
+| SharedPreferences       | yes              | yes            |
+
+Backed by the simulation context (device flash outlives every process),
+with a small commit cost per write.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.context import SimContext
+
+_COMMIT_COST_MS = 1.8
+_STORE_ATTR = "_shared_preferences_store"
+
+
+def _device_store(ctx: "SimContext") -> dict[str, dict[str, Any]]:
+    store = getattr(ctx, _STORE_ATTR, None)
+    if store is None:
+        store = {}
+        setattr(ctx, _STORE_ATTR, store)
+    return store
+
+
+class SharedPreferences:
+    """One package's preference file."""
+
+    def __init__(self, ctx: "SimContext", package: str):
+        self._ctx = ctx
+        self._package = package
+        self._data = _device_store(ctx).setdefault(package, {})
+
+    def put(self, key: str, value: Any) -> None:
+        """Write + commit (synchronous, charged to the caller)."""
+        self._ctx.consume(
+            _COMMIT_COST_MS, self._package, label="prefs-commit"
+        )
+        self._data[key] = value
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self._data.get(key, default)
+
+    def contains(self, key: str) -> bool:
+        return key in self._data
+
+    def remove(self, key: str) -> None:
+        self._ctx.consume(
+            _COMMIT_COST_MS, self._package, label="prefs-commit"
+        )
+        self._data.pop(key, None)
+
+    def clear(self) -> None:
+        self._ctx.consume(
+            _COMMIT_COST_MS, self._package, label="prefs-commit"
+        )
+        self._data.clear()

@@ -1,0 +1,56 @@
+"""Simulated view system.
+
+``view`` holds the base classes and the invalidate pipeline that
+RCHDroid's lazy migration hooks (Section 3.3); ``widgets`` provides every
+view type named in Table 1 plus the ones the app corpus needs; ``inflate``
+builds view trees from layout resources, charging the per-view inflation
+cost.
+"""
+
+from repro.android.views.inflate import inflate
+from repro.android.views.view import DecorView, View, ViewGroup
+from repro.android.views.widgets import (
+    AbsListView,
+    Button,
+    CheckBox,
+    EditText,
+    GridView,
+    ImageView,
+    ListView,
+    ProgressBar,
+    RadioButton,
+    RatingBar,
+    ScrollView,
+    SeekBar,
+    Spinner,
+    Switch,
+    TextView,
+    ToggleButton,
+    VideoView,
+    WIDGET_TYPES,
+)
+
+__all__ = [
+    "AbsListView",
+    "Button",
+    "CheckBox",
+    "DecorView",
+    "EditText",
+    "GridView",
+    "ImageView",
+    "ListView",
+    "ProgressBar",
+    "RadioButton",
+    "RatingBar",
+    "ScrollView",
+    "SeekBar",
+    "Spinner",
+    "Switch",
+    "TextView",
+    "ToggleButton",
+    "VideoView",
+    "View",
+    "ViewGroup",
+    "WIDGET_TYPES",
+    "inflate",
+]

@@ -1,0 +1,254 @@
+"""View base classes and the invalidate pipeline.
+
+Three properties of this model carry the paper's mechanism:
+
+* **Tombstoning** — ``destroy()`` marks a view dead; any later mutation
+  raises :class:`~repro.errors.NullPointerException`.  This is how the
+  restarting-based design's crash (Fig. 1(a)) *emerges* rather than being
+  scripted.
+* **The invalidate hook** — every attribute mutation funnels through
+  ``set_attr`` → ``invalidate()``.  RCHDroid's patch to ``View.invalidate``
+  (Table 2: "Modify the invalidate function", 79 LoC) is modelled as an
+  activity-level hook called from here; the lazy-migration engine
+  registers itself on shadow-state activities.
+* **Peer pointers and state flags** — ``sunny_peer`` is the "sunny view
+  pointer" the paper adds to the View class; ``shadow_state`` /
+  ``sunny_state`` are the dispatched flags.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Iterator
+
+from repro.errors import NullPointerException, WrongThreadError
+from repro.android.os import Bundle
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.android.app.activity import Activity
+    from repro.sim.context import SimContext
+
+
+class View:
+    """A node of the view tree."""
+
+    view_type: str = "View"
+    AUTO_SAVED_ATTRS: frozenset[str] = frozenset()
+    """Attributes the *stock* per-view save function covers.  Android's
+    default ``onSaveInstanceState`` only preserves what each widget's
+    ``BaseSavedState`` implements (e.g. an EditText's text but not a plain
+    TextView's); everything else is lost across a restart — which is
+    precisely the Table 3 / Table 5 bug class."""
+
+    MIGRATED_ATTRS: dict[str, str] = {}
+    """Attribute → setter-name map of RCHDroid's type-directed migration
+    policy (Table 1).  The lazy-migration engine transfers exactly these."""
+
+    MEMORY_EXTRA_MB: float = 0.0
+    """Footprint beyond the base view cost (decoded bitmaps etc.)."""
+
+    def __init__(self, ctx: "SimContext", view_id: int | None = None):
+        self.ctx = ctx
+        self.view_id = view_id
+        self.parent: "ViewGroup | None" = None
+        self.owner: "Activity | None" = None
+        self.alive = True
+        self.attrs: dict[str, Any] = {}
+        self.user_set_attrs: set[str] = set()
+        """Attributes mutated at runtime (through ``set_attr``), as
+        opposed to inflate-time defaults from the layout resource.  Only
+        these are saved, restored, and migrated — a layout default must
+        be re-resolved against the *new* configuration's resources (e.g.
+        a locale switch re-reads the string), never carried over."""
+        self.dirty = False
+        # RCHDroid additions (paper Section 4, View class patch):
+        self.shadow_state = False
+        self.sunny_state = False
+        self.sunny_peer: "View | None" = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def attach(self, owner: "Activity") -> None:
+        """Bind to an owning activity and register the memory footprint."""
+        self.owner = owner
+        self.ctx.memory.allocate(
+            owner.process.name,
+            ("view", id(self)),
+            self.ctx.costs.view_base_mb + self.MEMORY_EXTRA_MB,
+        )
+
+    def destroy(self) -> None:
+        """Tombstone the view and release its footprint."""
+        if not self.alive:
+            return
+        self.alive = False
+        if self.owner is not None:
+            self.ctx.memory.free(self.owner.process.name, ("view", id(self)))
+
+    def require_alive(self) -> None:
+        if not self.alive:
+            raise NullPointerException(
+                f"{self.view_type}(id={self.view_id}) was destroyed by an "
+                "activity restart; asynchronous update dereferenced a "
+                "released view",
+                when_ms=self.ctx.now_ms,
+            )
+
+    # ------------------------------------------------------------------
+    # attribute pipeline
+    # ------------------------------------------------------------------
+    def get_attr(self, name: str, default: Any = None) -> Any:
+        return self.attrs.get(name, default)
+
+    def set_attr(self, name: str, value: Any, *, silent: bool = False) -> None:
+        """Mutate an attribute on the UI thread.
+
+        ``silent`` skips the cost and the invalidate (used by the
+        framework's own restore path, which batches its cost separately).
+        """
+        self.require_alive()
+        if self.owner is not None and not self.owner.process.alive:
+            raise WrongThreadError(
+                f"view mutation on dead process {self.owner.process.name}"
+            )
+        self.attrs[name] = value
+        self.user_set_attrs.add(name)
+        if silent:
+            return
+        if self.owner is not None:
+            self.ctx.consume(
+                self.ctx.costs.view_update_ms,
+                self.owner.process.name,
+                label=f"set:{self.view_type}.{name}",
+            )
+        self.invalidate()
+
+    def invalidate(self) -> None:
+        """Mark dirty and run the activity's invalidate hook, if any.
+
+        This is the "generic invalidate function" observation of
+        Section 3.3: whatever the app logic does, the result of an update
+        always funnels through here, so the migration step is inserted
+        here.
+        """
+        self.require_alive()
+        self.dirty = True
+        if self.owner is not None and self.owner.invalidate_hook is not None:
+            self.owner.invalidate_hook(self)
+
+    # ------------------------------------------------------------------
+    # traversal
+    # ------------------------------------------------------------------
+    def iter_tree(self) -> Iterator["View"]:
+        """Preorder traversal of this view and its descendants."""
+        yield self
+
+    def count_views(self) -> int:
+        return sum(1 for _ in self.iter_tree())
+
+    def find_by_id(self, view_id: int) -> "View | None":
+        for view in self.iter_tree():
+            if view.view_id == view_id:
+                return view
+        return None
+
+    # ------------------------------------------------------------------
+    # state save / restore
+    # ------------------------------------------------------------------
+    def save_state(self, out: Bundle, *, full: bool) -> None:
+        """Save this view's state into ``out`` keyed by view id.
+
+        ``full=False`` is the stock save function: only ``AUTO_SAVED_ATTRS``
+        of views *with ids* are preserved.  ``full=True`` is RCHDroid's
+        explicit snapshot (Section 3.3), which saves every attribute of
+        every id-bearing view so the sunny instance can be fully recovered.
+        """
+        if self.view_id is None:
+            return
+        runtime_attrs = [a for a in self.attrs if a in self.user_set_attrs]
+        attr_names = (
+            runtime_attrs if full
+            else [a for a in runtime_attrs if a in self.AUTO_SAVED_ATTRS]
+        )
+        if not attr_names:
+            return
+        state = Bundle()
+        for attr in attr_names:
+            state.put(attr, self.attrs[attr])
+        out.put_bundle(f"view:{self.view_id}", state)
+
+    def restore_state(self, saved: Bundle) -> None:
+        """Restore any attributes previously saved for this view's id."""
+        if self.view_id is None:
+            return
+        state = saved.get_bundle(f"view:{self.view_id}")
+        if state is None:
+            return
+        for attr in state.keys():
+            self.set_attr(attr, state.get(attr), silent=True)
+
+    # ------------------------------------------------------------------
+    # RCHDroid state dispatch (ViewGroup patch, Table 2)
+    # ------------------------------------------------------------------
+    def dispatch_shadow_state_changed(self, shadow: bool) -> None:
+        for view in self.iter_tree():
+            view.shadow_state = shadow
+
+    def dispatch_sunny_state_changed(self, sunny: bool) -> None:
+        for view in self.iter_tree():
+            view.sunny_state = sunny
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        status = "" if self.alive else " DEAD"
+        return f"{self.view_type}(id={self.view_id}{status})"
+
+
+class ViewGroup(View):
+    """A view that contains other views."""
+
+    view_type = "ViewGroup"
+
+    def __init__(self, ctx: "SimContext", view_id: int | None = None):
+        super().__init__(ctx, view_id)
+        self.children: list[View] = []
+
+    def add_child(self, child: View) -> None:
+        child.parent = self
+        self.children.append(child)
+        if self.owner is not None:
+            child.attach(self.owner)
+
+    def remove_child(self, child: View) -> None:
+        self.children.remove(child)
+        child.parent = None
+
+    def attach(self, owner: "Activity") -> None:
+        super().attach(owner)
+        for child in self.children:
+            child.attach(owner)
+
+    def destroy(self) -> None:
+        for child in self.children:
+            child.destroy()
+        super().destroy()
+
+    def iter_tree(self) -> Iterator[View]:
+        yield self
+        for child in self.children:
+            yield from child.iter_tree()
+
+    def save_state(self, out: Bundle, *, full: bool) -> None:
+        super().save_state(out, full=full)
+        for child in self.children:
+            child.save_state(out, full=full)
+
+    def restore_state(self, saved: Bundle) -> None:
+        super().restore_state(saved)
+        for child in self.children:
+            child.restore_state(saved)
+
+
+class DecorView(ViewGroup):
+    """Root of an activity's view tree (Fig. 2(a))."""
+
+    view_type = "DecorView"

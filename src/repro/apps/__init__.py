@@ -1,0 +1,29 @@
+"""App corpus: the DSL for describing apps and the paper's three app sets.
+
+* ``dsl`` — declarative app descriptions: layouts, state slots (view-
+  backed, bare-field, custom-saved), async-task scripts, issue taxonomy.
+* ``appset27`` — the 27 runtime-change-buggy apps of Table 3 (TP-37).
+* ``top100`` — the Google Play top-100 corpus of Table 5 / Section 6.
+* ``benchmark`` — the parametric N-ImageView benchmark app (Fig. 9/10).
+* ``workload`` — rotation/interaction traces (Fig. 11's 10-minute run).
+"""
+
+from repro.apps.benchmark import make_benchmark_app
+from repro.apps.dsl import (
+    AppSpec,
+    AsyncScript,
+    IssueKind,
+    StateSlot,
+    StorageKind,
+    simple_layout,
+)
+
+__all__ = [
+    "AppSpec",
+    "AsyncScript",
+    "IssueKind",
+    "StateSlot",
+    "StorageKind",
+    "make_benchmark_app",
+    "simple_layout",
+]

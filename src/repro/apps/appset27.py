@@ -1,0 +1,182 @@
+"""The 27-app set of Table 3 (from TP-37, Shan et al. OOPSLA'16).
+
+Each app is reconstructed from its published row: name, downloads, the
+observed issue under stock Android, and — inferred from the issue text —
+*where* the app keeps the affected state:
+
+* most apps keep it in a view attribute the stock save functions do not
+  cover (``VIEW_STATE_LOSS``): the alarm checkbox, the chosen date text,
+  a seek-bar level, a list selection, ...;
+* #9 (DiskDiggerPro) and #10 (Dock4Droid) keep it in bare activity
+  fields without implementing ``onSaveInstanceState`` — the two rows
+  RCHDroid cannot fix (Section 5.2);
+* a few apps additionally run an asynchronous task across the change
+  (the TP-37 crash class), exercising lazy migration.
+
+Cost parameters (view counts, onCreate logic, UI complexity, resource
+size, heap) are drawn per-app from a seeded stream; the draw ranges are
+calibrated so the *set-level* aggregates land on the paper's: mean
+handling-time saving ≈ 25.46 % (Fig. 7 / abstract) and mean memory
+47.56 MB stock vs 53.53 MB with a shadow retained (Fig. 8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.android.views.inflate import ViewSpec
+from repro.apps.dsl import (
+    AppSpec,
+    AsyncScript,
+    IssueKind,
+    StateSlot,
+    StorageKind,
+    filler_views,
+    two_orientation_resources,
+)
+from repro.sim.rng import DeterministicRng
+
+#: Stable ids for the state-carrying widgets of every corpus app.
+STATE_VIEW_ID = 20
+ASYNC_TARGET_ID = 21
+
+
+@dataclass(frozen=True)
+class _Row:
+    name: str
+    downloads: str
+    issue_text: str
+    widget: str          # widget type holding the lost state
+    attr: str            # its state attribute
+    issue: IssueKind
+    has_async: bool = False
+
+
+_TABLE3_ROWS: tuple[_Row, ...] = (
+    _Row("AlarmClockPlus", "5M+", "The alarm state is lost after restart",
+         "CheckBox", "checked", IssueKind.VIEW_STATE_LOSS),
+    _Row("AlarmKlock", "500K+", "The alarm time change is gone after restart",
+         "TextView", "text", IssueKind.VIEW_STATE_LOSS),
+    _Row("AndroidToken", "5M+", "The selected token is lost after restart",
+         "ListView", "checked_item", IssueKind.VIEW_STATE_LOSS),
+    _Row("BlueNET", "500K+",
+         "The server is unexpectedly turned off after restart",
+         "CheckBox", "checked", IssueKind.VIEW_STATE_LOSS, has_async=True),
+    _Row("BrightnessProfile", "5M+", "Brightness level is lost after restart",
+         "SeekBar", "progress", IssueKind.VIEW_STATE_LOSS),
+    _Row("BTHFPowerSave", "500K+", "State changes are lost after restart",
+         "CheckBox", "checked", IssueKind.VIEW_STATE_LOSS),
+    _Row("CalenMob", "10K+",
+         "The working date resets to current date after restart",
+         "TextView", "text", IssueKind.VIEW_STATE_LOSS),
+    _Row("DateSlider", "10K+", "The chosen date is lost after restart",
+         "TextView", "text", IssueKind.VIEW_STATE_LOSS),
+    _Row("DiskDiggerPro", "100K+",
+         "The percentage set by the user is lost after restart",
+         "ProgressBar", "progress", IssueKind.BARE_FIELD_LOSS),
+    _Row("Dock4Droid", "10K+", "The last-added app is missing after restart",
+         "ListView", "checked_item", IssueKind.BARE_FIELD_LOSS),
+    _Row("DrWebAntiVirus", "100M+",
+         "The check box setting is lost after restart",
+         "CheckBox", "checked", IssueKind.VIEW_STATE_LOSS),
+    _Row("Droidstack", "100K+", "The title is not preserved after restart",
+         "TextView", "text", IssueKind.VIEW_STATE_LOSS),
+    _Row("FoxFi", "10M+", "The entered email is lost after restart",
+         "TextView", "text", IssueKind.VIEW_STATE_LOSS),
+    _Row("MOBILedit", "1K+",
+         "The WiFi settings are not retained after restart",
+         "ListView", "checked_item", IssueKind.VIEW_STATE_LOSS),
+    _Row("OIFileManager", "5M+", "The last-opened path is lost after restart",
+         "TextView", "text", IssueKind.VIEW_STATE_LOSS),
+    _Row("OpenSudoku", "1M+", "User-filled numbers are lost after restart",
+         "GridView", "checked_item", IssueKind.VIEW_STATE_LOSS),
+    _Row("OpenWordSearch", "1M+",
+         "The word filled by user is lost after restarts",
+         "TextView", "text", IssueKind.VIEW_STATE_LOSS),
+    _Row("WorkRecorder", "5K+",
+         "The workout start time is lost after restart",
+         "TextView", "text", IssueKind.VIEW_STATE_LOSS, has_async=True),
+    _Row("PowerToggles", "10K+",
+         "The notification widgets are lost after restart",
+         "ListView", "checked_item", IssueKind.VIEW_STATE_LOSS),
+    _Row("PhoneCopier", "10K+", "The email address is lost after restart",
+         "TextView", "text", IssueKind.VIEW_STATE_LOSS),
+    _Row("ScrambledNet", "10K+", "The game state is lost after a restart",
+         "GridView", "checked_item", IssueKind.VIEW_STATE_LOSS),
+    _Row("ScrollableNews", "1K+", "The color selection is lost after restart",
+         "ListView", "checked_item", IssueKind.VIEW_STATE_LOSS),
+    _Row("ServDroidWeb", "1K+", "The new status is gone after restarts",
+         "TextView", "text", IssueKind.VIEW_STATE_LOSS, has_async=True),
+    _Row("SouveyMusicPro", "1K+",
+         "The settings of Metronome are lost after restart",
+         "SeekBar", "progress", IssueKind.VIEW_STATE_LOSS),
+    _Row("SSHTunnel", "100K+", "SSH connection profile is lost upon restart",
+         "ListView", "checked_item", IssueKind.VIEW_STATE_LOSS),
+    _Row("VPNConnection", "1K+", "The IPSec ID is lost upon restart",
+         "TextView", "text", IssueKind.VIEW_STATE_LOSS),
+    _Row("ZircoBrowser", "1K+", "Bookmark is lost after restart",
+         "ListView", "checked_item", IssueKind.VIEW_STATE_LOSS, has_async=True),
+)
+
+#: Expected Table 3 verdicts: RCHDroid fixes everything except #9 and #10.
+UNFIXABLE_APPS = frozenset({"DiskDiggerPro", "Dock4Droid"})
+
+
+def _build_app(row: _Row, rng: DeterministicRng) -> AppSpec:
+    filler_count = rng.randint(15, 35)
+    image_count = rng.randint(3, 8)
+    widgets: list[ViewSpec] = [
+        ViewSpec(row.widget, view_id=STATE_VIEW_ID),
+        ViewSpec("TextView", view_id=ASYNC_TARGET_ID,
+                 attrs={"text": "idle"}),
+    ]
+    widgets.extend(
+        ViewSpec("ImageView", view_id=500 + index,
+                 attrs={"drawable": f"asset-{index}"})
+        for index in range(image_count)
+    )
+    widgets.extend(filler_views(filler_count))
+
+    if row.issue is IssueKind.BARE_FIELD_LOSS:
+        slot = StateSlot("user_state", StorageKind.BARE_FIELD)
+    else:
+        slot = StateSlot(
+            "user_state", StorageKind.VIEW_ATTR,
+            view_id=STATE_VIEW_ID, attr=row.attr,
+        )
+
+    async_script = None
+    if row.has_async:
+        async_script = AsyncScript(
+            name=f"{row.name}-bg",
+            duration_ms=rng.uniform(2_000, 6_000),
+            updates=((ASYNC_TARGET_ID, "text", "bg-result"),),
+        )
+
+    return AppSpec(
+        package=f"tp37.{row.name.lower()}",
+        label=row.name,
+        resources=two_orientation_resources(
+            "main", widgets, resource_factor=rng.uniform(1.0, 1.6)
+        ),
+        logic_cost_ms=rng.uniform(5.0, 15.0),
+        extra_heap_mb=rng.uniform(7.2, 14.3),
+        ui_complexity=rng.uniform(2.42, 3.22),
+        slots=(slot,),
+        async_script=async_script,
+        issue=row.issue,
+        issue_description=row.issue_text,
+        downloads=row.downloads,
+        app_loc=rng.randint(2_500, 27_000),
+    )
+
+
+def build_appset27(seed: int = 0x5EED) -> list[AppSpec]:
+    """Build the 27 Table 3 apps, deterministically for a given seed."""
+    base = DeterministicRng(seed)
+    return [_build_app(row, base.fork(row.name)) for row in _TABLE3_ROWS]
+
+
+def table3_rows() -> tuple[_Row, ...]:
+    """The raw published rows (for report rendering)."""
+    return _TABLE3_ROWS

@@ -1,0 +1,78 @@
+"""The parametric benchmark app of Section 5.1 (second app set).
+
+Each benchmark app's view tree contains N ImageViews and a Button; when
+the button is touched, an AsyncTask is issued that updates every
+ImageView ``duration_ms`` later (five seconds by default, as in the
+paper; the Fig. 9 trace uses a longer task so the second runtime change
+lands in flight).
+"""
+
+from __future__ import annotations
+
+from repro.android.views.inflate import ViewSpec
+from repro.apps.dsl import (
+    AppSpec,
+    AsyncScript,
+    IssueKind,
+    StateSlot,
+    StorageKind,
+    two_orientation_resources,
+)
+
+BUTTON_ID = 10
+IMAGE_ID_BASE = 1000
+
+
+def image_view_ids(num_images: int) -> list[int]:
+    return [IMAGE_ID_BASE + index for index in range(num_images)]
+
+
+def make_benchmark_app(
+    num_images: int = 4,
+    *,
+    async_duration_ms: float = 5_000.0,
+    async_cpu_fraction: float = 0.0,
+    package: str | None = None,
+) -> AppSpec:
+    """Build the benchmark app with ``num_images`` ImageViews + a Button."""
+    widgets = [ViewSpec("Button", view_id=BUTTON_ID, attrs={"text": "update"})]
+    widgets.extend(
+        ViewSpec(
+            "ImageView",
+            view_id=view_id,
+            attrs={"drawable": f"placeholder-{view_id}"},
+        )
+        for view_id in image_view_ids(num_images)
+    )
+    updates = tuple(
+        (view_id, "drawable", f"loaded-{view_id}")
+        for view_id in image_view_ids(num_images)
+    )
+    return AppSpec(
+        package=package or f"bench.images{num_images}",
+        label=f"Benchmark-{num_images}",
+        resources=two_orientation_resources("main", widgets),
+        logic_cost_ms=3.0,
+        extra_heap_mb=8.0,
+        ui_complexity=1.0,
+        slots=(
+            StateSlot(
+                "first_drawable",
+                StorageKind.VIEW_ATTR,
+                view_id=IMAGE_ID_BASE,
+                attr="drawable",
+            ),
+        ),
+        async_script=AsyncScript(
+            name="update-images",
+            duration_ms=async_duration_ms,
+            updates=updates,
+            cpu_fraction=async_cpu_fraction,
+        ),
+        issue=IssueKind.ASYNC_CRASH,
+        issue_description=(
+            "AsyncTask updates the ImageViews after the runtime change "
+            "destroyed them (NullPointer crash on stock Android)"
+        ),
+        app_loc=1_200,
+    )

@@ -1,0 +1,132 @@
+"""Monkey: random event-injection robustness harness.
+
+The related work the paper builds on finds runtime-change bugs by
+injecting event sequences (AppDoctor, Adamsen et al. — Section 7.1).
+This module provides the same capability against the simulator: a
+seeded stream of rotations, resizes, locale switches, slot writes,
+async-task starts, and idle waits is driven into a system, and the
+report captures everything needed to check the transparency contract —
+no crashes, state follows the user, the single-shadow invariant holds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro.core.states import check_single_shadow_invariant
+from repro.sim.rng import DeterministicRng
+from repro.system import AndroidSystem
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.apps.dsl import AppSpec
+
+
+EVENT_KINDS = ("rotate", "resize", "locale", "write", "async", "wait")
+
+
+@dataclass
+class MonkeyReport:
+    """Outcome of one monkey run."""
+
+    events: list[tuple[str, Any]] = field(default_factory=list)
+    crashed: bool = False
+    crash_exception: str | None = None
+    invariant_violations: list[str] = field(default_factory=list)
+    last_written: Any = None
+    final_slot_value: Any = None
+    handling_paths: list[str] = field(default_factory=list)
+    peak_memory_mb: float = 0.0
+
+    @property
+    def state_followed_user(self) -> bool:
+        if self.last_written is None:
+            return True
+        return self.final_slot_value == self.last_written
+
+
+def monkey_run(
+    policy_factory,
+    app: "AppSpec",
+    *,
+    steps: int = 40,
+    seed: int = 0xBEEF,
+    event_kinds: tuple[str, ...] = EVENT_KINDS,
+    slot_name: str | None = None,
+) -> MonkeyReport:
+    """Inject ``steps`` random events into a fresh system running ``app``.
+
+    ``slot_name`` names the state slot to exercise with ``write`` events
+    (defaults to the app's first slot, if any).  The report's
+    ``state_followed_user`` checks the transparency contract: the last
+    value the user wrote is what the foreground shows at the end.
+    """
+    rng = DeterministicRng(seed)
+    system = AndroidSystem(policy=policy_factory(), seed=seed)
+    system.launch(app)
+    report = MonkeyReport()
+
+    slot = None
+    if slot_name is not None:
+        slot = app.slot(slot_name)
+    elif app.slots:
+        slot = app.slots[0]
+
+    locales = ("en", "fr", "de", "zh")
+    write_counter = 0
+    for _ in range(steps):
+        kind = rng.choice(list(event_kinds))
+        if kind == "rotate":
+            system.rotate()
+            report.events.append(("rotate", None))
+        elif kind == "resize":
+            width = rng.choice([720, 1080, 1440, 1920])
+            height = rng.choice([1280, 1920, 2560, 1080])
+            system.resize(width, height)
+            report.events.append(("resize", (width, height)))
+        elif kind == "locale":
+            locale = rng.choice(list(locales))
+            system.set_locale(locale)
+            report.events.append(("locale", locale))
+        elif kind == "write" and slot is not None and not report.crashed:
+            if system.foreground_activity(app.package) is not None:
+                write_counter += 1
+                value = f"monkey-{write_counter}"
+                try:
+                    system.write_slot(app, slot.name, value)
+                    report.last_written = value
+                    report.events.append(("write", value))
+                except LookupError:
+                    pass
+        elif kind == "async" and app.async_script is not None:
+            if system.foreground_activity(app.package) is not None:
+                system.start_async(app)
+                report.events.append(("async", app.async_script.name))
+        else:
+            wait_ms = rng.uniform(100.0, 8_000.0)
+            system.run_for(wait_ms)
+            report.events.append(("wait", round(wait_ms)))
+
+        report.peak_memory_mb = max(
+            report.peak_memory_mb, system.memory_of(app.package)
+        )
+        try:
+            check_single_shadow_invariant(list(system.atms.threads.values()))
+        except AssertionError as violation:
+            report.invariant_violations.append(str(violation))
+        if system.crashed(app.package):
+            break
+
+    system.run_until_idle()
+    report.crashed = system.crashed(app.package)
+    if report.crashed:
+        report.crash_exception = system.ctx.recorder.crashes[0].exception
+    elif slot is not None:
+        foreground = system.foreground_activity(app.package)
+        if foreground is not None:
+            report.final_slot_value = slot.read(foreground)
+    report.handling_paths = [path for _, path in system.handling_times()]
+    report.peak_memory_mb = max(
+        report.peak_memory_mb, system.memory_of(app.package)
+    )
+    return report

@@ -1,0 +1,84 @@
+"""Workload generation: rotation traces and interaction sessions.
+
+The GC trade-off experiment (Fig. 11) runs a benchmark app for ten
+minutes under ~six configuration changes per minute.  Real users rotate
+in bursts — several quick flips while repositioning, then a quiet stretch
+— which is exactly the regime where both Algorithm 1 thresholds bind:
+the frequency gate protects the shadow through bursts, and ``THRESH_T``
+decides how deep into a quiet gap it survives.  The trace generator
+produces such bursty schedules from a two-state Markov mixture of short
+and long gaps (deterministic per seed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.rng import DeterministicRng
+
+
+@dataclass(frozen=True)
+class RotationTraceSpec:
+    """Parameters of a bursty rotation schedule."""
+
+    duration_ms: float = 600_000.0       # ten minutes (Section 5.5)
+    short_gap_range_ms: tuple[float, float] = (2_000.0, 5_000.0)
+    long_gap_range_ms: tuple[float, float] = (15_000.0, 52_000.0)
+    prob_short_to_long: float = 0.22
+    prob_long_to_long: float = 0.50
+    start_offset_ms: float = 1_000.0
+
+
+def rotation_trace(
+    rng: DeterministicRng, spec: RotationTraceSpec | None = None
+) -> list[float]:
+    """Timestamps (ms) of configuration changes over the trace window.
+
+    Averages roughly six changes per minute (the Section 5.5 load), in
+    bursts: runs of 2–6 s gaps separated by 18–55 s quiet stretches.
+    """
+    spec = spec if spec is not None else RotationTraceSpec()
+    times: list[float] = []
+    now = spec.start_offset_ms
+    in_long = False
+    while now < spec.duration_ms:
+        times.append(now)
+        if in_long:
+            in_long = rng.uniform(0.0, 1.0) < spec.prob_long_to_long
+        else:
+            in_long = rng.uniform(0.0, 1.0) < spec.prob_short_to_long
+        low, high = (
+            spec.long_gap_range_ms if in_long else spec.short_gap_range_ms
+        )
+        now += rng.uniform(low, high)
+    return times
+
+
+def changes_per_minute(trace: list[float], duration_ms: float) -> float:
+    return len(trace) / (duration_ms / 60_000.0)
+
+
+@dataclass(frozen=True)
+class SessionSpec:
+    """A simple interaction session: periodic slot writes between rotates."""
+
+    duration_ms: float = 120_000.0
+    interaction_gap_ms: float = 4_000.0
+    rotation_gap_ms: float = 30_000.0
+
+
+def interaction_session(
+    rng: DeterministicRng, spec: SessionSpec | None = None
+) -> list[tuple[float, str]]:
+    """A merged timeline of ``("write", t)`` and ``("rotate", t)`` events."""
+    spec = spec if spec is not None else SessionSpec()
+    events: list[tuple[float, str]] = []
+    t = rng.jitter(spec.interaction_gap_ms, 0.3)
+    while t < spec.duration_ms:
+        events.append((t, "write"))
+        t += rng.jitter(spec.interaction_gap_ms, 0.3)
+    t = rng.jitter(spec.rotation_gap_ms, 0.3)
+    while t < spec.duration_ms:
+        events.append((t, "rotate"))
+        t += rng.jitter(spec.rotation_gap_ms, 0.3)
+    return sorted(events)

@@ -1,0 +1,24 @@
+"""Comparison systems of the paper's evaluation.
+
+* ``android10`` — the stock restarting-based handling (the Android-10
+  baseline of every figure).
+* ``runtimedroid`` — the app-level dynamic-migration system of
+  Section 5.7 (RuntimeDroid, MobiSys'18), including its per-app patch
+  cost model (Table 4) and deployment model.
+"""
+
+from repro.baselines.android10 import Android10Policy
+from repro.baselines.runtimedroid import (
+    RUNTIMEDROID_TABLE4,
+    RuntimeDroidPatchEntry,
+    RuntimeDroidPolicy,
+    patch_time_ms,
+)
+
+__all__ = [
+    "Android10Policy",
+    "RUNTIMEDROID_TABLE4",
+    "RuntimeDroidPatchEntry",
+    "RuntimeDroidPolicy",
+    "patch_time_ms",
+]

@@ -1,0 +1,45 @@
+"""The stock Android 10 restarting-based handling (Fig. 1(a)).
+
+Unless the app declares the change in its manifest
+(``android:configChanges``), the framework saves what the stock per-view
+save functions cover, destroys the activity instance — tombstoning the
+whole view tree — and relaunches it under the new configuration.  Bare
+fields, non-auto-saved view attributes, and the targets of in-flight
+asynchronous tasks are all lost, producing the three issue classes of
+Section 2.3 (app crash, poor responsiveness, state loss).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.policy import RuntimeChangePolicy
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.android.res import Configuration
+    from repro.android.server.atms import ActivityTaskManagerService
+    from repro.android.server.records import ActivityRecord
+
+
+class Android10Policy(RuntimeChangePolicy):
+    """Passive restarting-based runtime change handling."""
+
+    name = "android10"
+
+    def handle_configuration_change(
+        self,
+        atms: "ActivityTaskManagerService",
+        record: "ActivityRecord",
+        new_config: "Configuration",
+    ) -> str:
+        app = record.app
+        if app.handles_config_changes:
+            return self.deliver_self_handled(atms, record, new_config)
+        ctx = atms.ctx
+        # ATMS -> activity thread: relaunch message.
+        ctx.consume(
+            ctx.costs.ipc_call_ms, app.package, thread="binder",
+            label="ipc:relaunch",
+        )
+        record.thread.handle_relaunch_activity(record, new_config)
+        return "relaunch"

@@ -1,0 +1,129 @@
+"""RuntimeDroid baseline (Section 5.7; Farooq & Zhao, MobiSys'18).
+
+RuntimeDroid attacks the same problem at the *app* level: a static patch
+tool rewrites each app so the relaunch is masked and views are migrated
+dynamically in place (their "HotDecor" mechanism).  Three consequences
+the paper measures, all modelled here:
+
+* **Handling time** — faster than RCHDroid (no new instance at all, no
+  IPC round-trip through the ATMS): Fig. 12.
+* **Per-app modifications** — thousands of LoC of generated patch code
+  per app (Table 4), versus zero for RCHDroid.
+* **Deployment** — a patch run per app (12,867–161,598 ms measured by
+  the paper) versus one system-image flash for RCHDroid.
+
+Because the patch tool only reconstructs view trees it can resolve
+statically (Section 2.2), apps flagged ``runtimedroid_compatible=False``
+(dynamic/fragment-built trees) fall back to the stock restart path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.policy import RuntimeChangePolicy
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.android.res import Configuration
+    from repro.android.server.atms import ActivityTaskManagerService
+    from repro.android.server.records import ActivityRecord
+    from repro.sim.costs import CostModel
+
+
+@dataclass(frozen=True)
+class RuntimeDroidPatchEntry:
+    """One row of the paper's Table 4."""
+
+    app: str
+    android10_loc: int
+    runtimedroid_loc: int
+    modification_loc: int
+
+
+RUNTIMEDROID_TABLE4: tuple[RuntimeDroidPatchEntry, ...] = (
+    RuntimeDroidPatchEntry("Mdapp", 26_342, 28_419, 2077),
+    RuntimeDroidPatchEntry("Remindly", 6_966, 7_820, 854),
+    RuntimeDroidPatchEntry("AlarmKlock", 2_838, 3_610, 772),
+    RuntimeDroidPatchEntry("Weather", 10_949, 12_208, 1259),
+    RuntimeDroidPatchEntry("PDFCreator", 19_624, 20_895, 1271),
+    RuntimeDroidPatchEntry("Sieben", 20_518, 22_123, 1605),
+    RuntimeDroidPatchEntry("AndroPTPB", 3_405, 5_127, 1722),
+    RuntimeDroidPatchEntry("VlilleChecker", 12_083, 12_843, 760),
+)
+
+
+def patch_time_ms(costs: "CostModel", app_loc: int) -> float:
+    """RuntimeDroid's per-app patch time: analysis + rewrite over the
+    whole app source (the paper's 12,867–161,598 ms range)."""
+    return costs.runtimedroid_patch_ms_per_app_loc * app_loc
+
+
+def deployment_cost_ms(
+    costs: "CostModel", apps_loc: list[int]
+) -> tuple[float, list[float]]:
+    """Deployment comparison of Section 5.7.
+
+    Returns ``(rchdroid_total_ms, runtimedroid_per_app_ms)``: RCHDroid
+    pays one system flash regardless of the app population; RuntimeDroid
+    pays one patch run per app.
+    """
+    return costs.rchdroid_deploy_ms, [patch_time_ms(costs, loc) for loc in apps_loc]
+
+
+class RuntimeDroidPolicy(RuntimeChangePolicy):
+    """App-level dynamic migration: masked relaunch, in-place view update."""
+
+    name = "runtimedroid"
+
+    def handle_configuration_change(
+        self,
+        atms: "ActivityTaskManagerService",
+        record: "ActivityRecord",
+        new_config: "Configuration",
+    ) -> str:
+        app = record.app
+        if app.handles_config_changes:
+            return self.deliver_self_handled(atms, record, new_config)
+        if not app.runtimedroid_compatible:
+            # The patch tool could not resolve this app's view tree
+            # statically; the app ships unpatched and restarts as stock.
+            ctx = atms.ctx
+            ctx.consume(
+                ctx.costs.ipc_call_ms, app.package, thread="binder",
+                label="ipc:relaunch",
+            )
+            record.thread.handle_relaunch_activity(record, new_config)
+            return "relaunch"
+        return self._inplace_update(atms, record, new_config)
+
+    # ------------------------------------------------------------------
+    def _inplace_update(
+        self,
+        atms: "ActivityTaskManagerService",
+        record: "ActivityRecord",
+        new_config: "Configuration",
+    ) -> str:
+        """Masked relaunch: same instance, same view objects, new resources.
+
+        No instance is created and none is destroyed, so in-flight async
+        tasks keep valid view references — RuntimeDroid avoids the crash
+        class by construction, for the apps it can patch.
+        """
+        ctx = atms.ctx
+        instance = record.instance
+        assert instance is not None
+        app = record.app
+        ctx.consume(
+            ctx.costs.rd_inplace_base_ms, app.package, label="rd-inplace-base"
+        )
+        app.resources.load(ctx, app.package, new_config)
+        view_count = instance.decor.count_views() if instance.decor else 0
+        ctx.consume(
+            ctx.costs.rd_reconfigure_per_view_ms * view_count,
+            app.package,
+            label="rd-reconfigure",
+        )
+        record.config = new_config
+        instance.config = new_config
+        return "in-place"

@@ -1,0 +1,30 @@
+"""RCHDroid: the paper's primary contribution.
+
+* ``states`` — the Shadow/Sunny activity states and their transitions
+  (Section 3.2, Fig. 4).
+* ``mapping`` — the essence-based view-tree mapping (Section 3.3, Fig. 5).
+* ``migration`` — the lazy-migration engine and the type-directed
+  migration policies of Table 1.
+* ``coinflip`` — coin-flipping-based activity record management
+  (Section 3.4, Fig. 6).
+* ``gc`` — the threshold-based garbage collector for shadow activities
+  (Section 3.5, Algorithm 1).
+* ``policy`` — the RCHDroid policy object wiring all of the above into
+  the framework's hook points, mirroring the Table 2 patch.
+"""
+
+from repro.core.gc import GcDecision, ShadowGarbageCollector
+from repro.core.mapping import EssenceMapping, build_essence_mapping
+from repro.core.migration import MigrationBatch, MigrationEngine
+from repro.core.policy import RCHDroidConfig, RCHDroidPolicy
+
+__all__ = [
+    "EssenceMapping",
+    "GcDecision",
+    "MigrationBatch",
+    "MigrationEngine",
+    "RCHDroidConfig",
+    "RCHDroidPolicy",
+    "ShadowGarbageCollector",
+    "build_essence_mapping",
+]

@@ -1,0 +1,74 @@
+"""Coin-flipping-based activity record management (Section 3.4, Fig. 6).
+
+The search-and-reorder mechanics live in the framework's patched
+ActivityStarter/ActivityStack (``repro.android.server``), because that is
+where the paper's 41+29 LoC land.  This module owns the *instance-side*
+flip: reviving the found shadow instance as the new sunny activity —
+synchronising its view state from the outgoing activity's snapshot,
+re-laying it out for the new configuration, and swapping the
+shadow/sunny flags of the coupled pair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.android.app.activity import Activity
+    from repro.android.os import Bundle
+    from repro.android.res import Configuration
+    from repro.sim.context import SimContext
+
+
+@dataclass(frozen=True)
+class FlipOutcome:
+    """Result of one instance-side coin flip."""
+
+    revived: "Activity"
+    shadowed: "Activity"
+    relayout_cost_ms: float
+
+
+def flip_instances(
+    ctx: "SimContext",
+    revived: "Activity",
+    shadowed: "Activity",
+    outgoing_snapshot: "Bundle",
+    new_config: "Configuration",
+) -> FlipOutcome:
+    """Revive ``revived`` (the found shadow instance) as the sunny activity.
+
+    ``shadowed`` is the outgoing activity that just entered the shadow
+    state; ``outgoing_snapshot`` is its shadow bundle.  Three steps, all
+    O(#views) or cheaper — this is why the flip path is flat in Fig. 10a:
+
+    1. swap the coupled pair's state flags (``flip_state_swap_ms``),
+    2. synchronise the revived instance's view state from the outgoing
+       activity's snapshot (its own attributes are stale: it last saw the
+       user one configuration ago),
+    3. re-measure/re-layout the reused tree for the new configuration —
+       no instantiation, no resource reload, no mapping rebuild (peer
+       pointers planted at init time are bidirectional and still valid).
+    """
+    costs = ctx.costs
+    process = revived.process.name
+    ctx.consume(costs.flip_state_swap_ms, process, label="flip-state-swap")
+
+    view_count = 0
+    if revived.decor is not None:
+        revived.decor.restore_state(outgoing_snapshot)
+        view_count = revived.decor.count_views()
+    sync_cost = costs.restore_state_per_view_ms * view_count
+    ctx.consume(sync_cost, process, label="flip-state-sync")
+
+    relayout_cost = (
+        costs.flip_relayout_base_ms * revived.app.ui_complexity
+        + costs.flip_relayout_per_view_ms * view_count
+    )
+    ctx.consume(relayout_cost, process, label="flip-relayout")
+    revived.config = new_config
+    ctx.recorder.bump("instance-flips")
+    return FlipOutcome(
+        revived=revived, shadowed=shadowed, relayout_cost_ms=relayout_cost
+    )

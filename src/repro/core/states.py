@@ -1,0 +1,80 @@
+"""Shadow / Sunny state transitions (Section 3.2, Fig. 4).
+
+The states themselves live in the framework's lifecycle enum
+(:mod:`repro.android.app.lifecycle`) because RCHDroid adds them *to* the
+framework; this module owns the transition procedures — what it means,
+mechanically, for an activity instance to enter each state — and the
+system-wide invariant checker (at most one shadow instance, coupled to
+the foreground).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.android.app.lifecycle import LifecycleState
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.android.app.activity import Activity
+    from repro.android.app.activity_thread import ActivityThread
+    from repro.android.os import Bundle
+    from repro.sim.context import SimContext
+
+
+def shadow_activity(
+    ctx: "SimContext", thread: "ActivityThread", activity: "Activity"
+) -> "Bundle":
+    """Move a foreground activity into the Shadow state.
+
+    Per Section 3.2: the instance is stopped with the shadow flag, stays
+    alive and able to respond to asynchronous callbacks, and the activity
+    thread snapshots its state into a bundle.  Returns that snapshot.
+    """
+    ctx.consume(
+        ctx.costs.shadow_transition_ms,
+        activity.process.name,
+        label="enter-shadow",
+    )
+    snapshot = activity.save_instance_state(full=True)
+    activity.enter_shadow()
+    thread.note_shadow_entry(activity)
+    ctx.mark("enter-shadow", detail=str(activity.instance_id),
+             process=activity.process.name)
+    return snapshot
+
+
+def sunny_activity(ctx: "SimContext", activity: "Activity") -> None:
+    """Move an activity into the Sunny state (foreground, visible).
+
+    Equivalent to Resumed except the view tree participates in
+    shadow→sunny migration; the resume cost is charged here because the
+    paper's handling-time measurement ends "when the corresponding
+    activity is resumed".
+    """
+    ctx.consume(
+        ctx.costs.activity_resume_ms,
+        activity.process.name,
+        label="enter-sunny",
+    )
+    activity.enter_sunny()
+    ctx.mark("enter-sunny", detail=str(activity.instance_id),
+             process=activity.process.name)
+
+
+def check_single_shadow_invariant(threads: list["ActivityThread"]) -> None:
+    """Assert the Section 3.2 invariant: at most one shadow instance
+    system-wide, and it must be coupled with a live foreground (sunny)
+    activity in the same thread."""
+    shadows = [t for t in threads if t.shadow_activity is not None]
+    if len(shadows) > 1:
+        raise AssertionError(
+            f"{len(shadows)} shadow activities alive; the system allows one"
+        )
+    for thread in shadows:
+        shadow = thread.shadow_activity
+        assert shadow is not None
+        if shadow.lifecycle is not LifecycleState.SHADOW:
+            raise AssertionError(
+                f"shadow pointer names an instance in state "
+                f"{shadow.lifecycle.value}"
+            )

@@ -1,0 +1,64 @@
+"""Exception types of the simulated Android runtime.
+
+The crash semantics of the reproduction hinge on these types: a framework
+or app callback that raises :class:`AppCrash` (or one of its subclasses)
+while running on the simulated UI thread kills the owning process, exactly
+like an uncaught Java exception kills an Android app process.  The two
+subclasses mirror the exceptions the paper names in Section 1 and
+Section 2.3 (NullPointer and WindowLeaked) for asynchronous updates that
+land after a restarting-based configuration change destroyed the view tree.
+"""
+
+from __future__ import annotations
+
+
+class SimulationError(Exception):
+    """Base class for errors raised by the simulator itself (not by apps)."""
+
+
+class SchedulerError(SimulationError):
+    """The discrete-event scheduler was used incorrectly."""
+
+
+class WrongThreadError(SimulationError):
+    """A view was touched from a simulated thread that is not the UI thread.
+
+    Mirrors Android's ``CalledFromWrongThreadException``.
+    """
+
+
+class LifecycleError(SimulationError):
+    """An activity lifecycle transition that the state machine forbids."""
+
+
+class AppCrash(Exception):
+    """Base class for exceptions that crash the simulated app process.
+
+    Instances carry the simulated timestamp at which the crash occurred so
+    profiler traces (Figure 9) can pinpoint the event.
+    """
+
+    def __init__(self, message: str, *, when_ms: float | None = None):
+        super().__init__(message)
+        self.when_ms = when_ms
+
+
+class NullPointerException(AppCrash):
+    """A destroyed (tombstoned) view or activity was dereferenced.
+
+    Raised when an asynchronous task returns after a restarting-based
+    runtime change released the old view tree and the callback mutates one
+    of the released views (paper Fig. 1(a) and Section 2.3).
+    """
+
+
+class WindowLeakedException(AppCrash):
+    """A window-level operation targeted an activity whose window is gone.
+
+    Raised for dialog/window operations against a destroyed activity, the
+    second crash mode named by the paper.
+    """
+
+
+class BadTokenException(AppCrash):
+    """An activity record token no longer names a live record in the ATMS."""

@@ -1,0 +1,24 @@
+"""Experiment harness.
+
+* ``runner`` — run one app under one policy through the canonical issue
+  and performance scenarios; produce verdicts and measurements.
+* ``scenarios`` — the paper's scripted scenarios (Fig. 9 trace, GC
+  stress of Fig. 11, scalability sweeps of Fig. 10).
+* ``report`` — plain-text tables matching the paper's rows.
+* ``experiments`` — one module per table/figure, each with a ``run()``
+  returning structured results and a ``main()`` that prints them.
+"""
+
+from repro.harness.runner import (
+    HandlingMeasurement,
+    IssueVerdict,
+    measure_handling,
+    run_issue_scenario,
+)
+
+__all__ = [
+    "HandlingMeasurement",
+    "IssueVerdict",
+    "measure_handling",
+    "run_issue_scenario",
+]

@@ -1,0 +1,51 @@
+"""One module per table/figure of the paper's evaluation.
+
+Each module exposes ``run(...)`` returning a structured result and
+``main()`` printing the paper-style report; ``REGISTRY`` maps experiment
+ids to their runners so ``python -m repro.harness.experiments`` can list
+and execute them.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.harness.experiments import (
+    ext_fragments,
+    ext_robustness,
+    ext_sessions,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+    fig14,
+    sec56_energy,
+    sec57_deployment,
+    table2,
+    table3,
+    table5,
+)
+
+REGISTRY: dict[str, Callable[[], object]] = {
+    "table2": table2.run,
+    "table3": table3.run,
+    "table5": table5.run,
+    "fig7": fig7.run,
+    "fig8": fig8.run,
+    "fig9": fig9.run,
+    "fig10": fig10.run,
+    "fig11": fig11.run,
+    "fig12": fig12.run,
+    "fig13": fig13.run,
+    "fig14": fig14.run,
+    "ext-fragments": ext_fragments.run,
+    "ext-robustness": ext_robustness.run,
+    "ext-sessions": ext_sessions.run,
+    "sec5.6-energy": sec56_energy.run,
+    "sec5.7-deployment": sec57_deployment.run,
+}
+
+__all__ = ["REGISTRY"]

@@ -1,0 +1,44 @@
+"""CLI: ``python -m repro.harness.experiments [id ...]``.
+
+Without arguments, lists the available experiment ids.  With ids, runs
+each experiment and prints its paper-style report.
+"""
+
+from __future__ import annotations
+
+import importlib
+import sys
+
+from repro.harness.experiments import REGISTRY
+
+_MODULES = {
+    "table2": "table2", "table3": "table3", "table5": "table5",
+    "fig7": "fig7", "fig8": "fig8", "fig9": "fig9", "fig10": "fig10",
+    "fig11": "fig11", "fig12": "fig12", "fig13": "fig13", "fig14": "fig14",
+    "sec5.6-energy": "sec56_energy", "sec5.7-deployment": "sec57_deployment",
+    "ext-fragments": "ext_fragments", "ext-robustness": "ext_robustness",
+    "ext-sessions": "ext_sessions",
+}
+
+
+def main(argv: list[str]) -> int:
+    if not argv:
+        print("available experiments:")
+        for key in REGISTRY:
+            print(f"  {key}")
+        print("usage: python -m repro.harness.experiments <id> [<id> ...]")
+        return 0
+    for key in argv:
+        if key not in _MODULES:
+            print(f"unknown experiment {key!r}; known: {', '.join(_MODULES)}")
+            return 2
+        module = importlib.import_module(
+            f"repro.harness.experiments.{_MODULES[key]}"
+        )
+        print(module.format_report(module.run()))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

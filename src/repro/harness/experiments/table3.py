@@ -1,0 +1,100 @@
+"""Table 3: effectiveness on the 27-app set.
+
+For each TP-37 app, run the issue scenario under stock Android-10 (the
+issue must manifest: state loss or crash) and under RCHDroid (the paper
+reports 25 of 27 solved; #9 DiskDiggerPro and #10 Dock4Droid remain
+unsolved because their state lives in bare fields without
+``onSaveInstanceState``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps.appset27 import UNFIXABLE_APPS, build_appset27
+from repro.baselines.android10 import Android10Policy
+from repro.core.policy import RCHDroidPolicy
+from repro.harness.report import render_table
+from repro.harness.runner import IssueVerdict, run_issue_scenario
+
+
+@dataclass
+class Table3Row:
+    index: int
+    label: str
+    downloads: str
+    issue_description: str
+    stock: IssueVerdict
+    rchdroid: IssueVerdict
+
+    @property
+    def issue_on_stock(self) -> bool:
+        return self.stock.issue_observed
+
+    @property
+    def solved_by_rchdroid(self) -> bool:
+        return self.rchdroid.issue_solved
+
+
+@dataclass
+class Table3Result:
+    rows: list[Table3Row]
+
+    @property
+    def issues_on_stock(self) -> int:
+        return sum(1 for row in self.rows if row.issue_on_stock)
+
+    @property
+    def solved(self) -> int:
+        return sum(1 for row in self.rows if row.solved_by_rchdroid)
+
+    @property
+    def unsolved_labels(self) -> list[str]:
+        return [row.label for row in self.rows if not row.solved_by_rchdroid]
+
+
+def run(seed: int = 0x5EED) -> Table3Result:
+    rows: list[Table3Row] = []
+    for index, app in enumerate(build_appset27(seed), start=1):
+        stock = run_issue_scenario(Android10Policy, app, seed=seed)
+        rchdroid = run_issue_scenario(RCHDroidPolicy, app, seed=seed)
+        rows.append(
+            Table3Row(
+                index=index,
+                label=app.label,
+                downloads=app.downloads,
+                issue_description=app.issue_description,
+                stock=stock,
+                rchdroid=rchdroid,
+            )
+        )
+    return Table3Result(rows=rows)
+
+
+def format_report(result: Table3Result) -> str:
+    table = render_table(
+        ["No.", "App", "Downloads", "Issue of current Android design",
+         "Android-10", "RCHDroid"],
+        [
+            [row.index, row.label, row.downloads, row.issue_description,
+             "issue" if row.issue_on_stock else "ok",
+             "solved" if row.solved_by_rchdroid else "NOT solved"]
+            for row in result.rows
+        ],
+        title="Table 3: results of 27 apps running on RCHDroid",
+    )
+    footer = (
+        f"\nissues under Android-10: {result.issues_on_stock}/27 (paper: 27/27)"
+        f"\nsolved by RCHDroid: {result.solved}/27 (paper: 25/27)"
+        f"\nunsolved: {', '.join(result.unsolved_labels)} "
+        f"(paper: {', '.join(sorted(UNFIXABLE_APPS))})"
+    )
+    return table + footer
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    print(format_report(run()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

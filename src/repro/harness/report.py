@@ -1,0 +1,74 @@
+"""Plain-text report rendering.
+
+Every experiment module renders its results through these helpers so the
+benchmark harness prints the same rows/series the paper reports, plus a
+paper-vs-measured comparison block.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+
+def render_table(
+    headers: Sequence[str], rows: Sequence[Sequence[Any]], title: str = ""
+) -> str:
+    """Monospace table with auto-sized columns."""
+    cells = [[str(value) for value in row] for row in rows]
+    widths = [
+        max(len(headers[col]), *(len(row[col]) for row in cells))
+        if cells
+        else len(headers[col])
+        for col in range(len(headers))
+    ]
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in cells:
+        lines.append("  ".join(value.ljust(w) for value, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """One paper-vs-measured data point."""
+
+    metric: str
+    paper: float
+    measured: float
+    unit: str = ""
+
+    @property
+    def relative_error(self) -> float:
+        if self.paper == 0:
+            return 0.0 if self.measured == 0 else float("inf")
+        return abs(self.measured - self.paper) / abs(self.paper)
+
+    def row(self) -> list[str]:
+        return [
+            self.metric,
+            f"{self.paper:g} {self.unit}".strip(),
+            f"{self.measured:.2f} {self.unit}".strip(),
+            f"{100 * self.relative_error:.1f}%",
+        ]
+
+
+def render_comparisons(comparisons: Sequence[Comparison], title: str) -> str:
+    return render_table(
+        ["metric", "paper", "measured", "rel.err"],
+        [comparison.row() for comparison in comparisons],
+        title=title,
+    )
+
+
+def series_block(
+    name: str, xs: Sequence[float], ys: Sequence[float], unit: str = ""
+) -> str:
+    """One figure series as aligned x/y rows (the plotted data)."""
+    lines = [f"series: {name}" + (f" [{unit}]" if unit else "")]
+    lines.extend(f"  x={x:>10g}  y={y:>10.2f}" for x, y in zip(xs, ys))
+    return "\n".join(lines)

@@ -1,0 +1,30 @@
+"""Measurement layer of the simulator.
+
+The recorder collects raw busy intervals, heap samples, latencies, point
+events, and crashes; the profiler, memory accountant, and energy model
+turn them into the series the paper's figures plot (CPU%/heap over time,
+per-app PSS, board power).
+"""
+
+from repro.metrics.energy import EnergyModel
+from repro.metrics.memory import MemoryAccountant
+from repro.metrics.profiler import Profiler, TracePoint
+from repro.metrics.recorder import (
+    BusyInterval,
+    CrashRecord,
+    LatencyRecord,
+    PointEvent,
+    TraceRecorder,
+)
+
+__all__ = [
+    "BusyInterval",
+    "CrashRecord",
+    "EnergyModel",
+    "LatencyRecord",
+    "MemoryAccountant",
+    "PointEvent",
+    "Profiler",
+    "TracePoint",
+    "TraceRecorder",
+]

@@ -1,0 +1,167 @@
+"""Raw measurement capture for a simulation run.
+
+One :class:`TraceRecorder` exists per :class:`~repro.sim.context.SimContext`.
+Framework code reports *what happened when*; the analysis classes in
+``repro.metrics.profiler`` / ``repro.metrics.energy`` interpret it.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class BusyInterval:
+    """A span of simulated CPU work attributed to a process thread."""
+
+    process: str
+    thread: str
+    start_ms: float
+    duration_ms: float
+    label: str = ""
+
+    @property
+    def end_ms(self) -> float:
+        return self.start_ms + self.duration_ms
+
+
+@dataclass(frozen=True)
+class HeapSample:
+    """Total simulated PSS of a process at an instant."""
+
+    when_ms: float
+    process: str
+    mb: float
+
+
+@dataclass(frozen=True)
+class PointEvent:
+    """A labelled instant (rotation arrived, task returned, GC ran, ...)."""
+
+    when_ms: float
+    kind: str
+    detail: str = ""
+    process: str = ""
+
+
+@dataclass(frozen=True)
+class LatencyRecord:
+    """A named interval, e.g. one runtime-change handling episode."""
+
+    name: str
+    start_ms: float
+    end_ms: float
+    detail: str = ""
+
+    @property
+    def duration_ms(self) -> float:
+        return self.end_ms - self.start_ms
+
+
+@dataclass(frozen=True)
+class CrashRecord:
+    """An app-process crash (uncaught exception on the UI thread)."""
+
+    when_ms: float
+    process: str
+    exception: str
+    message: str
+
+
+@dataclass
+class _OpenLatency:
+    name: str
+    start_ms: float
+    detail: str = ""
+
+
+class TraceRecorder:
+    """Append-only store of everything measured during a run."""
+
+    def __init__(self) -> None:
+        self.busy: list[BusyInterval] = []
+        self.heap: list[HeapSample] = []
+        self.events: list[PointEvent] = []
+        self.latencies: list[LatencyRecord] = []
+        self.crashes: list[CrashRecord] = []
+        self._open: dict[str, _OpenLatency] = {}
+        self.counters: dict[str, int] = defaultdict(int)
+
+    # ------------------------------------------------------------------
+    # raw capture
+    # ------------------------------------------------------------------
+    def record_busy(
+        self,
+        process: str,
+        thread: str,
+        start_ms: float,
+        duration_ms: float,
+        label: str = "",
+    ) -> None:
+        if duration_ms > 0:
+            self.busy.append(
+                BusyInterval(process, thread, start_ms, duration_ms, label)
+            )
+
+    def record_heap(self, when_ms: float, process: str, mb: float) -> None:
+        self.heap.append(HeapSample(when_ms, process, mb))
+
+    def record_event(
+        self, when_ms: float, kind: str, detail: str = "", process: str = ""
+    ) -> None:
+        self.events.append(PointEvent(when_ms, kind, detail, process))
+
+    def record_crash(
+        self, when_ms: float, process: str, exception: str, message: str
+    ) -> None:
+        self.crashes.append(CrashRecord(when_ms, process, exception, message))
+
+    def bump(self, counter: str, by: int = 1) -> None:
+        self.counters[counter] += by
+
+    # ------------------------------------------------------------------
+    # latency probes
+    # ------------------------------------------------------------------
+    def latency_begin(self, name: str, when_ms: float, detail: str = "") -> None:
+        """Open a named latency interval (e.g. a handling episode).
+
+        Re-opening an already open probe restarts it; this matches the
+        paper's measurement (a second configuration change arriving during
+        handling starts a new episode).
+        """
+        self._open[name] = _OpenLatency(name, when_ms, detail)
+
+    def latency_end(self, name: str, when_ms: float) -> LatencyRecord | None:
+        """Close a named interval; returns the record, or None if not open."""
+        probe = self._open.pop(name, None)
+        if probe is None:
+            return None
+        record = LatencyRecord(name, probe.start_ms, when_ms, probe.detail)
+        self.latencies.append(record)
+        return record
+
+    def record_latency(
+        self, name: str, start_ms: float, end_ms: float, detail: str = ""
+    ) -> LatencyRecord:
+        record = LatencyRecord(name, start_ms, end_ms, detail)
+        self.latencies.append(record)
+        return record
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def latencies_named(self, name: str) -> list[LatencyRecord]:
+        return [record for record in self.latencies if record.name == name]
+
+    def durations_ms(self, name: str) -> list[float]:
+        return [record.duration_ms for record in self.latencies_named(name)]
+
+    def events_of_kind(self, kind: str) -> list[PointEvent]:
+        return [event for event in self.events if event.kind == kind]
+
+    def crashed(self, process: str) -> bool:
+        return any(crash.process == process for crash in self.crashes)
+
+    def heap_of(self, process: str) -> list[HeapSample]:
+        return [sample for sample in self.heap if sample.process == process]

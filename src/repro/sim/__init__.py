@@ -1,0 +1,22 @@
+"""Discrete-event simulation kernel.
+
+Everything in the reproduction runs on this kernel: a virtual millisecond
+clock, a deterministic event scheduler, a calibrated cost model for
+framework operations, and a simulation context that threads those three
+through the Android framework layers.
+"""
+
+from repro.sim.clock import VirtualClock
+from repro.sim.costs import CostModel
+from repro.sim.context import SimContext
+from repro.sim.rng import DeterministicRng
+from repro.sim.scheduler import Event, Scheduler
+
+__all__ = [
+    "CostModel",
+    "DeterministicRng",
+    "Event",
+    "Scheduler",
+    "SimContext",
+    "VirtualClock",
+]

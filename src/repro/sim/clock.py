@@ -1,0 +1,55 @@
+"""Virtual clock for the discrete-event simulation.
+
+Time is a float number of milliseconds since simulation start.  The clock
+only moves forward: either jumped to the timestamp of the next scheduled
+event by the scheduler, or advanced incrementally by framework code that
+"performs work" through :meth:`VirtualClock.advance`.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SchedulerError
+
+
+class VirtualClock:
+    """Monotonic simulated time in milliseconds."""
+
+    def __init__(self, start_ms: float = 0.0):
+        self._now_ms = float(start_ms)
+
+    @property
+    def now_ms(self) -> float:
+        """Current simulated time in milliseconds."""
+        return self._now_ms
+
+    @property
+    def now_s(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now_ms / 1000.0
+
+    def advance(self, delta_ms: float) -> float:
+        """Move time forward by ``delta_ms`` and return the new time.
+
+        Used by code that models synchronous work on the currently running
+        simulated thread (e.g. inflating a view consumes UI-thread time).
+        """
+        if delta_ms < 0:
+            raise SchedulerError(f"cannot advance clock by {delta_ms} ms")
+        self._now_ms += delta_ms
+        return self._now_ms
+
+    def jump_to(self, when_ms: float) -> float:
+        """Jump to an absolute timestamp (used by the scheduler only).
+
+        Jumping to the past is a scheduler bug, except for "now" which is
+        a no-op.
+        """
+        if when_ms < self._now_ms - 1e-9:
+            raise SchedulerError(
+                f"clock cannot move backwards: {self._now_ms} -> {when_ms}"
+            )
+        self._now_ms = max(self._now_ms, when_ms)
+        return self._now_ms
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"VirtualClock(now={self._now_ms:.3f} ms)"

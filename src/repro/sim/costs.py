@@ -1,0 +1,211 @@
+"""Calibrated cost model for the simulated Android framework.
+
+Every latency, memory, and power figure in the reproduction comes from the
+constants below.  They were fitted **once, globally** against the absolute
+numbers the paper reports for the ROC-RK3399-PC-PLUS board (Section 5) and
+are never tuned per-experiment:
+
+* Android-10 restart path for the 4-ImageView benchmark app ≈ 141.8 ms
+  (Fig. 10a),
+* RCHDroid coin-flip path ≈ 89.2 ms, flat in the number of views
+  (Fig. 10a),
+* RCHDroid-init path 154.6 ms → 180.2 ms over 1 → 32 views (Fig. 10a),
+* asynchronous view-tree migration 8.6 ms → 20.2 ms over 1 → 16 views
+  (Fig. 10b),
+* app memory ≈ 47.6 MB stock / 53.5 MB with a retained shadow activity
+  for the 27-app set (Fig. 8), 162.3 / 173.9 MB for the top-100 set
+  (Fig. 14b),
+* board power ≈ 4.03 W in steady state (Section 5.6).
+
+The shape of every figure (who wins, where curves cross or plateau) is
+insensitive to moderate changes in these constants; the ablation benchmark
+``benchmarks/test_ablation_costs.py`` sweeps them to demonstrate that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Latency (ms), memory (MB) and power (W) constants of the board."""
+
+    # ------------------------------------------------------------------
+    # IPC / system server
+    # ------------------------------------------------------------------
+    ipc_call_ms: float = 0.8
+    """One binder hop between the activity thread and the ATMS."""
+
+    atms_record_create_ms: float = 1.0
+    """Allocating + pushing a new ActivityRecord in the ATMS."""
+
+    atms_stack_search_ms: float = 0.5
+    """Traversing the task stack (findShadowActivityLocked)."""
+
+    atms_stack_reorder_ms: float = 0.8
+    """Moving a record to the top of the task stack."""
+
+    # ------------------------------------------------------------------
+    # Activity lifecycle
+    # ------------------------------------------------------------------
+    activity_instantiate_ms: float = 52.0
+    """Class loading + instance construction + window/decor setup."""
+
+    resource_load_base_ms: float = 24.0
+    """Loading the resource set for a new configuration (AssetManager)."""
+
+    inflate_per_view_ms: float = 0.35
+    """Inflating one view from the layout resource."""
+
+    activity_resume_ms: float = 9.0
+    """onStart + onResume + first draw scheduling."""
+
+    activity_destroy_base_ms: float = 26.0
+    """onPause + onStop + onDestroy + window teardown."""
+
+    activity_destroy_per_view_ms: float = 0.02
+    """Releasing one view during destroy."""
+
+    relaunch_overhead_ms: float = 20.5
+    """Scheduler/AMS bookkeeping of the stock relaunch path."""
+
+    save_state_base_ms: float = 3.0
+    """onSaveInstanceState dispatch overhead."""
+
+    save_state_per_view_ms: float = 0.05
+    """Saving one view's state into the bundle."""
+
+    restore_state_per_view_ms: float = 0.05
+    """Restoring one view's state from the bundle."""
+
+    config_apply_ms: float = 2.0
+    """Applying a Configuration delta to an activity record."""
+
+    # ------------------------------------------------------------------
+    # RCHDroid-specific paths
+    # ------------------------------------------------------------------
+    shadow_transition_ms: float = 14.0
+    """Moving an activity into the Shadow state (stop-with-shadow-flag)."""
+
+    state_transfer_base_ms: float = 37.0
+    """Handing the shadow bundle to the sunny instance at launch."""
+
+    mapping_build_base_ms: float = 6.0
+    """Setting up the essence-based mapping hash table."""
+
+    mapping_build_per_view_ms: float = 0.33
+    """Hashing one sunny view by id + one shadow-tree lookup."""
+
+    mapping_pointer_per_view_ms: float = 0.05
+    """Storing the sunny-view pointer on one shadow view."""
+
+    flip_relayout_base_ms: float = 57.0
+    """Re-measuring/re-laying-out a reused sunny instance after a flip."""
+
+    flip_relayout_per_view_ms: float = 0.05
+    """Per-view relayout cost on the flip path."""
+
+    flip_state_swap_ms: float = 2.0
+    """Swapping the Shadow/Sunny flags of the coupled pair."""
+
+    migrate_dispatch_base_ms: float = 7.8
+    """Catching the invalidate and dispatching one lazy migration pass."""
+
+    migrate_per_view_ms: float = 0.78
+    """Transferring one view's attributes shadow → sunny (Table 1)."""
+
+    gc_check_ms: float = 0.3
+    """One execution of the threshold-GC check (Algorithm 1)."""
+
+    gc_release_ms: float = 8.0
+    """Destroying a collected shadow instance."""
+
+    # ------------------------------------------------------------------
+    # RuntimeDroid baseline (Section 5.7)
+    # ------------------------------------------------------------------
+    rd_inplace_base_ms: float = 21.0
+    """RuntimeDroid's HotDecor-style masked relaunch bookkeeping."""
+
+    rd_reconfigure_per_view_ms: float = 0.6
+    """In-place per-view reconfiguration (resource swap + relayout)."""
+
+    # ------------------------------------------------------------------
+    # Async tasks / app work
+    # ------------------------------------------------------------------
+    async_post_ms: float = 0.2
+    """Posting the completion message to the UI MessageQueue."""
+
+    view_update_ms: float = 0.4
+    """One setText/setDrawable/... mutation on the UI thread."""
+
+    touch_dispatch_ms: float = 1.2
+    """Routing one input event to the focused view."""
+
+    # ------------------------------------------------------------------
+    # Memory model (MB)
+    # ------------------------------------------------------------------
+    process_base_mb: float = 32.0
+    """Zygote fork + ART runtime + app code for a minimal process."""
+
+    activity_base_mb: float = 1.4
+    """One Activity instance with window and decor, before views."""
+
+    view_base_mb: float = 0.03
+    """One plain view (layout node + background)."""
+
+    image_view_extra_mb: float = 0.55
+    """Decoded bitmap held by one ImageView at board resolution."""
+
+    video_view_extra_mb: float = 1.6
+    """Surface + codec buffers of a VideoView."""
+
+    bundle_per_view_mb: float = 0.004
+    """Saved-instance-state bundle contribution of one view."""
+
+    # ------------------------------------------------------------------
+    # Power model (W) — Section 5.6
+    # ------------------------------------------------------------------
+    board_idle_w: float = 3.62
+    """RK3399 board with screen on, foreground app idle."""
+
+    cpu_active_w: float = 2.9
+    """Additional draw at 100% utilisation of the busy cluster."""
+
+    steady_state_cpu_fraction: float = 0.141
+    """Foreground-app steady-state utilisation (animation ticks etc.);
+    idle + this * active ≈ 4.03 W, the paper's flat reading."""
+
+    # ------------------------------------------------------------------
+    # Deployment model (Section 5.7)
+    # ------------------------------------------------------------------
+    rchdroid_deploy_ms: float = 92_870.0
+    """Flashing the patched system image once per device."""
+
+    runtimedroid_patch_ms_per_app_loc: float = 4.53
+    """RuntimeDroid static-analysis + rewrite time per line of app code;
+    fitted to the paper's 12,867–161,598 ms per-app range."""
+
+    def with_overrides(self, **kwargs: float) -> "CostModel":
+        """Return a copy with some constants replaced (ablation sweeps)."""
+        return replace(self, **kwargs)
+
+
+DEFAULT_COSTS = CostModel()
+
+
+@dataclass(frozen=True)
+class BoardSpec:
+    """The evaluation hardware of Section 5.1."""
+
+    name: str = "ROC-RK3399-PC-PLUS"
+    cpu_cores: int = 6
+    cpu_ghz: float = 2.0
+    gpu: str = "ARM Mali-T860 MP4"
+    memory_mb: int = 2048
+    storage_gb: int = 16
+    os: str = "Android 10"
+    costs: CostModel = field(default_factory=CostModel)
+
+
+DEFAULT_BOARD = BoardSpec()

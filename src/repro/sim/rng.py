@@ -1,0 +1,57 @@
+"""Deterministic random source for the simulation.
+
+A thin wrapper over :class:`random.Random` so every stochastic choice in
+the reproduction (workload jitter, app complexity draws, GC burst traces)
+flows through one seeded stream and runs are exactly repeatable.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from typing import Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+class DeterministicRng:
+    """Seeded random stream used by workloads and app-corpus generators."""
+
+    def __init__(self, seed: int = 0x5EED):
+        self.seed = seed
+        self._random = random.Random(seed)
+
+    def uniform(self, low: float, high: float) -> float:
+        return self._random.uniform(low, high)
+
+    def randint(self, low: int, high: int) -> int:
+        return self._random.randint(low, high)
+
+    def choice(self, items: Sequence[T]) -> T:
+        return self._random.choice(items)
+
+    def sample(self, items: Sequence[T], k: int) -> list[T]:
+        return self._random.sample(list(items), k)
+
+    def shuffle(self, items: list[T]) -> list[T]:
+        out = list(items)
+        self._random.shuffle(out)
+        return out
+
+    def gauss(self, mu: float, sigma: float) -> float:
+        return self._random.gauss(mu, sigma)
+
+    def jitter(self, value: float, fraction: float) -> float:
+        """Return ``value`` perturbed by up to ±``fraction`` of itself."""
+        return value * (1.0 + self._random.uniform(-fraction, fraction))
+
+    def fork(self, label: str) -> "DeterministicRng":
+        """Derive an independent, reproducible sub-stream for ``label``.
+
+        Uses a *stable* label hash (CRC32), not Python's built-in
+        ``hash()`` — the latter is salted per process, which would make
+        corpus draws differ between runs of the same seed.
+        """
+        label_hash = zlib.crc32(label.encode("utf-8"))
+        sub_seed = (self.seed * 1_000_003 + label_hash) & 0x7FFF_FFFF
+        return DeterministicRng(sub_seed)

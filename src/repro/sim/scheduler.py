@@ -1,0 +1,139 @@
+"""Deterministic discrete-event scheduler.
+
+The whole simulated device is single-threaded and cooperative: "threads"
+(the UI looper, the AsyncTask pool, the system-server binder thread) are
+just event streams interleaved on one priority queue keyed by
+``(timestamp, sequence number)``.  Determinism falls out of the sequence
+number tie-break.
+
+Two kinds of time passage exist:
+
+* **Scheduled delay** — an event is enqueued ``delay_ms`` in the future.
+  This models work that happens *off* the currently running thread
+  (an AsyncTask computing on a worker core, a timer firing).
+* **Consumed work** — the currently executing callback calls
+  ``SimContext.consume`` which advances the clock in place.  This models
+  synchronous on-thread work (inflating views, binder marshalling).
+  An event whose timestamp has already passed when it is popped simply
+  runs late, which is exactly a queueing delay.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import SchedulerError
+from repro.sim.clock import VirtualClock
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.  Ordering is ``(when_ms, seq)``."""
+
+    when_ms: float
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    label: str = field(compare=False, default="")
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
+class Scheduler:
+    """Priority-queue event loop over a :class:`VirtualClock`."""
+
+    def __init__(self, clock: VirtualClock):
+        self.clock = clock
+        self._queue: list[Event] = []
+        self._seq = itertools.count()
+        self._running = False
+        self.events_executed = 0
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def schedule(
+        self, delay_ms: float, callback: Callable[[], None], label: str = ""
+    ) -> Event:
+        """Enqueue ``callback`` to run ``delay_ms`` after the current time."""
+        if delay_ms < 0:
+            raise SchedulerError(f"negative delay: {delay_ms}")
+        event = Event(self.clock.now_ms + delay_ms, next(self._seq), callback, label)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_at(
+        self, when_ms: float, callback: Callable[[], None], label: str = ""
+    ) -> Event:
+        """Enqueue ``callback`` at an absolute timestamp.
+
+        Timestamps in the past are clamped to "now" (a busy queue delivers
+        late, it never time-travels).
+        """
+        when_ms = max(when_ms, self.clock.now_ms)
+        event = Event(when_ms, next(self._seq), callback, label)
+        heapq.heappush(self._queue, event)
+        return event
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def pending(self) -> int:
+        """Number of live (non-cancelled) events still queued."""
+        return sum(1 for event in self._queue if not event.cancelled)
+
+    def run_until_idle(self, max_events: int = 1_000_000) -> int:
+        """Drain the queue; returns the number of events executed.
+
+        ``max_events`` is a runaway guard: exceeding it means an event is
+        rescheduling itself unconditionally, which is a bug in the model.
+        """
+        executed = 0
+        while self._queue:
+            if executed >= max_events:
+                raise SchedulerError(
+                    f"run_until_idle exceeded {max_events} events; runaway loop?"
+                )
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            # A callback that consumed work may have pushed the clock
+            # past this event's timestamp; late events run "now".
+            self.clock.jump_to(max(event.when_ms, self.clock.now_ms))
+            event.callback()
+            executed += 1
+            self.events_executed += 1
+        return executed
+
+    def run_until(self, deadline_ms: float, max_events: int = 1_000_000) -> int:
+        """Run events with timestamps ``<= deadline_ms``; then jump there.
+
+        Events that consumed work past the deadline are allowed to finish
+        (the simulation never preempts a callback), matching how a real
+        profiler sample can land mid-operation.
+        """
+        executed = 0
+        while self._queue:
+            if executed >= max_events:
+                raise SchedulerError(
+                    f"run_until exceeded {max_events} events; runaway loop?"
+                )
+            head = self._queue[0]
+            if head.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            if head.when_ms > deadline_ms:
+                break
+            event = heapq.heappop(self._queue)
+            # A callback that consumed work may have pushed the clock
+            # past this event's timestamp; late events run "now".
+            self.clock.jump_to(max(event.when_ms, self.clock.now_ms))
+            event.callback()
+            executed += 1
+            self.events_executed += 1
+        self.clock.jump_to(max(deadline_ms, self.clock.now_ms))
+        return executed

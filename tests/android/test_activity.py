@@ -1,0 +1,139 @@
+"""Unit tests for the Activity class."""
+
+import pytest
+
+from repro import Android10Policy, AndroidSystem
+from repro.android.app.lifecycle import LifecycleState
+from repro.apps import make_benchmark_app
+from repro.apps.benchmark import BUTTON_ID, IMAGE_ID_BASE
+from repro.errors import NullPointerException, WindowLeakedException
+
+
+def launch():
+    system = AndroidSystem(policy=Android10Policy())
+    app = make_benchmark_app(2)
+    record = system.launch(app)
+    return system, app, record.instance
+
+
+class TestLaunch:
+    def test_launch_reaches_resumed(self):
+        _, _, activity = launch()
+        assert activity.lifecycle is LifecycleState.RESUMED
+
+    def test_view_tree_built_from_layout(self):
+        _, _, activity = launch()
+        assert activity.find_view(BUTTON_ID) is not None
+        assert activity.find_view(IMAGE_ID_BASE) is not None
+        # decor + container + button + 2 images
+        assert activity.decor.count_views() == 5
+
+    def test_launch_registers_memory(self):
+        system, app, _ = launch()
+        assert system.memory_of(app.package) > system.ctx.costs.process_base_mb
+
+    def test_instance_ids_are_unique_within_a_system(self):
+        system, app, a = launch()
+        record = system.atms.stack.find_task(app.package).top()
+        thread = system.atms.thread_of(app.package)
+        b = thread.perform_launch_activity(record, None)
+        assert a.instance_id != b.instance_id
+
+    def test_instance_ids_are_deterministic_across_systems(self):
+        """Per-context counters: identical runs allocate identical ids."""
+        _, _, a = launch()
+        _, _, b = launch()
+        assert a.instance_id == b.instance_id
+
+
+class TestDestroy:
+    def test_destroy_tombstones_views_and_frees_memory(self):
+        system, app, activity = launch()
+        before = system.memory_of(app.package)
+        view = activity.require_view(BUTTON_ID)
+        activity.perform_pause()
+        activity.perform_stop()
+        activity.perform_destroy()
+        assert activity.destroyed
+        assert not view.alive
+        assert system.memory_of(app.package) < before
+
+    def test_find_view_on_destroyed_activity_returns_tombstone(self):
+        _, _, activity = launch()
+        activity.perform_pause()
+        activity.perform_stop()
+        activity.perform_destroy()
+        stale = activity.find_view(BUTTON_ID)
+        assert stale is not None
+        with pytest.raises(NullPointerException):
+            stale.set_attr("text", "boom")
+
+    def test_dialog_on_destroyed_activity_is_window_leak(self):
+        _, _, activity = launch()
+        activity.perform_pause()
+        activity.perform_stop()
+        activity.perform_destroy()
+        with pytest.raises(WindowLeakedException):
+            activity.show_dialog("progress")
+
+    def test_dialog_on_live_activity_attaches(self):
+        _, _, activity = launch()
+        activity.show_dialog("progress")
+        assert activity.dialogs == ["progress"]
+
+
+class TestSaveInstanceState:
+    def test_stock_save_covers_only_auto_saved(self):
+        _, _, activity = launch()
+        activity.require_view(IMAGE_ID_BASE).set_attr("drawable", "user")
+        bundle = activity.save_instance_state(full=False)
+        assert bundle.get_bundle(f"view:{IMAGE_ID_BASE}") is None
+
+    def test_full_save_covers_everything(self):
+        _, _, activity = launch()
+        activity.require_view(IMAGE_ID_BASE).set_attr("drawable", "user")
+        bundle = activity.save_instance_state(full=True)
+        assert (
+            bundle.get_bundle(f"view:{IMAGE_ID_BASE}").get("drawable")
+            == "user"
+        )
+
+    def test_require_view_raises_for_unknown_id(self):
+        _, _, activity = launch()
+        with pytest.raises(NullPointerException):
+            activity.require_view(424242)
+
+
+class TestRCHDroidSurface:
+    def test_get_all_sunny_views_is_id_keyed(self):
+        _, _, activity = launch()
+        table = activity.get_all_sunny_views()
+        assert BUTTON_ID in table
+        assert table[BUTTON_ID].view_id == BUTTON_ID
+
+    def test_set_sunny_views_plants_bidirectional_peers(self):
+        _, _, a = launch()
+        _, _, b = launch()
+        mapped = a.set_sunny_views(b.get_all_sunny_views())
+        assert mapped == 4  # container + button + 2 images
+        shadow_button = a.find_view(BUTTON_ID)
+        sunny_button = b.find_view(BUTTON_ID)
+        assert shadow_button.sunny_peer is sunny_button
+        assert sunny_button.sunny_peer is shadow_button
+
+    def test_enter_shadow_sets_flags_and_timestamps(self):
+        system, _, activity = launch()
+        activity.enter_shadow()
+        assert activity.lifecycle is LifecycleState.SHADOW
+        assert activity.shadow_flag and not activity.sunny_flag
+        assert activity.shadow_entered_at_ms == system.now_ms
+        assert all(v.shadow_state for v in activity.decor.iter_tree())
+
+    def test_enter_sunny_clears_shadow_flags(self):
+        _, _, activity = launch()
+        activity.enter_shadow()
+        activity.enter_sunny()
+        assert activity.lifecycle is LifecycleState.SUNNY
+        assert activity.sunny_flag and not activity.shadow_flag
+        assert activity.shadow_entered_at_ms is None
+        assert all(v.sunny_state for v in activity.decor.iter_tree())

@@ -1,0 +1,107 @@
+"""Unit tests for ActivityThread (launch, relaunch, shadow bookkeeping)."""
+
+import pytest
+
+from repro import Android10Policy, AndroidSystem
+from repro.android.app.lifecycle import LifecycleState
+from repro.apps import make_benchmark_app
+from repro.apps.benchmark import IMAGE_ID_BASE
+
+
+def launch():
+    system = AndroidSystem(policy=Android10Policy())
+    app = make_benchmark_app(2)
+    record = system.launch(app)
+    thread = system.atms.thread_of(app.package)
+    return system, app, record, thread
+
+
+class TestLaunch:
+    def test_launch_links_record_and_instance(self):
+        _, _, record, thread = launch()
+        assert record.instance in thread.activities
+        assert record.instance.token == record.token
+
+    def test_saved_state_is_deep_copied(self):
+        system, _, record, thread = launch()
+        old = record.instance
+        old.require_view(IMAGE_ID_BASE).set_attr("drawable", "user")
+        bundle = old.save_instance_state(full=True)
+        new = thread.perform_launch_activity(record, bundle)
+        # mutating the new tree must not write back into the bundle
+        new.require_view(IMAGE_ID_BASE).set_attr("drawable", "other")
+        assert (
+            bundle.get_bundle(f"view:{IMAGE_ID_BASE}").get("drawable")
+            == "user"
+        )
+
+
+class TestRelaunch:
+    def test_relaunch_destroys_old_and_resumes_new(self):
+        system, _, record, thread = launch()
+        old = record.instance
+        new = thread.handle_relaunch_activity(record, system.atms.config.rotated())
+        assert old.destroyed
+        assert old not in thread.activities
+        assert new.lifecycle is LifecycleState.RESUMED
+        assert record.instance is new
+
+    def test_relaunch_applies_new_config(self):
+        system, _, record, thread = launch()
+        new_config = system.atms.config.rotated()
+        new = thread.handle_relaunch_activity(record, new_config)
+        assert new.config == new_config
+        assert record.config == new_config
+
+
+class TestShadowBookkeeping:
+    def test_note_shadow_entry_tracks_pointer_and_times(self):
+        system, _, record, thread = launch()
+        activity = record.instance
+        activity.enter_shadow()
+        thread.note_shadow_entry(activity)
+        assert thread.shadow_activity is activity
+        assert thread.shadow_frequency(60_000.0) == 1
+        assert thread.shadow_time_ms() == pytest.approx(0.0)
+
+    def test_shadow_frequency_window_expires(self):
+        system, _, record, thread = launch()
+        activity = record.instance
+        activity.enter_shadow()
+        thread.note_shadow_entry(activity)
+        system.run_for(61_000.0)
+        assert thread.shadow_frequency(60_000.0) == 0
+
+    def test_shadow_time_grows(self):
+        system, _, record, thread = launch()
+        activity = record.instance
+        activity.enter_shadow()
+        thread.note_shadow_entry(activity)
+        system.run_for(5_000.0)
+        assert thread.shadow_time_ms() == pytest.approx(5_000.0)
+
+    def test_shadow_time_none_without_shadow(self):
+        _, _, _, thread = launch()
+        assert thread.shadow_time_ms() is None
+
+    def test_release_shadow_destroys_instance(self):
+        system, app, record, thread = launch()
+        activity = record.instance
+        activity.enter_shadow()
+        thread.note_shadow_entry(activity)
+        before = system.memory_of(app.package)
+        thread.release_shadow("test")
+        assert thread.shadow_activity is None
+        assert activity.destroyed
+        assert activity not in thread.activities
+        assert system.memory_of(app.package) < before
+
+    def test_release_without_shadow_is_noop(self):
+        _, _, _, thread = launch()
+        thread.release_shadow("test")  # must not raise
+
+    def test_foreground_activity_query(self):
+        _, _, record, thread = launch()
+        assert thread.foreground_activity() is record.instance
+        record.instance.perform_pause()
+        assert thread.foreground_activity() is None

@@ -1,0 +1,69 @@
+"""Unit tests for async-task worker CPU accounting."""
+
+import pytest
+
+from repro import AndroidSystem, RCHDroidPolicy
+from repro.android.os import Process
+from repro.android.runtime import AsyncTask, Looper
+from repro.apps import make_benchmark_app
+from repro.metrics.profiler import Profiler
+from repro.sim.context import SimContext
+
+
+def test_default_tasks_record_no_worker_compute():
+    ctx = SimContext()
+    looper = Looper(ctx, Process(ctx, "app", 32.0))
+    AsyncTask(ctx, looper, 5_000.0, lambda: None).execute()
+    ctx.run_until_idle()
+    worker = [i for i in ctx.recorder.busy
+              if i.thread == "worker" and i.label.startswith("async-compute")]
+    assert worker == []
+
+
+def test_cpu_fraction_spreads_over_task_lifetime():
+    ctx = SimContext()
+    looper = Looper(ctx, Process(ctx, "app", 32.0))
+    AsyncTask(ctx, looper, 10_000.0, lambda: None,
+              cpu_fraction=0.2).execute()
+    ctx.run_until_idle()
+    profiler = Profiler(ctx.recorder)
+    series = profiler.cpu_series("app", 0.0, 10_000.0, 1_000.0)
+    # every 1 s window during the task shows ~20% utilisation
+    for _, pct in series:
+        assert pct == pytest.approx(20.0, abs=0.5)
+
+
+def test_cancelled_task_records_no_compute():
+    ctx = SimContext()
+    looper = Looper(ctx, Process(ctx, "app", 32.0))
+    task = AsyncTask(ctx, looper, 10_000.0, lambda: None,
+                     cpu_fraction=0.2).execute()
+    task.cancel()
+    ctx.run_until_idle()
+    assert not any(i.thread == "worker" and "compute" in i.label
+                   for i in ctx.recorder.busy)
+
+
+def test_partial_final_chunk():
+    ctx = SimContext()
+    looper = Looper(ctx, Process(ctx, "app", 32.0))
+    AsyncTask(ctx, looper, 2_500.0, lambda: None,
+              cpu_fraction=0.4).execute()
+    ctx.run_until_idle()
+    compute = [i for i in ctx.recorder.busy if "compute" in i.label]
+    assert len(compute) == 3  # 1000 + 1000 + 500 ms chunks
+    assert compute[-1].duration_ms == pytest.approx(0.4 * 500.0)
+
+
+def test_benchmark_app_fraction_flows_through_system():
+    system = AndroidSystem(policy=RCHDroidPolicy())
+    app = make_benchmark_app(2, async_duration_ms=3_000.0,
+                             async_cpu_fraction=0.1)
+    system.launch(app)
+    system.start_async(app)
+    system.run_until_idle()
+    compute_ms = sum(
+        i.duration_ms for i in system.ctx.recorder.busy
+        if "async-compute" in i.label
+    )
+    assert compute_ms == pytest.approx(300.0, rel=0.01)

@@ -1,0 +1,103 @@
+"""Unit tests for the ATMS (launch, config updates, app switching)."""
+
+import pytest
+
+from repro import Android10Policy, AndroidSystem, RCHDroidPolicy
+from repro.apps import make_benchmark_app
+
+
+def test_launch_creates_process_thread_task_record():
+    system = AndroidSystem(policy=Android10Policy())
+    app = make_benchmark_app(1)
+    record = system.launch(app)
+    assert app.package in system.atms.threads
+    assert record.task in system.atms.stack.tasks
+    assert record.instance_alive
+
+
+def test_update_configuration_without_foreground_is_noop():
+    system = AndroidSystem(policy=Android10Policy())
+    assert system.rotate() is None
+    assert system.handling_times() == []
+
+
+def test_update_configuration_for_dead_process_is_noop():
+    system = AndroidSystem(policy=Android10Policy())
+    app = make_benchmark_app(1)
+    system.launch(app)
+    system.start_async(app)
+    system.rotate()
+    system.run_until_idle()  # crash: async hits destroyed views
+    assert system.crashed(app.package)
+    episodes_before = len(system.handling_times())
+    assert system.rotate() is None
+    assert len(system.handling_times()) == episodes_before
+
+
+def test_crashed_process_task_is_removed_from_stack():
+    system = AndroidSystem(policy=Android10Policy())
+    app = make_benchmark_app(1)
+    system.launch(app)
+    system.start_async(app)
+    system.rotate()
+    system.run_until_idle()
+    assert system.atms.stack.find_task(app.package) is None
+
+
+def test_identical_configuration_is_filtered():
+    system = AndroidSystem(policy=Android10Policy())
+    app = make_benchmark_app(1)
+    system.launch(app)
+    assert system.atms.update_configuration(system.atms.config) == "none"
+
+
+def test_handling_latency_recorded_with_package_and_path():
+    system = AndroidSystem(policy=Android10Policy())
+    app = make_benchmark_app(1)
+    system.launch(app)
+    system.rotate()
+    record = system.ctx.recorder.latencies_named("handling")[0]
+    assert record.detail == f"{app.package}|relaunch"
+    assert record.duration_ms > 0
+
+
+def test_config_change_targets_foreground_app_only():
+    system = AndroidSystem(policy=Android10Policy())
+    back = make_benchmark_app(1, package="bench.back")
+    front = make_benchmark_app(1, package="bench.front")
+    system.launch(back)
+    back_instance = system.foreground_activity(back.package)
+    system.launch(front)
+    system.rotate()
+    episodes = system.ctx.recorder.latencies_named("handling")
+    assert all(e.detail.startswith("bench.front|") for e in episodes)
+    # The background app was not restarted (stock keeps it stopped).
+    assert not back_instance.destroyed
+
+
+def test_switch_to_brings_task_to_front():
+    system = AndroidSystem(policy=Android10Policy())
+    one = make_benchmark_app(1, package="bench.one")
+    two = make_benchmark_app(1, package="bench.two")
+    system.launch(one)
+    system.launch(two)
+    record = system.atms.switch_to("bench.one")
+    assert record is not None
+    assert system.atms.foreground_record() is record
+
+
+def test_switch_to_unknown_package_returns_none():
+    system = AndroidSystem(policy=Android10Policy())
+    assert system.atms.switch_to("missing") is None
+
+
+def test_rchdroid_shadow_released_on_switch_via_atms():
+    system = AndroidSystem(policy=RCHDroidPolicy())
+    one = make_benchmark_app(2, package="bench.one")
+    two = make_benchmark_app(2, package="bench.two")
+    system.launch(one)
+    system.rotate()
+    thread = system.atms.thread_of("bench.one")
+    assert thread.shadow_activity is not None
+    system.launch(two)
+    assert thread.shadow_activity is None

@@ -1,0 +1,89 @@
+"""Edge-case tests across the framework layers."""
+
+import pytest
+
+from repro import Android10Policy, AndroidSystem, RCHDroidPolicy
+from repro.android.app.intent import Intent, IntentFlag
+from repro.apps import make_benchmark_app
+from repro.errors import WrongThreadError
+
+
+class TestViewOnDeadProcess:
+    def test_mutation_on_dead_process_is_a_simulator_error(self):
+        """Touching a live view of a dead process is a harness scripting
+        bug (real code could never run there) -> loud WrongThreadError,
+        not a silent app crash."""
+        system = AndroidSystem(policy=RCHDroidPolicy())
+        app = make_benchmark_app(1)
+        system.launch(app)
+        activity = system.foreground_activity(app.package)
+        view = activity.require_view(10)
+        activity.process.kill()
+        with pytest.raises(WrongThreadError):
+            view.set_attr("text", "zombie")
+
+
+class TestStarterFlags:
+    def test_new_task_flag_bypasses_dedup(self):
+        system = AndroidSystem(policy=Android10Policy())
+        app = make_benchmark_app(1)
+        record = system.launch(app)
+        task = record.task
+        result = system.atms.starter.start_activity_unchecked(
+            Intent(app, flags=IntentFlag.NEW_TASK), task, system.atms.config
+        )
+        assert result.created
+        assert len(task.records) == 2
+
+
+class TestConfigChangeDuringAsyncOnRchdroid:
+    def test_three_changes_during_one_task(self):
+        """The task's target flips between shadow/sunny roles repeatedly;
+        the final state must still show the update with no crash."""
+        system = AndroidSystem(policy=RCHDroidPolicy())
+        app = make_benchmark_app(2, async_duration_ms=10_000.0)
+        system.launch(app)
+        system.start_async(app)
+        system.rotate()
+        system.run_for(1_000)
+        system.rotate()
+        system.run_for(1_000)
+        system.rotate()
+        system.run_until_idle()
+        assert not system.crashed(app.package)
+        foreground = system.foreground_activity(app.package)
+        from repro.apps.benchmark import IMAGE_ID_BASE
+
+        assert (
+            foreground.require_view(IMAGE_ID_BASE).get_attr("drawable")
+            == f"loaded-{IMAGE_ID_BASE}"
+        )
+
+
+class TestRepeatedIdenticalUpdates:
+    def test_noop_config_updates_do_not_accumulate_state(self):
+        system = AndroidSystem(policy=RCHDroidPolicy())
+        app = make_benchmark_app(1)
+        system.launch(app)
+        for _ in range(5):
+            assert system.atms.update_configuration(system.atms.config) == "none"
+        assert system.handling_times() == []
+        thread = system.atms.thread_of(app.package)
+        assert thread.shadow_activity is None
+
+
+class TestZeroViewApp:
+    def test_app_with_empty_layout_survives_rotation(self):
+        from repro.android.views.inflate import LayoutSpec
+        from repro.android.res import Orientation, ResourceTable
+        from repro.apps.dsl import AppSpec
+
+        table = ResourceTable()
+        for orientation in (Orientation.PORTRAIT, Orientation.LANDSCAPE):
+            table.add_layout("main", LayoutSpec("main", roots=[]), orientation)
+        app = AppSpec(package="empty.layout", label="e", resources=table)
+        system = AndroidSystem(policy=RCHDroidPolicy())
+        system.launch(app)
+        assert system.rotate() == "init"
+        assert system.rotate() == "flip"
+        assert not system.crashed(app.package)

@@ -1,0 +1,90 @@
+"""Unit tests for the extended widget set (policy inheritance)."""
+
+import pytest
+
+from repro import AndroidSystem, RCHDroidPolicy
+from repro.android.views.inflate import ViewSpec
+from repro.android.views.widgets import (
+    AbsListView,
+    CheckBox,
+    ProgressBar,
+    RadioButton,
+    RatingBar,
+    Spinner,
+    Switch,
+    ToggleButton,
+)
+from repro.apps.dsl import AppSpec, two_orientation_resources
+
+
+class TestPolicyInheritance:
+    @pytest.mark.parametrize("widget", [Switch, ToggleButton, RadioButton])
+    def test_compound_buttons_inherit_checkbox_policy(self, widget):
+        assert widget.MIGRATED_ATTRS == CheckBox.MIGRATED_ATTRS
+
+    def test_spinner_inherits_abslistview_policy(self):
+        assert Spinner.MIGRATED_ATTRS == AbsListView.MIGRATED_ATTRS
+
+    def test_ratingbar_inherits_progressbar_policy(self):
+        assert RatingBar.MIGRATED_ATTRS == ProgressBar.MIGRATED_ATTRS
+
+
+class TestBehaviour:
+    def test_spinner_selection(self):
+        from repro.sim.context import SimContext
+
+        spinner = Spinner(SimContext(), view_id=1)
+        spinner.select(4)
+        assert spinner.selection == 4
+
+
+@pytest.mark.parametrize(
+    "widget,attr,value",
+    [
+        ("Switch", "checked", True),
+        ("ToggleButton", "checked", True),
+        ("RadioButton", "checked", True),
+        ("Spinner", "selector_position", 3),
+        ("RatingBar", "progress", 4),
+    ],
+)
+def test_extended_widget_state_survives_rotation_under_rchdroid(
+    widget, attr, value
+):
+    """The Orbot-style bug (Fig. 13(d)): a selection widget's state
+    survives the change under RCHDroid via the inherited policy."""
+    from repro.apps.dsl import StateSlot, StorageKind
+
+    app = AppSpec(
+        package=f"ext.{widget.lower()}", label=widget,
+        resources=two_orientation_resources(
+            "main", [ViewSpec(widget, view_id=10)]
+        ),
+        slots=(StateSlot("s", StorageKind.VIEW_ATTR, view_id=10, attr=attr),),
+    )
+    system = AndroidSystem(policy=RCHDroidPolicy())
+    system.launch(app)
+    system.write_slot(app, "s", value)
+    system.rotate()
+    assert system.read_slot(app, "s") == value
+    system.rotate()
+    assert system.read_slot(app, "s") == value
+
+
+def test_extended_widget_state_lost_on_stock():
+    from repro import Android10Policy
+    from repro.apps.dsl import StateSlot, StorageKind
+
+    app = AppSpec(
+        package="ext.stock", label="s",
+        resources=two_orientation_resources(
+            "main", [ViewSpec("Switch", view_id=10)]
+        ),
+        slots=(StateSlot("s", StorageKind.VIEW_ATTR,
+                         view_id=10, attr="checked"),),
+    )
+    system = AndroidSystem(policy=Android10Policy())
+    system.launch(app)
+    system.write_slot(app, "s", True)
+    system.rotate()
+    assert system.read_slot(app, "s") is not True

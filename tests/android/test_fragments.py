@@ -1,0 +1,140 @@
+"""Unit + integration tests for fragments (the Section 2.2 hard case)."""
+
+import pytest
+
+from repro import Android10Policy, AndroidSystem, RCHDroidPolicy, \
+    RuntimeDroidPolicy
+from repro.android.res import Orientation, ResourceTable
+from repro.android.views.inflate import LayoutSpec, ViewSpec
+from repro.apps.dsl import AppSpec, simple_layout
+from repro.errors import NullPointerException
+
+CONTAINER_ID = 5
+FRAG_ROOT_ID = 50
+FRAG_TEXT_ID = 51
+
+
+def fragment_app(runtimedroid_compatible: bool = False) -> AppSpec:
+    table = ResourceTable()
+    main = simple_layout(
+        "main",
+        [ViewSpec("ViewGroup", view_id=CONTAINER_ID),
+         ViewSpec("TextView", view_id=20)],
+    )
+    detail = LayoutSpec(
+        "detail",
+        roots=[ViewSpec(
+            "ViewGroup", view_id=FRAG_ROOT_ID,
+            children=[ViewSpec("TextView", view_id=FRAG_TEXT_ID)],
+        )],
+    )
+    for orientation in (Orientation.PORTRAIT, Orientation.LANDSCAPE):
+        table.add_layout("main", main, orientation)
+        table.add_layout("detail", detail, orientation)
+    return AppSpec(
+        package="frag.app", label="FragmentApp", resources=table,
+        runtimedroid_compatible=runtimedroid_compatible,
+    )
+
+
+def launch(policy_factory=RCHDroidPolicy):
+    system = AndroidSystem(policy=policy_factory())
+    app = fragment_app()
+    system.launch(app)
+    return system, app, system.foreground_activity(app.package)
+
+
+class TestFragmentManager:
+    def test_attach_inflates_subtree_into_container(self):
+        _, _, activity = launch()
+        activity.fragments.attach("detail", "detail", CONTAINER_ID)
+        assert activity.find_view(FRAG_TEXT_ID) is not None
+        container = activity.require_view(CONTAINER_ID)
+        assert any(c.view_id == FRAG_ROOT_ID for c in container.children)
+
+    def test_attach_charges_inflation_cost(self):
+        system, _, activity = launch()
+        before = system.now_ms
+        activity.fragments.attach("detail", "detail", CONTAINER_ID)
+        assert system.now_ms > before
+
+    def test_double_attach_rejected(self):
+        _, _, activity = launch()
+        activity.fragments.attach("detail", "detail", CONTAINER_ID)
+        with pytest.raises(ValueError):
+            activity.fragments.attach("detail", "detail", CONTAINER_ID)
+
+    def test_attach_to_non_group_rejected(self):
+        _, _, activity = launch()
+        with pytest.raises(TypeError):
+            activity.fragments.attach("detail", "detail", 20)
+
+    def test_detach_destroys_subtree(self):
+        _, _, activity = launch()
+        activity.fragments.attach("detail", "detail", CONTAINER_ID)
+        text = activity.require_view(FRAG_TEXT_ID)
+        activity.fragments.detach("detail")
+        assert activity.find_view(FRAG_TEXT_ID) is None
+        assert not text.alive
+        assert activity.fragments.attached == []
+
+    def test_detach_unattached_raises(self):
+        _, _, activity = launch()
+        with pytest.raises(NullPointerException):
+            activity.fragments.detach("missing")
+
+
+class TestFragmentAcrossRuntimeChange:
+    def test_rchdroid_reattaches_fragment_and_restores_its_state(self):
+        system, app, activity = launch()
+        activity.fragments.attach("detail", "detail", CONTAINER_ID)
+        activity.require_view(FRAG_TEXT_ID).set_attr("text", "inside-frag")
+        assert system.rotate() == "init"
+        fresh = system.foreground_activity(app.package)
+        assert fresh is not activity
+        assert fresh.fragments.find("detail") is not None
+        assert fresh.require_view(FRAG_TEXT_ID).get_attr("text") == "inside-frag"
+
+    def test_stock_restores_structure_but_loses_fragment_view_state(self):
+        system, app, activity = launch(Android10Policy)
+        activity.fragments.attach("detail", "detail", CONTAINER_ID)
+        activity.require_view(FRAG_TEXT_ID).set_attr("text", "inside-frag")
+        system.rotate()
+        fresh = system.foreground_activity(app.package)
+        assert fresh.fragments.find("detail") is not None  # structure kept
+        assert fresh.require_view(FRAG_TEXT_ID).get_attr("text") != "inside-frag"
+
+    def test_fragment_views_participate_in_lazy_migration(self):
+        from repro.apps.dsl import AsyncScript
+
+        system, app, activity = launch()
+        activity.fragments.attach("detail", "detail", CONTAINER_ID)
+        script = AsyncScript("bg", 2_000.0,
+                             ((FRAG_TEXT_ID, "text", "late-update"),))
+        system.start_async(app, script)
+        system.rotate()
+        system.run_until_idle()
+        fresh = system.foreground_activity(app.package)
+        assert fresh.require_view(FRAG_TEXT_ID).get_attr("text") == "late-update"
+
+    def test_flip_keeps_fragment_alive_on_revived_instance(self):
+        system, app, activity = launch()
+        activity.fragments.attach("detail", "detail", CONTAINER_ID)
+        system.rotate()
+        system.rotate()  # flip back to the original instance
+        revived = system.foreground_activity(app.package)
+        assert revived is activity
+        assert revived.find_view(FRAG_TEXT_ID) is not None
+
+    def test_runtimedroid_falls_back_to_restart_on_fragment_apps(self):
+        """Section 2.2: the static patch cannot handle dynamic trees, so
+        fragment-heavy apps ship unpatched and restart as stock."""
+        system = AndroidSystem(policy=RuntimeDroidPolicy())
+        app = fragment_app(runtimedroid_compatible=False)
+        system.launch(app)
+        old = system.foreground_activity(app.package)
+        old.fragments.attach("detail", "detail", CONTAINER_ID)
+        old.require_view(FRAG_TEXT_ID).set_attr("text", "inside-frag")
+        assert system.rotate() == "relaunch"
+        fresh = system.foreground_activity(app.package)
+        assert fresh.require_view(FRAG_TEXT_ID).get_attr("text") != "inside-frag"

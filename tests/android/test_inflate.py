@@ -1,0 +1,84 @@
+"""Unit tests for layout specs and the inflater."""
+
+import pytest
+
+from repro import AndroidSystem
+from repro.android.views.inflate import LayoutSpec, ViewSpec, inflate
+from repro.android.views.view import DecorView
+from repro.apps import make_benchmark_app
+from repro.apps.dsl import simple_layout
+
+
+def launch_activity():
+    system = AndroidSystem()
+    app = make_benchmark_app(1)
+    record = system.launch(app)
+    return system, record.instance
+
+
+class TestViewSpec:
+    def test_count_is_recursive(self):
+        spec = ViewSpec(
+            "ViewGroup", 1,
+            children=[ViewSpec("TextView", 2), ViewSpec("TextView", 3)],
+        )
+        assert spec.count() == 3
+
+    def test_layout_count_includes_decor(self):
+        layout = simple_layout("main", [ViewSpec("TextView", 2)])
+        assert layout.count_views() == 3  # decor + container + text
+
+
+class TestInflate:
+    def test_builds_tree_with_ids_and_attrs(self):
+        system, activity = launch_activity()
+        layout = simple_layout(
+            "t", [ViewSpec("TextView", 7, attrs={"text": "seed"})]
+        )
+        decor = inflate(system.ctx, activity, layout)
+        assert isinstance(decor, DecorView)
+        view = decor.find_by_id(7)
+        assert view is not None
+        assert view.get_attr("text") == "seed"
+
+    def test_unknown_view_type_raises(self):
+        system, activity = launch_activity()
+        layout = simple_layout("t", [ViewSpec("Nonsense", 7)])
+        with pytest.raises(KeyError, match="Nonsense"):
+            inflate(system.ctx, activity, layout)
+
+    def test_children_under_non_group_raises(self):
+        system, activity = launch_activity()
+        layout = LayoutSpec(
+            "t",
+            roots=[ViewSpec("TextView", 1, children=[ViewSpec("TextView", 2)])],
+        )
+        with pytest.raises(TypeError):
+            inflate(system.ctx, activity, layout)
+
+    def test_inflation_cost_scales_with_views(self):
+        system, activity = launch_activity()
+        small = simple_layout("s", [ViewSpec("TextView", 1)])
+        big = simple_layout(
+            "b", [ViewSpec("TextView", i) for i in range(1, 21)]
+        )
+        t0 = system.ctx.now_ms
+        inflate(system.ctx, activity, small)
+        small_cost = system.ctx.now_ms - t0
+        t1 = system.ctx.now_ms
+        inflate(system.ctx, activity, big)
+        big_cost = system.ctx.now_ms - t1
+        assert big_cost > small_cost
+
+    def test_inflated_views_register_memory(self):
+        system, activity = launch_activity()
+        before = system.memory_of(activity.process.name)
+        layout = simple_layout(
+            "imgs", [ViewSpec("ImageView", i) for i in range(1, 6)]
+        )
+        inflate(system.ctx, activity, layout)
+        assert system.memory_of(activity.process.name) > before
+
+    def test_dynamic_views_carry_no_id(self):
+        spec = ViewSpec("TextView", dynamic=True)
+        assert spec.view_id is None

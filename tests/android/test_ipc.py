@@ -1,0 +1,75 @@
+"""Unit tests for the Binder IPC model and Intent flags."""
+
+import pytest
+
+from repro.android.ipc import Binder
+from repro.android.app.intent import Intent, IntentFlag
+from repro.apps import make_benchmark_app
+from repro.sim.context import SimContext
+
+
+class TestBinder:
+    def test_call_pays_two_hops(self):
+        ctx = SimContext()
+        binder = Binder(ctx, "app", "ATMS")
+        result = binder.call(lambda: 42, label="test")
+        assert result == 42
+        assert ctx.now_ms == pytest.approx(2 * ctx.costs.ipc_call_ms)
+        assert binder.calls_made == 1
+
+    def test_oneway_pays_single_hop(self):
+        ctx = SimContext()
+        binder = Binder(ctx, "app", "ATMS")
+        seen = []
+        binder.oneway(lambda: seen.append(1))
+        assert seen == [1]
+        assert ctx.now_ms == pytest.approx(ctx.costs.ipc_call_ms)
+
+    def test_hops_billed_to_client_binder_thread(self):
+        ctx = SimContext()
+        Binder(ctx, "client.app", "ATMS").call(lambda: None)
+        intervals = ctx.recorder.busy
+        assert all(i.process == "client.app" for i in intervals)
+        assert all(i.thread == "binder" for i in intervals)
+
+    def test_service_work_inside_call_is_attributed_separately(self):
+        ctx = SimContext()
+        binder = Binder(ctx, "client.app", "ATMS")
+
+        def service_work():
+            ctx.consume(5.0, "system_server", thread="server")
+
+        binder.call(service_work)
+        by_process = {}
+        for interval in ctx.recorder.busy:
+            by_process.setdefault(interval.process, 0.0)
+            by_process[interval.process] += interval.duration_ms
+        assert by_process["system_server"] == pytest.approx(5.0)
+        assert by_process["client.app"] == pytest.approx(
+            2 * ctx.costs.ipc_call_ms
+        )
+
+
+class TestIntent:
+    def test_default_has_no_flags(self):
+        intent = Intent(make_benchmark_app(1))
+        assert not intent.has_flag(IntentFlag.SUNNY)
+        assert not intent.has_flag(IntentFlag.NEW_TASK)
+
+    def test_with_flag_is_non_destructive(self):
+        intent = Intent(make_benchmark_app(1))
+        sunny = intent.with_flag(IntentFlag.SUNNY)
+        assert sunny.has_flag(IntentFlag.SUNNY)
+        assert not intent.has_flag(IntentFlag.SUNNY)
+
+    def test_flags_compose(self):
+        intent = Intent(
+            make_benchmark_app(1),
+            flags=IntentFlag.SUNNY | IntentFlag.NEW_TASK,
+        )
+        assert intent.has_flag(IntentFlag.SUNNY)
+        assert intent.has_flag(IntentFlag.NEW_TASK)
+        assert not intent.has_flag(IntentFlag.SINGLE_TOP)
+
+    def test_activity_name_defaults_to_main(self):
+        assert Intent(make_benchmark_app(1)).activity_name == "main"

@@ -1,0 +1,72 @@
+"""Unit tests for the lifecycle state machine (Fig. 4)."""
+
+import pytest
+
+from repro.android.app.lifecycle import (
+    ALIVE_STATES,
+    LEGAL_TRANSITIONS,
+    RCHDROID_STATES,
+    VISIBLE_STATES,
+    LifecycleState,
+    check_transition,
+)
+from repro.errors import LifecycleError
+
+_S = LifecycleState
+
+
+def test_stock_happy_path_is_legal():
+    path = [_S.INITIALIZED, _S.CREATED, _S.STARTED, _S.RESUMED,
+            _S.PAUSED, _S.STOPPED, _S.DESTROYED]
+    for current, target in zip(path, path[1:]):
+        check_transition(current, target)
+
+
+def test_relaunch_path_is_legal():
+    for current, target in [(_S.RESUMED, _S.PAUSED), (_S.PAUSED, _S.STOPPED),
+                            (_S.STOPPED, _S.DESTROYED)]:
+        check_transition(current, target)
+
+
+def test_rchdroid_shadow_entry_from_resumed_and_sunny():
+    check_transition(_S.RESUMED, _S.SHADOW)
+    check_transition(_S.SUNNY, _S.SHADOW)
+
+
+def test_rchdroid_sunny_entry_from_started_and_shadow():
+    check_transition(_S.STARTED, _S.SUNNY)   # init path
+    check_transition(_S.SHADOW, _S.SUNNY)    # coin flip
+
+
+def test_shadow_can_be_garbage_collected():
+    check_transition(_S.SHADOW, _S.DESTROYED)
+
+
+def test_destroyed_is_terminal():
+    assert LEGAL_TRANSITIONS[_S.DESTROYED] == frozenset()
+
+
+def test_illegal_transitions_raise():
+    with pytest.raises(LifecycleError):
+        check_transition(_S.CREATED, _S.RESUMED)
+    with pytest.raises(LifecycleError):
+        check_transition(_S.DESTROYED, _S.CREATED)
+    with pytest.raises(LifecycleError):
+        check_transition(_S.SHADOW, _S.RESUMED)
+
+
+def test_shadow_cannot_jump_directly_to_stock_foreground():
+    """A revived shadow becomes SUNNY (through the flip), never RESUMED."""
+    assert _S.RESUMED not in LEGAL_TRANSITIONS[_S.SHADOW]
+
+
+def test_state_groups():
+    assert VISIBLE_STATES == {_S.RESUMED, _S.SUNNY}
+    assert RCHDROID_STATES == {_S.SHADOW, _S.SUNNY}
+    assert _S.DESTROYED not in ALIVE_STATES
+    assert _S.SHADOW in ALIVE_STATES
+
+
+def test_every_state_has_transition_entry():
+    for state in LifecycleState:
+        assert state in LEGAL_TRANSITIONS

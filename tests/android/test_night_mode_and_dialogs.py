@@ -1,0 +1,72 @@
+"""Unit tests: night-mode configuration dimension and dialog dismissal."""
+
+import pytest
+
+from repro import Android10Policy, AndroidSystem, RCHDroidPolicy
+from repro.android.res import ConfigDimension, Configuration
+from repro.apps import make_benchmark_app
+
+
+class TestNightMode:
+    def test_diff_reports_ui_mode(self):
+        base = Configuration()
+        assert base.diff(base.with_night_mode(True)) == {
+            ConfigDimension.NIGHT_MODE
+        }
+
+    def test_night_mode_triggers_restart_on_stock(self):
+        system = AndroidSystem(policy=Android10Policy())
+        app = make_benchmark_app(2)
+        system.launch(app)
+        old = system.foreground_activity(app.package)
+        assert system.set_night_mode(True) == "relaunch"
+        assert old.destroyed
+
+    def test_night_mode_is_transparent_under_rchdroid(self):
+        system = AndroidSystem(policy=RCHDroidPolicy())
+        app = make_benchmark_app(2)
+        system.launch(app)
+        system.write_slot(app, "first_drawable", "kept")
+        assert system.set_night_mode(True) == "init"
+        assert system.read_slot(app, "first_drawable") == "kept"
+        assert system.set_night_mode(False) == "flip"
+
+    def test_same_mode_is_a_noop(self):
+        system = AndroidSystem(policy=RCHDroidPolicy())
+        system.launch(make_benchmark_app(1))
+        assert system.set_night_mode(False) == "none"
+
+
+class TestDialogDismissal:
+    def test_dismiss_removes_dialog(self):
+        system = AndroidSystem(policy=Android10Policy())
+        app = make_benchmark_app(1)
+        system.launch(app)
+        activity = system.foreground_activity(app.package)
+        activity.show_dialog("progress")
+        activity.dismiss_dialog("progress")
+        assert activity.dialogs == []
+
+    def test_dismiss_unknown_tag_is_noop(self):
+        system = AndroidSystem(policy=Android10Policy())
+        app = make_benchmark_app(1)
+        system.launch(app)
+        system.foreground_activity(app.package).dismiss_dialog("nope")
+
+    def test_dismissed_dialog_does_not_leak_on_relaunch(self):
+        system = AndroidSystem(policy=Android10Policy())
+        app = make_benchmark_app(1)
+        system.launch(app)
+        activity = system.foreground_activity(app.package)
+        activity.show_dialog("progress")
+        activity.dismiss_dialog("progress")
+        system.rotate()
+        assert system.ctx.recorder.counters["window-leaks"] == 0
+
+
+class TestAdbProperty:
+    def test_system_exposes_adb_facade(self):
+        system = AndroidSystem(policy=RCHDroidPolicy())
+        system.launch(make_benchmark_app(1))
+        out = system.adb.wm_size("1080x1920")
+        assert "init" in out

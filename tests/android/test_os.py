@@ -1,0 +1,103 @@
+"""Unit tests for Bundle, Parcel, and Process."""
+
+import pytest
+
+from repro.android.os import Bundle, Parcel, Process
+from repro.errors import NullPointerException
+from repro.sim.context import SimContext
+
+
+class TestBundle:
+    def test_put_get(self):
+        bundle = Bundle()
+        bundle.put("k", 42)
+        assert bundle.get("k") == 42
+
+    def test_get_default(self):
+        assert Bundle().get("missing", "fallback") == "fallback"
+
+    def test_nested_bundles(self):
+        inner = Bundle()
+        inner.put("text", "hello")
+        outer = Bundle()
+        outer.put_bundle("view:1", inner)
+        assert outer.get_bundle("view:1").get("text") == "hello"
+
+    def test_get_bundle_on_scalar_returns_none(self):
+        bundle = Bundle()
+        bundle.put("k", 42)
+        assert bundle.get_bundle("k") is None
+
+    def test_size_counts_nested_entries(self):
+        inner = Bundle()
+        inner.put("a", 1)
+        inner.put("b", 2)
+        outer = Bundle()
+        outer.put_bundle("inner", inner)
+        outer.put("c", 3)
+        assert outer.size() == 3
+
+    def test_contains_and_keys(self):
+        bundle = Bundle()
+        bundle.put("x", 1)
+        assert bundle.contains("x")
+        assert not bundle.contains("y")
+        assert bundle.keys() == ["x"]
+
+    def test_is_empty(self):
+        bundle = Bundle()
+        assert bundle.is_empty()
+        bundle.put("k", None)
+        assert not bundle.is_empty()
+
+
+class TestParcel:
+    def test_deep_copy_is_independent(self):
+        inner = Bundle()
+        inner.put("list", [1, 2])
+        original = Bundle()
+        original.put_bundle("inner", inner)
+        clone = Parcel.deep_copy(original)
+        clone.get_bundle("inner").get("list").append(3)
+        assert inner.get("list") == [1, 2]
+
+    def test_deep_copy_preserves_values(self):
+        original = Bundle()
+        original.put("a", "text")
+        original.put("b", 7)
+        clone = Parcel.deep_copy(original)
+        assert clone.get("a") == "text"
+        assert clone.get("b") == 7
+
+
+class TestProcess:
+    def test_registers_base_heap(self):
+        ctx = SimContext()
+        process = Process(ctx, "app", 40.0)
+        assert process.heap_mb == 40.0
+
+    def test_crash_kills_and_zeroes_heap(self):
+        ctx = SimContext()
+        process = Process(ctx, "app", 40.0)
+        process.crash(NullPointerException("boom"))
+        assert not process.alive
+        assert process.heap_mb == 0.0
+        assert ctx.recorder.crashed("app")
+
+    def test_crash_notifies_watchers_once(self):
+        ctx = SimContext()
+        process = Process(ctx, "app", 40.0)
+        deaths = []
+        process.on_death(deaths.append)
+        process.crash(NullPointerException("boom"))
+        process.crash(NullPointerException("again"))
+        assert len(deaths) == 1
+        assert len(ctx.recorder.crashes) == 1
+
+    def test_kill_is_clean_death(self):
+        ctx = SimContext()
+        process = Process(ctx, "app", 40.0)
+        process.kill()
+        assert not process.alive
+        assert process.heap_mb == 0.0
+        assert not ctx.recorder.crashed("app")

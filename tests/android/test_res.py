@@ -1,0 +1,118 @@
+"""Unit tests for Configuration and ResourceTable."""
+
+import pytest
+
+from repro.android.res import (
+    DEFAULT_LANDSCAPE,
+    DEFAULT_PORTRAIT,
+    ConfigDimension,
+    Configuration,
+    Orientation,
+    ResourceTable,
+)
+from repro.android.views.inflate import LayoutSpec, ViewSpec
+from repro.sim.context import SimContext
+
+
+class TestConfiguration:
+    def test_defaults_are_landscape_1920x1080(self):
+        config = Configuration()
+        assert config.orientation is Orientation.LANDSCAPE
+        assert (config.width_px, config.height_px) == (1920, 1080)
+
+    def test_rotated_flips_orientation_and_swaps_dims(self):
+        rotated = DEFAULT_LANDSCAPE.rotated()
+        assert rotated.orientation is Orientation.PORTRAIT
+        assert (rotated.width_px, rotated.height_px) == (1080, 1920)
+
+    def test_double_rotation_is_identity(self):
+        assert DEFAULT_LANDSCAPE.rotated().rotated() == DEFAULT_LANDSCAPE
+
+    def test_resized_derives_orientation(self):
+        portrait = DEFAULT_LANDSCAPE.resized(1080, 1920)
+        assert portrait.orientation is Orientation.PORTRAIT
+        landscape = portrait.resized(1920, 1080)
+        assert landscape.orientation is Orientation.LANDSCAPE
+
+    def test_diff_empty_for_equal_configs(self):
+        assert DEFAULT_LANDSCAPE.diff(Configuration()) == set()
+
+    def test_diff_rotation(self):
+        changed = DEFAULT_LANDSCAPE.diff(DEFAULT_LANDSCAPE.rotated())
+        assert ConfigDimension.ORIENTATION in changed
+        assert ConfigDimension.SCREEN_SIZE in changed
+
+    def test_diff_locale_keyboard_font(self):
+        other = (
+            DEFAULT_LANDSCAPE.with_locale("fr")
+            .with_keyboard(True)
+            .with_font_scale(1.3)
+        )
+        assert DEFAULT_LANDSCAPE.diff(other) == {
+            ConfigDimension.LOCALE,
+            ConfigDimension.KEYBOARD,
+            ConfigDimension.FONT_SCALE,
+        }
+
+    def test_configuration_is_immutable(self):
+        with pytest.raises(Exception):
+            DEFAULT_LANDSCAPE.orientation = Orientation.PORTRAIT  # type: ignore
+
+    def test_orientation_flipped(self):
+        assert Orientation.PORTRAIT.flipped() is Orientation.LANDSCAPE
+        assert Orientation.LANDSCAPE.flipped() is Orientation.PORTRAIT
+
+
+class TestResourceTable:
+    def _layout(self, name="main"):
+        return LayoutSpec(name=name, roots=[ViewSpec("TextView", view_id=1)])
+
+    def test_resolve_prefers_matching_qualifier(self):
+        table = ResourceTable()
+        portrait = self._layout("portrait")
+        landscape = self._layout("landscape")
+        table.add_layout("main", portrait, Orientation.PORTRAIT)
+        table.add_layout("main", landscape, Orientation.LANDSCAPE)
+        assert table.resolve_layout("main", DEFAULT_PORTRAIT) is portrait
+        assert table.resolve_layout("main", DEFAULT_LANDSCAPE) is landscape
+
+    def test_resolve_falls_back_to_default_variant(self):
+        table = ResourceTable()
+        default = self._layout()
+        table.add_layout("main", default, None)
+        assert table.resolve_layout("main", DEFAULT_PORTRAIT) is default
+
+    def test_resolve_falls_back_to_any_variant(self):
+        table = ResourceTable()
+        only = self._layout()
+        table.add_layout("main", only, Orientation.PORTRAIT)
+        assert table.resolve_layout("main", DEFAULT_LANDSCAPE) is only
+
+    def test_unknown_layout_raises(self):
+        with pytest.raises(KeyError):
+            ResourceTable().resolve_layout("missing", DEFAULT_LANDSCAPE)
+
+    def test_string_resolution_by_locale(self):
+        table = ResourceTable()
+        table.add_string("hello", "Hello", "en")
+        table.add_string("hello", "Bonjour", "fr")
+        assert table.resolve_string("hello", DEFAULT_LANDSCAPE) == "Hello"
+        assert (
+            table.resolve_string("hello", DEFAULT_LANDSCAPE.with_locale("fr"))
+            == "Bonjour"
+        )
+
+    def test_string_falls_back_to_english_then_key(self):
+        table = ResourceTable()
+        table.add_string("hello", "Hello", "en")
+        german = DEFAULT_LANDSCAPE.with_locale("de")
+        assert table.resolve_string("hello", german) == "Hello"
+        assert table.resolve_string("missing", german) == "missing"
+
+    def test_load_charges_scaled_cost(self):
+        ctx = SimContext()
+        table = ResourceTable(resource_factor=2.0)
+        table.load(ctx, "app", DEFAULT_LANDSCAPE)
+        assert ctx.now_ms == pytest.approx(
+            2.0 * ctx.costs.resource_load_base_ms
+        )

@@ -1,0 +1,120 @@
+"""Unit tests for Looper, Handler, and AsyncTask."""
+
+import pytest
+
+from repro.android.os import Process
+from repro.android.runtime import AsyncTask, Handler, Looper
+from repro.errors import NullPointerException
+from repro.sim.context import SimContext
+
+
+@pytest.fixture
+def env():
+    ctx = SimContext()
+    process = Process(ctx, "app", 32.0)
+    looper = Looper(ctx, process)
+    return ctx, process, looper
+
+
+class TestLooper:
+    def test_post_runs_later(self, env):
+        ctx, _, looper = env
+        ran = []
+        looper.post(lambda: ran.append(ctx.now_ms), delay_ms=10.0)
+        assert ran == []
+        ctx.run_until_idle()
+        assert ran == [10.0]
+
+    def test_messages_to_dead_process_are_dropped(self, env):
+        ctx, process, looper = env
+        ran = []
+        looper.post(lambda: ran.append(1), delay_ms=10.0)
+        process.kill()
+        ctx.run_until_idle()
+        assert ran == []
+        assert looper.messages_dropped == 1
+
+    def test_appcrash_in_message_kills_process(self, env):
+        ctx, process, looper = env
+
+        def bad():
+            raise NullPointerException("stale view")
+
+        looper.post(bad)
+        ctx.run_until_idle()
+        assert not process.alive
+        assert ctx.recorder.crashes[0].exception == "NullPointerException"
+
+    def test_non_appcrash_exceptions_propagate(self, env):
+        ctx, _, looper = env
+
+        def bug():
+            raise RuntimeError("simulator bug")
+
+        looper.post(bug)
+        with pytest.raises(RuntimeError):
+            ctx.run_until_idle()
+
+    def test_cancelled_message_does_not_run(self, env):
+        ctx, _, looper = env
+        ran = []
+        message = looper.post(lambda: ran.append(1), delay_ms=5.0)
+        message.cancel()
+        ctx.run_until_idle()
+        assert ran == []
+
+
+class TestHandler:
+    def test_post_delayed(self, env):
+        ctx, _, looper = env
+        handler = Handler(looper)
+        ran = []
+        handler.post_delayed(lambda: ran.append(ctx.now_ms), 30.0)
+        ctx.run_until_idle()
+        assert ran == [30.0]
+
+
+class TestAsyncTask:
+    def test_completes_after_duration(self, env):
+        ctx, _, looper = env
+        done = []
+        task = AsyncTask(ctx, looper, 5000.0, lambda: done.append(ctx.now_ms))
+        task.execute()
+        ctx.run_until_idle()
+        assert task.finished
+        assert done and done[0] >= 5000.0
+
+    def test_background_work_does_not_block_ui(self, env):
+        """The async duration passes as wall time, not UI busy time."""
+        ctx, _, looper = env
+        task = AsyncTask(ctx, looper, 5000.0, lambda: None)
+        task.execute()
+        ctx.run_until_idle()
+        ui_busy = sum(
+            i.duration_ms for i in ctx.recorder.busy if i.thread == "ui"
+        )
+        assert ui_busy < 5000.0
+
+    def test_cancel_prevents_callback(self, env):
+        ctx, _, looper = env
+        done = []
+        task = AsyncTask(ctx, looper, 1000.0, lambda: done.append(1)).execute()
+        task.cancel()
+        ctx.run_until_idle()
+        assert done == []
+        assert not task.finished
+
+    def test_completion_dropped_when_process_dies(self, env):
+        ctx, process, looper = env
+        done = []
+        AsyncTask(ctx, looper, 1000.0, lambda: done.append(1)).execute()
+        process.kill()
+        ctx.run_until_idle()
+        assert done == []
+
+    def test_records_start_and_return_events(self, env):
+        ctx, _, looper = env
+        AsyncTask(ctx, looper, 100.0, lambda: None, label="load").execute()
+        ctx.run_until_idle()
+        assert ctx.recorder.events_of_kind("async-start")
+        assert ctx.recorder.events_of_kind("async-return")

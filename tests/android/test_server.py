@@ -1,0 +1,135 @@
+"""Unit tests for records, the activity stack, and the starter."""
+
+import pytest
+
+from repro import Android10Policy, AndroidSystem
+from repro.android.app.intent import Intent, IntentFlag
+from repro.apps import make_benchmark_app
+
+
+def booted():
+    system = AndroidSystem(policy=Android10Policy())
+    app = make_benchmark_app(1)
+    record = system.launch(app)
+    task = record.task
+    return system, app, record, task
+
+
+class TestRecordsAndTask:
+    def test_record_tokens_are_unique_within_a_system(self):
+        system = AndroidSystem(policy=Android10Policy())
+        r1 = system.launch(make_benchmark_app(1, package="tok.one"))
+        r2 = system.launch(make_benchmark_app(1, package="tok.two"))
+        assert r1.token != r2.token
+
+    def test_shadow_state_accessors(self):
+        _, _, record, _ = booted()
+        assert not record.is_shadow()
+        record.set_shadow_state(True)
+        assert record.is_shadow()
+
+    def test_task_push_and_top(self):
+        _, _, record, task = booted()
+        assert task.top() is record
+        assert len(task) == 1
+
+    def test_move_to_top(self):
+        system, app, record, task = booted()
+        intent = Intent(app, flags=IntentFlag.SUNNY)
+        result = system.atms.starter.start_activity_unchecked(
+            intent, task, system.atms.config, current=None
+        )
+        assert task.top() is result.record
+        task.move_to_top(record)
+        assert task.top() is record
+
+    def test_instance_alive_tracks_lifecycle(self):
+        _, _, record, _ = booted()
+        assert record.instance_alive
+        record.instance.perform_pause()
+        record.instance.perform_stop()
+        record.instance.perform_destroy()
+        assert not record.instance_alive
+
+
+class TestStack:
+    def test_top_record_follows_task_order(self):
+        system = AndroidSystem(policy=Android10Policy())
+        app1 = make_benchmark_app(1, package="app.one")
+        app2 = make_benchmark_app(1, package="app.two")
+        system.launch(app1)
+        record2 = system.launch(app2)
+        assert system.atms.stack.top_record() is record2
+
+    def test_find_task_by_package(self):
+        system = AndroidSystem(policy=Android10Policy())
+        app = make_benchmark_app(1, package="app.one")
+        record = system.launch(app)
+        assert system.atms.stack.find_task("app.one") is record.task
+        assert system.atms.stack.find_task("missing") is None
+
+    def test_find_shadow_skips_excluded_and_dead(self):
+        system, app, record, task = booted()
+        stack = system.atms.stack
+        record.set_shadow_state(True)
+        # excluded record is not returned
+        assert stack.find_shadow_activity_locked(task, exclude=record) is None
+        # found when not excluded and instance alive
+        assert stack.find_shadow_activity_locked(task) is record
+        # dead instance disqualifies
+        record.instance.perform_pause()
+        record.instance.perform_stop()
+        record.instance.perform_destroy()
+        assert stack.find_shadow_activity_locked(task) is None
+
+
+class TestStarter:
+    def test_default_flag_dedups_top_activity(self):
+        system, app, record, task = booted()
+        result = system.atms.starter.start_activity_unchecked(
+            Intent(app), task, system.atms.config
+        )
+        assert result.record is record
+        assert not result.created
+
+    def test_sunny_flag_allows_second_instance(self):
+        """The Fig. 6(1) behaviour stock Android forbids."""
+        system, app, record, task = booted()
+        result = system.atms.starter.start_activity_unchecked(
+            Intent(app, flags=IntentFlag.SUNNY), task, system.atms.config,
+            current=record,
+        )
+        assert result.created
+        assert result.record is not record
+        assert result.record.activity_name == record.activity_name
+        assert len(task) == 2
+
+    def test_sunny_flag_prefers_coin_flip(self):
+        """Fig. 6(2): a live shadow record is reordered, not duplicated."""
+        system, app, record, task = booted()
+        # create the second instance and shadow the first
+        second = system.atms.starter.start_activity_unchecked(
+            Intent(app, flags=IntentFlag.SUNNY), task, system.atms.config,
+            current=record,
+        ).record
+        thread = system.atms.thread_of(app.package)
+        thread.perform_launch_activity(second, None)
+        record.set_shadow_state(True)
+
+        result = system.atms.starter.start_activity_unchecked(
+            Intent(app, flags=IntentFlag.SUNNY), task, system.atms.config,
+            current=second,
+        )
+        assert result.flipped
+        assert result.record is record
+        assert not record.is_shadow()
+        assert task.top() is record
+        assert len(task) == 2
+
+    def test_coin_flip_counters(self):
+        system, app, record, task = booted()
+        system.atms.starter.start_activity_unchecked(
+            Intent(app, flags=IntentFlag.SUNNY), task, system.atms.config,
+            current=record,
+        )
+        assert system.ctx.recorder.counters["coinflip-miss"] == 1

@@ -1,0 +1,109 @@
+"""Unit tests for SharedPreferences and the durability ladder."""
+
+import pytest
+
+from repro import Android10Policy, AndroidSystem, RCHDroidPolicy
+from repro.android.storage import SharedPreferences
+from repro.android.views.inflate import ViewSpec
+from repro.apps import make_benchmark_app
+from repro.apps.dsl import AppSpec, AsyncScript, StateSlot, StorageKind, \
+    two_orientation_resources
+from repro.sim.context import SimContext
+
+
+class TestSharedPreferences:
+    def test_put_get_roundtrip(self):
+        ctx = SimContext()
+        prefs = SharedPreferences(ctx, "pkg")
+        prefs.put("k", 42)
+        assert prefs.get("k") == 42
+        assert prefs.contains("k")
+
+    def test_separate_packages_are_isolated(self):
+        ctx = SimContext()
+        SharedPreferences(ctx, "a").put("k", 1)
+        assert SharedPreferences(ctx, "b").get("k") is None
+
+    def test_two_handles_share_the_file(self):
+        ctx = SimContext()
+        SharedPreferences(ctx, "pkg").put("k", 1)
+        assert SharedPreferences(ctx, "pkg").get("k") == 1
+
+    def test_commit_has_a_cost(self):
+        ctx = SimContext()
+        prefs = SharedPreferences(ctx, "pkg")
+        before = ctx.now_ms
+        prefs.put("k", 1)
+        assert ctx.now_ms > before
+
+    def test_remove_and_clear(self):
+        ctx = SimContext()
+        prefs = SharedPreferences(ctx, "pkg")
+        prefs.put("a", 1)
+        prefs.put("b", 2)
+        prefs.remove("a")
+        assert not prefs.contains("a")
+        prefs.clear()
+        assert not prefs.contains("b")
+
+
+def persisted_app(package="persist.app"):
+    return AppSpec(
+        package=package, label="p",
+        resources=two_orientation_resources(
+            "main", [ViewSpec("TextView", view_id=10)]
+        ),
+        slots=(StateSlot("setting", StorageKind.PERSISTED),),
+    )
+
+
+class TestDurabilityLadder:
+    @pytest.mark.parametrize("policy", [Android10Policy, RCHDroidPolicy])
+    def test_persisted_state_survives_restart(self, policy):
+        system = AndroidSystem(policy=policy())
+        app = persisted_app()
+        system.launch(app)
+        system.write_slot(app, "setting", "durable")
+        system.rotate()
+        system.rotate()
+        assert system.read_slot(app, "setting") == "durable"
+
+    def test_persisted_state_survives_a_crash_and_relaunch(self):
+        system = AndroidSystem(policy=Android10Policy())
+        app = AppSpec(
+            package="persist.crash", label="c",
+            resources=two_orientation_resources(
+                "main", [ViewSpec("ImageView", view_id=10)]
+            ),
+            slots=(StateSlot("setting", StorageKind.PERSISTED),),
+            async_script=AsyncScript("bg", 2_000.0, ((10, "drawable", "x"),)),
+        )
+        system.launch(app)
+        system.write_slot(app, "setting", "durable")
+        system.start_async(app)
+        system.rotate()
+        system.run_until_idle()
+        assert system.crashed(app.package)
+        # The user relaunches the app: fresh process, same device flash.
+        system.launch(app)
+        assert system.read_slot(app, "setting") == "durable"
+
+    def test_application_state_does_not_survive_the_crash(self):
+        """Contrast: Application-object state dies with the process."""
+        system = AndroidSystem(policy=Android10Policy())
+        app = AppSpec(
+            package="appstate.crash2", label="c",
+            resources=two_orientation_resources(
+                "main", [ViewSpec("ImageView", view_id=10)]
+            ),
+            slots=(StateSlot("session", StorageKind.APPLICATION),),
+            async_script=AsyncScript("bg", 2_000.0, ((10, "drawable", "x"),)),
+        )
+        system.launch(app)
+        system.write_slot(app, "session", "volatile")
+        system.start_async(app)
+        system.rotate()
+        system.run_until_idle()
+        assert system.crashed(app.package)
+        system.launch(app)
+        assert system.read_slot(app, "session") is None

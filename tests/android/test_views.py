@@ -1,0 +1,160 @@
+"""Unit tests for the view base classes and the invalidate pipeline."""
+
+import pytest
+
+from repro.android.os import Bundle
+from repro.android.views.view import DecorView, View, ViewGroup
+from repro.android.views.widgets import EditText, TextView
+from repro.errors import NullPointerException
+from repro.sim.context import SimContext
+
+
+@pytest.fixture
+def ctx():
+    return SimContext()
+
+
+def make_tree(ctx):
+    decor = DecorView(ctx)
+    group = ViewGroup(ctx, view_id=1)
+    leaf_a = TextView(ctx, view_id=2)
+    leaf_b = TextView(ctx, view_id=3)
+    group.add_child(leaf_a)
+    group.add_child(leaf_b)
+    decor.add_child(group)
+    return decor, group, leaf_a, leaf_b
+
+
+class TestTraversal:
+    def test_iter_tree_is_preorder(self, ctx):
+        decor, group, leaf_a, leaf_b = make_tree(ctx)
+        assert list(decor.iter_tree()) == [decor, group, leaf_a, leaf_b]
+
+    def test_count_views(self, ctx):
+        decor, *_ = make_tree(ctx)
+        assert decor.count_views() == 4
+
+    def test_find_by_id(self, ctx):
+        decor, _, leaf_a, _ = make_tree(ctx)
+        assert decor.find_by_id(2) is leaf_a
+        assert decor.find_by_id(99) is None
+
+
+class TestAttributePipeline:
+    def test_set_attr_marks_dirty(self, ctx):
+        view = TextView(ctx, view_id=1)
+        view.set_attr("text", "hi")
+        assert view.dirty
+        assert view.get_attr("text") == "hi"
+
+    def test_silent_set_skips_invalidate(self, ctx):
+        view = TextView(ctx, view_id=1)
+        view.set_attr("text", "hi", silent=True)
+        assert not view.dirty
+
+    def test_invalidate_hook_runs_via_owner(self, ctx):
+        from repro.apps import make_benchmark_app
+        from repro import AndroidSystem
+
+        system = AndroidSystem()
+        app = make_benchmark_app(1)
+        record = system.launch(app)
+        activity = record.instance
+        seen = []
+        activity.invalidate_hook = seen.append
+        view = activity.require_view(10)
+        view.set_attr("text", "new")
+        assert seen == [view]
+
+    def test_mutating_destroyed_view_raises_npe(self, ctx):
+        view = TextView(ctx, view_id=1)
+        view.destroy()
+        with pytest.raises(NullPointerException):
+            view.set_attr("text", "boom")
+
+    def test_invalidate_on_destroyed_view_raises_npe(self, ctx):
+        view = TextView(ctx, view_id=1)
+        view.destroy()
+        with pytest.raises(NullPointerException):
+            view.invalidate()
+
+
+class TestDestroy:
+    def test_destroy_is_recursive(self, ctx):
+        decor, group, leaf_a, leaf_b = make_tree(ctx)
+        decor.destroy()
+        assert not any(v.alive for v in (decor, group, leaf_a, leaf_b))
+
+    def test_destroy_is_idempotent(self, ctx):
+        view = TextView(ctx, view_id=1)
+        view.destroy()
+        view.destroy()
+        assert not view.alive
+
+
+class TestSaveRestore:
+    def test_stock_save_skips_non_auto_saved(self, ctx):
+        view = TextView(ctx, view_id=1)
+        view.set_attr("text", "typed", silent=True)
+        bundle = Bundle()
+        view.save_state(bundle, full=False)
+        assert bundle.get_bundle("view:1") is None
+
+    def test_stock_save_keeps_edittext_text(self, ctx):
+        view = EditText(ctx, view_id=1)
+        view.set_attr("text", "typed", silent=True)
+        bundle = Bundle()
+        view.save_state(bundle, full=False)
+        assert bundle.get_bundle("view:1").get("text") == "typed"
+
+    def test_full_save_keeps_everything(self, ctx):
+        view = TextView(ctx, view_id=1)
+        view.set_attr("text", "typed", silent=True)
+        bundle = Bundle()
+        view.save_state(bundle, full=True)
+        assert bundle.get_bundle("view:1").get("text") == "typed"
+
+    def test_idless_views_never_saved(self, ctx):
+        view = TextView(ctx)
+        view.set_attr("text", "typed", silent=True)
+        bundle = Bundle()
+        view.save_state(bundle, full=True)
+        assert bundle.is_empty()
+
+    def test_hierarchy_roundtrip(self, ctx):
+        decor, _, leaf_a, leaf_b = make_tree(ctx)
+        leaf_a.set_attr("text", "alpha", silent=True)
+        leaf_b.set_attr("text", "beta", silent=True)
+        bundle = Bundle()
+        decor.save_state(bundle, full=True)
+
+        decor2, _, leaf_a2, leaf_b2 = make_tree(ctx)
+        decor2.restore_state(bundle)
+        assert leaf_a2.get_attr("text") == "alpha"
+        assert leaf_b2.get_attr("text") == "beta"
+
+    def test_restore_ignores_unknown_ids(self, ctx):
+        bundle = Bundle()
+        inner = Bundle()
+        inner.put("text", "x")
+        bundle.put_bundle("view:99", inner)
+        view = TextView(ctx, view_id=1)
+        view.restore_state(bundle)
+        assert view.get_attr("text") is None
+
+
+class TestRCHDroidSurface:
+    def test_shadow_state_dispatch_is_recursive(self, ctx):
+        decor, group, leaf_a, leaf_b = make_tree(ctx)
+        decor.dispatch_shadow_state_changed(True)
+        assert all(v.shadow_state for v in decor.iter_tree())
+        decor.dispatch_shadow_state_changed(False)
+        assert not any(v.shadow_state for v in decor.iter_tree())
+
+    def test_sunny_state_dispatch_is_recursive(self, ctx):
+        decor, *_ = make_tree(ctx)
+        decor.dispatch_sunny_state_changed(True)
+        assert all(v.sunny_state for v in decor.iter_tree())
+
+    def test_sunny_peer_defaults_to_none(self, ctx):
+        assert View(ctx).sunny_peer is None

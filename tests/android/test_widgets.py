@@ -1,0 +1,139 @@
+"""Unit tests for the widget library (Table 1 migration policies)."""
+
+import pytest
+
+from repro.android.views.widgets import (
+    AbsListView,
+    Button,
+    CheckBox,
+    EditText,
+    GridView,
+    ImageView,
+    ListView,
+    ProgressBar,
+    ScrollView,
+    SeekBar,
+    TextView,
+    VideoView,
+    WIDGET_TYPES,
+)
+from repro.sim.context import SimContext
+
+
+@pytest.fixture
+def ctx():
+    return SimContext()
+
+
+class TestTable1Policies:
+    """Every view type in Table 1 declares exactly its migration policy."""
+
+    def test_textview_migrates_text(self):
+        assert TextView.MIGRATED_ATTRS == {"text": "setText"}
+
+    def test_imageview_migrates_drawable(self):
+        assert ImageView.MIGRATED_ATTRS == {"drawable": "setDrawable"}
+
+    def test_abslistview_migrates_selector_and_checked(self):
+        assert AbsListView.MIGRATED_ATTRS == {
+            "selector_position": "positionSelector",
+            "checked_item": "setItemChecked",
+        }
+
+    def test_videoview_migrates_uri(self):
+        assert VideoView.MIGRATED_ATTRS["video_uri"] == "setVideoURI"
+
+    def test_progressbar_migrates_progress(self):
+        assert ProgressBar.MIGRATED_ATTRS == {"progress": "setProgress"}
+
+    def test_subtypes_inherit_parent_policy(self):
+        """User-defined/extended views migrate by the basic type they
+        extend (paper Section 3.3)."""
+        assert EditText.MIGRATED_ATTRS == TextView.MIGRATED_ATTRS
+        assert Button.MIGRATED_ATTRS == TextView.MIGRATED_ATTRS
+        assert ListView.MIGRATED_ATTRS == AbsListView.MIGRATED_ATTRS
+        assert GridView.MIGRATED_ATTRS == AbsListView.MIGRATED_ATTRS
+        assert SeekBar.MIGRATED_ATTRS == ProgressBar.MIGRATED_ATTRS
+
+    def test_checkbox_extends_button_policy(self):
+        assert CheckBox.MIGRATED_ATTRS["checked"] == "setChecked"
+        assert CheckBox.MIGRATED_ATTRS["text"] == "setText"
+
+
+class TestAutoSaveCoverage:
+    """Stock save covers EditText text; the bug-class attributes are not
+    covered (that is what makes the Table 3 / Table 5 corpus lose state)."""
+
+    def test_edittext_text_is_auto_saved(self):
+        assert "text" in EditText.AUTO_SAVED_ATTRS
+
+    def test_plain_textview_text_is_not(self):
+        assert "text" not in TextView.AUTO_SAVED_ATTRS
+
+    @pytest.mark.parametrize(
+        "widget", [TextView, ImageView, AbsListView, ProgressBar, SeekBar,
+                   CheckBox, VideoView, ScrollView]
+    )
+    def test_bug_class_widgets_not_auto_saved(self, widget):
+        assert not widget.AUTO_SAVED_ATTRS
+
+
+class TestWidgetBehaviour:
+    def test_textview_set_text(self, ctx):
+        view = TextView(ctx, view_id=1)
+        view.set_text("hello")
+        assert view.text == "hello"
+
+    def test_button_click_dispatches_handler(self, ctx):
+        button = Button(ctx, view_id=1)
+        clicks = []
+        button.on_click = lambda: clicks.append(1)
+        button.click()
+        assert clicks == [1]
+
+    def test_button_click_without_handler_is_fine(self, ctx):
+        Button(ctx, view_id=1).click()
+
+    def test_imageview_drawable(self, ctx):
+        image = ImageView(ctx, view_id=1)
+        image.set_drawable("bitmap")
+        assert image.drawable == "bitmap"
+
+    def test_imageview_has_bitmap_footprint(self):
+        assert ImageView.MEMORY_EXTRA_MB > TextView.MEMORY_EXTRA_MB
+
+    def test_scrollview_scroll_rides_selector_channel(self, ctx):
+        scroll = ScrollView(ctx, view_id=1)
+        scroll.scroll_to(120)
+        assert scroll.scroll_offset == 120
+        assert scroll.get_attr("selector_position") == 120
+
+    def test_abslistview_selection(self, ctx):
+        lst = ListView(ctx, view_id=1)
+        lst.position_selector(3)
+        lst.set_item_checked(5)
+        assert lst.get_attr("selector_position") == 3
+        assert lst.get_attr("checked_item") == 5
+
+    def test_progressbar_progress(self, ctx):
+        bar = SeekBar(ctx, view_id=1)
+        bar.set_progress(42)
+        assert bar.progress == 42
+
+    def test_checkbox_checked(self, ctx):
+        box = CheckBox(ctx, view_id=1)
+        assert box.checked is False
+        box.set_checked(True)
+        assert box.checked is True
+
+
+class TestRegistry:
+    def test_registry_covers_all_named_types(self):
+        for name in ("TextView", "EditText", "Button", "ImageView",
+                     "AbsListView", "ListView", "GridView", "ScrollView",
+                     "VideoView", "ProgressBar", "SeekBar", "CheckBox"):
+            assert name in WIDGET_TYPES
+
+    def test_registry_keys_match_view_type(self):
+        for name, cls in WIDGET_TYPES.items():
+            assert cls.view_type == name

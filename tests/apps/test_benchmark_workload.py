@@ -1,0 +1,90 @@
+"""Unit tests for the benchmark app and workload generators."""
+
+import pytest
+
+from repro.apps.benchmark import (
+    BUTTON_ID,
+    IMAGE_ID_BASE,
+    image_view_ids,
+    make_benchmark_app,
+)
+from repro.apps.dsl import IssueKind
+from repro.apps.workload import (
+    RotationTraceSpec,
+    changes_per_minute,
+    interaction_session,
+    rotation_trace,
+)
+from repro.sim.rng import DeterministicRng
+
+
+class TestBenchmarkApp:
+    def test_view_tree_matches_paper_description(self):
+        """N ImageViews and a Button (Section 5.1)."""
+        app = make_benchmark_app(8)
+        # decor + container + button + 8 images
+        assert app.view_count() == 11
+
+    def test_async_updates_every_image(self):
+        app = make_benchmark_app(3)
+        assert len(app.async_script.updates) == 3
+        assert {u[0] for u in app.async_script.updates} == set(
+            image_view_ids(3)
+        )
+
+    def test_default_async_duration_is_five_seconds(self):
+        assert make_benchmark_app(1).async_script.duration_ms == 5_000.0
+
+    def test_custom_duration_and_package(self):
+        app = make_benchmark_app(2, async_duration_ms=50_000.0,
+                                 package="custom.pkg")
+        assert app.async_script.duration_ms == 50_000.0
+        assert app.package == "custom.pkg"
+
+    def test_issue_class_is_async_crash(self):
+        assert make_benchmark_app(1).issue is IssueKind.ASYNC_CRASH
+
+    def test_ids_are_stable(self):
+        assert BUTTON_ID == 10
+        assert image_view_ids(2) == [IMAGE_ID_BASE, IMAGE_ID_BASE + 1]
+
+
+class TestRotationTrace:
+    def test_deterministic_per_seed(self):
+        spec = RotationTraceSpec(duration_ms=120_000.0)
+        a = rotation_trace(DeterministicRng(5), spec)
+        b = rotation_trace(DeterministicRng(5), spec)
+        assert a == b
+
+    def test_timestamps_sorted_and_bounded(self):
+        spec = RotationTraceSpec(duration_ms=120_000.0)
+        trace = rotation_trace(DeterministicRng(5), spec)
+        assert trace == sorted(trace)
+        assert all(0 <= t < 120_000.0 for t in trace)
+
+    def test_rate_is_roughly_six_per_minute(self):
+        spec = RotationTraceSpec(duration_ms=600_000.0)
+        trace = rotation_trace(DeterministicRng(5), spec)
+        rate = changes_per_minute(trace, spec.duration_ms)
+        assert 3.0 <= rate <= 9.0
+
+    def test_trace_is_bursty(self):
+        """Both short (<6 s) and long (>15 s) gaps must occur."""
+        spec = RotationTraceSpec(duration_ms=600_000.0)
+        trace = rotation_trace(DeterministicRng(5), spec)
+        gaps = [b - a for a, b in zip(trace, trace[1:])]
+        assert any(g <= 6_000.0 for g in gaps)
+        assert any(g >= 15_000.0 for g in gaps)
+
+
+class TestInteractionSession:
+    def test_events_sorted_and_typed(self):
+        events = interaction_session(DeterministicRng(5))
+        assert events == sorted(events)
+        kinds = {kind for _, kind in events}
+        assert kinds == {"write", "rotate"}
+
+    def test_deterministic(self):
+        assert interaction_session(DeterministicRng(5)) == interaction_session(
+            DeterministicRng(5)
+        )

@@ -1,0 +1,143 @@
+"""Unit tests for the app-description DSL."""
+
+import pytest
+
+from repro import Android10Policy, AndroidSystem
+from repro.android.os import Bundle
+from repro.android.views.inflate import ViewSpec
+from repro.apps.dsl import (
+    AppSpec,
+    AsyncScript,
+    IssueKind,
+    StateSlot,
+    StorageKind,
+    filler_views,
+    simple_layout,
+    two_orientation_resources,
+)
+
+
+def minimal_app(**kwargs):
+    widgets = kwargs.pop(
+        "widgets", [ViewSpec("TextView", view_id=10)]
+    )
+    return AppSpec(
+        package=kwargs.pop("package", "dsl.test"),
+        label="t",
+        resources=two_orientation_resources("main", widgets),
+        **kwargs,
+    )
+
+
+class TestStateSlots:
+    def launch(self, app):
+        system = AndroidSystem(policy=Android10Policy())
+        system.launch(app)
+        return system, system.foreground_activity(app.package)
+
+    def test_view_slot_roundtrip(self):
+        slot = StateSlot("s", StorageKind.VIEW_ATTR, view_id=10, attr="text")
+        app = minimal_app(slots=(slot,))
+        _, activity = self.launch(app)
+        slot.write(activity, "value")
+        assert slot.read(activity) == "value"
+        assert activity.require_view(10).get_attr("text") == "value"
+
+    def test_bare_field_slot_roundtrip(self):
+        slot = StateSlot("s", StorageKind.BARE_FIELD)
+        app = minimal_app(slots=(slot,))
+        _, activity = self.launch(app)
+        slot.write(activity, 42)
+        assert activity.fields["s"] == 42
+        assert slot.read(activity) == 42
+
+    def test_custom_slot_roundtrip(self):
+        slot = StateSlot("s", StorageKind.CUSTOM_SAVED)
+        app = minimal_app(slots=(slot,), implements_on_save=True)
+        _, activity = self.launch(app)
+        slot.write(activity, "note")
+        assert activity.custom_state["s"] == "note"
+
+    def test_unset_slot_reads_none(self):
+        slot = StateSlot("s", StorageKind.VIEW_ATTR, view_id=10, attr="text")
+        app = minimal_app(slots=(slot,))
+        _, activity = self.launch(app)
+        assert slot.read(activity) is None
+
+    def test_slot_lookup_by_name(self):
+        slot = StateSlot("s", StorageKind.BARE_FIELD)
+        app = minimal_app(slots=(slot,))
+        assert app.slot("s") is slot
+        with pytest.raises(KeyError):
+            app.slot("missing")
+
+
+class TestSaveCallbacks:
+    def test_on_save_persists_custom_slots(self):
+        slot = StateSlot("s", StorageKind.CUSTOM_SAVED)
+        app = minimal_app(slots=(slot,), implements_on_save=True)
+        system = AndroidSystem(policy=Android10Policy())
+        system.launch(app)
+        activity = system.foreground_activity(app.package)
+        activity.custom_state["s"] = "kept"
+        bundle = Bundle()
+        app.on_save(activity, bundle)
+        assert bundle.get("custom:s") == "kept"
+
+    def test_on_restore_reads_back(self):
+        slot = StateSlot("s", StorageKind.CUSTOM_SAVED)
+        app = minimal_app(slots=(slot,), implements_on_save=True)
+        system = AndroidSystem(policy=Android10Policy())
+        system.launch(app)
+        activity = system.foreground_activity(app.package)
+        bundle = Bundle()
+        bundle.put("custom:s", "kept")
+        app.on_restore(activity, bundle)
+        assert activity.custom_state["s"] == "kept"
+
+    def test_on_save_skips_unset_slots(self):
+        slot = StateSlot("s", StorageKind.CUSTOM_SAVED)
+        app = minimal_app(slots=(slot,), implements_on_save=True)
+        system = AndroidSystem(policy=Android10Policy())
+        system.launch(app)
+        activity = system.foreground_activity(app.package)
+        bundle = Bundle()
+        app.on_save(activity, bundle)
+        assert bundle.is_empty()
+
+
+class TestHelpers:
+    def test_filler_views_have_consecutive_ids(self):
+        views = filler_views(3, start_id=200)
+        assert [v.view_id for v in views] == [200, 201, 202]
+
+    def test_simple_layout_wraps_in_container(self):
+        layout = simple_layout("main", [ViewSpec("TextView", view_id=9)])
+        assert layout.roots[0].view_type == "ViewGroup"
+        assert layout.roots[0].children[0].view_id == 9
+
+    def test_two_orientation_resources_share_ids(self):
+        from repro.android.res import DEFAULT_LANDSCAPE, DEFAULT_PORTRAIT
+
+        table = two_orientation_resources(
+            "main", [ViewSpec("TextView", view_id=9)]
+        )
+        port = table.resolve_layout("main", DEFAULT_PORTRAIT)
+        land = table.resolve_layout("main", DEFAULT_LANDSCAPE)
+        assert port is not land
+        assert port.roots[0].children[0].view_id == 9
+        assert land.roots[0].children[0].view_id == 9
+
+    def test_view_count_counts_decor(self):
+        app = minimal_app()
+        assert app.view_count() == 3  # decor + container + text
+
+    def test_on_create_charges_logic_cost(self):
+        app = minimal_app(logic_cost_ms=25.0)
+        system = AndroidSystem(policy=Android10Policy())
+        system.launch(app)
+        logic = [
+            i for i in system.ctx.recorder.busy
+            if i.label == f"app-logic:{app.package}"
+        ]
+        assert logic and logic[0].duration_ms == 25.0

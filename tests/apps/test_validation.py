@@ -1,0 +1,91 @@
+"""Corpus validation: every generated app spec must be self-consistent."""
+
+import pytest
+
+from repro.android.views.inflate import ViewSpec
+from repro.apps import make_benchmark_app
+from repro.apps.appset27 import build_appset27
+from repro.apps.dsl import AppSpec, AsyncScript, StateSlot, StorageKind, \
+    two_orientation_resources
+from repro.apps.top100 import build_top100
+from repro.harness.experiments.ext_fragments import build_fragment_app
+from repro.harness.experiments.ext_robustness import storm_app
+from repro.harness.experiments.fig12 import build_table4_apps
+
+
+def test_appset27_validates():
+    for app in build_appset27():
+        assert app.validate() == [], app.package
+
+
+def test_top100_validates():
+    for app in build_top100():
+        assert app.validate() == [], app.package
+
+
+def test_benchmark_apps_validate():
+    for n in (1, 4, 32):
+        assert make_benchmark_app(n).validate() == []
+
+
+def test_table4_apps_validate():
+    for app in build_table4_apps():
+        assert app.validate() == [], app.package
+
+
+def test_misc_experiment_apps_validate():
+    assert storm_app().validate() == []
+    assert build_fragment_app(0, 2).validate() == []
+
+
+class TestValidatorCatchesMistakes:
+    def _base(self, **kwargs):
+        return AppSpec(
+            package="bad.app", label="b",
+            resources=two_orientation_resources(
+                "main", [ViewSpec("TextView", view_id=10)]
+            ),
+            **kwargs,
+        )
+
+    def test_slot_referencing_missing_view(self):
+        app = self._base(
+            slots=(StateSlot("s", StorageKind.VIEW_ATTR,
+                             view_id=999, attr="text"),),
+        )
+        assert any("999" in p for p in app.validate())
+
+    def test_async_update_referencing_missing_view(self):
+        app = self._base(
+            async_script=AsyncScript("bg", 1_000.0, ((999, "text", "x"),)),
+        )
+        assert any("999" in p for p in app.validate())
+
+    def test_duplicate_view_ids(self):
+        app = AppSpec(
+            package="dup.app", label="d",
+            resources=two_orientation_resources(
+                "main",
+                [ViewSpec("TextView", view_id=10),
+                 ViewSpec("TextView", view_id=10)],
+            ),
+        )
+        assert any("duplicate" in p for p in app.validate())
+
+    def test_self_handled_with_issue_class(self):
+        from repro.apps.dsl import IssueKind
+
+        app = self._base(handles_config_changes=True,
+                         issue=IssueKind.VIEW_STATE_LOSS)
+        assert any("self-handling" in p for p in app.validate())
+
+    def test_missing_layout(self):
+        from repro.android.res import ResourceTable
+
+        app = AppSpec(package="empty.app", label="e",
+                      resources=ResourceTable())
+        assert any("missing" in p for p in app.validate())
+
+    def test_bare_field_slots_are_layout_independent(self):
+        app = self._base(slots=(StateSlot("s", StorageKind.BARE_FIELD),))
+        assert app.validate() == []

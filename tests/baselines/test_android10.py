@@ -1,0 +1,78 @@
+"""Unit tests for the stock Android-10 restart policy."""
+
+import pytest
+
+from repro import Android10Policy, AndroidSystem
+from repro.android.app.lifecycle import LifecycleState
+from repro.android.views.inflate import ViewSpec
+from repro.apps import make_benchmark_app
+from repro.apps.benchmark import IMAGE_ID_BASE
+from repro.apps.dsl import AppSpec, two_orientation_resources
+
+
+def booted(app=None):
+    system = AndroidSystem(policy=Android10Policy())
+    app = app or make_benchmark_app(2)
+    system.launch(app)
+    return system, app
+
+
+def test_rotation_relaunches_the_activity():
+    system, app = booted()
+    old = system.foreground_activity(app.package)
+    assert system.rotate() == "relaunch"
+    new = system.foreground_activity(app.package)
+    assert new is not old
+    assert old.destroyed
+    assert new.lifecycle is LifecycleState.RESUMED
+
+
+def test_edittext_state_survives_restart():
+    """Auto-saved widgets survive: that is the 11-of-100 harmless class."""
+    widgets = [ViewSpec("EditText", view_id=10)]
+    app = AppSpec(
+        package="edit.app", label="e",
+        resources=two_orientation_resources("main", widgets),
+    )
+    system, app = booted(app)
+    fg = system.foreground_activity(app.package)
+    fg.require_view(10).set_attr("text", "typed")
+    system.rotate()
+    fg2 = system.foreground_activity(app.package)
+    assert fg2.require_view(10).get_attr("text") == "typed"
+
+
+def test_non_auto_saved_state_is_lost():
+    system, app = booted()
+    system.write_slot(app, "first_drawable", "user")
+    system.rotate()
+    assert system.read_slot(app, "first_drawable") != "user"
+
+
+def test_self_handling_app_is_not_restarted():
+    widgets = [ViewSpec("TextView", view_id=10)]
+    app = AppSpec(
+        package="self.app", label="s",
+        resources=two_orientation_resources("main", widgets),
+        handles_config_changes=True,
+    )
+    system, app = booted(app)
+    original = system.foreground_activity(app.package)
+    assert system.rotate() == "self-handled"
+    assert system.foreground_activity(app.package) is original
+
+
+def test_only_one_record_ever_exists():
+    system, app = booted()
+    for _ in range(4):
+        system.rotate()
+    task = system.atms.stack.find_task(app.package)
+    assert len(task.records) == 1
+
+
+def test_repeated_rotations_have_stable_cost():
+    system, app = booted()
+    system.rotate()
+    system.rotate()
+    times = [ms for ms, _ in system.handling_times()]
+    assert times[0] == pytest.approx(times[1], rel=0.02)

@@ -1,0 +1,99 @@
+"""Unit tests for the RuntimeDroid baseline (Section 5.7)."""
+
+import pytest
+
+from repro import AndroidSystem, RuntimeDroidPolicy
+from repro.apps import make_benchmark_app
+from repro.baselines.runtimedroid import (
+    RUNTIMEDROID_TABLE4,
+    deployment_cost_ms,
+    patch_time_ms,
+)
+from repro.sim.costs import DEFAULT_COSTS
+
+
+def booted(app=None):
+    system = AndroidSystem(policy=RuntimeDroidPolicy())
+    app = app or make_benchmark_app(4)
+    system.launch(app)
+    return system, app
+
+
+def test_inplace_update_keeps_the_instance():
+    system, app = booted()
+    original = system.foreground_activity(app.package)
+    assert system.rotate() == "in-place"
+    assert system.foreground_activity(app.package) is original
+    assert original.config == system.atms.config
+
+
+def test_no_crash_on_async_across_change():
+    system, app = booted()
+    system.start_async(app)
+    system.rotate()
+    system.run_until_idle()
+    assert not system.crashed(app.package)
+
+
+def test_state_preserved_in_place():
+    system, app = booted()
+    system.write_slot(app, "first_drawable", "mine")
+    system.rotate()
+    assert system.read_slot(app, "first_drawable") == "mine"
+
+
+def test_faster_than_stock_restart():
+    from repro import Android10Policy
+
+    system, app = booted()
+    system.rotate()
+    rd_ms = system.last_handling_ms()
+
+    stock = AndroidSystem(policy=Android10Policy())
+    app2 = make_benchmark_app(4)
+    stock.launch(app2)
+    stock.rotate()
+    assert rd_ms < stock.last_handling_ms()
+
+
+def test_incompatible_app_falls_back_to_restart():
+    app = make_benchmark_app(4)
+    app.runtimedroid_compatible = False
+    system, app = booted(app)
+    old = system.foreground_activity(app.package)
+    assert system.rotate() == "relaunch"
+    assert old.destroyed
+
+
+class TestTable4Data:
+    def test_eight_published_rows(self):
+        assert len(RUNTIMEDROID_TABLE4) == 8
+        by_app = {e.app: e for e in RUNTIMEDROID_TABLE4}
+        assert by_app["Mdapp"].modification_loc == 2077
+        assert by_app["VlilleChecker"].modification_loc == 760
+
+    def test_modifications_consistent_with_loc_delta(self):
+        for entry in RUNTIMEDROID_TABLE4:
+            assert entry.runtimedroid_loc > entry.android10_loc
+            assert entry.modification_loc <= entry.runtimedroid_loc
+
+
+class TestDeploymentModel:
+    def test_patch_time_scales_with_app_size(self):
+        assert patch_time_ms(DEFAULT_COSTS, 20_000) > patch_time_ms(
+            DEFAULT_COSTS, 2_000
+        )
+
+    def test_patch_times_land_in_paper_range(self):
+        for entry in RUNTIMEDROID_TABLE4:
+            ms = patch_time_ms(DEFAULT_COSTS, entry.android10_loc)
+            assert 10_000 <= ms <= 165_000
+
+    def test_deployment_cost_shapes(self):
+        rchdroid_ms, per_app = deployment_cost_ms(
+            DEFAULT_COSTS, [e.android10_loc for e in RUNTIMEDROID_TABLE4]
+        )
+        assert rchdroid_ms == pytest.approx(92_870.0)
+        assert len(per_app) == 8
+        # One flash covers any number of apps; patching is per app.
+        assert sum(per_app) > rchdroid_ms

@@ -1,0 +1,29 @@
+"""Shared fixtures: fresh simulation contexts and booted systems."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Android10Policy, AndroidSystem, RCHDroidPolicy
+from repro.apps import make_benchmark_app
+from repro.sim.context import SimContext
+
+
+@pytest.fixture
+def ctx() -> SimContext:
+    return SimContext()
+
+
+@pytest.fixture
+def stock_system() -> AndroidSystem:
+    return AndroidSystem(policy=Android10Policy())
+
+
+@pytest.fixture
+def rch_system() -> AndroidSystem:
+    return AndroidSystem(policy=RCHDroidPolicy())
+
+
+@pytest.fixture
+def bench_app():
+    return make_benchmark_app(num_images=4)

@@ -1,0 +1,92 @@
+"""Unit tests for coin-flipping activity management (Section 3.4)."""
+
+import pytest
+
+from repro import AndroidSystem, RCHDroidConfig, RCHDroidPolicy
+from repro.apps import make_benchmark_app
+from repro.apps.benchmark import IMAGE_ID_BASE
+
+
+def booted(config=None):
+    policy = RCHDroidPolicy(config) if config else RCHDroidPolicy()
+    system = AndroidSystem(policy=policy)
+    app = make_benchmark_app(4)
+    system.launch(app)
+    return system, app
+
+
+def test_first_change_is_init_then_flips_forever():
+    system, app = booted()
+    paths = [system.rotate() for _ in range(5)]
+    assert paths == ["init", "flip", "flip", "flip", "flip"]
+
+
+def test_flip_reuses_the_original_instance():
+    system, app = booted()
+    original = system.foreground_activity(app.package)
+    system.rotate()  # original -> shadow, second instance -> sunny
+    second = system.foreground_activity(app.package)
+    assert second is not original
+    system.rotate()  # flip back
+    assert system.foreground_activity(app.package) is original
+    system.rotate()  # flip again
+    assert system.foreground_activity(app.package) is second
+
+
+def test_flip_keeps_exactly_two_instances():
+    system, app = booted()
+    for _ in range(6):
+        system.rotate()
+    thread = system.atms.thread_of(app.package)
+    assert len(thread.activities) == 2
+    assert len(system.atms.stack.find_task(app.package).records) == 2
+
+
+def test_flip_syncs_latest_user_state():
+    """State written between flips follows the user across instances."""
+    system, app = booted()
+    system.rotate()
+    system.write_slot(app, "first_drawable", "set-on-second")
+    system.rotate()  # back to the original instance
+    assert system.read_slot(app, "first_drawable") == "set-on-second"
+    system.write_slot(app, "first_drawable", "set-on-first")
+    system.rotate()
+    assert system.read_slot(app, "first_drawable") == "set-on-first"
+
+
+def test_flip_applies_new_configuration():
+    system, app = booted()
+    system.rotate()
+    config_after_first = system.atms.config
+    system.rotate()
+    foreground = system.foreground_activity(app.package)
+    assert foreground.config == system.atms.config
+    assert foreground.config != config_after_first
+
+
+def test_flip_is_cheaper_than_init_and_restart():
+    system, app = booted()
+    system.rotate()
+    init_ms = system.last_handling_ms()
+    system.rotate()
+    flip_ms = system.last_handling_ms()
+    assert flip_ms < init_ms
+
+
+def test_disabled_coin_flip_always_inits():
+    system, app = booted(RCHDroidConfig(coin_flip_enabled=False))
+    paths = [system.rotate() for _ in range(4)]
+    assert paths == ["init", "init", "init", "init"]
+    # the single-shadow invariant still holds
+    thread = system.atms.thread_of(app.package)
+    shadows = [a for a in thread.activities if a.shadow_flag and a.alive]
+    assert len(shadows) == 1
+
+
+def test_flip_counter_recorded():
+    system, app = booted()
+    system.rotate()
+    system.rotate()
+    assert system.ctx.recorder.counters["coinflip-hit"] == 1
+    assert system.ctx.recorder.counters["coinflip-miss"] == 1
+    assert system.ctx.recorder.counters["instance-flips"] == 1

@@ -1,0 +1,119 @@
+"""Unit tests for the threshold GC (Section 3.5, Algorithm 1)."""
+
+import pytest
+
+from repro import AndroidSystem, GcThresholds, RCHDroidConfig, RCHDroidPolicy
+from repro.apps import make_benchmark_app
+from repro.core.gc import GcDecision, ShadowGarbageCollector
+
+
+def booted(thresholds=None, gc_period_ms=5_000.0):
+    config = RCHDroidConfig(
+        thresholds=thresholds or GcThresholds(), gc_period_ms=gc_period_ms
+    )
+    policy = RCHDroidPolicy(config)
+    system = AndroidSystem(policy=policy)
+    app = make_benchmark_app(4)
+    system.launch(app)
+    thread = system.atms.thread_of(app.package)
+    return system, app, policy, thread
+
+
+class TestAlgorithm1:
+    def test_no_shadow_decision(self):
+        system, _, policy, thread = booted()
+        decision = policy.gc.check(thread)
+        assert decision is GcDecision.NO_SHADOW
+
+    def test_recent_shadow_is_protected(self):
+        system, _, policy, thread = booted()
+        system.rotate()
+        decision = policy.gc.check(thread)
+        assert decision is GcDecision.TOO_RECENT
+        assert thread.shadow_activity is not None
+
+    def test_frequent_shadow_is_protected(self):
+        thresholds = GcThresholds(thresh_t_ms=1_000.0, thresh_f=4,
+                                  frequency_window_ms=60_000.0)
+        system, _, policy, thread = booted(thresholds)
+        for _ in range(5):  # five shadow entries within the window
+            system.rotate()
+            system.run_for(300.0)
+        system.run_for(2_000.0)  # exceed THRESH_T
+        decision = policy.gc._decide(thread)
+        assert decision is GcDecision.TOO_FREQUENT
+
+    def test_old_infrequent_shadow_is_collected(self):
+        thresholds = GcThresholds(thresh_t_ms=5_000.0, thresh_f=4,
+                                  frequency_window_ms=10_000.0)
+        system, _, policy, thread = booted(thresholds)
+        system.rotate()
+        system.run_for(20_000.0)  # shadow aged, frequency window empty
+        assert thread.shadow_activity is None  # periodic tick collected it
+        assert policy.gc.collected_count >= 1
+
+    def test_both_conditions_must_hold(self):
+        """Old but frequent -> kept; fresh but infrequent -> kept."""
+        thresholds = GcThresholds(thresh_t_ms=8_000.0, thresh_f=4,
+                                  frequency_window_ms=60_000.0)
+        system, _, policy, thread = booted(thresholds)
+        for _ in range(5):
+            system.rotate()
+            system.run_for(200.0)
+        system.run_for(10_000.0)  # old (>8 s) but 5 entries in the minute
+        assert thread.shadow_activity is not None
+
+
+class TestGcEffects:
+    def test_collection_releases_memory(self):
+        thresholds = GcThresholds(thresh_t_ms=3_000.0, thresh_f=4,
+                                  frequency_window_ms=5_000.0)
+        system, app, policy, thread = booted(thresholds)
+        system.rotate()
+        with_shadow = system.memory_of(app.package)
+        system.run_for(20_000.0)
+        assert thread.shadow_activity is None
+        assert system.memory_of(app.package) < with_shadow
+
+    def test_collection_removes_record_so_next_change_inits(self):
+        thresholds = GcThresholds(thresh_t_ms=3_000.0, thresh_f=4,
+                                  frequency_window_ms=5_000.0)
+        system, app, policy, thread = booted(thresholds)
+        assert system.rotate() == "init"
+        system.run_for(20_000.0)  # shadow collected
+        assert system.rotate() == "init"  # no flip candidate left
+        task = system.atms.stack.find_task(app.package)
+        assert len(task.records) == 2  # old record was dropped
+
+    def test_gc_never_collects_foreground(self):
+        thresholds = GcThresholds(thresh_t_ms=100.0, thresh_f=1,
+                                  frequency_window_ms=1_000.0)
+        system, app, policy, thread = booted(thresholds)
+        system.rotate()
+        system.run_for(60_000.0)
+        foreground = system.foreground_activity(app.package)
+        assert foreground is not None
+        assert foreground.alive
+
+    def test_gc_tick_stops_after_collection(self):
+        thresholds = GcThresholds(thresh_t_ms=1_000.0, thresh_f=4,
+                                  frequency_window_ms=2_000.0)
+        system, app, policy, thread = booted(thresholds, gc_period_ms=1_000.0)
+        system.rotate()
+        system.run_for(30_000.0)
+        checks_after_collection = len(policy.gc.decisions)
+        system.run_for(30_000.0)
+        # no shadow -> the periodic tick is not rescheduled
+        assert len(policy.gc.decisions) == checks_after_collection
+
+
+class TestForegroundSwitchRelease:
+    def test_shadow_released_when_foreground_switches(self):
+        system, app, policy, thread = booted()
+        system.rotate()
+        assert thread.shadow_activity is not None
+        other = make_benchmark_app(1, package="bench.other")
+        system.launch(other)
+        assert thread.shadow_activity is None
+        task = system.atms.stack.find_task(app.package)
+        assert len(task.records) == 1

@@ -1,0 +1,95 @@
+"""Unit tests for the essence-based view mapping (Section 3.3)."""
+
+import pytest
+
+from repro import Android10Policy, AndroidSystem
+from repro.android.views.inflate import ViewSpec
+from repro.apps.dsl import AppSpec, simple_layout, two_orientation_resources
+from repro.core.mapping import build_essence_mapping
+
+
+def app_with_widgets(widgets, package="map.test"):
+    return AppSpec(
+        package=package,
+        label=package,
+        resources=two_orientation_resources("main", widgets),
+    )
+
+
+def launch_two(widgets_a, widgets_b=None):
+    """Launch two instances (in two systems) to map across."""
+    system = AndroidSystem(policy=Android10Policy())
+    app_a = app_with_widgets(widgets_a, "map.a")
+    a = system.launch(app_a).instance
+    app_b = app_with_widgets(
+        widgets_b if widgets_b is not None else widgets_a, "map.b"
+    )
+    b = system.launch(app_b).instance
+    return system, a, b
+
+
+def test_identical_trees_map_completely():
+    widgets = [ViewSpec("TextView", view_id=i) for i in range(10, 15)]
+    system, shadow, sunny = launch_two(widgets)
+    mapping = build_essence_mapping(system.ctx, shadow, sunny)
+    assert mapping.complete
+    assert mapping.mapped == 6  # container + 5 TextViews
+    assert mapping.unmapped_id_views == 0
+
+
+def test_peers_are_planted_both_ways():
+    widgets = [ViewSpec("TextView", view_id=10)]
+    system, shadow, sunny = launch_two(widgets)
+    build_essence_mapping(system.ctx, shadow, sunny)
+    assert shadow.find_view(10).sunny_peer is sunny.find_view(10)
+    assert sunny.find_view(10).sunny_peer is shadow.find_view(10)
+
+
+def test_idless_views_stay_unmapped():
+    widgets = [ViewSpec("TextView", view_id=10),
+               ViewSpec("TextView", dynamic=True)]
+    system, shadow, sunny = launch_two(widgets)
+    mapping = build_essence_mapping(system.ctx, shadow, sunny)
+    assert mapping.complete  # id-bearing views all mapped
+    dynamic = [v for v in shadow.decor.iter_tree() if v.view_id is None
+               and v.view_type == "TextView"]
+    assert dynamic and all(v.sunny_peer is None for v in dynamic)
+
+
+def test_missing_counterpart_reported():
+    widgets_shadow = [ViewSpec("TextView", view_id=10),
+                      ViewSpec("TextView", view_id=11)]
+    widgets_sunny = [ViewSpec("TextView", view_id=10)]
+    system, shadow, sunny = launch_two(widgets_shadow, widgets_sunny)
+    mapping = build_essence_mapping(system.ctx, shadow, sunny)
+    assert not mapping.complete
+    assert mapping.unmapped_id_views == 1
+    assert shadow.find_view(11).sunny_peer is None
+
+
+def test_mapping_cost_is_linear_in_views():
+    small = [ViewSpec("TextView", view_id=100 + i) for i in range(2)]
+    big = [ViewSpec("TextView", view_id=100 + i) for i in range(40)]
+    system_s, shadow_s, sunny_s = launch_two(small)
+    t0 = system_s.now_ms
+    build_essence_mapping(system_s.ctx, shadow_s, sunny_s)
+    cost_small = system_s.now_ms - t0
+
+    system_b, shadow_b, sunny_b = launch_two(big)
+    t1 = system_b.now_ms
+    build_essence_mapping(system_b.ctx, shadow_b, sunny_b)
+    cost_big = system_b.now_ms - t1
+    assert cost_big > cost_small
+    # linear: cost grows by ~per-view constants times the extra views
+    per_view = (
+        system_b.ctx.costs.mapping_build_per_view_ms
+        + system_b.ctx.costs.mapping_pointer_per_view_ms
+    )
+    assert cost_big - cost_small == pytest.approx(38 * per_view, rel=0.05)
+
+
+def test_mapping_records_event():
+    widgets = [ViewSpec("TextView", view_id=10)]
+    system, shadow, sunny = launch_two(widgets)
+    build_essence_mapping(system.ctx, shadow, sunny)
+    assert system.ctx.recorder.events_of_kind("mapping-built")

@@ -1,0 +1,156 @@
+"""Unit tests for the lazy-migration engine (Section 3.3, Table 1)."""
+
+import pytest
+
+from repro import AndroidSystem, RCHDroidPolicy
+from repro.android.views.inflate import ViewSpec
+from repro.apps.dsl import (
+    AppSpec,
+    AsyncScript,
+    two_orientation_resources,
+)
+from repro.core.migration import MigrationEngine
+
+
+def rch_system_with(widgets, async_updates, duration_ms=2_000.0):
+    policy = RCHDroidPolicy()
+    system = AndroidSystem(policy=policy)
+    app = AppSpec(
+        package="mig.test",
+        label="mig",
+        resources=two_orientation_resources("main", widgets),
+        async_script=AsyncScript("bg", duration_ms, tuple(async_updates)),
+    )
+    system.launch(app)
+    return system, policy, app
+
+
+class TestEndToEndMigration:
+    def test_text_update_migrates_to_sunny(self):
+        system, policy, app = rch_system_with(
+            [ViewSpec("TextView", view_id=10, attrs={"text": "old"})],
+            [(10, "text", "fresh")],
+        )
+        system.start_async(app)
+        system.rotate()
+        system.run_until_idle()
+        sunny = system.foreground_activity(app.package)
+        assert sunny.require_view(10).get_attr("text") == "fresh"
+
+    def test_all_table1_types_migrate(self):
+        widgets = [
+            ViewSpec("TextView", view_id=10),
+            ViewSpec("ImageView", view_id=11),
+            ViewSpec("ListView", view_id=12),
+            ViewSpec("VideoView", view_id=13),
+            ViewSpec("ProgressBar", view_id=14),
+        ]
+        updates = [
+            (10, "text", "t"),
+            (11, "drawable", "d"),
+            (12, "checked_item", 3),
+            (13, "video_uri", "u"),
+            (14, "progress", 50),
+        ]
+        system, policy, app = rch_system_with(widgets, updates)
+        system.start_async(app)
+        system.rotate()
+        system.run_until_idle()
+        sunny = system.foreground_activity(app.package)
+        assert sunny.require_view(10).get_attr("text") == "t"
+        assert sunny.require_view(11).get_attr("drawable") == "d"
+        assert sunny.require_view(12).get_attr("checked_item") == 3
+        assert sunny.require_view(13).get_attr("video_uri") == "u"
+        assert sunny.require_view(14).get_attr("progress") == 50
+
+    def test_unmapped_dynamic_view_is_counted_as_miss(self):
+        widgets = [
+            ViewSpec("TextView", view_id=10),
+            ViewSpec("TextView", dynamic=True),
+        ]
+        system, policy, app = rch_system_with(widgets, [(10, "text", "x")])
+        system.start_async(app)
+        system.rotate()
+        # mutate the id-less view directly on the shadow instance
+        thread = system.atms.thread_of(app.package)
+        shadow = thread.shadow_activity
+        dynamic = [
+            v for v in shadow.decor.iter_tree()
+            if v.view_id is None and v.view_type == "TextView"
+        ][0]
+        dynamic.set_attr("text", "lost")
+        system.run_until_idle()
+        engine = policy.engine_for(app.package)
+        assert engine.total_missed_views >= 1
+        assert system.ctx.recorder.counters["migration-miss"] >= 1
+
+    def test_no_migration_without_rotation(self):
+        system, policy, app = rch_system_with(
+            [ViewSpec("TextView", view_id=10)], [(10, "text", "x")]
+        )
+        system.start_async(app)
+        system.run_until_idle()
+        engine = policy.engine_for(app.package)
+        assert engine.batches == []
+
+
+class TestBatching:
+    def test_one_batch_per_async_return(self):
+        widgets = [ViewSpec("ImageView", view_id=100 + i) for i in range(4)]
+        updates = [(100 + i, "drawable", f"new-{i}") for i in range(4)]
+        system, policy, app = rch_system_with(widgets, updates)
+        system.start_async(app)
+        system.rotate()
+        system.run_until_idle()
+        engine = policy.engine_for(app.package)
+        assert len(engine.batches) == 1
+        assert engine.batches[0].migrated_views == 4
+
+    def test_batch_cost_includes_dispatch_base(self):
+        system, policy, app = rch_system_with(
+            [ViewSpec("TextView", view_id=10)], [(10, "text", "x")]
+        )
+        system.start_async(app)
+        system.rotate()
+        system.run_until_idle()
+        costs = system.ctx.costs
+        engine = policy.engine_for(app.package)
+        assert engine.last_batch_cost_ms() == pytest.approx(
+            costs.migrate_dispatch_base_ms + costs.migrate_per_view_ms
+        )
+
+    def test_two_async_returns_make_two_batches(self):
+        widgets = [ViewSpec("TextView", view_id=10)]
+        system, policy, app = rch_system_with(widgets, [(10, "text", "a")])
+        second = AsyncScript("bg2", 4_000.0, ((10, "text", "b"),))
+        system.start_async(app)
+        system.start_async(app, second)
+        system.rotate()
+        system.run_until_idle()
+        engine = policy.engine_for(app.package)
+        assert len(engine.batches) == 2
+
+
+class TestMigrateAttributes:
+    def test_copies_only_declared_attrs(self):
+        from repro.android.views.widgets import TextView
+        from repro.sim.context import SimContext
+
+        ctx = SimContext()
+        source = TextView(ctx, view_id=1)
+        target = TextView(ctx, view_id=1)
+        source.set_attr("text", "hello", silent=True)
+        source.set_attr("private_tag", "secret", silent=True)
+        copied = MigrationEngine.migrate_attributes(source, target)
+        assert copied == 1
+        assert target.get_attr("text") == "hello"
+        assert target.get_attr("private_tag") is None
+
+    def test_unset_attrs_are_not_copied(self):
+        from repro.android.views.widgets import ProgressBar
+        from repro.sim.context import SimContext
+
+        ctx = SimContext()
+        source = ProgressBar(ctx, view_id=1)
+        target = ProgressBar(ctx, view_id=1)
+        assert MigrationEngine.migrate_attributes(source, target) == 0

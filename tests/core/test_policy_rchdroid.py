@@ -1,0 +1,131 @@
+"""Unit tests for the RCHDroid policy orchestration (Fig. 3 flow)."""
+
+import pytest
+
+from repro import AndroidSystem, RCHDroidConfig, RCHDroidPolicy
+from repro.android.app.lifecycle import LifecycleState
+from repro.android.views.inflate import ViewSpec
+from repro.apps import make_benchmark_app
+from repro.apps.benchmark import IMAGE_ID_BASE
+from repro.apps.dsl import AppSpec, two_orientation_resources
+
+
+def booted(app=None, config=None):
+    policy = RCHDroidPolicy(config) if config else RCHDroidPolicy()
+    system = AndroidSystem(policy=policy)
+    app = app or make_benchmark_app(4)
+    system.launch(app)
+    return system, app, policy
+
+
+class TestInitPath:
+    def test_old_instance_becomes_shadow(self):
+        system, app, _ = booted()
+        old = system.foreground_activity(app.package)
+        system.rotate()
+        assert old.lifecycle is LifecycleState.SHADOW
+
+    def test_new_instance_is_sunny_with_new_config(self):
+        system, app, _ = booted()
+        old_config = system.atms.config
+        system.rotate()
+        sunny = system.foreground_activity(app.package)
+        assert sunny.lifecycle is LifecycleState.SUNNY
+        assert sunny.config == system.atms.config != old_config
+
+    def test_mapping_built_once_per_init(self):
+        system, app, policy = booted()
+        system.rotate()
+        assert len(policy.mappings) == 1
+        system.rotate()  # flip: no new mapping
+        assert len(policy.mappings) == 1
+
+    def test_view_state_transferred_via_snapshot(self):
+        system, app, _ = booted()
+        system.write_slot(app, "first_drawable", "mine")
+        system.rotate()
+        assert system.read_slot(app, "first_drawable") == "mine"
+
+    def test_bare_fields_are_not_transferred(self):
+        system, app, _ = booted()
+        old = system.foreground_activity(app.package)
+        old.fields["secret"] = 42
+        system.rotate()
+        sunny = system.foreground_activity(app.package)
+        assert "secret" not in sunny.fields
+
+    def test_custom_state_transferred_when_app_saves(self):
+        widgets = [ViewSpec("TextView", view_id=10)]
+        from repro.apps.dsl import StateSlot, StorageKind
+
+        app = AppSpec(
+            package="custom.save",
+            label="c",
+            resources=two_orientation_resources("main", widgets),
+            implements_on_save=True,
+            slots=(StateSlot("note", StorageKind.CUSTOM_SAVED),),
+        )
+        system, app, _ = booted(app)
+        system.write_slot(app, "note", "remember me")
+        system.rotate()
+        assert system.read_slot(app, "note") == "remember me"
+
+
+class TestSelfHandledApps:
+    def test_self_handling_app_is_delivered_not_shadowed(self):
+        widgets = [ViewSpec("TextView", view_id=10)]
+        app = AppSpec(
+            package="selfhandled",
+            label="s",
+            resources=two_orientation_resources("main", widgets),
+            handles_config_changes=True,
+        )
+        system, app, policy = booted(app)
+        original = system.foreground_activity(app.package)
+        assert system.rotate() == "self-handled"
+        assert system.foreground_activity(app.package) is original
+        assert original.lifecycle is LifecycleState.RESUMED
+        assert original.config == system.atms.config
+
+
+class TestHandlingLatencies:
+    def test_paths_recorded_in_latency_detail(self):
+        system, app, _ = booted()
+        system.rotate()
+        system.rotate()
+        assert [path for _, path in system.handling_times()] == ["init", "flip"]
+
+    def test_noop_config_change_not_measured(self):
+        system, app, _ = booted()
+        result = system.atms.update_configuration(system.atms.config)
+        assert result == "none"
+        assert system.handling_times() == []
+
+
+class TestAblationSwitches:
+    def test_lazy_migration_disabled_leaves_sunny_stale(self):
+        from repro.apps.dsl import AsyncScript
+
+        widgets = [ViewSpec("TextView", view_id=10, attrs={"text": "old"})]
+        app = AppSpec(
+            package="nomig",
+            label="n",
+            resources=two_orientation_resources("main", widgets),
+            async_script=AsyncScript("bg", 2_000.0, ((10, "text", "new"),)),
+        )
+        system, app, policy = booted(
+            app, RCHDroidConfig(lazy_migration_enabled=False)
+        )
+        system.start_async(app)
+        system.rotate()
+        system.run_until_idle()
+        assert not system.crashed(app.package)  # shadow still absorbs it
+        sunny = system.foreground_activity(app.package)
+        assert sunny.require_view(10).get_attr("text") == "old"  # stale!
+
+    def test_coin_flip_disabled_still_preserves_state(self):
+        system, app, _ = booted(config=RCHDroidConfig(coin_flip_enabled=False))
+        system.write_slot(app, "first_drawable", "keep")
+        system.rotate()
+        system.rotate()
+        assert system.read_slot(app, "first_drawable") == "keep"

@@ -1,0 +1,85 @@
+"""Unit tests for shadow/sunny state transitions (Section 3.2)."""
+
+import pytest
+
+from repro import Android10Policy, AndroidSystem, RCHDroidPolicy
+from repro.android.app.lifecycle import LifecycleState
+from repro.apps import make_benchmark_app
+from repro.apps.benchmark import IMAGE_ID_BASE
+from repro.core import states
+
+
+def launch():
+    system = AndroidSystem(policy=Android10Policy())
+    app = make_benchmark_app(2)
+    record = system.launch(app)
+    thread = system.atms.thread_of(app.package)
+    return system, app, record.instance, thread
+
+
+class TestShadowTransition:
+    def test_shadow_snapshots_full_state(self):
+        system, _, activity, thread = launch()
+        activity.require_view(IMAGE_ID_BASE).set_attr("drawable", "user")
+        snapshot = states.shadow_activity(system.ctx, thread, activity)
+        assert (
+            snapshot.get_bundle(f"view:{IMAGE_ID_BASE}").get("drawable")
+            == "user"
+        )
+
+    def test_shadow_keeps_views_alive(self):
+        system, _, activity, thread = launch()
+        states.shadow_activity(system.ctx, thread, activity)
+        assert activity.lifecycle is LifecycleState.SHADOW
+        assert all(v.alive for v in activity.decor.iter_tree())
+
+    def test_shadow_consumes_transition_cost(self):
+        system, _, activity, thread = launch()
+        before = system.now_ms
+        states.shadow_activity(system.ctx, thread, activity)
+        assert system.now_ms - before >= system.ctx.costs.shadow_transition_ms
+
+    def test_shadow_updates_thread_bookkeeping(self):
+        system, _, activity, thread = launch()
+        states.shadow_activity(system.ctx, thread, activity)
+        assert thread.shadow_activity is activity
+
+    def test_shadow_records_event(self):
+        system, _, activity, thread = launch()
+        states.shadow_activity(system.ctx, thread, activity)
+        assert system.ctx.recorder.events_of_kind("enter-shadow")
+
+
+class TestSunnyTransition:
+    def test_sunny_from_shadow(self):
+        system, _, activity, thread = launch()
+        states.shadow_activity(system.ctx, thread, activity)
+        states.sunny_activity(system.ctx, activity)
+        assert activity.lifecycle is LifecycleState.SUNNY
+
+    def test_sunny_charges_resume_cost(self):
+        system, _, activity, thread = launch()
+        states.shadow_activity(system.ctx, thread, activity)
+        before = system.now_ms
+        states.sunny_activity(system.ctx, activity)
+        assert system.now_ms - before == pytest.approx(
+            system.ctx.costs.activity_resume_ms
+        )
+
+
+class TestSingleShadowInvariant:
+    def test_holds_after_many_rotations(self):
+        system = AndroidSystem(policy=RCHDroidPolicy())
+        app = make_benchmark_app(2)
+        system.launch(app)
+        threads = list(system.atms.threads.values())
+        for _ in range(6):
+            system.rotate()
+            system.run_for(500)
+            states.check_single_shadow_invariant(threads)
+
+    def test_detects_violation(self):
+        system, _, activity, thread = launch()
+        thread.shadow_activity = activity  # pointer without SHADOW state
+        with pytest.raises(AssertionError):
+            states.check_single_shadow_invariant([thread])

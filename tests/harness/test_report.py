@@ -1,0 +1,51 @@
+"""Unit tests for report rendering."""
+
+from repro.harness.report import (
+    Comparison,
+    render_comparisons,
+    render_table,
+    series_block,
+)
+
+
+class TestRenderTable:
+    def test_columns_are_aligned(self):
+        out = render_table(["a", "bb"], [[1, 2], [333, 4]])
+        lines = out.splitlines()
+        assert lines[0].startswith("a    bb")
+        assert lines[2].startswith("1    2")
+        assert lines[3].startswith("333  4")
+
+    def test_title_is_first_line(self):
+        out = render_table(["x"], [[1]], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+
+    def test_empty_rows_render_header_only(self):
+        out = render_table(["col"], [])
+        assert "col" in out
+
+
+class TestComparison:
+    def test_relative_error(self):
+        comparison = Comparison("m", paper=100.0, measured=110.0)
+        assert comparison.relative_error == 0.1
+
+    def test_zero_paper_value(self):
+        assert Comparison("m", 0.0, 0.0).relative_error == 0.0
+        assert Comparison("m", 0.0, 1.0).relative_error == float("inf")
+
+    def test_render_comparisons_includes_units(self):
+        out = render_comparisons(
+            [Comparison("latency", 141.8, 140.2, "ms")], "check"
+        )
+        assert "141.8 ms" in out
+        assert "140.20 ms" in out
+        assert "1.1%" in out
+
+
+class TestSeriesBlock:
+    def test_pairs_rendered(self):
+        out = series_block("heap", [1, 2], [10.0, 20.0], "MB")
+        assert "series: heap [MB]" in out
+        assert "x=         1" in out
+        assert "y=     20.00" in out

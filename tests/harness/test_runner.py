@@ -1,0 +1,87 @@
+"""Unit tests for the scenario runners."""
+
+import pytest
+
+from repro import Android10Policy, RCHDroidPolicy
+from repro.apps import make_benchmark_app
+from repro.apps.appset27 import build_appset27
+from repro.apps.dsl import IssueKind
+from repro.harness.runner import measure_handling, run_issue_scenario
+
+
+class TestIssueScenario:
+    def test_benchmark_app_crashes_on_stock(self):
+        app = make_benchmark_app(2)
+        verdict = run_issue_scenario(Android10Policy, app)
+        assert verdict.crashed
+        assert verdict.crash_exception == "NullPointerException"
+        assert verdict.issue_observed
+        assert not verdict.issue_solved
+
+    def test_benchmark_app_solved_on_rchdroid(self):
+        app = make_benchmark_app(2)
+        verdict = run_issue_scenario(RCHDroidPolicy, app)
+        assert not verdict.crashed
+        assert verdict.async_update_visible is True
+        assert verdict.issue_solved
+
+    def test_view_state_loss_app_verdicts(self):
+        app = next(
+            a for a in build_appset27()
+            if a.issue is IssueKind.VIEW_STATE_LOSS and a.async_script is None
+        )
+        stock = run_issue_scenario(Android10Policy, app)
+        assert not stock.crashed
+        assert not stock.state_preserved
+        rchdroid = run_issue_scenario(RCHDroidPolicy, app)
+        assert rchdroid.state_preserved
+
+    def test_bare_field_app_unsolved_under_both(self):
+        app = next(
+            a for a in build_appset27()
+            if a.issue is IssueKind.BARE_FIELD_LOSS
+        )
+        assert not run_issue_scenario(Android10Policy, app).issue_solved
+        assert not run_issue_scenario(RCHDroidPolicy, app).issue_solved
+
+    def test_verdict_metadata(self):
+        app = make_benchmark_app(2)
+        verdict = run_issue_scenario(RCHDroidPolicy, app)
+        assert verdict.package == app.package
+        assert verdict.policy == "rchdroid"
+        assert verdict.issue is IssueKind.ASYNC_CRASH
+        assert verdict.handling  # at least one episode recorded
+
+
+class TestMeasureHandling:
+    def test_episode_count_matches_rotations(self):
+        app = make_benchmark_app(2)
+        measurement = measure_handling(Android10Policy, app, rotations=3)
+        assert len(measurement.episodes) == 3
+
+    def test_rchdroid_steady_state_excludes_init(self):
+        app = make_benchmark_app(2)
+        measurement = measure_handling(RCHDroidPolicy, app, rotations=4)
+        paths = [path for _, path in measurement.episodes]
+        assert paths == ["init", "flip", "flip", "flip"]
+        assert measurement.steady_state_ms < measurement.first_episode_ms
+        assert measurement.times_for("flip") == [
+            ms for ms, p in measurement.episodes if p == "flip"
+        ]
+
+    def test_memory_captured_after_rotations(self):
+        app = make_benchmark_app(2)
+        stock = measure_handling(Android10Policy, app)
+        rchdroid = measure_handling(RCHDroidPolicy, app)
+        assert rchdroid.memory_after_mb > stock.memory_after_mb
+
+    def test_single_episode_fallback(self):
+        app = make_benchmark_app(2)
+        measurement = measure_handling(RCHDroidPolicy, app, rotations=1)
+        assert measurement.steady_state_ms == measurement.first_episode_ms
+
+    def test_deterministic(self):
+        app = make_benchmark_app(2)
+        a = measure_handling(RCHDroidPolicy, app, seed=3)
+        b = measure_handling(RCHDroidPolicy, make_benchmark_app(2), seed=3)
+        assert a.episodes == b.episodes

@@ -1,0 +1,67 @@
+"""Unit tests for the day-in-the-life session driver."""
+
+import pytest
+
+from repro import Android10Policy, RCHDroidPolicy
+from repro.android.views.inflate import ViewSpec
+from repro.apps.dsl import AppSpec, StateSlot, StorageKind, \
+    two_orientation_resources
+from repro.harness.sessions import UsageSpec, run_session
+
+
+def session_app() -> AppSpec:
+    return AppSpec(
+        package="sess.app", label="s",
+        resources=two_orientation_resources(
+            "main", [ViewSpec("TextView", view_id=10)]
+        ),
+        slots=(StateSlot("note", StorageKind.VIEW_ATTR,
+                         view_id=10, attr="text"),),
+    )
+
+
+def test_rotation_count_matches_cadence():
+    spec = UsageSpec(duration_min=30.0, rotation_period_min=5.0,
+                     rotation_jitter=0.0)
+    result = run_session(Android10Policy, session_app(), spec)
+    assert result.rotations == 6
+
+
+def test_stock_every_rotation_is_an_incident():
+    spec = UsageSpec(duration_min=20.0)
+    result = run_session(Android10Policy, session_app(), spec)
+    assert result.incidents == result.rotations > 0
+
+
+def test_rchdroid_has_zero_incidents():
+    spec = UsageSpec(duration_min=20.0)
+    result = run_session(RCHDroidPolicy, session_app(), spec)
+    assert result.rotations > 0
+    assert result.incidents == 0
+
+
+def test_handling_time_accumulates():
+    spec = UsageSpec(duration_min=20.0)
+    result = run_session(Android10Policy, session_app(), spec)
+    assert result.handling_total_ms > 0
+
+
+def test_session_is_deterministic():
+    spec = UsageSpec(duration_min=15.0)
+    a = run_session(RCHDroidPolicy, session_app(), spec, seed=9)
+    b = run_session(RCHDroidPolicy, session_app(), spec, seed=9)
+    assert (a.rotations, a.incidents, a.handling_total_ms) == (
+        b.rotations, b.incidents, b.handling_total_ms
+    )
+
+
+def test_appless_slots_are_tolerated():
+    app = AppSpec(
+        package="sess.noslot", label="n",
+        resources=two_orientation_resources(
+            "main", [ViewSpec("TextView", view_id=10)]
+        ),
+    )
+    result = run_session(Android10Policy, app, UsageSpec(duration_min=12.0))
+    assert result.incidents == 0
+    assert result.rotations > 0

@@ -1,0 +1,69 @@
+"""Integration tests for non-rotation configuration changes.
+
+The paper motivates screen rotation, screen resizing, keyboard
+attachment, and language switching (Section 1).  All four flow through
+the same handling path in the framework; these tests drive each.
+"""
+
+import pytest
+
+from repro import Android10Policy, AndroidSystem, RCHDroidPolicy
+from repro.apps import make_benchmark_app
+
+
+@pytest.fixture(params=["rotate", "resize", "locale", "keyboard"])
+def trigger(request):
+    def fire(system):
+        if request.param == "rotate":
+            return system.rotate()
+        if request.param == "resize":
+            # flip between the artifact's two wm sizes
+            if system.atms.config.width_px == 1920:
+                return system.resize(1080, 1920)
+            return system.resize(1920, 1080)
+        if request.param == "locale":
+            new = "fr" if system.atms.config.locale == "en" else "en"
+            return system.set_locale(new)
+        return system.attach_keyboard(
+            not system.atms.config.keyboard_attached
+        )
+
+    return fire
+
+
+def test_stock_restarts_on_every_dimension(trigger):
+    system = AndroidSystem(policy=Android10Policy())
+    app = make_benchmark_app(2)
+    system.launch(app)
+    old = system.foreground_activity(app.package)
+    assert trigger(system) == "relaunch"
+    assert old.destroyed
+
+
+def test_rchdroid_shadows_on_every_dimension(trigger):
+    system = AndroidSystem(policy=RCHDroidPolicy())
+    app = make_benchmark_app(2)
+    system.launch(app)
+    old = system.foreground_activity(app.package)
+    assert trigger(system) == "init"
+    assert old.alive
+    assert trigger(system) == "flip"
+
+
+def test_rchdroid_preserves_state_on_every_dimension(trigger):
+    system = AndroidSystem(policy=RCHDroidPolicy())
+    app = make_benchmark_app(2)
+    system.launch(app)
+    system.write_slot(app, "first_drawable", "kept")
+    trigger(system)
+    assert system.read_slot(app, "first_drawable") == "kept"
+
+
+def test_wm_size_reset_cycle_matches_artifact():
+    """The artifact's trigger: wm size 1080x1920 then wm size reset."""
+    system = AndroidSystem(policy=RCHDroidPolicy())
+    app = make_benchmark_app(4)
+    system.launch(app)
+    assert system.resize(1080, 1920) == "init"
+    assert system.resize(1920, 1080) == "flip"
+    assert len(system.handling_times()) == 2

@@ -1,0 +1,110 @@
+"""Integration tests for the paper's crash modes (Section 2.3).
+
+App crash (NullPointer), window leak (WindowLeaked), poor responsiveness
+(UI frozen during handling), and state loss — each must emerge from the
+framework under stock Android and be absent (or bounded) under RCHDroid.
+"""
+
+import pytest
+
+from repro import Android10Policy, AndroidSystem, RCHDroidPolicy
+from repro.android.views.inflate import ViewSpec
+from repro.apps import make_benchmark_app
+from repro.apps.dsl import AppSpec, AsyncScript, two_orientation_resources
+
+
+def dialog_app():
+    """An app whose async completion shows a dialog (WindowLeaked mode)."""
+    return AppSpec(
+        package="crash.dialog",
+        label="DialogApp",
+        resources=two_orientation_resources(
+            "main", [ViewSpec("TextView", view_id=10)]
+        ),
+        async_script=AsyncScript("show-result", 2_000.0, (), shows_dialog=True),
+    )
+
+
+class TestNullPointerMode:
+    def test_stock_crash_is_nullpointer(self):
+        system = AndroidSystem(policy=Android10Policy())
+        app = make_benchmark_app(2)
+        system.launch(app)
+        system.start_async(app)
+        system.rotate()
+        system.run_until_idle()
+        assert system.ctx.recorder.crashes[0].exception == "NullPointerException"
+
+    def test_crash_only_if_task_outlives_change(self):
+        """Task completing *before* the change is harmless."""
+        system = AndroidSystem(policy=Android10Policy())
+        app = make_benchmark_app(2)
+        system.launch(app)
+        system.start_async(app)
+        system.run_until_idle()  # task completes first
+        system.rotate()
+        assert not system.crashed(app.package)
+
+
+class TestWindowLeakMode:
+    def test_stock_dialog_after_restart_leaks_window(self):
+        system = AndroidSystem(policy=Android10Policy())
+        app = dialog_app()
+        system.launch(app)
+        system.start_async(app)
+        system.rotate()
+        system.run_until_idle()
+        assert system.crashed(app.package)
+        assert (
+            system.ctx.recorder.crashes[0].exception == "WindowLeakedException"
+        )
+
+    def test_rchdroid_dialog_attaches_to_live_shadow(self):
+        system = AndroidSystem(policy=RCHDroidPolicy())
+        app = dialog_app()
+        system.launch(app)
+        system.start_async(app)
+        system.rotate()
+        system.run_until_idle()
+        assert not system.crashed(app.package)
+
+
+class TestResponsiveness:
+    def test_rchdroid_steady_state_blocks_ui_for_less_time(self):
+        """Poor responsiveness: the UI is frozen for the handling time;
+        RCHDroid's flip freezes it for less."""
+        stock = AndroidSystem(policy=Android10Policy())
+        app_a = make_benchmark_app(8)
+        stock.launch(app_a)
+        stock.rotate()
+        stock.rotate()
+
+        rch = AndroidSystem(policy=RCHDroidPolicy())
+        app_b = make_benchmark_app(8)
+        rch.launch(app_b)
+        rch.rotate()
+        rch.rotate()
+        assert rch.last_handling_ms() < stock.last_handling_ms()
+
+
+class TestCrashAccounting:
+    def test_crash_zeroes_heap_and_kills_task(self):
+        system = AndroidSystem(policy=Android10Policy())
+        app = make_benchmark_app(2)
+        system.launch(app)
+        system.start_async(app)
+        system.rotate()
+        system.run_until_idle()
+        assert system.memory_of(app.package) == 0.0
+        assert system.atms.stack.find_task(app.package) is None
+
+    def test_crash_timestamp_matches_async_return(self):
+        system = AndroidSystem(policy=Android10Policy())
+        app = make_benchmark_app(2, async_duration_ms=7_000.0)
+        system.launch(app)
+        system.start_async(app)
+        started = system.now_ms
+        system.rotate()
+        system.run_until_idle()
+        crash = system.ctx.recorder.crashes[0]
+        assert crash.when_ms == pytest.approx(started + 7_000.0, abs=300.0)

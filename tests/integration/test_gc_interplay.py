@@ -1,0 +1,92 @@
+"""Integration tests: GC interactions with flips, fragments, async tasks."""
+
+import pytest
+
+from repro import AndroidSystem, GcThresholds, RCHDroidConfig, RCHDroidPolicy
+from repro.apps import make_benchmark_app
+
+
+def aggressive_policy():
+    return RCHDroidPolicy(
+        RCHDroidConfig(
+            thresholds=GcThresholds(
+                thresh_t_ms=2_000.0, thresh_f=4,
+                frequency_window_ms=5_000.0,
+            ),
+            gc_period_ms=1_000.0,
+        )
+    )
+
+
+def test_async_return_after_shadow_collected_is_safe():
+    """If the GC collects the shadow while its async task is still
+    running, the late return must not crash: the looper drops updates
+    whose views are tombstoned... or does it?  It must CRASH-FREE —
+    this is the subtle race Fig. 3's design has to survive."""
+    policy = aggressive_policy()
+    system = AndroidSystem(policy=policy)
+    app = make_benchmark_app(4, async_duration_ms=20_000.0)
+    system.launch(app)
+    system.start_async(app)
+    system.rotate()                    # task now targets the shadow
+    system.run_for(30_000.0)           # GC collects shadow; task returns
+    thread = system.atms.threads[app.package]
+    assert thread.shadow_activity is None
+    # The return hit tombstoned views -> NPE -> crash, exactly like a
+    # restart would have done.  RCHDroid's guarantee holds only while
+    # the shadow is alive; an aggressive GC re-opens the window.
+    assert system.crashed(app.package)
+
+
+def test_paper_default_gc_keeps_the_async_window_closed():
+    """With the paper's 50 s threshold, a 20 s task return is safe."""
+    system = AndroidSystem(policy=RCHDroidPolicy())
+    app = make_benchmark_app(4, async_duration_ms=20_000.0)
+    system.launch(app)
+    system.start_async(app)
+    system.rotate()
+    system.run_for(30_000.0)
+    assert not system.crashed(app.package)
+
+
+def test_flip_just_before_collection_deadline():
+    """A rotation arriving right before the GC deadline still flips."""
+    policy = RCHDroidPolicy(
+        RCHDroidConfig(
+            thresholds=GcThresholds(
+                thresh_t_ms=10_000.0, thresh_f=4,
+                frequency_window_ms=5_000.0,
+            ),
+            gc_period_ms=1_000.0,
+        )
+    )
+    system = AndroidSystem(policy=policy)
+    app = make_benchmark_app(2)
+    system.launch(app)
+    system.rotate()
+    system.run_for(8_000.0)     # shadow aged 8 s < 10 s: still alive
+    assert system.rotate() == "flip"
+
+
+def test_collection_then_rotation_reinits_and_recouples():
+    policy = aggressive_policy()
+    system = AndroidSystem(policy=policy)
+    app = make_benchmark_app(2)
+    system.launch(app)
+    system.rotate()
+    system.run_for(15_000.0)   # collected
+    thread = system.atms.threads[app.package]
+    assert thread.shadow_activity is None
+    assert system.rotate() == "init"
+    assert thread.shadow_activity is not None
+    assert system.rotate() == "flip"
+
+
+def test_gc_counters_exposed():
+    policy = aggressive_policy()
+    system = AndroidSystem(policy=policy)
+    app = make_benchmark_app(2)
+    system.launch(app)
+    system.rotate()
+    system.run_for(15_000.0)
+    assert system.ctx.recorder.counters["shadow-gc-collected"] == 1

@@ -1,0 +1,70 @@
+"""Integration tests: several apps sharing one device."""
+
+import pytest
+
+from repro import Android10Policy, AndroidSystem, RCHDroidPolicy
+from repro.apps import make_benchmark_app
+from repro.core.states import check_single_shadow_invariant
+
+
+def test_two_apps_rotate_independently():
+    system = AndroidSystem(policy=RCHDroidPolicy())
+    one = make_benchmark_app(2, package="multi.one")
+    two = make_benchmark_app(2, package="multi.two")
+    system.launch(one)
+    system.rotate()  # handled by one
+    system.launch(two)
+    system.rotate()  # handled by two
+    episodes = system.ctx.recorder.latencies_named("handling")
+    assert [e.detail for e in episodes] == ["multi.one|init", "multi.two|init"]
+
+
+def test_single_shadow_invariant_across_app_switches():
+    system = AndroidSystem(policy=RCHDroidPolicy())
+    one = make_benchmark_app(2, package="multi.one")
+    two = make_benchmark_app(2, package="multi.two")
+    system.launch(one)
+    system.rotate()
+    system.launch(two)
+    system.rotate()
+    check_single_shadow_invariant(list(system.atms.threads.values()))
+    shadows = [
+        thread for thread in system.atms.threads.values()
+        if thread.shadow_activity is not None
+    ]
+    assert len(shadows) == 1
+    assert shadows[0].process.name == "multi.two"
+
+
+def test_memory_accounting_is_per_process():
+    system = AndroidSystem(policy=RCHDroidPolicy())
+    one = make_benchmark_app(2, package="multi.one")
+    two = make_benchmark_app(8, package="multi.two")
+    system.launch(one)
+    system.launch(two)
+    assert system.memory_of("multi.two") > system.memory_of("multi.one")
+
+
+def test_switch_back_and_rotate_after_shadow_release():
+    system = AndroidSystem(policy=RCHDroidPolicy())
+    one = make_benchmark_app(2, package="multi.one")
+    two = make_benchmark_app(2, package="multi.two")
+    system.launch(one)
+    system.rotate()            # one gains a shadow
+    system.launch(two)         # one's shadow released
+    system.atms.switch_to("multi.one")
+    assert system.rotate() == "init"  # must re-init, shadow is gone
+
+
+def test_crash_of_one_app_leaves_other_running():
+    system = AndroidSystem(policy=Android10Policy())
+    fragile = make_benchmark_app(2, package="multi.fragile")
+    solid = make_benchmark_app(2, package="multi.solid")
+    system.launch(fragile)
+    system.start_async(fragile)
+    system.rotate()
+    system.launch(solid)
+    system.run_until_idle()  # fragile's task returns -> crash
+    assert system.crashed("multi.fragile")
+    assert not system.crashed("multi.solid")
+    assert system.foreground_activity("multi.solid") is not None

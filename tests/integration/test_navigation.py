@@ -1,0 +1,124 @@
+"""Integration tests: multi-activity navigation and the back stack."""
+
+import pytest
+
+from repro import Android10Policy, AndroidSystem, RCHDroidPolicy
+from repro.android.app.lifecycle import LifecycleState
+from repro.android.res import Orientation, ResourceTable
+from repro.android.views.inflate import ViewSpec
+from repro.apps.dsl import AppSpec, simple_layout
+
+MAIN_TEXT_ID = 20
+DETAIL_TEXT_ID = 30
+
+
+def two_screen_app() -> AppSpec:
+    table = ResourceTable()
+    main = simple_layout("main", [ViewSpec("TextView", view_id=MAIN_TEXT_ID)])
+    detail = simple_layout(
+        "detail", [ViewSpec("TextView", view_id=DETAIL_TEXT_ID)]
+    )
+    for orientation in (Orientation.PORTRAIT, Orientation.LANDSCAPE):
+        table.add_layout("main", main, orientation)
+        table.add_layout("detail", detail, orientation)
+    return AppSpec(
+        package="nav.app", label="Nav", resources=table,
+        activity_layouts={"detail": "detail"},
+    )
+
+
+def booted(policy_factory=RCHDroidPolicy):
+    system = AndroidSystem(policy=policy_factory())
+    app = two_screen_app()
+    system.launch(app)
+    return system, app
+
+
+class TestStartActivity:
+    def test_push_shows_detail_and_stops_main(self):
+        system, app = booted()
+        main = system.foreground_activity(app.package)
+        record = system.start_activity(app, "detail")
+        assert record.activity_name == "detail"
+        detail = system.foreground_activity(app.package)
+        assert detail is not main
+        assert detail.find_view(DETAIL_TEXT_ID) is not None
+        assert main.lifecycle is LifecycleState.STOPPED
+
+    def test_starting_same_activity_dedups(self):
+        system, app = booted()
+        task = system.atms.stack.find_task(app.package)
+        system.start_activity(app, "main")
+        assert len(task.records) == 1
+
+    def test_start_on_unknown_package_raises(self):
+        system, app = booted()
+        with pytest.raises(LookupError):
+            system.atms.start_activity("missing", "detail")
+
+
+class TestBack:
+    def test_back_returns_to_main(self):
+        system, app = booted()
+        main = system.foreground_activity(app.package)
+        system.start_activity(app, "detail")
+        below = system.back()
+        assert below is not None
+        assert system.foreground_activity(app.package) is main
+        assert main.lifecycle is LifecycleState.RESUMED
+
+    def test_back_on_last_activity_exits_app(self):
+        system, app = booted()
+        assert system.back() is None
+        assert system.atms.stack.find_task(app.package) is None
+        thread = system.atms.threads[app.package]
+        assert not thread.process.alive
+
+    def test_back_on_empty_device_is_noop(self):
+        system = AndroidSystem(policy=RCHDroidPolicy())
+        assert system.back() is None
+
+
+class TestNavigationAndShadows:
+    def test_in_task_switch_releases_shadow(self):
+        """Section 3.5: switching the foreground activity releases the
+        coupled shadow immediately."""
+        system, app = booted()
+        system.rotate()
+        thread = system.atms.threads[app.package]
+        assert thread.shadow_activity is not None
+        system.start_activity(app, "detail")
+        assert thread.shadow_activity is None
+
+    def test_back_releases_shadow_and_exits_cleanly(self):
+        system, app = booted()
+        system.rotate()  # couple a shadow to the foreground
+        thread = system.atms.threads[app.package]
+        assert system.back() is None  # logical app exit
+        assert thread.shadow_activity is None
+        assert not thread.process.alive
+
+    def test_rotate_on_detail_then_back_to_main(self):
+        system, app = booted()
+        main = system.foreground_activity(app.package)
+        system.start_activity(app, "detail")
+        assert system.rotate() == "init"   # detail gains a shadow pair
+        detail_sunny = system.foreground_activity(app.package)
+        detail_sunny.require_view(DETAIL_TEXT_ID).set_attr("text", "d-state")
+        assert system.rotate() == "flip"
+        assert (
+            system.foreground_activity(app.package)
+            .require_view(DETAIL_TEXT_ID).get_attr("text") == "d-state"
+        )
+        system.back()                       # finish the detail pair
+        assert system.foreground_activity(app.package) is main
+        assert main.lifecycle is LifecycleState.RESUMED
+
+    def test_stock_navigation_unchanged(self):
+        system, app = booted(Android10Policy)
+        system.start_activity(app, "detail")
+        system.rotate()
+        system.back()
+        main = system.foreground_activity(app.package)
+        assert main is not None
+        assert main.activity_name == "main"

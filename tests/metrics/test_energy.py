@@ -1,0 +1,50 @@
+"""Unit tests for the energy model (Section 5.6)."""
+
+import pytest
+
+from repro.metrics.energy import EnergyModel
+from repro.metrics.recorder import TraceRecorder
+from repro.sim.costs import DEFAULT_COSTS
+
+
+@pytest.fixture
+def model():
+    return EnergyModel(DEFAULT_COSTS, TraceRecorder())
+
+
+def test_steady_state_power_is_the_paper_reading(model):
+    assert model.steady_state_power_w() == pytest.approx(4.03, abs=0.02)
+
+
+def test_power_is_monotone_in_utilisation(model):
+    assert (
+        model.power_at_utilisation(0.0)
+        < model.power_at_utilisation(0.5)
+        < model.power_at_utilisation(1.0)
+    )
+
+
+def test_utilisation_is_clamped(model):
+    assert model.power_at_utilisation(-1.0) == model.power_at_utilisation(0.0)
+    assert model.power_at_utilisation(2.0) == model.power_at_utilisation(1.0)
+
+
+def test_average_power_includes_recorded_busy_time():
+    recorder = TraceRecorder()
+    model = EnergyModel(DEFAULT_COSTS, recorder)
+    idle_power = model.average_power_w("app", 0.0, 1000.0)
+    recorder.record_busy("app", "ui", 0.0, 500.0)
+    busy_power = model.average_power_w("app", 0.0, 1000.0)
+    assert busy_power > idle_power
+
+
+def test_inactive_process_draws_steady_state_only(model):
+    """The Section 5.6 claim: no busy time -> no extra power."""
+    assert model.average_power_w("app", 0.0, 60_000.0) == pytest.approx(
+        model.steady_state_power_w()
+    )
+
+
+def test_energy_is_power_times_time(model):
+    power = model.average_power_w("app", 0.0, 2000.0)
+    assert model.energy_joules("app", 0.0, 2000.0) == pytest.approx(power * 2.0)

@@ -1,0 +1,78 @@
+"""Unit tests for trace export."""
+
+import json
+
+import pytest
+
+from repro import Android10Policy, AndroidSystem, RCHDroidPolicy
+from repro.apps import make_benchmark_app
+from repro.metrics.export import (
+    export_run,
+    latencies_csv,
+    profiler_csv,
+    run_to_dict,
+)
+
+
+@pytest.fixture
+def recorded_system():
+    system = AndroidSystem(policy=RCHDroidPolicy())
+    app = make_benchmark_app(2)
+    system.launch(app)
+    system.rotate()
+    system.rotate()
+    return system, app
+
+
+def test_run_to_dict_is_json_serialisable(recorded_system):
+    system, _ = recorded_system
+    payload = run_to_dict(system.ctx.recorder)
+    text = json.dumps(payload)
+    assert "handling" in text
+
+
+def test_run_to_dict_sections(recorded_system):
+    system, app = recorded_system
+    payload = run_to_dict(system.ctx.recorder)
+    assert {"latencies", "heap", "busy", "events", "crashes", "counters"} <= \
+        set(payload)
+    assert len(payload["latencies"]) == 2
+    assert payload["crashes"] == []
+    assert payload["counters"]["coinflip-hit"] == 1
+    assert any(sample["process"] == app.package for sample in payload["heap"])
+
+
+def test_export_run_writes_file(tmp_path, recorded_system):
+    system, _ = recorded_system
+    path = tmp_path / "run.json"
+    export_run(system.ctx.recorder, str(path))
+    loaded = json.loads(path.read_text())
+    assert loaded["latencies"][0]["name"] == "handling"
+
+
+def test_profiler_csv_has_header_and_rows(recorded_system):
+    system, app = recorded_system
+    csv = profiler_csv(system.ctx.recorder, app.package, 0.0, 1_000.0, 100.0)
+    lines = csv.strip().splitlines()
+    assert lines[0] == "time_ms,cpu_percent,heap_mb"
+    assert len(lines) == 11  # header + 10 windows
+
+
+def test_latencies_csv_rows_match_episodes(recorded_system):
+    system, app = recorded_system
+    csv = latencies_csv(system.ctx.recorder)
+    lines = csv.strip().splitlines()
+    assert len(lines) == 3  # header + init + flip
+    assert f"{app.package}|init" in lines[1]
+    assert f"{app.package}|flip" in lines[2]
+
+
+def test_crash_appears_in_export():
+    system = AndroidSystem(policy=Android10Policy())
+    app = make_benchmark_app(2)
+    system.launch(app)
+    system.start_async(app)
+    system.rotate()
+    system.run_until_idle()
+    payload = run_to_dict(system.ctx.recorder)
+    assert payload["crashes"][0]["exception"] == "NullPointerException"

@@ -1,0 +1,69 @@
+"""Unit tests for the memory accountant."""
+
+import pytest
+
+from repro.metrics.memory import MemoryAccountant
+from repro.metrics.recorder import TraceRecorder
+from repro.sim.clock import VirtualClock
+
+
+@pytest.fixture
+def setup():
+    clock = VirtualClock()
+    recorder = TraceRecorder()
+    return clock, recorder, MemoryAccountant(clock, recorder)
+
+
+def test_allocate_and_total(setup):
+    _, _, memory = setup
+    memory.allocate("app", "a", 10.0)
+    memory.allocate("app", "b", 5.5)
+    assert memory.total_mb("app") == pytest.approx(15.5)
+
+
+def test_processes_are_independent(setup):
+    _, _, memory = setup
+    memory.allocate("app1", "a", 10.0)
+    memory.allocate("app2", "a", 20.0)
+    assert memory.total_mb("app1") == 10.0
+    assert memory.total_mb("app2") == 20.0
+
+
+def test_reallocate_replaces_footprint(setup):
+    _, _, memory = setup
+    memory.allocate("app", "bitmap", 1.0)
+    memory.allocate("app", "bitmap", 4.0)
+    assert memory.total_mb("app") == 4.0
+
+
+def test_free_is_idempotent(setup):
+    _, _, memory = setup
+    memory.allocate("app", "a", 10.0)
+    memory.free("app", "a")
+    memory.free("app", "a")
+    assert memory.total_mb("app") == 0.0
+
+
+def test_drop_process_zeroes_ledger(setup):
+    _, _, memory = setup
+    memory.allocate("app", "a", 10.0)
+    memory.allocate("app", "b", 10.0)
+    memory.drop_process("app")
+    assert memory.total_mb("app") == 0.0
+    assert memory.owners("app") == []
+
+
+def test_every_change_emits_heap_sample(setup):
+    clock, recorder, memory = setup
+    memory.allocate("app", "a", 10.0)
+    clock.advance(5.0)
+    memory.free("app", "a")
+    samples = recorder.heap_of("app")
+    assert [(s.when_ms, s.mb) for s in samples] == [(0.0, 10.0), (5.0, 0.0)]
+
+
+def test_footprint_query(setup):
+    _, _, memory = setup
+    memory.allocate("app", "a", 7.0)
+    assert memory.footprint_mb("app", "a") == 7.0
+    assert memory.footprint_mb("app", "missing") == 0.0

@@ -1,0 +1,75 @@
+"""Unit tests for the trace recorder."""
+
+import pytest
+
+from repro.metrics.recorder import TraceRecorder
+
+
+@pytest.fixture
+def recorder():
+    return TraceRecorder()
+
+
+def test_zero_duration_busy_is_dropped(recorder):
+    recorder.record_busy("p", "ui", 0.0, 0.0)
+    assert recorder.busy == []
+
+
+def test_busy_interval_end(recorder):
+    recorder.record_busy("p", "ui", 10.0, 5.0, "x")
+    assert recorder.busy[0].end_ms == 15.0
+
+
+def test_latency_begin_end_roundtrip(recorder):
+    recorder.latency_begin("handling", 100.0, detail="app")
+    record = recorder.latency_end("handling", 150.0)
+    assert record is not None
+    assert record.duration_ms == 50.0
+    assert record.detail == "app"
+    assert recorder.latencies_named("handling") == [record]
+
+
+def test_latency_end_without_begin_returns_none(recorder):
+    assert recorder.latency_end("nope", 10.0) is None
+    assert recorder.latencies == []
+
+
+def test_latency_reopen_restarts(recorder):
+    recorder.latency_begin("handling", 100.0)
+    recorder.latency_begin("handling", 200.0)
+    record = recorder.latency_end("handling", 250.0)
+    assert record.start_ms == 200.0
+
+
+def test_durations_ms_filters_by_name(recorder):
+    recorder.record_latency("a", 0.0, 10.0)
+    recorder.record_latency("b", 0.0, 99.0)
+    recorder.record_latency("a", 0.0, 20.0)
+    assert recorder.durations_ms("a") == [10.0, 20.0]
+
+
+def test_events_of_kind(recorder):
+    recorder.record_event(1.0, "rotate")
+    recorder.record_event(2.0, "touch")
+    recorder.record_event(3.0, "rotate")
+    assert [e.when_ms for e in recorder.events_of_kind("rotate")] == [1.0, 3.0]
+
+
+def test_crash_queries(recorder):
+    assert not recorder.crashed("app")
+    recorder.record_crash(5.0, "app", "NullPointerException", "boom")
+    assert recorder.crashed("app")
+    assert not recorder.crashed("other")
+
+
+def test_heap_of_filters_by_process(recorder):
+    recorder.record_heap(1.0, "a", 10.0)
+    recorder.record_heap(2.0, "b", 20.0)
+    assert [s.mb for s in recorder.heap_of("a")] == [10.0]
+
+
+def test_counters(recorder):
+    recorder.bump("flips")
+    recorder.bump("flips", 2)
+    assert recorder.counters["flips"] == 3
+    assert recorder.counters["missing"] == 0

@@ -1,0 +1,114 @@
+"""Property-based tests for the simulation kernel and OS layer."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.android.os import Bundle, Parcel
+from repro.sim.clock import VirtualClock
+from repro.sim.scheduler import Scheduler
+
+# ----------------------------------------------------------------------
+# scheduler ordering
+# ----------------------------------------------------------------------
+delays = st.lists(
+    st.floats(min_value=0.0, max_value=1e6, allow_nan=False), min_size=1,
+    max_size=50,
+)
+
+
+@given(delays)
+def test_events_fire_in_nondecreasing_time_order(delay_list):
+    scheduler = Scheduler(VirtualClock())
+    fired: list[float] = []
+    for delay in delay_list:
+        scheduler.schedule(delay, lambda: fired.append(scheduler.clock.now_ms))
+    scheduler.run_until_idle()
+    assert fired == sorted(fired)
+    assert len(fired) == len(delay_list)
+
+
+@given(delays)
+def test_equal_delays_preserve_submission_order(delay_list):
+    scheduler = Scheduler(VirtualClock())
+    order: list[int] = []
+    for index, _ in enumerate(delay_list):
+        scheduler.schedule(5.0, lambda index=index: order.append(index))
+    scheduler.run_until_idle()
+    assert order == list(range(len(delay_list)))
+
+
+@given(delays, st.floats(min_value=0.0, max_value=1e6, allow_nan=False))
+def test_run_until_never_executes_later_events(delay_list, deadline):
+    scheduler = Scheduler(VirtualClock())
+    fired: list[float] = []
+    for delay in delay_list:
+        scheduler.schedule(
+            delay, lambda delay=delay: fired.append(delay)
+        )
+    scheduler.run_until(deadline)
+    assert all(delay <= deadline for delay in fired)
+    assert scheduler.clock.now_ms >= deadline
+
+
+# ----------------------------------------------------------------------
+# bundle / parcel
+# ----------------------------------------------------------------------
+scalars = st.one_of(
+    st.integers(), st.text(max_size=20), st.booleans(),
+    st.floats(allow_nan=False),
+    st.lists(st.integers(), max_size=5),
+)
+
+
+def bundles(depth: int = 2):
+    if depth == 0:
+        values = scalars
+    else:
+        values = st.one_of(scalars, st.deferred(lambda: bundles(depth - 1)))
+    return st.dictionaries(st.text(max_size=10), values, max_size=6).map(
+        _to_bundle
+    )
+
+
+def _to_bundle(data: dict) -> Bundle:
+    bundle = Bundle()
+    for key, value in data.items():
+        bundle.put(key, value)
+    return bundle
+
+
+def _flatten(bundle: Bundle) -> dict:
+    out = {}
+    for key, value in bundle.items():
+        out[key] = _flatten(value) if isinstance(value, Bundle) else value
+    return out
+
+
+@given(bundles())
+def test_parcel_deep_copy_preserves_content(bundle):
+    assert _flatten(Parcel.deep_copy(bundle)) == _flatten(bundle)
+
+
+@given(bundles())
+def test_parcel_deep_copy_is_independent(bundle):
+    snapshot = _flatten(bundle)
+    clone = Parcel.deep_copy(bundle)
+    for key in clone.keys():
+        value = clone.get(key)
+        if isinstance(value, Bundle):
+            value.put("injected", "OVERWRITTEN")
+        elif isinstance(value, list):
+            value.append("OVERWRITTEN")
+        else:
+            clone.put(key, "OVERWRITTEN")
+    assert _flatten(bundle) == snapshot
+
+
+@given(bundles())
+def test_bundle_size_counts_leaves(bundle):
+    def leaves(data: dict) -> int:
+        return sum(
+            leaves(v) if isinstance(v, dict) else 1 for v in data.values()
+        )
+
+    assert bundle.size() == leaves(_flatten(bundle))

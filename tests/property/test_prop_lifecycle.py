@@ -1,0 +1,54 @@
+"""Property-based tests for the lifecycle state machine (Fig. 4)."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.android.app.lifecycle import (
+    LEGAL_TRANSITIONS,
+    LifecycleState,
+    check_transition,
+)
+from repro.errors import LifecycleError
+
+states = st.sampled_from(list(LifecycleState))
+
+
+@given(states, states)
+def test_check_transition_agrees_with_the_table(current, target):
+    if target in LEGAL_TRANSITIONS[current]:
+        check_transition(current, target)
+    else:
+        try:
+            check_transition(current, target)
+        except LifecycleError:
+            return
+        raise AssertionError(
+            f"{current} -> {target} should have been rejected"
+        )
+
+
+@given(st.data())
+def test_random_legal_walks_never_escape_the_machine(data):
+    """Follow random legal edges; every visited state must itself have a
+    transition entry, and DESTROYED must be absorbing."""
+    state = LifecycleState.INITIALIZED
+    for _ in range(30):
+        options = sorted(LEGAL_TRANSITIONS[state], key=lambda s: s.value)
+        if not options:
+            assert state is LifecycleState.DESTROYED
+            break
+        state = data.draw(st.sampled_from(options))
+        assert state in LEGAL_TRANSITIONS
+
+
+def test_every_non_terminal_state_can_reach_destroyed():
+    """No zombie states: DESTROYED is reachable from everywhere."""
+    reachable = {LifecycleState.DESTROYED}
+    changed = True
+    while changed:
+        changed = False
+        for state, targets in LEGAL_TRANSITIONS.items():
+            if state not in reachable and targets & reachable:
+                reachable.add(state)
+                changed = True
+    assert reachable == set(LifecycleState)

@@ -1,0 +1,171 @@
+"""Property-based tests for the RCHDroid mechanism invariants.
+
+* Essence mapping is a bijection on the shared id set, whatever the
+  trees look like.
+* The migration policy copies exactly the declared attributes.
+* The end-to-end state-preservation contract holds for arbitrary slot
+  values and rotation counts.
+* Algorithm 1's decision is monotone in shadow age and protected by
+  frequency, for arbitrary threshold settings.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import AndroidSystem, GcThresholds, RCHDroidConfig, RCHDroidPolicy
+from repro.android.views.inflate import ViewSpec
+from repro.android.views.widgets import WIDGET_TYPES
+from repro.apps.dsl import AppSpec, two_orientation_resources
+from repro.core.mapping import build_essence_mapping
+from repro.core.migration import MigrationEngine
+from repro.sim.context import SimContext
+
+LEAF_WIDGETS = ["TextView", "EditText", "Button", "ImageView", "ProgressBar",
+                "SeekBar", "CheckBox", "VideoView"]
+
+
+# ----------------------------------------------------------------------
+# essence mapping
+# ----------------------------------------------------------------------
+id_sets = st.sets(st.integers(min_value=10, max_value=200), min_size=0,
+                  max_size=20)
+
+
+def _launch_with_ids(system, ids, package):
+    widgets = [ViewSpec("TextView", view_id=view_id) for view_id in sorted(ids)]
+    app = AppSpec(
+        package=package, label=package,
+        resources=two_orientation_resources("main", widgets),
+    )
+    return system.launch(app).instance
+
+
+@given(id_sets, id_sets)
+@settings(max_examples=30, deadline=None)
+def test_mapping_is_bijective_on_shared_ids(shadow_ids, sunny_ids):
+    system = AndroidSystem()
+    shadow = _launch_with_ids(system, shadow_ids, "prop.shadow")
+    sunny = _launch_with_ids(system, sunny_ids, "prop.sunny")
+    mapping = build_essence_mapping(system.ctx, shadow, sunny)
+    shared = (shadow_ids & sunny_ids) | {1}  # container id 1 always shared
+    assert mapping.mapped == len(shared)
+    for view_id in shared:
+        shadow_view = shadow.find_view(view_id)
+        sunny_view = sunny.find_view(view_id)
+        assert shadow_view.sunny_peer is sunny_view
+        assert sunny_view.sunny_peer is shadow_view
+    for view_id in shadow_ids - sunny_ids:
+        assert shadow.find_view(view_id).sunny_peer is None
+
+
+# ----------------------------------------------------------------------
+# migration policy
+# ----------------------------------------------------------------------
+@given(
+    st.sampled_from(LEAF_WIDGETS),
+    st.dictionaries(
+        st.text(min_size=1, max_size=8), st.integers(), max_size=5
+    ),
+)
+@settings(max_examples=50, deadline=None)
+def test_migration_copies_exactly_declared_attributes(widget_name, noise):
+    ctx = SimContext()
+    cls = WIDGET_TYPES[widget_name]
+    source = cls(ctx, view_id=1)
+    target = cls(ctx, view_id=1)
+    for attr in cls.MIGRATED_ATTRS:
+        source.set_attr(attr, f"value-{attr}", silent=True)
+    for attr, value in noise.items():
+        if attr not in cls.MIGRATED_ATTRS:
+            source.set_attr(attr, value, silent=True)
+    copied = MigrationEngine.migrate_attributes(source, target)
+    assert copied == len(cls.MIGRATED_ATTRS)
+    for attr in cls.MIGRATED_ATTRS:
+        assert target.get_attr(attr) == f"value-{attr}"
+    for attr in noise:
+        if attr not in cls.MIGRATED_ATTRS:
+            assert target.get_attr(attr) is None
+
+
+@given(st.sampled_from(LEAF_WIDGETS))
+@settings(max_examples=20, deadline=None)
+def test_migration_is_idempotent(widget_name):
+    ctx = SimContext()
+    cls = WIDGET_TYPES[widget_name]
+    source = cls(ctx, view_id=1)
+    target = cls(ctx, view_id=1)
+    for attr in cls.MIGRATED_ATTRS:
+        source.set_attr(attr, "v", silent=True)
+    MigrationEngine.migrate_attributes(source, target)
+    first = dict(target.attrs)
+    MigrationEngine.migrate_attributes(source, target)
+    assert target.attrs == first
+
+
+# ----------------------------------------------------------------------
+# end-to-end state preservation
+# ----------------------------------------------------------------------
+@given(
+    st.sampled_from(
+        [("TextView", "text"), ("ProgressBar", "progress"),
+         ("CheckBox", "checked"), ("ListView", "checked_item")]
+    ),
+    st.one_of(st.text(max_size=30), st.integers(), st.booleans()),
+    st.integers(min_value=1, max_value=6),
+)
+@settings(max_examples=25, deadline=None)
+def test_rchdroid_preserves_id_view_state_for_any_rotation_count(
+    widget_and_attr, value, rotations
+):
+    widget, attr = widget_and_attr
+    from repro.apps.dsl import StateSlot, StorageKind
+
+    app = AppSpec(
+        package="prop.state", label="p",
+        resources=two_orientation_resources(
+            "main", [ViewSpec(widget, view_id=10)]
+        ),
+        slots=(StateSlot("s", StorageKind.VIEW_ATTR, view_id=10, attr=attr),),
+    )
+    system = AndroidSystem(policy=RCHDroidPolicy())
+    system.launch(app)
+    system.write_slot(app, "s", value)
+    for _ in range(rotations):
+        system.rotate()
+        system.run_for(200.0)
+    assert system.read_slot(app, "s") == value
+    assert not system.crashed(app.package)
+
+
+# ----------------------------------------------------------------------
+# Algorithm 1 decision properties
+# ----------------------------------------------------------------------
+@given(
+    st.floats(min_value=1_000.0, max_value=120_000.0),
+    st.integers(min_value=1, max_value=10),
+)
+@settings(max_examples=15, deadline=None)
+def test_gc_never_collects_younger_than_thresh_t(thresh_t_ms, thresh_f):
+    from repro.apps import make_benchmark_app
+    from repro.core.gc import GcDecision
+
+    policy = RCHDroidPolicy(
+        RCHDroidConfig(
+            thresholds=GcThresholds(thresh_t_ms=thresh_t_ms,
+                                    thresh_f=thresh_f)
+        )
+    )
+    system = AndroidSystem(policy=policy)
+    app = make_benchmark_app(1)
+    system.launch(app)
+    system.rotate()
+    thread = system.atms.thread_of(app.package)
+    # Age the shadow to just below the threshold without running the
+    # scheduler (no GC ticks fire): the decision must protect it.
+    entered = thread.shadow_activity.shadow_entered_at_ms
+    target = entered + thresh_t_ms - 1.0
+    if target > system.ctx.clock.now_ms:
+        system.ctx.clock.advance(target - system.ctx.clock.now_ms)
+        assert policy.gc._decide(thread) in (
+            GcDecision.TOO_RECENT, GcDecision.TOO_FREQUENT
+        )

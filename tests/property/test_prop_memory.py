@@ -1,0 +1,93 @@
+"""Property tests: memory accounting conservation.
+
+Whatever the app does, the simulated heap must be conserved: what is
+allocated is freed on destroy, a crashed process reads zero, and the
+RCHDroid steady state holds exactly two instances' worth.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import AndroidSystem, RCHDroidPolicy
+from repro.android.views.inflate import ViewSpec
+from repro.apps import make_benchmark_app
+from repro.apps.dsl import AppSpec, two_orientation_resources
+from repro.metrics.memory import MemoryAccountant
+from repro.metrics.recorder import TraceRecorder
+from repro.sim.clock import VirtualClock
+
+
+# ----------------------------------------------------------------------
+# ledger-level conservation
+# ----------------------------------------------------------------------
+operations = st.lists(
+    st.tuples(
+        st.sampled_from(["alloc", "free"]),
+        st.integers(min_value=0, max_value=9),        # owner key
+        st.floats(min_value=0.01, max_value=50.0),    # size
+    ),
+    max_size=60,
+)
+
+
+@given(operations)
+def test_ledger_total_equals_live_allocations(ops):
+    memory = MemoryAccountant(VirtualClock(), TraceRecorder())
+    live: dict[int, float] = {}
+    for op, owner, size in ops:
+        if op == "alloc":
+            memory.allocate("p", owner, size)
+            live[owner] = size
+        else:
+            memory.free("p", owner)
+            live.pop(owner, None)
+    assert abs(memory.total_mb("p") - sum(live.values())) < 1e-9
+
+
+@given(operations)
+def test_drop_process_always_reads_zero(ops):
+    memory = MemoryAccountant(VirtualClock(), TraceRecorder())
+    for op, owner, size in ops:
+        if op == "alloc":
+            memory.allocate("p", owner, size)
+        else:
+            memory.free("p", owner)
+    memory.drop_process("p")
+    assert memory.total_mb("p") == 0.0
+
+
+# ----------------------------------------------------------------------
+# framework-level conservation
+# ----------------------------------------------------------------------
+@given(
+    num_rotations=st.integers(min_value=0, max_value=8),
+    num_images=st.integers(min_value=0, max_value=12),
+)
+@settings(max_examples=20, deadline=None)
+def test_rchdroid_memory_is_bounded_by_two_instances(num_rotations, num_images):
+    system = AndroidSystem(policy=RCHDroidPolicy())
+    app = make_benchmark_app(max(num_images, 1))
+    system.launch(app)
+    after_launch = system.memory_of(app.package)
+    for _ in range(num_rotations):
+        system.rotate()
+    instance_cost = after_launch - system.ctx.costs.process_base_mb \
+        - app.extra_heap_mb
+    upper_bound = after_launch + instance_cost + 1.0  # + bundle slack
+    assert system.memory_of(app.package) <= upper_bound
+
+
+@given(view_count=st.integers(min_value=1, max_value=30))
+@settings(max_examples=15, deadline=None)
+def test_app_exit_releases_everything_but_the_process(view_count):
+    widgets = [ViewSpec("TextView", view_id=100 + i) for i in range(view_count)]
+    app = AppSpec(
+        package="mem.exit", label="m",
+        resources=two_orientation_resources("main", widgets),
+        extra_heap_mb=5.0,
+    )
+    system = AndroidSystem(policy=RCHDroidPolicy())
+    system.launch(app)
+    system.rotate()
+    system.back()  # exits the app; process killed
+    assert system.memory_of(app.package) == 0.0

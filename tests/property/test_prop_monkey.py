@@ -1,0 +1,108 @@
+"""Property tests: the transparency contract under random event storms.
+
+Whatever sequence of rotations, resizes, locale switches, writes, async
+tasks, and waits a user produces, RCHDroid must keep the contract:
+
+* the app never crashes (for apps whose state lives in views),
+* the last value the user wrote is what the foreground shows,
+* at most one shadow instance exists, coupled to the foreground,
+* memory stays bounded (two instances max, GC reclaims the rest).
+
+Stock Android, under the same storms, crashes any app whose async task
+straddles a change — asserted too, as the contract's control group.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Android10Policy, RCHDroidPolicy
+from repro.android.views.inflate import ViewSpec
+from repro.apps import make_benchmark_app
+from repro.apps.dsl import AppSpec, StateSlot, StorageKind, \
+    two_orientation_resources
+from repro.apps.monkey import monkey_run
+
+
+def view_state_app() -> AppSpec:
+    return AppSpec(
+        package="monkey.app", label="m",
+        resources=two_orientation_resources(
+            "main", [ViewSpec("TextView", view_id=10)]
+        ),
+        slots=(StateSlot("note", StorageKind.VIEW_ATTR,
+                         view_id=10, attr="text"),),
+    )
+
+
+@given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=20, deadline=None)
+def test_rchdroid_contract_under_random_storms(seed):
+    report = monkey_run(RCHDroidPolicy, view_state_app(), steps=30, seed=seed)
+    assert not report.crashed
+    assert report.invariant_violations == []
+    assert report.state_followed_user
+    # bounded memory: process base + at most two instances of a tiny app
+    assert report.peak_memory_mb < 60.0
+
+
+@given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=15, deadline=None)
+def test_rchdroid_never_crashes_async_apps(seed):
+    report = monkey_run(
+        RCHDroidPolicy, make_benchmark_app(4), steps=25, seed=seed
+    )
+    assert not report.crashed
+    assert report.invariant_violations == []
+
+
+@given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=15, deadline=None)
+def test_handling_paths_are_only_init_and_flip(seed):
+    report = monkey_run(RCHDroidPolicy, view_state_app(), steps=30, seed=seed)
+    assert set(report.handling_paths) <= {"init", "flip"}
+    if report.handling_paths:
+        assert report.handling_paths[0] == "init"
+
+
+@given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=10, deadline=None)
+def test_stock_android_crashes_when_async_straddles_a_change(seed):
+    """Control group: under the same storms, stock Android crashes the
+    benchmark app whenever an async task straddles a change."""
+    report = monkey_run(
+        Android10Policy, make_benchmark_app(4), steps=25, seed=seed
+    )
+    straddled = _async_straddles_change(report.events)
+    if report.crashed:
+        # A crash implies a task straddled a change, and it is always
+        # the stale-view NullPointer.
+        assert straddled
+        assert report.crash_exception == "NullPointerException"
+    if not any(kind == "async" for kind, _ in report.events):
+        # Without async tasks, the restart policy merely loses state.
+        assert not report.crashed
+
+
+def _async_straddles_change(events) -> bool:
+    """Did a 5 s async task have a change land before it completed?"""
+    pending_ms = None
+    for kind, payload in events:
+        if kind == "async":
+            pending_ms = 5_000.0
+        elif kind == "wait" and pending_ms is not None:
+            pending_ms -= payload
+            if pending_ms <= 0:
+                pending_ms = None
+        elif kind in ("rotate", "resize", "locale") and pending_ms is not None:
+            return True
+    return False
+
+
+@given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=10, deadline=None)
+def test_monkey_is_deterministic(seed):
+    a = monkey_run(RCHDroidPolicy, view_state_app(), steps=15, seed=seed)
+    b = monkey_run(RCHDroidPolicy, view_state_app(), steps=15, seed=seed)
+    assert a.events == b.events
+    assert a.handling_paths == b.handling_paths
+    assert a.final_slot_value == b.final_slot_value

@@ -1,0 +1,109 @@
+"""Property tests: save/restore round-trips over random view trees."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Android10Policy, AndroidSystem, RCHDroidPolicy
+from repro.android.views.inflate import ViewSpec
+from repro.apps.dsl import AppSpec, two_orientation_resources
+
+WIDGET_ATTRS = [
+    ("TextView", "text", st.text(max_size=20)),
+    ("EditText", "text", st.text(max_size=20)),
+    ("ProgressBar", "progress", st.integers(0, 100)),
+    ("CheckBox", "checked", st.booleans()),
+    ("ListView", "checked_item", st.integers(0, 50)),
+    ("ImageView", "drawable", st.text(min_size=1, max_size=10)),
+]
+
+
+@st.composite
+def random_app_state(draw):
+    """A random flat tree plus a value for each widget's state attr."""
+    count = draw(st.integers(min_value=1, max_value=8))
+    choices = [
+        draw(st.sampled_from(WIDGET_ATTRS)) for _ in range(count)
+    ]
+    widgets = [
+        ViewSpec(widget, view_id=100 + index)
+        for index, (widget, _, _) in enumerate(choices)
+    ]
+    values = [
+        (100 + index, attr, draw(strategy))
+        for index, (_, attr, strategy) in enumerate(choices)
+    ]
+    return widgets, values
+
+
+@given(random_app_state())
+@settings(max_examples=30, deadline=None)
+def test_rchdroid_roundtrips_every_runtime_attribute(state):
+    widgets, values = state
+    app = AppSpec(
+        package="prop.sr", label="p",
+        resources=two_orientation_resources("main", widgets),
+    )
+    system = AndroidSystem(policy=RCHDroidPolicy())
+    system.launch(app)
+    foreground = system.foreground_activity(app.package)
+    for view_id, attr, value in values:
+        foreground.require_view(view_id).set_attr(attr, value)
+    system.rotate()
+    fresh = system.foreground_activity(app.package)
+    for view_id, attr, value in values:
+        assert fresh.require_view(view_id).get_attr(attr) == value
+
+
+@given(random_app_state())
+@settings(max_examples=30, deadline=None)
+def test_stock_roundtrips_exactly_the_auto_saved_subset(state):
+    widgets, values = state
+    app = AppSpec(
+        package="prop.stock", label="p",
+        resources=two_orientation_resources("main", widgets),
+    )
+    system = AndroidSystem(policy=Android10Policy())
+    system.launch(app)
+    foreground = system.foreground_activity(app.package)
+    for view_id, attr, value in values:
+        foreground.require_view(view_id).set_attr(attr, value)
+    system.rotate()
+    fresh = system.foreground_activity(app.package)
+    for view_id, attr, value in values:
+        view = fresh.require_view(view_id)
+        survived = view.get_attr(attr) == value
+        auto_saved = attr in type(view).AUTO_SAVED_ATTRS
+        # Default values can coincide with the written value (e.g. the
+        # empty string); only assert the informative direction.
+        if auto_saved:
+            assert survived
+        elif not survived:
+            assert not auto_saved
+
+
+@given(random_app_state(), st.integers(min_value=2, max_value=5))
+@settings(max_examples=15, deadline=None)
+def test_state_is_a_fixed_point_after_the_first_rotation(state, rotations):
+    """Rotations beyond the first (flips) never change visible state."""
+    widgets, values = state
+    app = AppSpec(
+        package="prop.fix", label="p",
+        resources=two_orientation_resources("main", widgets),
+    )
+    system = AndroidSystem(policy=RCHDroidPolicy())
+    system.launch(app)
+    foreground = system.foreground_activity(app.package)
+    for view_id, attr, value in values:
+        foreground.require_view(view_id).set_attr(attr, value)
+    system.rotate()
+    snapshot = [
+        (view_id, attr,
+         system.foreground_activity(app.package)
+         .require_view(view_id).get_attr(attr))
+        for view_id, attr, _ in values
+    ]
+    for _ in range(rotations):
+        system.rotate()
+    fresh = system.foreground_activity(app.package)
+    for view_id, attr, value in snapshot:
+        assert fresh.require_view(view_id).get_attr(attr) == value

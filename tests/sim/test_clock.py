@@ -1,0 +1,56 @@
+"""Unit tests for the virtual clock."""
+
+import pytest
+
+from repro.errors import SchedulerError
+from repro.sim.clock import VirtualClock
+
+
+def test_starts_at_zero_by_default():
+    assert VirtualClock().now_ms == 0.0
+
+
+def test_custom_start():
+    assert VirtualClock(250.0).now_ms == 250.0
+
+
+def test_advance_moves_forward():
+    clock = VirtualClock()
+    clock.advance(10.5)
+    clock.advance(0.5)
+    assert clock.now_ms == pytest.approx(11.0)
+
+
+def test_advance_zero_is_allowed():
+    clock = VirtualClock(5.0)
+    clock.advance(0.0)
+    assert clock.now_ms == 5.0
+
+
+def test_advance_negative_rejected():
+    clock = VirtualClock()
+    with pytest.raises(SchedulerError):
+        clock.advance(-1.0)
+
+
+def test_jump_to_future():
+    clock = VirtualClock()
+    clock.jump_to(100.0)
+    assert clock.now_ms == 100.0
+
+
+def test_jump_to_now_is_noop():
+    clock = VirtualClock(50.0)
+    clock.jump_to(50.0)
+    assert clock.now_ms == 50.0
+
+
+def test_jump_backwards_rejected():
+    clock = VirtualClock(100.0)
+    with pytest.raises(SchedulerError):
+        clock.jump_to(99.0)
+
+
+def test_now_s_converts_milliseconds():
+    clock = VirtualClock(1500.0)
+    assert clock.now_s == pytest.approx(1.5)

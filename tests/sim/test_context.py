@@ -1,0 +1,66 @@
+"""Unit tests for SimContext."""
+
+import pytest
+
+from repro.sim.context import SimContext
+from repro.sim.costs import CostModel
+
+
+def test_fresh_contexts_are_isolated():
+    a = SimContext()
+    b = SimContext()
+    a.consume(10.0, "proc")
+    assert b.now_ms == 0.0
+    assert b.recorder.busy == []
+
+
+def test_consume_advances_clock_and_records_busy():
+    ctx = SimContext()
+    ctx.consume(12.5, "app", thread="ui", label="work")
+    assert ctx.now_ms == pytest.approx(12.5)
+    interval = ctx.recorder.busy[0]
+    assert interval.process == "app"
+    assert interval.thread == "ui"
+    assert interval.start_ms == 0.0
+    assert interval.duration_ms == 12.5
+    assert interval.label == "work"
+
+
+def test_consume_zero_or_negative_is_dropped():
+    ctx = SimContext()
+    ctx.consume(0.0, "app")
+    ctx.consume(-5.0, "app")
+    assert ctx.now_ms == 0.0
+    assert ctx.recorder.busy == []
+
+
+def test_custom_cost_model():
+    costs = CostModel(ipc_call_ms=99.0)
+    ctx = SimContext(costs=costs)
+    assert ctx.costs.ipc_call_ms == 99.0
+
+
+def test_schedule_and_run_until_idle():
+    ctx = SimContext()
+    ran = []
+    ctx.schedule(10.0, lambda: ran.append(ctx.now_ms))
+    ctx.run_until_idle()
+    assert ran == [10.0]
+
+
+def test_mark_records_point_event():
+    ctx = SimContext()
+    ctx.consume(5.0, "app")
+    ctx.mark("rotation", detail="landscape", process="app")
+    event = ctx.recorder.events[0]
+    assert event.when_ms == pytest.approx(5.0)
+    assert event.kind == "rotation"
+    assert event.detail == "landscape"
+
+
+def test_seed_threaded_to_rng():
+    a = SimContext(seed=1)
+    b = SimContext(seed=1)
+    c = SimContext(seed=2)
+    assert a.rng.uniform(0, 1) == b.rng.uniform(0, 1)
+    assert a.rng.uniform(0, 1) != c.rng.uniform(0, 1)

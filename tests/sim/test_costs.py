@@ -1,0 +1,45 @@
+"""Unit tests for the cost model."""
+
+import dataclasses
+
+import pytest
+
+from repro.sim.costs import DEFAULT_BOARD, DEFAULT_COSTS, BoardSpec, CostModel
+
+
+def test_cost_model_is_frozen():
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        DEFAULT_COSTS.ipc_call_ms = 5.0  # type: ignore[misc]
+
+
+def test_with_overrides_returns_copy():
+    modified = DEFAULT_COSTS.with_overrides(ipc_call_ms=5.0)
+    assert modified.ipc_call_ms == 5.0
+    assert DEFAULT_COSTS.ipc_call_ms == 0.8
+    assert modified.activity_resume_ms == DEFAULT_COSTS.activity_resume_ms
+
+
+def test_all_latency_constants_positive():
+    for field in dataclasses.fields(CostModel):
+        value = getattr(DEFAULT_COSTS, field.name)
+        assert value > 0, f"{field.name} must be positive"
+
+
+def test_steady_state_power_matches_paper():
+    power = (
+        DEFAULT_COSTS.board_idle_w
+        + DEFAULT_COSTS.cpu_active_w * DEFAULT_COSTS.steady_state_cpu_fraction
+    )
+    assert power == pytest.approx(4.03, abs=0.02)
+
+
+def test_board_spec_is_the_rk3399():
+    assert DEFAULT_BOARD.name == "ROC-RK3399-PC-PLUS"
+    assert DEFAULT_BOARD.cpu_cores == 6
+    assert DEFAULT_BOARD.memory_mb == 2048
+    assert DEFAULT_BOARD.os == "Android 10"
+
+
+def test_board_spec_carries_cost_model():
+    board = BoardSpec()
+    assert board.costs == CostModel()

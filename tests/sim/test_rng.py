@@ -1,0 +1,58 @@
+"""Unit tests for the deterministic RNG."""
+
+from repro.sim.rng import DeterministicRng
+
+
+def test_same_seed_same_stream():
+    a = DeterministicRng(7)
+    b = DeterministicRng(7)
+    assert [a.uniform(0, 1) for _ in range(5)] == [
+        b.uniform(0, 1) for _ in range(5)
+    ]
+
+
+def test_different_seeds_differ():
+    a = DeterministicRng(1)
+    b = DeterministicRng(2)
+    assert [a.uniform(0, 1) for _ in range(5)] != [
+        b.uniform(0, 1) for _ in range(5)
+    ]
+
+
+def test_fork_is_deterministic():
+    a = DeterministicRng(7).fork("workload")
+    b = DeterministicRng(7).fork("workload")
+    assert a.uniform(0, 1) == b.uniform(0, 1)
+
+
+def test_fork_labels_are_independent():
+    base = DeterministicRng(7)
+    assert base.fork("x").uniform(0, 1) != base.fork("y").uniform(0, 1)
+
+
+def test_fork_does_not_disturb_parent():
+    a = DeterministicRng(7)
+    b = DeterministicRng(7)
+    a.fork("child")
+    assert a.uniform(0, 1) == b.uniform(0, 1)
+
+
+def test_jitter_bounds():
+    rng = DeterministicRng(3)
+    for _ in range(100):
+        value = rng.jitter(100.0, 0.1)
+        assert 90.0 <= value <= 110.0
+
+
+def test_randint_bounds():
+    rng = DeterministicRng(3)
+    values = {rng.randint(1, 3) for _ in range(100)}
+    assert values == {1, 2, 3}
+
+
+def test_shuffle_returns_new_list():
+    rng = DeterministicRng(3)
+    items = [1, 2, 3, 4, 5]
+    shuffled = rng.shuffle(items)
+    assert items == [1, 2, 3, 4, 5]
+    assert sorted(shuffled) == items

@@ -1,0 +1,120 @@
+"""Unit tests for the discrete-event scheduler."""
+
+import pytest
+
+from repro.errors import SchedulerError
+from repro.sim.clock import VirtualClock
+from repro.sim.scheduler import Scheduler
+
+
+@pytest.fixture
+def scheduler():
+    return Scheduler(VirtualClock())
+
+
+def test_events_run_in_time_order(scheduler):
+    order = []
+    scheduler.schedule(20, lambda: order.append("b"))
+    scheduler.schedule(10, lambda: order.append("a"))
+    scheduler.schedule(30, lambda: order.append("c"))
+    scheduler.run_until_idle()
+    assert order == ["a", "b", "c"]
+
+
+def test_same_time_events_run_in_schedule_order(scheduler):
+    order = []
+    for tag in ("first", "second", "third"):
+        scheduler.schedule(5.0, lambda tag=tag: order.append(tag))
+    scheduler.run_until_idle()
+    assert order == ["first", "second", "third"]
+
+
+def test_clock_jumps_to_event_time(scheduler):
+    seen = []
+    scheduler.schedule(42.0, lambda: seen.append(scheduler.clock.now_ms))
+    scheduler.run_until_idle()
+    assert seen == [42.0]
+
+
+def test_negative_delay_rejected(scheduler):
+    with pytest.raises(SchedulerError):
+        scheduler.schedule(-1.0, lambda: None)
+
+
+def test_cancelled_event_does_not_run(scheduler):
+    ran = []
+    event = scheduler.schedule(5.0, lambda: ran.append(1))
+    event.cancel()
+    scheduler.run_until_idle()
+    assert ran == []
+
+
+def test_callback_can_schedule_more_events(scheduler):
+    order = []
+
+    def first():
+        order.append("first")
+        scheduler.schedule(5.0, lambda: order.append("nested"))
+
+    scheduler.schedule(1.0, first)
+    scheduler.run_until_idle()
+    assert order == ["first", "nested"]
+    assert scheduler.clock.now_ms == pytest.approx(6.0)
+
+
+def test_run_until_stops_at_deadline(scheduler):
+    ran = []
+    scheduler.schedule(10.0, lambda: ran.append("early"))
+    scheduler.schedule(100.0, lambda: ran.append("late"))
+    scheduler.run_until(50.0)
+    assert ran == ["early"]
+    assert scheduler.clock.now_ms == 50.0
+    scheduler.run_until_idle()
+    assert ran == ["early", "late"]
+
+
+def test_run_until_advances_clock_even_without_events(scheduler):
+    scheduler.run_until(123.0)
+    assert scheduler.clock.now_ms == 123.0
+
+
+def test_late_event_runs_at_now_not_in_past(scheduler):
+    """A callback that consumes time past a queued event's timestamp must
+    not make the clock go backwards (the queueing-delay semantics)."""
+    times = []
+    scheduler.schedule(10.0, lambda: scheduler.clock.advance(50.0))
+    scheduler.schedule(20.0, lambda: times.append(scheduler.clock.now_ms))
+    scheduler.run_until_idle()
+    assert times == [60.0]
+
+
+def test_runaway_guard_raises(scheduler):
+    def reschedule():
+        scheduler.schedule(0.0, reschedule)
+
+    scheduler.schedule(0.0, reschedule)
+    with pytest.raises(SchedulerError, match="runaway"):
+        scheduler.run_until_idle(max_events=100)
+
+
+def test_pending_counts_live_events(scheduler):
+    event = scheduler.schedule(1.0, lambda: None)
+    scheduler.schedule(2.0, lambda: None)
+    assert scheduler.pending() == 2
+    event.cancel()
+    assert scheduler.pending() == 1
+
+
+def test_schedule_at_clamps_past_timestamps(scheduler):
+    scheduler.clock.jump_to(100.0)
+    ran = []
+    scheduler.schedule_at(50.0, lambda: ran.append(scheduler.clock.now_ms))
+    scheduler.run_until_idle()
+    assert ran == [100.0]
+
+
+def test_events_executed_counter(scheduler):
+    for _ in range(3):
+        scheduler.schedule(1.0, lambda: None)
+    scheduler.run_until_idle()
+    assert scheduler.events_executed == 3

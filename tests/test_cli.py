@@ -1,0 +1,58 @@
+"""Tests for the command-line entry points."""
+
+import pytest
+
+from repro.__main__ import main as repro_main
+from repro.harness.experiments.__main__ import main as experiments_main
+
+
+class TestExperimentsCli:
+    def test_no_args_lists_experiments(self, capsys):
+        assert experiments_main([]) == 0
+        out = capsys.readouterr().out
+        for key in ("table3", "fig10", "ext-robustness"):
+            assert key in out
+
+    def test_unknown_experiment_is_an_error(self, capsys):
+        assert experiments_main(["nope"]) == 2
+        assert "unknown experiment" in capsys.readouterr().out
+
+    def test_runs_a_fast_experiment(self, capsys):
+        assert experiments_main(["table2"]) == 0
+        assert "348" in capsys.readouterr().out
+
+    def test_runs_fig13(self, capsys):
+        assert experiments_main(["fig13"]) == 0
+        out = capsys.readouterr().out
+        assert "Twitter" in out and "Orbot" in out
+
+
+class TestReproCli:
+    def test_help(self, capsys):
+        assert repro_main(["--help"]) == 0
+        assert "demo" in capsys.readouterr().out
+
+    def test_demo_runs_both_policies(self, capsys):
+        assert repro_main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "android10: crashed=True" in out
+        assert "rchdroid: crashed=False" in out
+
+    def test_experiment_passthrough(self, capsys):
+        assert repro_main(["table2"]) == 0
+        assert "Table 2" in capsys.readouterr().out
+
+    def test_experiments_listing(self, capsys):
+        assert repro_main(["experiments"]) == 0
+        assert "fig10" in capsys.readouterr().out
+
+
+def test_readme_quickstart_snippet_executes():
+    """The README's quickstart code block must actually run."""
+    import re
+    from pathlib import Path
+
+    readme = Path(__file__).resolve().parent.parent / "README.md"
+    blocks = re.findall(r"```python\n(.*?)```", readme.read_text(), re.S)
+    assert blocks, "README lost its quickstart block"
+    exec(compile(blocks[0], "README-quickstart", "exec"), {})

@@ -1,0 +1,50 @@
+"""Unit tests for the exception taxonomy."""
+
+import pytest
+
+from repro.errors import (
+    AppCrash,
+    BadTokenException,
+    LifecycleError,
+    NullPointerException,
+    SchedulerError,
+    SimulationError,
+    WindowLeakedException,
+    WrongThreadError,
+)
+
+
+def test_app_crashes_are_not_simulation_errors():
+    """App-level crashes must never be confused with simulator bugs:
+    loopers catch AppCrash and kill the process; SimulationError
+    propagates to the test harness."""
+    assert not issubclass(AppCrash, SimulationError)
+    assert not issubclass(SimulationError, AppCrash)
+
+
+@pytest.mark.parametrize(
+    "exc_type",
+    [NullPointerException, WindowLeakedException, BadTokenException],
+)
+def test_crash_types_subclass_appcrash(exc_type):
+    assert issubclass(exc_type, AppCrash)
+
+
+@pytest.mark.parametrize(
+    "exc_type", [SchedulerError, WrongThreadError, LifecycleError]
+)
+def test_simulator_errors_subclass_simulation_error(exc_type):
+    assert issubclass(exc_type, SimulationError)
+
+
+def test_appcrash_carries_timestamp():
+    crash = NullPointerException("stale view", when_ms=117_000.0)
+    assert crash.when_ms == 117_000.0
+    assert "stale view" in str(crash)
+
+
+def test_appcrash_timestamp_optional_and_mutable():
+    crash = NullPointerException("boom")
+    assert crash.when_ms is None
+    crash.when_ms = 5.0  # loopers stamp it at dispatch time
+    assert crash.when_ms == 5.0

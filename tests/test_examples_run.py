@@ -1,0 +1,53 @@
+"""Smoke tests: the fast examples must run to completion.
+
+Examples are documentation that executes; a broken example is a broken
+README.  The slow ones (gc_tuning, top100_survey, monkey_fuzzing) are
+exercised through their underlying experiments in the benchmark harness;
+here we run the quick ones end to end.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, argv: list[str] | None = None) -> None:
+    old_argv = sys.argv
+    sys.argv = [name] + (argv or [])
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+
+
+def test_quickstart(capsys):
+    run_example("quickstart.py")
+    out = capsys.readouterr().out
+    assert "app crashed        : True" in out
+    assert "app crashed        : False" in out
+
+
+def test_rotation_crash_demo(capsys):
+    run_example("rotation_crash_demo.py")
+    out = capsys.readouterr().out
+    assert "CRASH (NullPointerException)" in out
+    assert "CRASH (WindowLeakedException)" in out
+    assert out.count("state LOST") == 3  # bare-field under both + view-state under stock
+
+
+def test_artifact_workflow(capsys):
+    run_example("artifact_workflow.py")
+    out = capsys.readouterr().out
+    assert "Total PSS by process" in out
+    assert "path=flip" in out
+    assert 'grep "zizhan"' in out
+
+
+def test_monkey_fuzzing_small(capsys):
+    run_example("monkey_fuzzing.py", ["3"])
+    out = capsys.readouterr().out
+    assert "Monkey fuzzing: 3 random event storms" in out

@@ -1,0 +1,99 @@
+"""Golden regression pins: exact expected values for canonical runs.
+
+The simulator is fully deterministic, so the canonical scenarios have
+exact expected outputs.  These pins catch any unintended behavioural
+drift (a cost-model edit, an extra IPC hop, a changed event ordering)
+that the shape-level assertions elsewhere would let through.  If you
+change the cost model *deliberately*, re-derive these numbers and update
+EXPERIMENTS.md in the same commit.
+"""
+
+import pytest
+
+from repro import Android10Policy, AndroidSystem, RCHDroidPolicy
+from repro.apps import make_benchmark_app
+
+
+def test_golden_fig10_anchor_points():
+    system = AndroidSystem(policy=Android10Policy())
+    app = make_benchmark_app(4)
+    system.launch(app)
+    system.rotate()
+    assert system.last_handling_ms() == pytest.approx(141.59, abs=0.05)
+
+    system = AndroidSystem(policy=RCHDroidPolicy())
+    app = make_benchmark_app(4)
+    system.launch(app)
+    system.rotate()
+    assert system.last_handling_ms() == pytest.approx(156.92, abs=0.05)
+    system.rotate()
+    assert system.last_handling_ms() == pytest.approx(88.95, abs=0.05)
+
+
+def test_golden_launch_memory():
+    system = AndroidSystem(policy=Android10Policy())
+    app = make_benchmark_app(4)
+    system.launch(app)
+    # process 32 + extra 8 + activity 1.4 + decor/container/button 3*0.03
+    # + button 0 + 4 images (0.03 + 0.55) each = 43.81
+    assert system.memory_of(app.package) == pytest.approx(43.81, abs=0.02)
+
+
+def test_golden_crash_time():
+    system = AndroidSystem(policy=Android10Policy())
+    app = make_benchmark_app(4)
+    system.launch(app)
+    system.start_async(app)
+    launch_done = system.now_ms
+    system.rotate()
+    system.run_until_idle()
+    crash = system.ctx.recorder.crashes[0]
+    # The task was started right after launch and runs 5 s of wall time.
+    assert crash.when_ms == pytest.approx(launch_done + 5_000.0, abs=1.0)
+
+
+def test_golden_migration_batch_cost():
+    from repro.core.policy import RCHDroidPolicy as Policy
+
+    policy = Policy()
+    system = AndroidSystem(policy=policy)
+    app = make_benchmark_app(4)
+    system.launch(app)
+    system.start_async(app)
+    system.rotate()
+    system.run_until_idle()
+    engine = policy.engine_for(app.package)
+    # dispatch base 7.8 + 4 views x 0.78
+    assert engine.last_batch_cost_ms() == pytest.approx(10.92, abs=0.01)
+
+
+def test_golden_event_counts_are_stable():
+    system = AndroidSystem(policy=RCHDroidPolicy())
+    app = make_benchmark_app(4)
+    system.launch(app)
+    system.rotate()
+    system.rotate()
+    counters = system.ctx.recorder.counters
+    assert counters["coinflip-miss"] == 1
+    assert counters["coinflip-hit"] == 1
+    assert counters["instance-flips"] == 1
+    assert len(system.ctx.recorder.events_of_kind("enter-shadow")) == 2
+    assert len(system.ctx.recorder.events_of_kind("enter-sunny")) == 2
+    assert len(system.ctx.recorder.events_of_kind("mapping-built")) == 1
+
+
+def test_golden_determinism_end_to_end():
+    """Two identical runs produce byte-identical traces."""
+    from repro.metrics.export import run_to_dict
+
+    def run():
+        system = AndroidSystem(policy=RCHDroidPolicy(), seed=42)
+        app = make_benchmark_app(4)
+        system.launch(app)
+        system.start_async(app)
+        system.rotate()
+        system.run_until_idle()
+        system.rotate()
+        return run_to_dict(system.ctx.recorder)
+
+    assert run() == run()

@@ -1,0 +1,72 @@
+"""End-to-end smoke tests: the headline scenario of the paper.
+
+Launch the benchmark app, start its AsyncTask, rotate mid-flight:
+stock Android crashes with a NullPointer (Fig. 1(a)); RCHDroid survives
+and the sunny view tree shows the migrated update (Fig. 1(b)).
+"""
+
+from repro import Android10Policy, AndroidSystem, RCHDroidPolicy
+from repro.apps import make_benchmark_app
+from repro.apps.benchmark import IMAGE_ID_BASE
+
+
+def test_stock_android_crashes_on_async_after_rotate():
+    system = AndroidSystem(policy=Android10Policy())
+    app = make_benchmark_app(num_images=4)
+    system.launch(app)
+    system.start_async(app)
+    system.rotate()
+    system.run_until_idle()
+    assert system.crashed(app.package)
+    crash = system.ctx.recorder.crashes[0]
+    assert crash.exception == "NullPointerException"
+    # Process death zeroes the heap (the Fig. 9 memory drop).
+    assert system.memory_of(app.package) == 0.0
+
+
+def test_rchdroid_survives_async_after_rotate_and_migrates():
+    system = AndroidSystem(policy=RCHDroidPolicy())
+    app = make_benchmark_app(num_images=4)
+    system.launch(app)
+    system.start_async(app)
+    path = system.rotate()
+    assert path == "init"
+    system.run_until_idle()
+    assert not system.crashed(app.package)
+    # The sunny (foreground) tree received the async update via migration.
+    foreground = system.foreground_activity(app.package)
+    assert foreground is not None
+    first_image = foreground.require_view(IMAGE_ID_BASE)
+    assert first_image.get_attr("drawable") == f"loaded-{IMAGE_ID_BASE}"
+
+
+def test_rchdroid_second_rotate_takes_flip_path():
+    system = AndroidSystem(policy=RCHDroidPolicy())
+    app = make_benchmark_app(num_images=4)
+    system.launch(app)
+    assert system.rotate() == "init"
+    assert system.rotate() == "flip"
+    flip_ms = system.last_handling_ms()
+    episodes = system.handling_times()
+    init_ms = episodes[0][0]
+    assert flip_ms is not None and flip_ms < init_ms
+
+
+def test_rchdroid_preserves_view_state_across_rotations():
+    system = AndroidSystem(policy=RCHDroidPolicy())
+    app = make_benchmark_app(num_images=2)
+    system.launch(app)
+    system.write_slot(app, "first_drawable", "user-picked")
+    system.rotate()
+    assert system.read_slot(app, "first_drawable") == "user-picked"
+    system.rotate()  # flip path
+    assert system.read_slot(app, "first_drawable") == "user-picked"
+
+
+def test_stock_android_loses_non_auto_saved_view_state():
+    system = AndroidSystem(policy=Android10Policy())
+    app = make_benchmark_app(num_images=2)
+    system.launch(app)
+    system.write_slot(app, "first_drawable", "user-picked")
+    system.rotate()
+    assert system.read_slot(app, "first_drawable") != "user-picked"

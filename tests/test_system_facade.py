@@ -1,0 +1,114 @@
+"""Unit tests for the AndroidSystem facade and top-level API."""
+
+import pytest
+
+import repro
+from repro import Android10Policy, AndroidSystem, RCHDroidPolicy
+from repro.apps import make_benchmark_app
+from repro.apps.dsl import AsyncScript
+
+
+class TestConstruction:
+    def test_default_policy_is_stock(self):
+        assert AndroidSystem().policy.name == "android10"
+
+    def test_systems_are_isolated(self):
+        a = AndroidSystem()
+        b = AndroidSystem()
+        app = make_benchmark_app(1)
+        a.launch(app)
+        assert b.atms.stack.tasks == []
+        assert b.now_ms == 0.0
+
+    def test_custom_initial_config(self):
+        from repro.android.res import DEFAULT_PORTRAIT
+
+        system = AndroidSystem(initial_config=DEFAULT_PORTRAIT)
+        assert system.atms.config == DEFAULT_PORTRAIT
+
+    def test_version_and_exports(self):
+        assert repro.__version__ == "1.0.0"
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+
+class TestVerbs:
+    def test_run_for_advances_time(self):
+        system = AndroidSystem()
+        system.run_for(1234.0)
+        assert system.now_ms == 1234.0
+
+    def test_rotate_returns_path(self):
+        system = AndroidSystem(policy=RCHDroidPolicy())
+        system.launch(make_benchmark_app(1))
+        assert system.rotate() == "init"
+
+    def test_write_slot_without_foreground_raises(self):
+        system = AndroidSystem()
+        app = make_benchmark_app(1)
+        with pytest.raises(LookupError):
+            system.write_slot(app, "first_drawable", "x")
+
+    def test_start_async_requires_script(self):
+        from repro.apps.dsl import AppSpec, two_orientation_resources
+        from repro.android.views.inflate import ViewSpec
+
+        app = AppSpec(
+            package="noscript", label="n",
+            resources=two_orientation_resources(
+                "main", [ViewSpec("TextView", view_id=1)]
+            ),
+        )
+        system = AndroidSystem()
+        system.launch(app)
+        with pytest.raises(ValueError):
+            system.start_async(app)
+
+    def test_start_async_with_explicit_script(self):
+        system = AndroidSystem(policy=RCHDroidPolicy())
+        app = make_benchmark_app(1)
+        system.launch(app)
+        script = AsyncScript("custom", 500.0, ((10, "text", "done"),))
+        task = system.start_async(app, script)
+        system.run_until_idle()
+        assert task.finished
+
+    def test_handling_times_and_last(self):
+        system = AndroidSystem(policy=RCHDroidPolicy())
+        system.launch(make_benchmark_app(1))
+        assert system.last_handling_ms() is None
+        system.rotate()
+        system.rotate()
+        episodes = system.handling_times()
+        assert len(episodes) == 2
+        assert system.last_handling_ms() == episodes[-1][0]
+
+    def test_foreground_activity_by_package_vs_global(self):
+        system = AndroidSystem()
+        one = make_benchmark_app(1, package="f.one")
+        two = make_benchmark_app(1, package="f.two")
+        system.launch(one)
+        system.launch(two)
+        assert system.foreground_activity().app.package == "f.two"
+        assert system.foreground_activity("f.one").app.package == "f.one"
+        assert system.foreground_activity("missing") is None
+
+
+class TestDialogLeakLogging:
+    def test_open_dialog_at_relaunch_is_logged_not_crashed(self):
+        system = AndroidSystem(policy=Android10Policy())
+        app = make_benchmark_app(1)
+        system.launch(app)
+        system.foreground_activity(app.package).show_dialog("progress")
+        system.rotate()  # relaunch destroys with the dialog open
+        assert not system.crashed(app.package)
+        assert system.ctx.recorder.counters["window-leaks"] == 1
+        assert system.ctx.recorder.events_of_kind("window-leak")
+
+    def test_rchdroid_keeps_dialog_holder_alive(self):
+        system = AndroidSystem(policy=RCHDroidPolicy())
+        app = make_benchmark_app(1)
+        system.launch(app)
+        system.foreground_activity(app.package).show_dialog("progress")
+        system.rotate()
+        assert system.ctx.recorder.counters["window-leaks"] == 0
