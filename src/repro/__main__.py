@@ -2,9 +2,15 @@
 
 Commands:
 
-* ``demo``         — the quickstart scenario (crash vs transparent).
-* ``experiments``  — list the paper's experiments.
-* ``<experiment>`` — run one experiment (e.g. ``fig10``, ``table3``).
+* ``demo``               — the quickstart scenario (crash vs transparent).
+* ``experiments``        — list the paper's experiments.
+* ``trace <target>``     — run ``demo`` or one experiment with causal span
+  tracing on, write a Chrome trace-event JSON (open in ``chrome://tracing``
+  or Perfetto), and verify the trace replays identically from the same
+  seed.  Options: ``-o/--output PATH``, ``--no-verify``.
+* ``<experiment>``       — run one experiment (e.g. ``fig10``, ``table3``).
+
+Unknown commands exit with status 2 and a "did you mean" hint.
 """
 
 from __future__ import annotations
@@ -20,11 +26,120 @@ def main(argv: list[str]) -> int:
     if command == "demo":
         run_demo()
         return 0
+    if command == "trace":
+        return trace_command(argv[1:])
+    from repro.harness.experiments.__main__ import _MODULES
     from repro.harness.experiments.__main__ import main as experiments_main
 
     if command == "experiments":
         return experiments_main([])
-    return experiments_main(argv)
+    if command in _MODULES:
+        return experiments_main(argv)
+    return _unknown_command(command, ["demo", "experiments", "trace", *_MODULES])
+
+
+def _unknown_command(command: str, known: list[str]) -> int:
+    import difflib
+
+    close = difflib.get_close_matches(command, known, n=1)
+    hint = f"; did you mean {close[0]!r}?" if close else ""
+    print(f"unknown command {command!r}{hint}")
+    print("known commands: " + ", ".join(known))
+    return 2
+
+
+# ----------------------------------------------------------------------
+# trace subcommand
+# ----------------------------------------------------------------------
+def trace_command(args: list[str]) -> int:
+    """Record a Chrome trace for ``demo`` or an experiment, then verify
+    that re-running the same scenario replays the identical trace."""
+    from repro.harness.experiments.__main__ import _MODULES
+
+    target: str | None = None
+    out_path: str | None = None
+    verify = True
+    walker = iter(args)
+    for arg in walker:
+        if arg in ("-o", "--output"):
+            out_path = next(walker, None)
+            if out_path is None:
+                print(f"{arg} needs a path argument")
+                return 2
+        elif arg == "--no-verify":
+            verify = False
+        elif target is None:
+            target = arg
+        else:
+            print(f"unexpected argument {arg!r}")
+            return 2
+    targets = ["demo", *_MODULES]
+    if target is None:
+        print("usage: python -m repro trace <target> [-o PATH] [--no-verify]")
+        print("traceable targets: " + ", ".join(targets))
+        return 2
+    if target not in targets:
+        return _unknown_command(target, targets)
+    if out_path is None:
+        out_path = f"trace_{target.replace('.', '_')}.json"
+
+    from repro.errors import ReplayDivergenceError
+    from repro.trace import export, replay
+    from repro.trace.tracer import TraceSession
+
+    def record() -> TraceSession:
+        with TraceSession() as session:
+            _run_traced_target(target)
+        return session
+
+    session = record()
+    if not session.tracers:
+        print(f"{target} created no simulated systems to trace")
+        return 1
+    try:
+        export.write_chrome_trace(out_path, session.labeled())
+    except OSError as error:
+        print(f"cannot write {out_path}: {error.strerror or error}")
+        return 1
+    print(
+        f"wrote {out_path}: {session.span_count()} spans"
+        f" across {len(session.tracers)} run(s)"
+    )
+    print("categories: " + ", ".join(sorted(session.categories())))
+    if not verify:
+        return 0
+    replayed = record()
+    if len(replayed.tracers) != len(session.tracers):
+        print(
+            f"replay check FAILED: recorded {len(session.tracers)} runs,"
+            f" replayed {len(replayed.tracers)}"
+        )
+        return 1
+    try:
+        for recorded, rerun in zip(session.tracers, replayed.tracers):
+            replay.check_replay(replay.snapshot(recorded), replay.snapshot(rerun))
+    except ReplayDivergenceError as divergence:
+        print(f"replay check FAILED: {divergence}")
+        return 1
+    print(
+        f"replay check OK: re-run reproduced all"
+        f" {session.span_count()} spans exactly"
+    )
+    return 0
+
+
+def _run_traced_target(target: str) -> None:
+    if target == "demo":
+        run_demo()
+        return
+    import importlib
+
+    from repro.harness.experiments.__main__ import _MODULES
+
+    module = importlib.import_module(
+        f"repro.harness.experiments.{_MODULES[target]}"
+    )
+    module.run()
 
 
 def run_demo() -> None:  # pragma: no cover - thin CLI veneer

@@ -16,6 +16,7 @@ from typing import TYPE_CHECKING
 from repro.android.app.activity import Activity
 from repro.android.os import Bundle, Parcel, Process
 from repro.android.runtime import Handler, Looper
+from repro.trace import span as trace_categories
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.android.res import Configuration
@@ -49,21 +50,33 @@ class ActivityThread:
         saved_state: Bundle | None,
     ) -> Activity:
         """Create + onCreate + onStart one activity instance for a record."""
-        activity = Activity(
-            self.ctx, self.process, self.app, record.config, record.token,
-            activity_name=record.activity_name,
-        )
-        activity.perform_create(
-            Parcel.deep_copy(saved_state) if saved_state is not None else None
-        )
-        activity.perform_start()
-        self.activities.append(activity)
-        record.instance = activity
+        with self.ctx.tracer.span(
+            f"perform-launch:{record.activity_name}",
+            trace_categories.LIFECYCLE,
+            process=self.process.name,
+            thread="ui",
+        ):
+            activity = Activity(
+                self.ctx, self.process, self.app, record.config, record.token,
+                activity_name=record.activity_name,
+            )
+            activity.perform_create(
+                Parcel.deep_copy(saved_state) if saved_state is not None else None
+            )
+            activity.perform_start()
+            self.activities.append(activity)
+            record.instance = activity
         return activity
 
     def handle_resume_activity(self, activity: Activity) -> None:
         """onResume path for a stock (non-sunny) activity."""
-        activity.perform_resume()
+        with self.ctx.tracer.span(
+            "handle-resume",
+            trace_categories.LIFECYCLE,
+            process=self.process.name,
+            thread="ui",
+        ):
+            activity.perform_resume()
 
     # ------------------------------------------------------------------
     # stock relaunch path (the restarting-based handling, Fig. 1(a))
@@ -83,19 +96,25 @@ class ActivityThread:
         """
         old = record.instance
         assert old is not None, "relaunch requires a live instance"
-        saved_state = old.save_instance_state(full=False)
-        old.perform_pause()
-        old.perform_stop()
-        old.perform_destroy()
-        self.activities.remove(old)
-        self.ctx.consume(
-            self.ctx.costs.relaunch_overhead_ms,
-            self.process.name,
-            label="relaunch-overhead",
-        )
-        record.config = new_config
-        new = self.perform_launch_activity(record, saved_state)
-        self.handle_resume_activity(new)
+        with self.ctx.tracer.span(
+            "handle-relaunch",
+            trace_categories.LIFECYCLE,
+            process=self.process.name,
+            thread="ui",
+        ):
+            saved_state = old.save_instance_state(full=False)
+            old.perform_pause()
+            old.perform_stop()
+            old.perform_destroy()
+            self.activities.remove(old)
+            self.ctx.consume(
+                self.ctx.costs.relaunch_overhead_ms,
+                self.process.name,
+                label="relaunch-overhead",
+            )
+            record.config = new_config
+            new = self.perform_launch_activity(record, saved_state)
+            self.handle_resume_activity(new)
         return new
 
     # ------------------------------------------------------------------
@@ -129,15 +148,22 @@ class ActivityThread:
         if shadow is None:
             return
         self.shadow_activity = None
-        self.ctx.consume(
-            self.ctx.costs.gc_release_ms,
-            self.process.name,
-            label=f"shadow-release:{reason}",
-        )
-        shadow.invalidate_hook = None
-        shadow.perform_destroy()
-        if shadow in self.activities:
-            self.activities.remove(shadow)
+        with self.ctx.tracer.span(
+            "release-shadow",
+            trace_categories.LIFECYCLE,
+            process=self.process.name,
+            thread="ui",
+            reason=reason,
+        ):
+            self.ctx.consume(
+                self.ctx.costs.gc_release_ms,
+                self.process.name,
+                label=f"shadow-release:{reason}",
+            )
+            shadow.invalidate_hook = None
+            shadow.perform_destroy()
+            if shadow in self.activities:
+                self.activities.remove(shadow)
         self.ctx.mark("shadow-released", detail=reason, process=self.process.name)
 
     # ------------------------------------------------------------------

@@ -11,10 +11,31 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Callable, TypeVar
 
+from repro.trace import span as trace_categories
+
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.context import SimContext
 
 R = TypeVar("R")
+
+
+def ipc_hop(ctx: "SimContext", process: str, label: str) -> None:
+    """One binder crossing: ``ipc_call_ms`` of binder-thread time.
+
+    Every framework-level hop funnels through here (the policies' ATMS ↔
+    activity-thread messages and both :class:`Binder` transact flavours),
+    so the tracer sees each crossing as one ``ipc`` span.
+    """
+    tracer = ctx.tracer
+    if tracer.enabled:
+        with tracer.span(
+            label, trace_categories.IPC, process=process, thread="binder"
+        ):
+            ctx.consume(
+                ctx.costs.ipc_call_ms, process, thread="binder", label=label
+            )
+    else:
+        ctx.consume(ctx.costs.ipc_call_ms, process, thread="binder", label=label)
 
 
 class Binder:
@@ -34,28 +55,17 @@ class Binder:
         thread, which is where a blocked ``startActivity`` caller waits.
         """
         self.calls_made += 1
-        self._ctx.consume(
-            self._ctx.costs.ipc_call_ms,
-            self.client_process,
-            thread="binder",
-            label=f"ipc:{self.service}:{label}",
-        )
+        ipc_hop(self._ctx, self.client_process, f"ipc:{self.service}:{label}")
         result = fn()
-        self._ctx.consume(
-            self._ctx.costs.ipc_call_ms,
-            self.client_process,
-            thread="binder",
-            label=f"ipc-reply:{self.service}:{label}",
+        ipc_hop(
+            self._ctx, self.client_process, f"ipc-reply:{self.service}:{label}"
         )
         return result
 
     def oneway(self, fn: Callable[[], None], label: str = "") -> None:
         """Async transact: one hop, no reply wait."""
         self.calls_made += 1
-        self._ctx.consume(
-            self._ctx.costs.ipc_call_ms,
-            self.client_process,
-            thread="binder",
-            label=f"ipc-oneway:{self.service}:{label}",
+        ipc_hop(
+            self._ctx, self.client_process, f"ipc-oneway:{self.service}:{label}"
         )
         fn()

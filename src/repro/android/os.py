@@ -14,6 +14,7 @@ import copy
 from typing import TYPE_CHECKING, Any, Callable, Iterator
 
 from repro.errors import AppCrash
+from repro.trace import span as trace_categories
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.context import SimContext
@@ -110,6 +111,12 @@ class Process:
         self.ctx.recorder.record_crash(
             self.ctx.now_ms, self.name, type(exc).__name__, str(exc)
         )
+        self.ctx.tracer.instant(
+            "process-crash",
+            trace_categories.PROCESS,
+            process=self.name,
+            exception=type(exc).__name__,
+        )
         self.ctx.memory.drop_process(self.name)
         for watcher in list(self._death_watchers):
             watcher(self)
@@ -119,6 +126,9 @@ class Process:
         if not self.alive:
             return
         self.alive = False
+        self.ctx.tracer.instant(
+            "process-kill", trace_categories.PROCESS, process=self.name
+        )
         self.ctx.memory.drop_process(self.name)
         for watcher in list(self._death_watchers):
             watcher(self)

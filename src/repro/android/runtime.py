@@ -15,6 +15,7 @@ from typing import TYPE_CHECKING, Callable
 
 from repro.errors import AppCrash
 from repro.sim.scheduler import Event
+from repro.trace import span as trace_categories
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.android.os import Process
@@ -64,6 +65,19 @@ class Looper:
             self.messages_dropped += 1
             return
         self.messages_dispatched += 1
+        tracer = self.ctx.tracer
+        if tracer.enabled:
+            with tracer.span(
+                f"message:{message.label or 'anon'}",
+                trace_categories.LOOPER,
+                process=self.process.name,
+                thread="ui",
+            ):
+                self._run_message(message)
+        else:
+            self._run_message(message)
+
+    def _run_message(self, message: Message) -> None:
         try:
             message.callback()
         except AppCrash as crash:

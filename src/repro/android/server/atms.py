@@ -19,6 +19,7 @@ from repro.android.os import Process
 from repro.android.server.records import ActivityRecord, TaskRecord
 from repro.android.server.stack import ActivityStack
 from repro.android.server.starter import ActivityStarter
+from repro.trace import span as trace_categories
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.android.res import Configuration
@@ -49,26 +50,32 @@ class ActivityTaskManagerService:
     # ------------------------------------------------------------------
     def launch(self, app: "AppSpec") -> ActivityRecord:
         """Cold-start an app: process, thread, task, record, resume."""
-        previous_top = self.stack.top_record()
-        process = Process(
-            self.ctx,
-            app.package,
-            self.ctx.costs.process_base_mb + app.extra_heap_mb,
-        )
-        thread = ActivityThread(self.ctx, process, app)
-        self.threads[app.package] = thread
-        task = TaskRecord(app, task_id=self.ctx.next_id("task"))
-        record = ActivityRecord(app, app.main_activity, self.config, thread)
-        task.push(record)
-        self.stack.push_task(task)
-        process.on_death(lambda _proc: self._on_process_death(task))
+        with self.ctx.tracer.span(
+            "launch",
+            trace_categories.ATMS,
+            process=app.package,
+            thread="server",
+        ):
+            previous_top = self.stack.top_record()
+            process = Process(
+                self.ctx,
+                app.package,
+                self.ctx.costs.process_base_mb + app.extra_heap_mb,
+            )
+            thread = ActivityThread(self.ctx, process, app)
+            self.threads[app.package] = thread
+            task = TaskRecord(app, task_id=self.ctx.next_id("task"))
+            record = ActivityRecord(app, app.main_activity, self.config, thread)
+            task.push(record)
+            self.stack.push_task(task)
+            process.on_death(lambda _proc: self._on_process_death(task))
 
-        if previous_top is not None:
-            self.policy.on_foreground_switch(self, previous_top)
+            if previous_top is not None:
+                self.policy.on_foreground_switch(self, previous_top)
 
-        activity = thread.perform_launch_activity(record, saved_state=None)
-        thread.handle_resume_activity(activity)
-        self.ctx.mark("app-launched", detail=app.package, process=app.package)
+            activity = thread.perform_launch_activity(record, saved_state=None)
+            thread.handle_resume_activity(activity)
+            self.ctx.mark("app-launched", detail=app.package, process=app.package)
         return record
 
     def switch_to(self, package: str) -> ActivityRecord | None:
@@ -169,31 +176,41 @@ class ActivityTaskManagerService:
             "config-change",
             detail=f"{old_config.orientation.value}->{new_config.orientation.value}",
         )
-        if record is None or not record.thread.process.alive:
-            return None
-        if not record.instance_alive:
-            return None
-        self.ctx.consume(
-            self.ctx.costs.config_apply_ms,
-            record.app.package,
+        with self.ctx.tracer.span(
+            "update-configuration",
+            trace_categories.ATMS,
             thread="server",
-            label="apply-configuration",
-        )
-        if not self.ensure_configuration_change_needed(record, new_config):
-            record.config = new_config
-            if record.instance is not None:
-                record.instance.config = new_config
-            return "none"
+            change=",".join(
+                sorted(dim.value for dim in old_config.diff(new_config))
+            ),
+        ):
+            if record is None or not record.thread.process.alive:
+                return None
+            if not record.instance_alive:
+                return None
+            self.ctx.consume(
+                self.ctx.costs.config_apply_ms,
+                record.app.package,
+                thread="server",
+                label="apply-configuration",
+            )
+            if not self.ensure_configuration_change_needed(record, new_config):
+                record.config = new_config
+                if record.instance is not None:
+                    record.instance.config = new_config
+                return "none"
 
-        start_ms = self.ctx.now_ms
-        path = self.policy.handle_configuration_change(self, record, new_config)
-        self.ctx.recorder.record_latency(
-            "handling",
-            start_ms,
-            self.ctx.now_ms,
-            detail=f"{record.app.package}|{path}",
-        )
-        return path
+            start_ms = self.ctx.now_ms
+            path = self.policy.handle_configuration_change(
+                self, record, new_config
+            )
+            self.ctx.recorder.record_latency(
+                "handling",
+                start_ms,
+                self.ctx.now_ms,
+                detail=f"{record.app.package}|{path}",
+            )
+            return path
 
     def ensure_configuration_change_needed(
         self, record: ActivityRecord, new_config: "Configuration"

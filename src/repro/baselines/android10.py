@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from repro.android.ipc import ipc_hop
 from repro.policy import RuntimeChangePolicy
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -37,9 +38,6 @@ class Android10Policy(RuntimeChangePolicy):
             return self.deliver_self_handled(atms, record, new_config)
         ctx = atms.ctx
         # ATMS -> activity thread: relaunch message.
-        ctx.consume(
-            ctx.costs.ipc_call_ms, app.package, thread="binder",
-            label="ipc:relaunch",
-        )
+        ipc_hop(ctx, app.package, "ipc:relaunch")
         record.thread.handle_relaunch_activity(record, new_config)
         return "relaunch"

@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
+from repro.android.ipc import ipc_hop
 from repro.policy import RuntimeChangePolicy
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -89,10 +90,7 @@ class RuntimeDroidPolicy(RuntimeChangePolicy):
             # The patch tool could not resolve this app's view tree
             # statically; the app ships unpatched and restarts as stock.
             ctx = atms.ctx
-            ctx.consume(
-                ctx.costs.ipc_call_ms, app.package, thread="binder",
-                label="ipc:relaunch",
-            )
+            ipc_hop(ctx, app.package, "ipc:relaunch")
             record.thread.handle_relaunch_activity(record, new_config)
             return "relaunch"
         return self._inplace_update(atms, record, new_config)

@@ -19,6 +19,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
+from repro.trace import span as trace_categories
+
 if TYPE_CHECKING:  # pragma: no cover
     from repro.android.app.activity import Activity
     from repro.android.views.view import View
@@ -57,6 +59,24 @@ class MigrationEngine:
     # ------------------------------------------------------------------
     def on_shadow_invalidate(self, shadow_view: "View") -> None:
         """The inserted migration step (patched ``View.invalidate``)."""
+        tracer = self.ctx.tracer
+        if tracer.enabled:
+            process = (
+                shadow_view.owner.process.name
+                if shadow_view.owner is not None
+                else ""
+            )
+            with tracer.span(
+                f"migrate:{shadow_view.view_type}",
+                trace_categories.MIGRATION,
+                process=process,
+                thread="ui",
+            ):
+                self._migrate_invalidated(shadow_view)
+        else:
+            self._migrate_invalidated(shadow_view)
+
+    def _migrate_invalidated(self, shadow_view: "View") -> None:
         batch = self._current_batch(shadow_view)
         peer = shadow_view.sunny_peer
         if peer is None or not peer.alive:

@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 from repro.android.app.intent import Intent, IntentFlag
+from repro.android.ipc import ipc_hop
 from repro.core import states
 from repro.core.coinflip import flip_instances
 from repro.core.gc import GcDecision, GcThresholds, ShadowGarbageCollector
@@ -101,10 +102,7 @@ class RCHDroidPolicy(RuntimeChangePolicy):
         assert outgoing is not None
 
         # ATMS -> activity thread: configuration change message.
-        ctx.consume(
-            ctx.costs.ipc_call_ms, app.package, thread="binder",
-            label="ipc:config-change",
-        )
+        ipc_hop(ctx, app.package, "ipc:config-change")
 
         # Step 1: shadow the outgoing instance and snapshot it.
         snapshot = states.shadow_activity(ctx, thread, outgoing)
@@ -118,10 +116,7 @@ class RCHDroidPolicy(RuntimeChangePolicy):
             self._release_stale_shadow(atms, thread, exclude=outgoing)
 
         # Step 2: activity thread -> ATMS: sunny start request.
-        ctx.consume(
-            ctx.costs.ipc_call_ms, app.package, thread="binder",
-            label="ipc:start-sunny",
-        )
+        ipc_hop(ctx, app.package, "ipc:start-sunny")
         intent = Intent(app, record.activity_name, IntentFlag.SUNNY)
         assert record.task is not None
         result = atms.starter.start_activity_unchecked(

@@ -31,6 +31,15 @@ class LifecycleError(SimulationError):
     """An activity lifecycle transition that the state machine forbids."""
 
 
+class ReplayDivergenceError(SimulationError):
+    """A replayed run's trace diverged from the recorded one.
+
+    The simulator is supposed to be fully deterministic for a given seed;
+    ``repro.trace.replay`` raises this with the first divergent span when
+    that invariant breaks.
+    """
+
+
 class AppCrash(Exception):
     """Base class for exceptions that crash the simulated app process.
 

@@ -63,10 +63,60 @@ def _rchdroid_policy() -> RCHDroidPolicy:
     )
 
 
-def run() -> Fig9Result:
+def run(trace: bool = False) -> Fig9Result:
+    """Run both policies; ``trace=True`` also records causal spans so the
+    report can attribute each handling bar to span categories."""
+    kwargs = {"trace": True} if trace else {}
     return Fig9Result(
-        android10=fig9_trace(Android10Policy),
-        rchdroid=fig9_trace(_rchdroid_policy),
+        android10=fig9_trace(Android10Policy, **kwargs),
+        rchdroid=fig9_trace(_rchdroid_policy, **kwargs),
+    )
+
+
+def handling_breakdowns(
+    trace: Fig9Trace,
+) -> list[tuple[float, dict[str, float]]]:
+    """Per runtime change: (change time ms, self-time ms by category).
+
+    Each ``update-configuration`` span is one handling episode; its
+    window is attributed to span categories by self time (see
+    ``repro.trace.export.category_times_ms``), so the values of one
+    breakdown sum to that episode's handling duration.
+    """
+    if trace.tracer is None:
+        return []
+    from repro.trace import export
+
+    spans = list(trace.tracer.spans)
+    breakdowns: list[tuple[float, dict[str, float]]] = []
+    for span in spans:
+        if span.name != "update-configuration":
+            continue
+        by_category = export.category_times_ms(
+            spans, span.start_ms, span.end_ms
+        )
+        breakdowns.append(
+            (span.start_ms,
+             {cat: ms for cat, ms in sorted(by_category.items()) if ms > 0})
+        )
+    return breakdowns
+
+
+def _breakdown_table(result: Fig9Result) -> str:
+    rows: list[list[str]] = []
+    for trace in (result.android10, result.rchdroid):
+        for when_ms, by_category in handling_breakdowns(trace):
+            for category, ms in by_category.items():
+                rows.append(
+                    [trace.policy, f"{when_ms / 1000:.0f}", category,
+                     f"{ms:.2f}"]
+                )
+    if not rows:
+        return ""
+    return render_table(
+        ["policy", "change @ s", "span category", "self ms"],
+        rows,
+        title="handling time attributed to span categories (traced run)",
     )
 
 
@@ -101,7 +151,12 @@ def format_report(result: Fig9Result) -> str:
                          [p.heap_mb for p in rch_points], "s, MB"),
         ]
     )
-    return summary + "\n\n" + series
+    breakdown = _breakdown_table(result)
+    parts = [summary]
+    if breakdown:
+        parts.append(breakdown)
+    parts.append(series)
+    return "\n\n".join(parts)
 
 
 def main() -> None:  # pragma: no cover - CLI convenience

@@ -26,6 +26,7 @@ from repro.system import AndroidSystem
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.policy import RuntimeChangePolicy
+    from repro.trace.tracer import Tracer
 
 PolicyFactory = Callable[[], "RuntimeChangePolicy"]
 
@@ -42,6 +43,8 @@ class Fig9Trace:
     crashed: bool
     crash_time_ms: float | None
     handling: list[tuple[float, str]]
+    tracer: "Tracer | None" = None
+    """Causal span tracer of the run, when tracing was requested."""
 
     def heap_at(self, when_ms: float) -> float:
         best = 0.0
@@ -67,6 +70,7 @@ def fig9_trace(
     async_duration_ms: float = 50_000.0,
     horizon_ms: float = 140_000.0,
     window_ms: float = 1_000.0,
+    trace: bool | None = None,
 ) -> Fig9Trace:
     """Run the Fig. 9 timeline.
 
@@ -76,7 +80,7 @@ def fig9_trace(
     by the touch at 67 returns at 117, after the second change at 79 —
     the stale-view window that crashes stock Android.
     """
-    system = AndroidSystem(policy=policy_factory())
+    system = AndroidSystem(policy=policy_factory(), trace=trace)
     app = make_benchmark_app(
         num_images,
         async_duration_ms=async_duration_ms,
@@ -101,6 +105,7 @@ def fig9_trace(
         crashed=system.crashed(app.package),
         crash_time_ms=crash_time,
         handling=system.handling_times(),
+        tracer=system.tracer if system.tracer.enabled else None,
     )
 
 

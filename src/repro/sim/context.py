@@ -14,6 +14,7 @@ from repro.sim.clock import VirtualClock
 from repro.sim.costs import DEFAULT_COSTS, CostModel
 from repro.sim.rng import DeterministicRng
 from repro.sim.scheduler import Scheduler
+from repro.trace.tracer import NULL_TRACER
 
 
 class SimContext:
@@ -30,6 +31,10 @@ class SimContext:
         self.costs = costs if costs is not None else DEFAULT_COSTS
         self.recorder = TraceRecorder()
         self.memory = MemoryAccountant(self.clock, self.recorder)
+        self.tracer = NULL_TRACER
+        """Causal span tracer; ``repro.trace.hooks`` installs a real one.
+        Framework hook sites read this attribute, so the disabled cost is
+        one attribute load and a no-op call."""
         self._id_counters: dict[str, int] = {}
 
     def next_id(self, namespace: str, start: int = 1) -> int:

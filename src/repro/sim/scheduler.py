@@ -27,6 +27,8 @@ from typing import Callable
 
 from repro.errors import SchedulerError
 from repro.sim.clock import VirtualClock
+from repro.trace import span as trace_categories
+from repro.trace.tracer import NULL_TRACER
 
 
 @dataclass(order=True)
@@ -52,6 +54,9 @@ class Scheduler:
         self._seq = itertools.count()
         self._running = False
         self.events_executed = 0
+        self.tracer = NULL_TRACER
+        """Set by ``repro.trace.hooks.install_tracing``; the scheduler
+        keeps its own reference because dispatch is the hottest hook."""
 
     # ------------------------------------------------------------------
     # scheduling
@@ -101,13 +106,25 @@ class Scheduler:
             event = heapq.heappop(self._queue)
             if event.cancelled:
                 continue
-            # A callback that consumed work may have pushed the clock
-            # past this event's timestamp; late events run "now".
-            self.clock.jump_to(max(event.when_ms, self.clock.now_ms))
-            event.callback()
+            self._dispatch(event)
             executed += 1
             self.events_executed += 1
         return executed
+
+    def _dispatch(self, event: Event) -> None:
+        # A callback that consumed work may have pushed the clock
+        # past this event's timestamp; late events run "now".
+        self.clock.jump_to(max(event.when_ms, self.clock.now_ms))
+        tracer = self.tracer
+        if tracer.enabled:
+            with tracer.span(
+                event.label or "event",
+                trace_categories.SCHEDULER,
+                seq=event.seq,
+            ):
+                event.callback()
+        else:
+            event.callback()
 
     def run_until(self, deadline_ms: float, max_events: int = 1_000_000) -> int:
         """Run events with timestamps ``<= deadline_ms``; then jump there.
@@ -129,10 +146,7 @@ class Scheduler:
             if head.when_ms > deadline_ms:
                 break
             event = heapq.heappop(self._queue)
-            # A callback that consumed work may have pushed the clock
-            # past this event's timestamp; late events run "now".
-            self.clock.jump_to(max(event.when_ms, self.clock.now_ms))
-            event.callback()
+            self._dispatch(event)
             executed += 1
             self.events_executed += 1
         self.clock.jump_to(max(deadline_ms, self.clock.now_ms))

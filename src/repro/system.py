@@ -29,12 +29,15 @@ from repro.baselines.android10 import Android10Policy
 from repro.metrics.energy import EnergyModel
 from repro.metrics.profiler import Profiler
 from repro.sim.context import SimContext
+from repro.trace.hooks import install_tracing
+from repro.trace.tracer import resolve_tracer
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.android.app.activity import Activity
     from repro.apps.dsl import AppSpec, AsyncScript
     from repro.policy import RuntimeChangePolicy
     from repro.sim.costs import CostModel
+    from repro.trace.tracer import NullTracer, Tracer
 
 
 class AndroidSystem:
@@ -46,9 +49,19 @@ class AndroidSystem:
         costs: "CostModel | None" = None,
         seed: int = 0x5EED,
         initial_config: Configuration | None = None,
+        trace: "Tracer | NullTracer | bool | None" = None,
     ):
         self.ctx = SimContext(costs=costs, seed=seed)
         self.policy = policy if policy is not None else Android10Policy()
+        self.tracer = resolve_tracer(
+            trace, self.ctx.clock, label=self.policy.name
+        )
+        """Causal span tracer of this device.  ``trace=True`` records
+        spans; ``None`` (default) records only inside an active
+        :class:`~repro.trace.tracer.TraceSession`; ``False`` forces the
+        no-op null tracer.  See docs/TRACING.md."""
+        if self.tracer.enabled:
+            install_tracing(self.ctx, self.tracer)
         config = initial_config if initial_config is not None else DEFAULT_LANDSCAPE
         self.atms = ActivityTaskManagerService(self.ctx, self.policy, config)
         self.profiler = Profiler(self.ctx.recorder)

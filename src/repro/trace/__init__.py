@@ -1,0 +1,44 @@
+"""Causal span tracing with deterministic record/replay verification.
+
+* ``span``    — the :class:`Span`/:class:`SpanContext` model and the
+  category constants (scheduler, looper, lifecycle, atms, ipc,
+  migration, process).
+* ``tracer``  — :class:`Tracer` (ring buffer, deterministic sampling,
+  nesting), the :data:`NULL_TRACER` no-op default, and
+  :class:`TraceSession` for tracing experiment-internal systems.
+* ``hooks``   — install/uninstall a tracer into a ``SimContext``.
+* ``export``  — Chrome trace-event JSON, summaries, folded stacks,
+  per-category time attribution.
+* ``replay``  — snapshot/diff/verify: prove identical seeds produce
+  identical traces.
+
+Quick use::
+
+    from repro import AndroidSystem, RCHDroidPolicy
+    system = AndroidSystem(policy=RCHDroidPolicy(), trace=True)
+    ...drive the system...
+    from repro.trace import export
+    export.write_chrome_trace("trace.json", system.tracer)
+"""
+
+from repro.trace.span import CATEGORIES, Span, SpanContext
+from repro.trace.tracer import (
+    NULL_TRACER,
+    NullTracer,
+    TraceSession,
+    Tracer,
+    active_session,
+    resolve_tracer,
+)
+
+__all__ = [
+    "CATEGORIES",
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "SpanContext",
+    "TraceSession",
+    "Tracer",
+    "active_session",
+    "resolve_tracer",
+]

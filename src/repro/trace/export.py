@@ -1,0 +1,246 @@
+"""Trace export: Chrome trace-event JSON and plain-text summaries.
+
+``chrome_trace_dict`` renders one or more recorded tracers as the Chrome
+``traceEvents`` format — open the written file in ``chrome://tracing``
+or https://ui.perfetto.dev to see the causal span forest on a timeline.
+``summary`` and ``folded_stacks`` are the terminal-friendly views, in
+the same plain-text style as ``harness/report.py`` (``folded_stacks``
+output feeds straight into a Brendan-Gregg-style ``flamegraph.pl``).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, Iterable, Mapping
+
+from repro.trace.span import KIND_INSTANT, Span
+from repro.trace.tracer import NullTracer, Tracer
+
+if TYPE_CHECKING:  # pragma: no cover
+    pass
+
+TraceLike = "Tracer | Mapping[str, Tracer] | Iterable[tuple[str, Tracer]]"
+
+
+def _labeled_tracers(traces) -> list[tuple[str, "Tracer"]]:
+    """Normalise the flexible ``traces`` argument to (label, tracer)."""
+    if isinstance(traces, (Tracer, NullTracer)):
+        return [(traces.label or "run", traces)]
+    if isinstance(traces, Mapping):
+        return list(traces.items())
+    out: list[tuple[str, Tracer]] = []
+    for index, item in enumerate(traces):
+        if isinstance(item, tuple):
+            out.append(item)
+        else:
+            out.append((item.label or f"run{index + 1}", item))
+    return out
+
+
+# ----------------------------------------------------------------------
+# Chrome trace-event JSON
+# ----------------------------------------------------------------------
+def chrome_trace_dict(traces) -> dict:
+    """Render tracers as a Chrome trace-event document.
+
+    Every (run label, simulated process) pair becomes one Chrome pid and
+    every simulated thread one tid, so multiple policies' runs display
+    as side-by-side process groups on one timeline.  Durations are
+    complete (``ph: "X"``) events; instants are ``ph: "i"``.  Simulated
+    milliseconds map to trace microseconds.
+    """
+    events: list[dict] = []
+    pids: dict[str, int] = {}
+    tids: dict[tuple[int, str], int] = {}
+
+    def pid_of(run: str, process: str) -> int:
+        key = f"{run}/{process or 'system'}"
+        if key not in pids:
+            pids[key] = len(pids) + 1
+            events.append({
+                "ph": "M", "name": "process_name", "pid": pids[key], "tid": 0,
+                "args": {"name": key},
+            })
+        return pids[key]
+
+    def tid_of(pid: int, thread: str) -> int:
+        key = (pid, thread or "main")
+        if key not in tids:
+            tids[key] = len(tids) + 1
+            events.append({
+                "ph": "M", "name": "thread_name", "pid": pid, "tid": tids[key],
+                "args": {"name": thread or "main"},
+            })
+        return tids[key]
+
+    labeled = _labeled_tracers(traces)
+    for run_label, tracer in labeled:
+        for span in sorted(tracer.spans, key=lambda s: (s.start_ms, s.span_id)):
+            pid = pid_of(run_label, span.process)
+            tid = tid_of(pid, span.thread)
+            event = {
+                "name": span.name,
+                "cat": span.category,
+                "ts": span.start_ms * 1_000.0,
+                "pid": pid,
+                "tid": tid,
+                "args": {
+                    **span.args,
+                    "span_id": span.span_id,
+                    "parent_id": span.parent_id,
+                },
+            }
+            if span.kind == KIND_INSTANT:
+                event["ph"] = "i"
+                event["s"] = "t"
+            else:
+                event["ph"] = "X"
+                event["dur"] = span.duration_ms * 1_000.0
+            events.append(event)
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "source": "repro.trace",
+            "runs": [label for label, _ in labeled],
+            "span_count": sum(t.span_count for _, t in labeled),
+            "categories": sorted(
+                {c for _, t in labeled for c in t.categories()}
+            ),
+        },
+    }
+
+
+def write_chrome_trace(path: str, traces) -> str:
+    """Write the Chrome trace-event JSON; returns the path."""
+    with open(path, "w") as handle:
+        json.dump(chrome_trace_dict(traces), handle, indent=1, sort_keys=True)
+    return path
+
+
+# ----------------------------------------------------------------------
+# time attribution
+# ----------------------------------------------------------------------
+def _clipped_ms(span: Span, start_ms: float | None, end_ms: float | None) -> float:
+    lo = span.start_ms
+    hi = span.end_ms if span.end_ms is not None else span.start_ms
+    if start_ms is not None:
+        lo = max(lo, start_ms)
+    if end_ms is not None:
+        hi = min(hi, end_ms)
+    return max(0.0, hi - lo)
+
+
+def self_times_ms(
+    spans: Iterable[Span],
+    start_ms: float | None = None,
+    end_ms: float | None = None,
+) -> dict[int, float]:
+    """Per-span *self* time (duration minus direct children), clipped.
+
+    The simulated device is single-threaded, so a span's children are
+    strictly time-nested inside it and self time is never negative.
+    Children whose parent was sampled out simply attribute to no one.
+    """
+    spans = list(spans)
+    child_ms: dict[int, float] = {}
+    for span in spans:
+        if span.parent_id is not None:
+            child_ms[span.parent_id] = (
+                child_ms.get(span.parent_id, 0.0)
+                + _clipped_ms(span, start_ms, end_ms)
+            )
+    return {
+        span.span_id: max(
+            0.0, _clipped_ms(span, start_ms, end_ms)
+            - child_ms.get(span.span_id, 0.0)
+        )
+        for span in spans
+    }
+
+
+def category_times_ms(
+    spans: Iterable[Span],
+    start_ms: float | None = None,
+    end_ms: float | None = None,
+) -> dict[str, float]:
+    """Self time summed per category inside an optional window.
+
+    Because self times never double-count nested work, the values sum to
+    the total traced time in the window — this is what lets Fig. 9
+    attribute a handling episode's duration to span categories.
+    """
+    spans = list(spans)
+    selfs = self_times_ms(spans, start_ms, end_ms)
+    totals: dict[str, float] = {}
+    for span in spans:
+        totals[span.category] = (
+            totals.get(span.category, 0.0) + selfs[span.span_id]
+        )
+    return totals
+
+
+# ----------------------------------------------------------------------
+# plain-text renderers
+# ----------------------------------------------------------------------
+def summary(tracer: "Tracer", top: int = 10) -> str:
+    """Per-category totals plus the hottest spans, as monospace tables."""
+    from repro.harness.report import render_table  # lazy: avoids a cycle
+
+    spans = list(tracer.spans)
+    selfs = self_times_ms(spans)
+    per_cat: dict[str, tuple[int, float, float]] = {}
+    for span in spans:
+        count, total, self_total = per_cat.get(span.category, (0, 0.0, 0.0))
+        per_cat[span.category] = (
+            count + 1,
+            total + span.duration_ms,
+            self_total + selfs[span.span_id],
+        )
+    header = (
+        f"trace {tracer.label or 'run'}: {len(spans)} spans,"
+        f" {tracer.dropped} dropped, {tracer.sampled_out} sampled out"
+    )
+    cat_table = render_table(
+        ["category", "spans", "total ms", "self ms"],
+        [
+            [cat, str(count), f"{total:.2f}", f"{self_total:.2f}"]
+            for cat, (count, total, self_total) in sorted(per_cat.items())
+        ],
+        title="by category",
+    )
+    hottest = sorted(spans, key=lambda s: -selfs[s.span_id])[:top]
+    top_table = render_table(
+        ["span", "category", "start ms", "self ms"],
+        [
+            [span.name, span.category, f"{span.start_ms:.1f}",
+             f"{selfs[span.span_id]:.2f}"]
+            for span in hottest
+        ],
+        title=f"top {len(hottest)} spans by self time",
+    )
+    return "\n\n".join([header, cat_table, top_table])
+
+
+def folded_stacks(tracer: "Tracer") -> str:
+    """Collapsed ``parent;child self_ms`` lines (flamegraph.pl input).
+
+    Self times are scaled to integer microseconds since the folded
+    format wants integral sample counts.
+    """
+    spans = {span.span_id: span for span in tracer.spans}
+    selfs = self_times_ms(spans.values())
+    folded: dict[str, int] = {}
+    for span in spans.values():
+        frames = [span.name]
+        cursor = span
+        while cursor.parent_id is not None and cursor.parent_id in spans:
+            cursor = spans[cursor.parent_id]
+            frames.append(cursor.name)
+        stack = ";".join(reversed(frames))
+        folded[stack] = folded.get(stack, 0) + round(
+            selfs[span.span_id] * 1_000.0
+        )
+    return "\n".join(
+        f"{stack} {weight}" for stack, weight in sorted(folded.items()) if weight
+    )

@@ -1,0 +1,72 @@
+"""Installation of a tracer into a running simulation.
+
+The instrumentation *call sites* live inside the framework layers (each
+site reads its context's ``tracer`` attribute, which defaults to the
+module-level :data:`~repro.trace.tracer.NULL_TRACER`); this module owns
+the install/uninstall plumbing and documents where the hooks are.
+
+Hook points (category → site):
+
+======================  ================================================
+``scheduler``           ``sim/scheduler.py`` — around every event
+                        dispatch in ``run_until_idle``/``run_until``.
+``looper``              ``android/runtime.py`` — ``Looper._dispatch``,
+                        one span per UI-thread message.
+``lifecycle``           ``android/app/activity_thread.py`` — launch,
+                        resume, relaunch, shadow-release transactions.
+``atms``                ``android/server/atms.py`` — app launch and
+                        ``update_configuration`` (the paper's measured
+                        handling window opens inside this span).
+``ipc``                 ``android/ipc.py`` — every binder hop
+                        (``ipc_hop`` and the ``Binder`` methods).
+``migration``           ``core/migration.py`` — one span per lazily
+                        migrated view in ``on_shadow_invalidate``.
+``process``             ``android/os.py`` — instant events for process
+                        crash/kill.
+======================  ================================================
+
+Hot sites (scheduler, looper, ipc, migration) guard on
+``tracer.enabled`` so the disabled cost is a single attribute check; the
+coarse sites use ``with ctx.tracer.span(...)`` against the null tracer's
+shared no-op handle.  Either way a disabled run records zero spans —
+``tests/trace/test_hooks.py`` pins that.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.trace import span as categories
+from repro.trace.tracer import NULL_TRACER, NullTracer, Tracer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.context import SimContext
+
+HOOK_POINTS: dict[str, str] = {
+    categories.SCHEDULER: "repro.sim.scheduler.Scheduler",
+    categories.LOOPER: "repro.android.runtime.Looper._dispatch",
+    categories.LIFECYCLE: "repro.android.app.activity_thread.ActivityThread",
+    categories.ATMS: "repro.android.server.atms.ActivityTaskManagerService",
+    categories.IPC: "repro.android.ipc.ipc_hop",
+    categories.MIGRATION: "repro.core.migration.MigrationEngine",
+    categories.PROCESS: "repro.android.os.Process",
+}
+
+
+def install_tracing(ctx: "SimContext", tracer: "Tracer | NullTracer") -> None:
+    """Point one simulation context (and its scheduler) at ``tracer``.
+
+    The scheduler holds its own reference because it predates the
+    context's framework layers and sits on the hottest path.
+    """
+    ctx.tracer = tracer
+    ctx.scheduler.tracer = tracer
+
+
+def uninstall_tracing(ctx: "SimContext") -> None:
+    """Return the context to the shared null tracer."""
+    install_tracing(ctx, NULL_TRACER)
+
+
+def is_traced(ctx: "SimContext") -> bool:
+    return ctx.tracer.enabled

@@ -1,0 +1,115 @@
+"""Record/replay verification: prove the simulator is deterministic.
+
+A recorded trace is serialized to a *snapshot* (plain JSON-able dicts in
+completion order).  Re-running the same scenario with the same seed must
+reproduce the snapshot span for span — same names, categories, parents,
+processes, and (virtual-clock) timestamps.  ``diff_snapshots`` finds the
+first divergent span; ``verify_replay`` runs a scenario twice and fails
+loudly with a :class:`~repro.errors.ReplayDivergenceError` naming it.
+
+This is the guard the later perf work leans on: any optimisation that
+reorders events, drops an IPC hop, or perturbs a timestamp trips the
+replay check before it trips a figure.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.errors import ReplayDivergenceError
+from repro.trace.span import Span
+from repro.trace.tracer import Tracer
+
+Snapshot = list[dict]
+
+_COMPARED_FIELDS = (
+    "span_id", "parent_id", "name", "category",
+    "start_ms", "end_ms", "process", "thread", "args", "kind",
+)
+_TIME_TOLERANCE_MS = 1e-9
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """The first point where two traces disagree."""
+
+    index: int
+    field: str
+    recorded: Any
+    replayed: Any
+
+    def describe(self) -> str:
+        return (
+            f"traces diverge at span #{self.index}: field {self.field!r}"
+            f" recorded={self.recorded!r} replayed={self.replayed!r}"
+        )
+
+
+def snapshot(tracer: Tracer) -> Snapshot:
+    """Serialize a tracer's completed spans (completion order)."""
+    return [span.to_dict() for span in tracer.spans]
+
+
+def save_snapshot(path: str, snap: Snapshot) -> str:
+    with open(path, "w") as handle:
+        json.dump(snap, handle, indent=1, sort_keys=True)
+    return path
+
+
+def load_snapshot(path: str) -> Snapshot:
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def snapshot_spans(snap: Snapshot) -> list[Span]:
+    """Rehydrate a snapshot for the export/summary renderers."""
+    return [Span.from_dict(entry) for entry in snap]
+
+
+def diff_snapshots(recorded: Snapshot, replayed: Snapshot) -> Divergence | None:
+    """First divergence between two snapshots, or None when identical."""
+    for index, (a, b) in enumerate(zip(recorded, replayed)):
+        for field in _COMPARED_FIELDS:
+            va, vb = a.get(field), b.get(field)
+            if field in ("start_ms", "end_ms"):
+                if va is None or vb is None:
+                    if va is not vb:
+                        return Divergence(index, field, va, vb)
+                elif abs(va - vb) > _TIME_TOLERANCE_MS:
+                    return Divergence(index, field, va, vb)
+            elif va != vb:
+                return Divergence(index, field, va, vb)
+    if len(recorded) != len(replayed):
+        index = min(len(recorded), len(replayed))
+        return Divergence(
+            index,
+            "span_count",
+            len(recorded),
+            len(replayed),
+        )
+    return None
+
+
+def check_replay(recorded: Snapshot, replayed: Snapshot) -> None:
+    """Raise :class:`ReplayDivergenceError` on the first divergent span."""
+    divergence = diff_snapshots(recorded, replayed)
+    if divergence is not None:
+        raise ReplayDivergenceError(divergence.describe())
+
+
+def verify_replay(
+    scenario: Callable[[], Tracer], runs: int = 2
+) -> Snapshot:
+    """Run ``scenario`` ``runs`` times; all traces must be identical.
+
+    ``scenario`` must build a *fresh* system each call (same seed) and
+    return its tracer.  Returns the verified snapshot.
+    """
+    if runs < 2:
+        raise ValueError("verify_replay needs at least two runs to compare")
+    reference = snapshot(scenario())
+    for _ in range(runs - 1):
+        check_replay(reference, snapshot(scenario()))
+    return reference

@@ -1,0 +1,131 @@
+"""Span model of the causal tracer.
+
+A :class:`Span` is one timed operation in the simulated system — an event
+dispatch, an IPC hop, a lifecycle transaction, one lazily migrated view.
+Spans nest: the span that is open when another begins becomes its parent,
+so a recorded trace is a forest whose roots are the device verbs
+(``launch``, ``update-configuration``) and scheduler event dispatches, and
+whose leaves are the individual costed operations.  All timestamps are
+simulated milliseconds from the :class:`~repro.sim.clock.VirtualClock`;
+the tracer never reads wall-clock time, which is what makes recorded
+traces exactly reproducible from the same seed (see
+``repro.trace.replay``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+# ----------------------------------------------------------------------
+# span categories (one per instrumented layer)
+# ----------------------------------------------------------------------
+SCHEDULER = "scheduler"
+"""Discrete-event dispatch in ``sim/scheduler.py``."""
+
+LOOPER = "looper"
+"""UI-thread message processing in ``android/runtime.py``."""
+
+LIFECYCLE = "lifecycle"
+"""Activity lifecycle transactions in ``android/app/activity_thread.py``."""
+
+ATMS = "atms"
+"""Configuration-change decisions and launches in ``android/server/atms.py``."""
+
+IPC = "ipc"
+"""Binder hops in ``android/ipc.py``."""
+
+MIGRATION = "migration"
+"""Lazy view migration in ``core/migration.py``."""
+
+PROCESS = "process"
+"""Process death events in ``android/os.py``."""
+
+CATEGORIES: tuple[str, ...] = (
+    SCHEDULER, LOOPER, LIFECYCLE, ATMS, IPC, MIGRATION, PROCESS,
+)
+
+KIND_SPAN = "span"
+KIND_INSTANT = "instant"
+
+
+@dataclass(frozen=True)
+class SpanContext:
+    """The ambient trace position: what the innermost open span is.
+
+    Handed out by :meth:`Tracer.current_context` so framework code can
+    tag side records (e.g. a latency probe) with the causal span without
+    holding the mutable :class:`Span` itself.
+    """
+
+    span_id: int
+    parent_id: int | None
+    category: str
+    depth: int
+
+
+@dataclass
+class Span:
+    """One recorded operation.  ``end_ms`` is ``None`` while still open."""
+
+    span_id: int
+    parent_id: int | None
+    name: str
+    category: str
+    start_ms: float
+    end_ms: float | None = None
+    process: str = ""
+    thread: str = ""
+    args: dict[str, Any] = field(default_factory=dict)
+    kind: str = KIND_SPAN
+    sampled: bool = True
+
+    @property
+    def duration_ms(self) -> float:
+        return 0.0 if self.end_ms is None else self.end_ms - self.start_ms
+
+    @property
+    def is_open(self) -> bool:
+        return self.end_ms is None
+
+    @property
+    def is_instant(self) -> bool:
+        return self.kind == KIND_INSTANT
+
+    def context(self) -> SpanContext:
+        return SpanContext(self.span_id, self.parent_id, self.category, 0)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready form (the replay snapshot unit)."""
+        return {
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "category": self.category,
+            "start_ms": self.start_ms,
+            "end_ms": self.end_ms,
+            "process": self.process,
+            "thread": self.thread,
+            "args": dict(self.args),
+            "kind": self.kind,
+        }
+
+    @staticmethod
+    def from_dict(data: dict[str, Any]) -> "Span":
+        return Span(
+            span_id=data["span_id"],
+            parent_id=data["parent_id"],
+            name=data["name"],
+            category=data["category"],
+            start_ms=data["start_ms"],
+            end_ms=data["end_ms"],
+            process=data.get("process", ""),
+            thread=data.get("thread", ""),
+            args=dict(data.get("args", {})),
+            kind=data.get("kind", KIND_SPAN),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        when = f"{self.start_ms:.3f}"
+        dur = "open" if self.is_open else f"{self.duration_ms:.3f} ms"
+        return f"Span(#{self.span_id} {self.category}:{self.name} @{when} {dur})"

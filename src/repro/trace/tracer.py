@@ -1,0 +1,349 @@
+"""The process-wide tracer: bounded buffer, sampling, nesting, sessions.
+
+Two implementations share one interface:
+
+* :class:`Tracer` — records spans into a bounded ring buffer, timestamps
+  from a :class:`~repro.sim.clock.VirtualClock`, maintains the open-span
+  stack that gives spans their parent links, and applies deterministic
+  per-category sampling (counter-based, never random — two identical
+  runs sample identically, which the replay checker depends on).
+* :class:`NullTracer` — the disabled implementation.  Every method is a
+  no-op and ``span()`` returns one shared null context manager, so
+  instrumented code pays a single attribute load when tracing is off.
+
+The module-level :data:`NULL_TRACER` singleton is the default tracer of
+every :class:`~repro.sim.context.SimContext`; ``repro.trace.hooks``
+swaps a real tracer in.
+
+A :class:`TraceSession` makes tracing ambient for a code region: every
+:class:`~repro.system.AndroidSystem` constructed while a session is
+active gets its own tracer registered with the session.  This is how
+``python -m repro trace <experiment>`` traces experiments that build
+their systems internally.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Any, Iterator
+
+from repro.trace.span import KIND_INSTANT, Span, SpanContext
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.clock import VirtualClock
+
+DEFAULT_CAPACITY = 65_536
+
+
+class Tracer:
+    """Records causal spans against a virtual clock."""
+
+    enabled = True
+
+    def __init__(
+        self,
+        clock: "VirtualClock",
+        capacity: int = DEFAULT_CAPACITY,
+        sample_rates: dict[str, int] | None = None,
+        label: str = "",
+    ):
+        if capacity <= 0:
+            raise ValueError(f"tracer capacity must be positive, got {capacity}")
+        self._clock = clock
+        self.capacity = capacity
+        self.sample_rates = dict(sample_rates or {})
+        """Per-category keep-1-in-N rates; categories default to 1 (all).
+        Sampling is a deterministic counter (the 1st, N+1th, 2N+1th span
+        of a category is kept), so identical runs keep identical spans."""
+        self.label = label
+        self._buffer: deque[Span] = deque(maxlen=capacity)
+        self._stack: list[Span] = []
+        self._next_id = 1
+        self._category_counts: Counter[str] = Counter()
+        self.dropped = 0
+        """Completed spans evicted because the ring buffer was full."""
+        self.sampled_out = 0
+        """Spans discarded by per-category sampling."""
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def begin(
+        self,
+        name: str,
+        category: str,
+        process: str = "",
+        thread: str = "",
+        **args: Any,
+    ) -> Span:
+        """Open a span; it becomes the parent of spans begun before end."""
+        self._category_counts[category] += 1
+        span = Span(
+            span_id=self._take_id(),
+            parent_id=self._stack[-1].span_id if self._stack else None,
+            name=name,
+            category=category,
+            start_ms=self._clock.now_ms,
+            process=process,
+            thread=thread,
+            args=args,
+            sampled=self._sampled(category),
+        )
+        self._stack.append(span)
+        return span
+
+    def end(self, span: Span) -> Span:
+        """Close ``span`` (and any forgotten children still open inside it)."""
+        while self._stack:
+            top = self._stack.pop()
+            if top is span:
+                break
+            top.end_ms = self._clock.now_ms  # orphaned child: close it too
+            self._commit(top)
+        span.end_ms = self._clock.now_ms
+        self._commit(span)
+        return span
+
+    @contextmanager
+    def span(
+        self,
+        name: str,
+        category: str,
+        process: str = "",
+        thread: str = "",
+        **args: Any,
+    ) -> Iterator[Span]:
+        """``with tracer.span(...):`` — begin/end around a block."""
+        opened = self.begin(name, category, process, thread, **args)
+        try:
+            yield opened
+        finally:
+            self.end(opened)
+
+    def instant(
+        self, name: str, category: str, process: str = "", **args: Any
+    ) -> Span | None:
+        """Record a zero-duration point event (e.g. a process crash)."""
+        self._category_counts[category] += 1
+        if not self._sampled(category):
+            self.sampled_out += 1
+            return None
+        now = self._clock.now_ms
+        span = Span(
+            span_id=self._take_id(),
+            parent_id=self._stack[-1].span_id if self._stack else None,
+            name=name,
+            category=category,
+            start_ms=now,
+            end_ms=now,
+            process=process,
+            args=args,
+            kind=KIND_INSTANT,
+        )
+        self._commit(span)
+        return span
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def spans(self) -> tuple[Span, ...]:
+        """Completed spans, in completion order (the replay unit)."""
+        return tuple(self._buffer)
+
+    @property
+    def span_count(self) -> int:
+        return len(self._buffer)
+
+    def categories(self) -> set[str]:
+        return {span.category for span in self._buffer}
+
+    def spans_of(self, category: str) -> list[Span]:
+        return [span for span in self._buffer if span.category == category]
+
+    def current_context(self) -> SpanContext | None:
+        """The innermost open span's context, or None outside any span."""
+        if not self._stack:
+            return None
+        top = self._stack[-1]
+        return SpanContext(
+            top.span_id, top.parent_id, top.category, len(self._stack)
+        )
+
+    def clear(self) -> None:
+        self._buffer.clear()
+        self._stack.clear()
+        self._category_counts.clear()
+        self._next_id = 1
+        self.dropped = 0
+        self.sampled_out = 0
+
+    # ------------------------------------------------------------------
+    def _take_id(self) -> int:
+        value = self._next_id
+        self._next_id += 1
+        return value
+
+    def _sampled(self, category: str) -> bool:
+        rate = self.sample_rates.get(category, 1)
+        if rate <= 1:
+            return True
+        return self._category_counts[category] % rate == 1
+
+    def _commit(self, span: Span) -> None:
+        if not span.sampled:
+            self.sampled_out += 1
+            return
+        if len(self._buffer) == self.capacity:
+            self.dropped += 1
+        self._buffer.append(span)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"Tracer({self.label or 'unlabelled'}, {self.span_count} spans,"
+            f" {self.dropped} dropped)"
+        )
+
+
+class _NullSpanHandle:
+    """Shared do-nothing context manager handed out by the null tracer."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpanHandle()
+
+
+class NullTracer:
+    """Tracing disabled: every instrumented path is a no-op."""
+
+    enabled = False
+    spans: tuple[Span, ...] = ()
+    span_count = 0
+    dropped = 0
+    sampled_out = 0
+    label = ""
+
+    def begin(self, *args: Any, **kwargs: Any) -> None:
+        return None
+
+    def end(self, span: Any) -> None:
+        return None
+
+    def span(self, *args: Any, **kwargs: Any) -> _NullSpanHandle:
+        return _NULL_SPAN
+
+    def instant(self, *args: Any, **kwargs: Any) -> None:
+        return None
+
+    def categories(self) -> set[str]:
+        return set()
+
+    def spans_of(self, category: str) -> list[Span]:
+        return []
+
+    def current_context(self) -> None:
+        return None
+
+    def clear(self) -> None:
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return "NullTracer()"
+
+
+NULL_TRACER = NullTracer()
+"""The module-level null tracer every context starts with."""
+
+
+# ----------------------------------------------------------------------
+# ambient sessions (the CLI's way into experiment-internal systems)
+# ----------------------------------------------------------------------
+_ACTIVE_SESSION: "TraceSession | None" = None
+
+
+class TraceSession:
+    """While active, every new ``AndroidSystem`` gets a registered tracer."""
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_CAPACITY,
+        sample_rates: dict[str, int] | None = None,
+    ):
+        self.capacity = capacity
+        self.sample_rates = dict(sample_rates or {})
+        self.tracers: list[Tracer] = []
+
+    def __enter__(self) -> "TraceSession":
+        global _ACTIVE_SESSION
+        if _ACTIVE_SESSION is not None:
+            raise RuntimeError("a TraceSession is already active")
+        _ACTIVE_SESSION = self
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        global _ACTIVE_SESSION
+        _ACTIVE_SESSION = None
+        return False
+
+    def tracer_for(self, clock: "VirtualClock", label: str = "") -> Tracer:
+        """Create (and register) the tracer for one simulated device."""
+        base = label or f"run{len(self.tracers) + 1}"
+        taken = {tracer.label for tracer in self.tracers}
+        unique = base
+        suffix = 2
+        while unique in taken:
+            unique = f"{base}#{suffix}"
+            suffix += 1
+        tracer = Tracer(
+            clock, self.capacity, self.sample_rates or None, label=unique
+        )
+        self.tracers.append(tracer)
+        return tracer
+
+    def labeled(self) -> list[tuple[str, Tracer]]:
+        return [(tracer.label, tracer) for tracer in self.tracers]
+
+    def categories(self) -> set[str]:
+        found: set[str] = set()
+        for tracer in self.tracers:
+            found |= tracer.categories()
+        return found
+
+    def span_count(self) -> int:
+        return sum(tracer.span_count for tracer in self.tracers)
+
+
+def active_session() -> TraceSession | None:
+    return _ACTIVE_SESSION
+
+
+def resolve_tracer(
+    trace: "Tracer | NullTracer | bool | None",
+    clock: "VirtualClock",
+    label: str = "",
+) -> "Tracer | NullTracer":
+    """Interpret the ``AndroidSystem(trace=...)`` option.
+
+    * a tracer instance — used as-is;
+    * ``True`` — a fresh standalone tracer;
+    * ``False`` — forced off, even inside an active session;
+    * ``None`` (default) — a session tracer if a :class:`TraceSession`
+      is active, otherwise off.
+    """
+    if isinstance(trace, (Tracer, NullTracer)):
+        return trace
+    if trace is True:
+        return Tracer(clock, label=label)
+    if trace is None:
+        session = active_session()
+        if session is not None:
+            return session.tracer_for(clock, label)
+    return NULL_TRACER

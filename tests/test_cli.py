@@ -46,6 +46,52 @@ class TestReproCli:
         assert repro_main(["experiments"]) == 0
         assert "fig10" in capsys.readouterr().out
 
+    def test_unknown_command_exits_2_with_hint(self, capsys):
+        assert repro_main(["tabel3"]) == 2  # typo'd table3
+        out = capsys.readouterr().out
+        assert "unknown command 'tabel3'" in out
+        assert "did you mean 'table3'?" in out
+
+    def test_unknown_command_without_a_close_match(self, capsys):
+        assert repro_main(["frobnicate"]) == 2
+        out = capsys.readouterr().out
+        assert "known commands:" in out and "trace" in out
+
+
+class TestTraceCli:
+    def test_trace_demo_writes_verified_chrome_trace(self, capsys, tmp_path):
+        import json
+
+        out_path = tmp_path / "demo.json"
+        assert repro_main(["trace", "demo", "-o", str(out_path)]) == 0
+        printed = capsys.readouterr().out
+        assert "replay check OK" in printed
+        document = json.loads(out_path.read_text())
+        assert document["otherData"]["span_count"] > 0
+        categories = set(document["otherData"]["categories"])
+        assert {"scheduler", "looper", "lifecycle", "atms", "ipc",
+                "migration"} <= categories
+
+    def test_trace_no_verify_skips_the_replay(self, capsys, tmp_path):
+        out_path = tmp_path / "demo.json"
+        args = ["trace", "demo", "-o", str(out_path), "--no-verify"]
+        assert repro_main(args) == 0
+        printed = capsys.readouterr().out
+        assert "replay check" not in printed
+        assert out_path.exists()
+
+    def test_trace_without_target_is_usage_error(self, capsys):
+        assert repro_main(["trace"]) == 2
+        assert "traceable targets" in capsys.readouterr().out
+
+    def test_trace_unknown_target(self, capsys):
+        assert repro_main(["trace", "nope"]) == 2
+        assert "unknown command 'nope'" in capsys.readouterr().out
+
+    def test_trace_output_flag_needs_a_path(self, capsys):
+        assert repro_main(["trace", "demo", "-o"]) == 2
+        assert "needs a path" in capsys.readouterr().out
+
 
 def test_readme_quickstart_snippet_executes():
     """The README's quickstart code block must actually run."""

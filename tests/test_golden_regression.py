@@ -82,6 +82,46 @@ def test_golden_event_counts_are_stable():
     assert len(system.ctx.recorder.events_of_kind("mapping-built")) == 1
 
 
+def test_golden_chrome_trace_for_demo_scenario():
+    """The quickstart demo, traced, exports a stable Chrome trace.
+
+    Pins the per-policy span counts, the total non-metadata event count,
+    and the category set — any added/removed hook firing, dropped IPC
+    hop, or event reordering shows up here as a count or set change.
+    """
+    from repro.trace import export
+
+    tracers = []
+    for factory in (Android10Policy, RCHDroidPolicy):
+        system = AndroidSystem(policy=factory(), trace=True)
+        app = make_benchmark_app(4)
+        system.launch(app)
+        system.start_async(app)
+        system.rotate()
+        system.run_until_idle()
+        tracers.append((system.policy.name, system.tracer))
+
+    by_policy = dict(tracers)
+    assert by_policy["android10"].span_count == 12
+    assert by_policy["rchdroid"].span_count == 35
+    assert by_policy["android10"].categories() == {
+        "atms", "ipc", "lifecycle", "looper", "process", "scheduler",
+    }
+    assert by_policy["rchdroid"].categories() == {
+        "atms", "ipc", "lifecycle", "looper", "migration", "scheduler",
+    }
+
+    doc = export.chrome_trace_dict(tracers)
+    spans = [event for event in doc["traceEvents"] if event["ph"] != "M"]
+    assert len(spans) == 47
+    assert sum(1 for event in spans if event["ph"] == "i") == 1  # the crash
+    assert doc["otherData"]["span_count"] == 47
+    assert doc["otherData"]["categories"] == [
+        "atms", "ipc", "lifecycle", "looper", "migration", "process",
+        "scheduler",
+    ]
+
+
 def test_golden_determinism_end_to_end():
     """Two identical runs produce byte-identical traces."""
     from repro.metrics.export import run_to_dict

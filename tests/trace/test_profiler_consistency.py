@@ -1,0 +1,89 @@
+"""Cross-check the tracer against the windowed profiler.
+
+The simulated device is single-threaded and synchronous work advances
+the virtual clock only through ``SimContext.consume`` — which is exactly
+what the profiler's busy intervals record.  So inside any synchronous
+traced window (an ATMS launch or ``update-configuration`` span) the CPU
+busy time and the span duration are two views of the same clock
+movement and must agree.
+"""
+
+import pytest
+
+from repro import Android10Policy, AndroidSystem, RCHDroidPolicy
+from repro.apps import make_benchmark_app
+
+
+def traced_rotation_run(policy_factory):
+    system = AndroidSystem(policy=policy_factory(), trace=True)
+    app = make_benchmark_app(4)
+    system.launch(app)
+    system.rotate()
+    system.rotate()
+    return system, app
+
+
+def busy_ms_in_window(recorder, start_ms, end_ms):
+    """Total recorded busy time overlapping the window, all processes."""
+    return sum(
+        max(0.0, min(interval.end_ms, end_ms) - max(interval.start_ms, start_ms))
+        for interval in recorder.busy
+    )
+
+
+@pytest.mark.parametrize("factory", [Android10Policy, RCHDroidPolicy])
+class TestBusyIntervalsMatchSpans:
+    def test_every_busy_interval_is_inside_a_span(self, factory):
+        system, _ = traced_rotation_run(factory)
+        windows = [
+            (span.start_ms, span.end_ms)
+            for span in system.tracer.spans
+            if span.parent_id is None and not span.is_instant
+        ]
+        for interval in system.ctx.recorder.busy:
+            assert any(
+                start - 1e-9 <= interval.start_ms
+                and interval.end_ms <= end + 1e-9
+                for start, end in windows
+            ), f"busy interval {interval} escapes every traced span"
+
+    def test_synchronous_span_duration_equals_busy_time(self, factory):
+        system, _ = traced_rotation_run(factory)
+        synchronous = [
+            span for span in system.tracer.spans
+            if span.name in ("launch", "update-configuration")
+        ]
+        assert len(synchronous) == 3  # one launch + two rotations
+        for span in synchronous:
+            busy = busy_ms_in_window(
+                system.ctx.recorder, span.start_ms, span.end_ms
+            )
+            assert busy == pytest.approx(span.duration_ms, abs=1e-6), span
+
+    def test_profiler_total_matches_root_span_total(self, factory):
+        system, app = traced_rotation_run(factory)
+        roots = [
+            span for span in system.tracer.spans
+            if span.parent_id is None and not span.is_instant
+        ]
+        total_spans = sum(span.duration_ms for span in roots)
+        total_busy = system.profiler.total_busy_ms(app.package)
+        assert total_busy == pytest.approx(total_spans, abs=1e-6)
+
+    def test_category_attribution_partitions_each_episode(self, factory):
+        """The fig9 breakdown invariant: per handling episode, the
+        per-category self times sum to the episode's duration."""
+        from repro.trace import export
+
+        system, _ = traced_rotation_run(factory)
+        spans = list(system.tracer.spans)
+        episodes = [s for s in spans if s.name == "update-configuration"]
+        assert episodes
+        for episode in episodes:
+            by_category = export.category_times_ms(
+                spans, episode.start_ms, episode.end_ms
+            )
+            assert sum(by_category.values()) == pytest.approx(
+                episode.duration_ms, abs=1e-6
+            )
+            assert by_category.get("atms", 0.0) > 0.0

@@ -1,0 +1,71 @@
+"""Unit tests for the span model."""
+
+from repro.trace.span import (
+    CATEGORIES,
+    KIND_INSTANT,
+    KIND_SPAN,
+    Span,
+    SpanContext,
+)
+
+
+def make_span(**overrides):
+    base = dict(
+        span_id=1,
+        parent_id=None,
+        name="launch",
+        category="atms",
+        start_ms=10.0,
+        end_ms=25.5,
+        process="com.example",
+        thread="server",
+        args={"change": "orientation"},
+    )
+    base.update(overrides)
+    return Span(**base)
+
+
+class TestSpan:
+    def test_duration(self):
+        assert make_span().duration_ms == 15.5
+
+    def test_open_span_has_no_duration(self):
+        span = make_span(end_ms=None)
+        assert span.is_open
+        assert span.duration_ms == 0.0
+
+    def test_instant_kind(self):
+        span = make_span(kind=KIND_INSTANT, end_ms=10.0)
+        assert span.is_instant
+        assert not make_span().is_instant
+
+    def test_context_carries_identity(self):
+        context = make_span(span_id=7, parent_id=3).context()
+        assert context == SpanContext(7, 3, "atms", 0)
+
+    def test_dict_round_trip(self):
+        span = make_span()
+        clone = Span.from_dict(span.to_dict())
+        assert clone.to_dict() == span.to_dict()
+        assert clone.args == {"change": "orientation"}
+        assert clone.kind == KIND_SPAN
+
+    def test_from_dict_defaults(self):
+        minimal = {
+            "span_id": 1,
+            "parent_id": None,
+            "name": "x",
+            "category": "ipc",
+            "start_ms": 0.0,
+            "end_ms": 1.0,
+        }
+        span = Span.from_dict(minimal)
+        assert span.process == "" and span.thread == ""
+        assert span.args == {} and span.kind == KIND_SPAN
+
+
+def test_categories_cover_the_instrumented_layers():
+    assert set(CATEGORIES) == {
+        "scheduler", "looper", "lifecycle", "atms", "ipc",
+        "migration", "process",
+    }

@@ -1,0 +1,130 @@
+"""Chrome trace-event export, time attribution, and text renderers."""
+
+import json
+
+import pytest
+
+from repro.sim.clock import VirtualClock
+from repro.trace import export
+from repro.trace.span import Span
+from repro.trace.tracer import Tracer
+
+
+@pytest.fixture
+def tracer():
+    clock = VirtualClock()
+    tracer = Tracer(clock, label="run1")
+    with tracer.span("outer", "atms", process="com.example", thread="server"):
+        clock.advance(2.0)
+        with tracer.span("hop", "ipc", process="com.example", thread="binder"):
+            clock.advance(1.0)
+        clock.advance(3.0)
+    tracer.instant("crash", "process", process="com.example")
+    return tracer
+
+
+class TestChromeTrace:
+    def test_document_shape(self, tracer):
+        doc = export.chrome_trace_dict(tracer)
+        assert set(doc) == {"traceEvents", "displayTimeUnit", "otherData"}
+        assert doc["otherData"]["span_count"] == 3
+        assert doc["otherData"]["runs"] == ["run1"]
+        assert doc["otherData"]["categories"] == ["atms", "ipc", "process"]
+        json.dumps(doc)  # must be JSON-serializable as-is
+
+    def test_duration_events_in_microseconds(self, tracer):
+        doc = export.chrome_trace_dict(tracer)
+        events = {
+            event["name"]: event
+            for event in doc["traceEvents"]
+            if event["ph"] == "X"
+        }
+        assert events["outer"]["ts"] == 0.0
+        assert events["outer"]["dur"] == 6_000.0  # 6 simulated ms
+        assert events["hop"]["ts"] == 2_000.0
+        assert events["hop"]["dur"] == 1_000.0
+        assert events["hop"]["args"]["parent_id"] == events["outer"]["args"]["span_id"]
+
+    def test_instants_and_metadata(self, tracer):
+        doc = export.chrome_trace_dict(tracer)
+        phases = [event["ph"] for event in doc["traceEvents"]]
+        assert phases.count("i") == 1
+        names = [
+            event["args"]["name"]
+            for event in doc["traceEvents"]
+            if event["ph"] == "M" and event["name"] == "process_name"
+        ]
+        assert names == ["run1/com.example"]
+        threads = {
+            event["args"]["name"]
+            for event in doc["traceEvents"]
+            if event["ph"] == "M" and event["name"] == "thread_name"
+        }
+        assert threads == {"server", "binder", "main"}
+
+    def test_multiple_runs_get_distinct_pids(self, tracer):
+        other = Tracer(VirtualClock(), label="run2")
+        with other.span("outer", "atms", process="com.example"):
+            pass
+        doc = export.chrome_trace_dict([("run1", tracer), ("run2", other)])
+        pids = {
+            event["args"]["name"]: event["pid"]
+            for event in doc["traceEvents"]
+            if event["ph"] == "M" and event["name"] == "process_name"
+        }
+        assert len(set(pids.values())) == len(pids) == 2
+
+    def test_write_round_trips_through_json(self, tracer, tmp_path):
+        path = tmp_path / "trace.json"
+        assert export.write_chrome_trace(str(path), tracer) == str(path)
+        loaded = json.loads(path.read_text())
+        assert loaded == json.loads(json.dumps(export.chrome_trace_dict(tracer)))
+
+
+class TestTimeAttribution:
+    def test_self_times_subtract_direct_children(self, tracer):
+        spans = list(tracer.spans)
+        selfs = export.self_times_ms(spans)
+        by_name = {span.name: selfs[span.span_id] for span in spans}
+        assert by_name["outer"] == pytest.approx(5.0)  # 6 total - 1 child
+        assert by_name["hop"] == pytest.approx(1.0)
+        assert by_name["crash"] == 0.0
+
+    def test_self_times_partition_the_total(self, tracer):
+        spans = list(tracer.spans)
+        selfs = export.self_times_ms(spans)
+        roots = [span for span in spans if span.parent_id is None]
+        assert sum(selfs.values()) == pytest.approx(
+            sum(span.duration_ms for span in roots)
+        )
+
+    def test_category_times_respect_a_window(self, tracer):
+        spans = list(tracer.spans)
+        # Window covering only the ipc hop (simulated ms 2..3).
+        windowed = export.category_times_ms(spans, 2.0, 3.0)
+        assert windowed["ipc"] == pytest.approx(1.0)
+        assert windowed["atms"] == pytest.approx(0.0)
+        total = export.category_times_ms(spans)
+        assert total["atms"] == pytest.approx(5.0)
+        assert total["ipc"] == pytest.approx(1.0)
+
+    def test_clipping_never_goes_negative(self):
+        span = Span(1, None, "x", "atms", start_ms=10.0, end_ms=20.0)
+        assert export.self_times_ms([span], 30.0, 40.0)[1] == 0.0
+
+
+class TestTextRenderers:
+    def test_summary_mentions_categories_and_hot_spans(self, tracer):
+        text = export.summary(tracer)
+        assert "trace run1: 3 spans" in text
+        assert "by category" in text and "top" in text
+        for category in ("atms", "ipc", "process"):
+            assert category in text
+
+    def test_folded_stacks_format(self, tracer):
+        lines = export.folded_stacks(tracer).splitlines()
+        assert "outer 5000" in lines
+        assert "outer;hop 1000" in lines
+        for line in lines:
+            stack, weight = line.rsplit(" ", 1)
+            assert stack and int(weight) > 0

@@ -1,0 +1,214 @@
+"""Unit tests for the tracer: nesting, ring buffer, sampling, sessions."""
+
+import pytest
+
+from repro.sim.clock import VirtualClock
+from repro.trace.tracer import (
+    NULL_TRACER,
+    NullTracer,
+    TraceSession,
+    Tracer,
+    active_session,
+    resolve_tracer,
+)
+
+
+@pytest.fixture
+def clock():
+    return VirtualClock()
+
+
+@pytest.fixture
+def tracer(clock):
+    return Tracer(clock, label="test")
+
+
+class TestNesting:
+    def test_sequential_spans_are_roots(self, tracer, clock):
+        with tracer.span("a", "atms"):
+            clock.advance(5.0)
+        with tracer.span("b", "atms"):
+            clock.advance(3.0)
+        a, b = tracer.spans
+        assert a.parent_id is None and b.parent_id is None
+        assert a.duration_ms == 5.0 and b.duration_ms == 3.0
+        assert b.start_ms == a.end_ms == 5.0
+
+    def test_nested_spans_link_to_parent(self, tracer, clock):
+        with tracer.span("outer", "scheduler") as outer:
+            with tracer.span("inner", "ipc") as inner:
+                clock.advance(1.0)
+            assert inner.parent_id == outer.span_id
+        inner_done, outer_done = tracer.spans  # completion order
+        assert inner_done.name == "inner"
+        assert inner_done.parent_id == outer_done.span_id
+
+    def test_current_context_tracks_depth(self, tracer):
+        assert tracer.current_context() is None
+        with tracer.span("outer", "scheduler"):
+            with tracer.span("inner", "ipc"):
+                context = tracer.current_context()
+                assert context is not None
+                assert context.category == "ipc" and context.depth == 2
+        assert tracer.current_context() is None
+
+    def test_end_closes_forgotten_children(self, tracer, clock):
+        outer = tracer.begin("outer", "scheduler")
+        tracer.begin("leaked", "ipc")
+        clock.advance(2.0)
+        tracer.end(outer)  # must not leave "leaked" open forever
+        assert tracer.current_context() is None
+        by_name = {span.name: span for span in tracer.spans}
+        assert not by_name["leaked"].is_open
+        assert by_name["leaked"].parent_id == outer.span_id
+
+    def test_exception_still_closes_span(self, tracer, clock):
+        with pytest.raises(RuntimeError):
+            with tracer.span("boom", "atms"):
+                clock.advance(1.0)
+                raise RuntimeError("x")
+        (span,) = tracer.spans
+        assert span.duration_ms == 1.0 and not span.is_open
+
+    def test_instant_records_zero_duration(self, tracer, clock):
+        clock.advance(4.0)
+        span = tracer.instant("crash", "process", process="com.example")
+        assert span is not None and span.is_instant
+        assert span.start_ms == span.end_ms == 4.0
+
+
+class TestRingBuffer:
+    def test_capacity_bounds_the_buffer(self, clock):
+        tracer = Tracer(clock, capacity=3)
+        for index in range(5):
+            with tracer.span(f"s{index}", "looper"):
+                clock.advance(1.0)
+        assert tracer.span_count == 3
+        assert tracer.dropped == 2
+        assert [span.name for span in tracer.spans] == ["s2", "s3", "s4"]
+
+    def test_invalid_capacity_rejected(self, clock):
+        with pytest.raises(ValueError):
+            Tracer(clock, capacity=0)
+
+    def test_clear_resets_everything(self, tracer, clock):
+        with tracer.span("a", "atms"):
+            clock.advance(1.0)
+        tracer.clear()
+        assert tracer.span_count == 0 and tracer.dropped == 0
+        with tracer.span("b", "atms"):
+            pass
+        assert tracer.spans[0].span_id == 1  # ids restart
+
+
+class TestSampling:
+    def test_keeps_one_in_n_deterministically(self, clock):
+        tracer = Tracer(clock, sample_rates={"looper": 3})
+        for index in range(9):
+            with tracer.span(f"m{index}", "looper"):
+                clock.advance(1.0)
+        kept = [span.name for span in tracer.spans]
+        assert kept == ["m0", "m3", "m6"]  # the 1st, 4th, 7th of the category
+        assert tracer.sampled_out == 6
+
+    def test_sampling_is_per_category(self, clock):
+        tracer = Tracer(clock, sample_rates={"looper": 2})
+        with tracer.span("kept-looper", "looper"):
+            pass
+        with tracer.span("dropped-looper", "looper"):
+            pass
+        with tracer.span("atms-span", "atms"):
+            pass
+        assert {span.name for span in tracer.spans} == {
+            "kept-looper", "atms-span",
+        }
+
+    def test_two_identical_runs_sample_identically(self, clock):
+        def run():
+            tracer = Tracer(VirtualClock(), sample_rates={"ipc": 4})
+            for index in range(13):
+                with tracer.span(f"hop{index}", "ipc"):
+                    pass
+            return [span.name for span in tracer.spans]
+
+        assert run() == run()
+
+
+class TestNullTracer:
+    def test_records_nothing(self):
+        null = NullTracer()
+        with null.span("a", "atms"):
+            null.instant("b", "process")
+        assert null.spans == () and null.span_count == 0
+        assert null.categories() == set()
+        assert null.current_context() is None
+        assert not null.enabled
+
+    def test_span_handle_is_shared(self):
+        """The no-op path must not allocate per call."""
+        null = NullTracer()
+        assert null.span("a", "atms") is null.span("b", "ipc")
+        assert null.span("a", "atms") is NULL_TRACER.span("c", "looper")
+
+
+class TestTraceSession:
+    def test_registers_one_tracer_per_run(self, clock):
+        with TraceSession() as session:
+            first = session.tracer_for(clock, "android10")
+            second = session.tracer_for(clock, "rchdroid")
+        assert session.tracers == [first, second]
+        assert session.labeled() == [
+            ("android10", first), ("rchdroid", second),
+        ]
+
+    def test_duplicate_labels_are_deduped(self, clock):
+        with TraceSession() as session:
+            session.tracer_for(clock, "rchdroid")
+            second = session.tracer_for(clock, "rchdroid")
+        assert second.label == "rchdroid#2"
+
+    def test_nested_sessions_rejected(self):
+        with TraceSession():
+            with pytest.raises(RuntimeError):
+                with TraceSession():
+                    pass
+        assert active_session() is None
+
+    def test_session_closes_even_on_error(self):
+        with pytest.raises(RuntimeError):
+            with TraceSession():
+                raise RuntimeError("x")
+        assert active_session() is None
+
+    def test_aggregates_across_tracers(self, clock):
+        with TraceSession() as session:
+            first = session.tracer_for(clock)
+            second = session.tracer_for(clock)
+        with first.span("a", "atms"):
+            pass
+        with second.span("b", "ipc"):
+            pass
+        assert session.span_count() == 2
+        assert session.categories() == {"atms", "ipc"}
+
+
+class TestResolveTracer:
+    def test_true_makes_a_fresh_tracer(self, clock):
+        tracer = resolve_tracer(True, clock, label="run")
+        assert isinstance(tracer, Tracer) and tracer.label == "run"
+
+    def test_false_and_none_default_to_null(self, clock):
+        assert resolve_tracer(False, clock) is NULL_TRACER
+        assert resolve_tracer(None, clock) is NULL_TRACER
+
+    def test_instance_passes_through(self, clock):
+        mine = Tracer(clock)
+        assert resolve_tracer(mine, clock) is mine
+        assert resolve_tracer(NULL_TRACER, clock) is NULL_TRACER
+
+    def test_none_joins_an_active_session(self, clock):
+        with TraceSession() as session:
+            tracer = resolve_tracer(None, clock, label="rchdroid")
+            assert tracer in session.tracers
+            # False still forces tracing off inside a session.
+            assert resolve_tracer(False, clock) is NULL_TRACER
