@@ -8,7 +8,13 @@ Commands:
   tracing on, write a Chrome trace-event JSON (open in ``chrome://tracing``
   or Perfetto), and verify the trace replays identically from the same
   seed.  Options: ``-o/--output PATH``, ``--no-verify``.
+* ``bench-engine``       — benchmark the batch engine (serial vs parallel
+  vs cached) and write ``BENCH_engine.json``.  Options: ``--jobs N``,
+  ``-o/--output PATH``, ``--check`` (non-zero exit unless cached re-runs
+  beat cold serial and all modes are byte-identical).
 * ``<experiment>``       — run one experiment (e.g. ``fig10``, ``table3``).
+  Options: ``--jobs N`` (parallel workers), ``--no-cache`` (skip the
+  ``.repro-cache/`` result cache), ``--cache-root PATH``.
 
 Unknown commands exit with status 2 and a "did you mean" hint.
 """
@@ -28,6 +34,10 @@ def main(argv: list[str]) -> int:
         return 0
     if command == "trace":
         return trace_command(argv[1:])
+    if command == "bench-engine":
+        from repro.engine.bench import main as bench_main
+
+        return bench_main(argv[1:])
     from repro.harness.experiments.__main__ import _MODULES
     from repro.harness.experiments.__main__ import main as experiments_main
 
@@ -35,7 +45,9 @@ def main(argv: list[str]) -> int:
         return experiments_main([])
     if command in _MODULES:
         return experiments_main(argv)
-    return _unknown_command(command, ["demo", "experiments", "trace", *_MODULES])
+    return _unknown_command(
+        command, ["demo", "experiments", "trace", "bench-engine", *_MODULES]
+    )
 
 
 def _unknown_command(command: str, known: list[str]) -> int:

@@ -1,0 +1,55 @@
+"""repro.engine: parallel, cached batch execution of simulation runs.
+
+The experiments of the evaluation are embarrassingly parallel — every
+figure/table is a list of independent ``measure_handling`` /
+``run_issue_scenario`` calls.  This package turns that list into a
+first-class object (:class:`RunRequest`), executes it serially or across
+a process pool with submission-order merging (:func:`run_batch`), and
+memoises results in a two-tier content-addressed cache
+(:class:`ResultCache`).  The determinism contract: for a given request,
+serial, parallel and cached execution produce byte-identical results.
+See ``docs/PERFORMANCE.md``.
+"""
+
+from repro.engine.batch import (
+    KIND_HANDLING,
+    KIND_ISSUE,
+    POLICIES,
+    EngineConfig,
+    RunRequest,
+    configure,
+    default_cache,
+    execute_request,
+    restore,
+    run_batch,
+    run_policy_matrix,
+)
+from repro.engine.cache import DEFAULT_CACHE_ROOT, CacheStats, ResultCache
+from repro.engine.codec import decode_result, encode_result
+from repro.engine.fingerprint import (
+    CACHE_SCHEMA_VERSION,
+    canonicalize,
+    fingerprint,
+)
+
+__all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "DEFAULT_CACHE_ROOT",
+    "KIND_HANDLING",
+    "KIND_ISSUE",
+    "POLICIES",
+    "CacheStats",
+    "EngineConfig",
+    "ResultCache",
+    "RunRequest",
+    "canonicalize",
+    "configure",
+    "decode_result",
+    "default_cache",
+    "encode_result",
+    "execute_request",
+    "fingerprint",
+    "restore",
+    "run_batch",
+    "run_policy_matrix",
+]

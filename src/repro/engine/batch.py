@@ -1,0 +1,293 @@
+"""The batch execution layer: fan independent runs out, merge in order.
+
+Every figure and table of the evaluation reduces to a list of
+*independent* simulation runs — ``measure_handling`` or
+``run_issue_scenario`` over (app, policy, seed) triples.  A
+:class:`RunRequest` names one such run by value (the policy by registry
+name, the app by spec), which makes requests picklable, cacheable and
+executable in any process.
+
+:func:`run_batch` is the single entry point the experiments go through:
+
+* results come back **in submission order**, whatever executed where, so
+  parallel output is byte-identical to serial output;
+* with a :class:`~repro.engine.cache.ResultCache`, completed runs are
+  skipped entirely (two-tier, content-addressed — see
+  ``docs/PERFORMANCE.md`` for the key scheme);
+* ``jobs > 1`` fans cache misses across a ``ProcessPoolExecutor``; the
+  per-run simulations stay single-threaded and deterministic.
+
+:func:`run_policy_matrix` is the shared per-experiment loop ("for every
+app, measure every policy") that fig7/fig8/fig12/fig14/table3/table5
+previously each hand-rolled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Sequence
+
+from repro.baselines.android10 import Android10Policy
+from repro.baselines.runtimedroid import RuntimeDroidPolicy
+from repro.core.policy import RCHDroidPolicy
+from repro.engine.cache import DEFAULT_CACHE_ROOT, ResultCache
+from repro.engine.fingerprint import CACHE_SCHEMA_VERSION, fingerprint
+from repro.errors import EngineError
+from repro.harness.runner import measure_handling, run_issue_scenario
+from repro.sim.costs import DEFAULT_COSTS
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.apps.dsl import AppSpec
+    from repro.harness.runner import HandlingMeasurement, IssueVerdict
+
+KIND_HANDLING = "handling"
+KIND_ISSUE = "issue"
+
+#: Policies addressable by name in a :class:`RunRequest`.  Names are the
+#: policies' own ``.name`` attributes, which also appear in results.
+POLICIES: dict[str, Callable[[], Any]] = {
+    "android10": Android10Policy,
+    "rchdroid": RCHDroidPolicy,
+    "runtimedroid": RuntimeDroidPolicy,
+}
+
+_SCENARIOS: dict[str, Callable[..., Any]] = {
+    KIND_HANDLING: measure_handling,
+    KIND_ISSUE: run_issue_scenario,
+}
+
+
+@dataclass(frozen=True)
+class RunRequest:
+    """One independent simulation run, described entirely by value."""
+
+    kind: str
+    policy: str
+    app: "AppSpec"
+    seed: int = 0x5EED
+    kwargs: tuple[tuple[str, Any], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in _SCENARIOS:
+            raise EngineError(
+                f"unknown run kind {self.kind!r}; known: {sorted(_SCENARIOS)}"
+            )
+        if self.policy not in POLICIES:
+            raise EngineError(
+                f"unknown policy {self.policy!r}; known: {sorted(POLICIES)}"
+            )
+
+    @staticmethod
+    def handling(
+        policy: str, app: "AppSpec", seed: int = 0x5EED, **kwargs: Any
+    ) -> "RunRequest":
+        return RunRequest(KIND_HANDLING, policy, app, seed,
+                          tuple(sorted(kwargs.items())))
+
+    @staticmethod
+    def issue(
+        policy: str, app: "AppSpec", seed: int = 0x5EED, **kwargs: Any
+    ) -> "RunRequest":
+        return RunRequest(KIND_ISSUE, policy, app, seed,
+                          tuple(sorted(kwargs.items())))
+
+    def cache_key(self, schema_version: int = CACHE_SCHEMA_VERSION) -> str:
+        """Content hash naming this run's result.
+
+        Covers everything the simulation depends on: kind, policy, seed,
+        scenario kwargs, the *resolved* cost model (so editing a default
+        constant invalidates results computed under the old one), the
+        full app spec, and the cache schema version.
+
+        Keys are memoised per request, and the expensive components (app
+        spec, cost model) per object: a full-corpus app spec costs ~2 ms
+        to canonicalise — as much as the simulation it keys — so an
+        unmemoised lookup would erase the cache's win.
+        """
+        keys = self.__dict__.get("_keys")
+        if keys is None:
+            keys = {}
+            object.__setattr__(self, "_keys", keys)
+        key = keys.get(schema_version)
+        if key is None:
+            kwargs = dict(self.kwargs)
+            costs = kwargs.pop("costs", None) or DEFAULT_COSTS
+            key = fingerprint([
+                "repro.engine.run", schema_version, self.kind, self.policy,
+                self.seed, _memo_fingerprint(costs), sorted(kwargs.items()),
+                _memo_fingerprint(self.app),
+            ])
+            keys[schema_version] = key
+        return key
+
+
+#: id -> (strong ref, fingerprint).  The strong ref pins the object so
+#: its id cannot be recycled while the entry lives; the cap bounds memory
+#: when corpora are rebuilt over and over in one process.
+_FP_MEMO: dict[int, tuple[Any, str]] = {}
+_FP_MEMO_CAP = 8192
+
+
+def _memo_fingerprint(obj: Any) -> str:
+    entry = _FP_MEMO.get(id(obj))
+    if entry is not None and entry[0] is obj:
+        return entry[1]
+    digest = fingerprint(obj)
+    if len(_FP_MEMO) >= _FP_MEMO_CAP:
+        _FP_MEMO.clear()
+    _FP_MEMO[id(obj)] = (obj, digest)
+    return digest
+
+
+def execute_request(request: RunRequest):
+    """Run one request to completion in this process (the worker body)."""
+    scenario = _SCENARIOS[request.kind]
+    return scenario(
+        POLICIES[request.policy], request.app,
+        seed=request.seed, **dict(request.kwargs),
+    )
+
+
+# ----------------------------------------------------------------------
+# engine-wide defaults (set by the CLI's --jobs / --no-cache)
+# ----------------------------------------------------------------------
+@dataclass
+class EngineConfig:
+    jobs: int = 1
+    cache: "bool | ResultCache" = False
+    cache_root: str = DEFAULT_CACHE_ROOT
+
+
+_CONFIG = EngineConfig()
+
+
+def configure(
+    jobs: int | None = None,
+    cache: "bool | ResultCache | None" = None,
+    cache_root: str | None = None,
+) -> EngineConfig:
+    """Set process-wide engine defaults; returns the previous config."""
+    global _CONFIG, _DEFAULT_CACHE
+    previous = EngineConfig(_CONFIG.jobs, _CONFIG.cache, _CONFIG.cache_root)
+    if jobs is not None:
+        _CONFIG.jobs = jobs
+    if cache is not None:
+        _CONFIG.cache = cache
+    if cache_root is not None and cache_root != _CONFIG.cache_root:
+        _CONFIG.cache_root = cache_root
+        _DEFAULT_CACHE = None
+    return previous
+
+
+def restore(config: EngineConfig) -> None:
+    """Undo a :func:`configure` (CLI entry points restore on exit)."""
+    global _CONFIG, _DEFAULT_CACHE
+    if config.cache_root != _CONFIG.cache_root:
+        _DEFAULT_CACHE = None
+    _CONFIG = config
+
+
+_DEFAULT_CACHE: ResultCache | None = None
+
+
+def default_cache() -> ResultCache:
+    """The process-wide cache instance (shared memory tier)."""
+    global _DEFAULT_CACHE
+    if _DEFAULT_CACHE is None or \
+            str(_DEFAULT_CACHE.root) != str(_CONFIG.cache_root):
+        _DEFAULT_CACHE = ResultCache(root=_CONFIG.cache_root)
+    return _DEFAULT_CACHE
+
+
+def _resolve_cache(cache: "bool | ResultCache | None") -> ResultCache | None:
+    if cache is None:
+        cache = _CONFIG.cache
+    if cache is False:
+        return None
+    if cache is True:
+        return default_cache()
+    return cache
+
+
+# ----------------------------------------------------------------------
+# execution
+# ----------------------------------------------------------------------
+def run_batch(
+    requests: Iterable[RunRequest],
+    *,
+    jobs: int | None = None,
+    cache: "bool | ResultCache | None" = None,
+) -> list:
+    """Execute ``requests``; results align with submission order.
+
+    ``jobs``/``cache`` default to the process-wide :func:`configure`
+    settings (serial, uncached out of the box).  ``cache=True`` uses the
+    shared default cache; a :class:`ResultCache` instance is used as-is.
+    """
+    requests = list(requests)
+    jobs = _CONFIG.jobs if jobs is None else jobs
+    store = _resolve_cache(cache)
+
+    results: list = [None] * len(requests)
+    pending: list[tuple[int, RunRequest, str | None]] = []
+    if store is not None:
+        for index, request in enumerate(requests):
+            key = request.cache_key(store.schema_version)
+            hit, value = store.get(key)
+            if hit:
+                results[index] = value
+            else:
+                pending.append((index, request, key))
+    else:
+        pending = [(index, request, None)
+                   for index, request in enumerate(requests)]
+
+    if pending:
+        fresh = _execute_many([request for _, request, _ in pending], jobs)
+        for (index, request, key), result in zip(pending, fresh):
+            results[index] = result
+            if store is not None and key is not None:
+                store.put(key, result)
+    return results
+
+
+def _execute_many(requests: Sequence[RunRequest], jobs: int) -> list:
+    if jobs <= 1 or len(requests) <= 1:
+        return [execute_request(request) for request in requests]
+    from concurrent.futures import ProcessPoolExecutor
+
+    workers = min(jobs, len(requests))
+    # Chunking amortises pickling; ~4 chunks per worker keeps the tail
+    # balanced when run costs vary across apps.
+    chunksize = max(1, len(requests) // (workers * 4))
+    try:
+        pool = ProcessPoolExecutor(max_workers=workers)
+    except (OSError, ValueError):  # no usable multiprocessing here
+        return [execute_request(request) for request in requests]
+    with pool:
+        return list(pool.map(execute_request, requests, chunksize=chunksize))
+
+
+def run_policy_matrix(
+    apps: Sequence["AppSpec"],
+    policies: Sequence[str],
+    *,
+    kind: str = KIND_HANDLING,
+    seed: int = 0x5EED,
+    jobs: int | None = None,
+    cache: "bool | ResultCache | None" = None,
+    **scenario_kwargs: Any,
+) -> "list[dict[str, HandlingMeasurement | IssueVerdict]]":
+    """Per app (in order), run every policy; returns one dict per app.
+
+    The shared form of the experiment loop fig7/fig8/fig12/fig14/
+    table3/table5 used to hand-roll serially.
+    """
+    kwargs = tuple(sorted(scenario_kwargs.items()))
+    requests = [
+        RunRequest(kind, policy, app, seed, kwargs)
+        for app in apps
+        for policy in policies
+    ]
+    results = iter(run_batch(requests, jobs=jobs, cache=cache))
+    return [{policy: next(results) for policy in policies} for _ in apps]

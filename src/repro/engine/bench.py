@@ -1,0 +1,244 @@
+"""Wall-clock benchmark of the engine: serial vs parallel vs cached.
+
+Runs the request lists of real experiments (Fig. 14 and Table 5 by
+default — one handling matrix, one issue matrix) through
+:func:`~repro.engine.batch.run_batch` in five modes:
+
+* ``serial``            — jobs=1, no cache (the pre-engine behaviour);
+* ``parallel``          — jobs=N, no cache;
+* ``cached_cold``       — jobs=1 into an empty cache (simulate + store);
+* ``cached_warm_memory``— same cache object again (tier-1 hits only);
+* ``cached_warm_disk``  — a fresh cache at the same root (tier-2 hits,
+  the "new process next day" case).
+
+Every mode's results are checked byte-identical (via the cache codec's
+canonical JSON) against the serial run; the report refuses to exist if
+they are not.  ``python -m repro bench-engine`` writes the report as
+``BENCH_engine.json``; ``--check`` additionally exits non-zero unless
+cached re-runs beat the cold serial run.
+
+Parallel speedup scales with cores: on a 1-core container the pool
+costs more than it saves, and the report says so honestly — the
+``host.cpu_count`` field is there so numbers are read in context.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import tempfile
+import time
+from typing import Any, Callable, Sequence
+
+from repro.apps.dsl import IssueKind
+from repro.apps.top100 import build_top100
+from repro.engine.batch import KIND_HANDLING, KIND_ISSUE, RunRequest, run_batch
+from repro.engine.cache import ResultCache
+from repro.engine.codec import encode_result
+
+DEFAULT_OUTPUT = "BENCH_engine.json"
+DEFAULT_EXPERIMENTS = ("fig14", "table5")
+
+#: experiment id -> request-list builder (matching what the experiment
+#: module submits through run_policy_matrix, so the timings are real).
+_REQUEST_BUILDERS: dict[str, Callable[[int], list[RunRequest]]] = {}
+
+
+def _register(name: str):
+    def wrap(builder: Callable[[int], list[RunRequest]]):
+        _REQUEST_BUILDERS[name] = builder
+        return builder
+    return wrap
+
+
+@_register("fig14")
+def _fig14_requests(seed: int = 0x5EED) -> list[RunRequest]:
+    fixable = [
+        app for app in build_top100(seed)
+        if app.issue is IssueKind.VIEW_STATE_LOSS
+    ]
+    return [
+        RunRequest(KIND_HANDLING, policy, app, seed)
+        for app in fixable
+        for policy in ("android10", "rchdroid")
+    ]
+
+
+@_register("table5")
+def _table5_requests(seed: int = 0x5EED) -> list[RunRequest]:
+    return [
+        RunRequest(KIND_ISSUE, policy, app, seed)
+        for app in build_top100(seed)
+        for policy in ("android10", "rchdroid")
+    ]
+
+
+def _canonical(results: Sequence[Any]) -> list[str]:
+    return [
+        json.dumps(encode_result(result), sort_keys=True,
+                   separators=(",", ":"))
+        for result in results
+    ]
+
+
+def _timed(fn: Callable[[], list]) -> tuple[float, list]:
+    start = time.perf_counter()
+    results = fn()
+    return time.perf_counter() - start, results
+
+
+def bench_experiment(
+    name: str, *, jobs: int, seed: int = 0x5EED
+) -> dict[str, Any]:
+    """Benchmark one experiment's request list across all five modes."""
+    requests = _REQUEST_BUILDERS[name](seed)
+
+    serial_s, serial = _timed(lambda: run_batch(requests, jobs=1, cache=False))
+    golden = _canonical(serial)
+
+    parallel_s, parallel = _timed(
+        lambda: run_batch(requests, jobs=jobs, cache=False))
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as root:
+        cold_cache = ResultCache(root=root)
+        cold_s, cold = _timed(
+            lambda: run_batch(requests, jobs=1, cache=cold_cache))
+        tier_stats = {"cold": vars(cold_cache.stats).copy()}
+        warm_memory_s, warm_memory = _timed(
+            lambda: run_batch(requests, jobs=1, cache=cold_cache))
+        disk_cache = ResultCache(root=root)
+        warm_disk_s, warm_disk = _timed(
+            lambda: run_batch(requests, jobs=1, cache=disk_cache))
+        tier_stats["warm_disk"] = vars(disk_cache.stats).copy()
+
+    identical = {
+        "parallel": _canonical(parallel) == golden,
+        "cached_cold": _canonical(cold) == golden,
+        "cached_warm_memory": _canonical(warm_memory) == golden,
+        "cached_warm_disk": _canonical(warm_disk) == golden,
+    }
+    return {
+        "runs": len(requests),
+        "seconds": {
+            "serial": round(serial_s, 4),
+            "parallel": round(parallel_s, 4),
+            "cached_cold": round(cold_s, 4),
+            "cached_warm_memory": round(warm_memory_s, 4),
+            "cached_warm_disk": round(warm_disk_s, 4),
+        },
+        "speedup_vs_serial": {
+            "parallel": round(serial_s / parallel_s, 2),
+            "cached_warm_memory": round(serial_s / warm_memory_s, 2),
+            "cached_warm_disk": round(serial_s / warm_disk_s, 2),
+        },
+        "cache_stats": tier_stats,
+        "identical_to_serial": identical,
+    }
+
+
+def run_bench(
+    *,
+    jobs: int | None = None,
+    experiments: Sequence[str] = DEFAULT_EXPERIMENTS,
+    seed: int = 0x5EED,
+) -> dict[str, Any]:
+    """Produce the full BENCH_engine.json report structure."""
+    if jobs is None:
+        jobs = os.cpu_count() or 1
+    report: dict[str, Any] = {
+        "bench": "repro.engine",
+        "host": {
+            "cpu_count": os.cpu_count(),
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+        },
+        "jobs": jobs,
+        "experiments": {
+            name: bench_experiment(name, jobs=jobs, seed=seed)
+            for name in experiments
+        },
+    }
+    report["ok"] = check_report(report) == []
+    return report
+
+
+def check_report(report: dict[str, Any]) -> list[str]:
+    """Return the list of acceptance failures (empty = pass).
+
+    Checked: every mode byte-identical to serial, and cached re-runs
+    (both tiers) faster than the cold serial run.  Parallel speedup is
+    reported, not gated — it is a property of the host's core count.
+    """
+    failures: list[str] = []
+    for name, data in report["experiments"].items():
+        for mode, same in data["identical_to_serial"].items():
+            if not same:
+                failures.append(f"{name}: {mode} results differ from serial")
+        seconds = data["seconds"]
+        for mode in ("cached_warm_memory", "cached_warm_disk"):
+            if seconds[mode] >= seconds["serial"]:
+                failures.append(
+                    f"{name}: {mode} ({seconds[mode]}s) not faster than "
+                    f"serial ({seconds['serial']}s)"
+                )
+    return failures
+
+
+def write_report(report: dict[str, Any], path: str = DEFAULT_OUTPUT) -> None:
+    with open(path, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def format_report(report: dict[str, Any]) -> str:
+    lines = [
+        f"engine benchmark — jobs={report['jobs']}, "
+        f"host cpus={report['host']['cpu_count']}",
+    ]
+    for name, data in report["experiments"].items():
+        seconds = data["seconds"]
+        speedup = data["speedup_vs_serial"]
+        lines.append(
+            f"  {name}: {data['runs']} runs | serial {seconds['serial']}s | "
+            f"parallel {seconds['parallel']}s ({speedup['parallel']}x) | "
+            f"warm cache {seconds['cached_warm_memory']}s "
+            f"({speedup['cached_warm_memory']}x mem, "
+            f"{speedup['cached_warm_disk']}x disk)"
+        )
+        identical = all(data["identical_to_serial"].values())
+        lines.append(
+            f"    byte-identical to serial: {'yes' if identical else 'NO'}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    jobs: int | None = None
+    output = DEFAULT_OUTPUT
+    check = False
+    while argv:
+        arg = argv.pop(0)
+        if arg == "--jobs" and argv:
+            jobs = int(argv.pop(0))
+        elif arg in ("-o", "--output") and argv:
+            output = argv.pop(0)
+        elif arg == "--check":
+            check = True
+        else:
+            print(f"bench-engine: unknown argument {arg!r}", file=sys.stderr)
+            return 2
+    report = run_bench(jobs=jobs)
+    write_report(report, output)
+    print(format_report(report))
+    print(f"wrote {output}")
+    failures = check_report(report)
+    for failure in failures:
+        print(f"CHECK FAILED: {failure}", file=sys.stderr)
+    return 1 if (check and failures) else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

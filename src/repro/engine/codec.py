@@ -1,0 +1,72 @@
+"""Lossless JSON codec for scenario results.
+
+The disk tier of the result cache stores JSON, not pickles: the files are
+inspectable, diffable, and safe to load.  The codec must round-trip
+*exactly* — the engine's headline guarantee is that a cached result is
+byte-identical to a freshly simulated one — so tuples are restored as
+tuples, enums by value, and floats rely on JSON's exact repr round-trip.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.apps.dsl import IssueKind
+from repro.errors import EngineError
+from repro.harness.runner import HandlingMeasurement, IssueVerdict
+
+HANDLING = "handling"
+ISSUE = "issue"
+
+
+def encode_result(result: "HandlingMeasurement | IssueVerdict") -> dict[str, Any]:
+    """Result dataclass → JSON-able payload (the disk-cache unit)."""
+    if isinstance(result, HandlingMeasurement):
+        return {
+            "type": HANDLING,
+            "package": result.package,
+            "label": result.label,
+            "policy": result.policy,
+            "episodes": [[ms, path] for ms, path in result.episodes],
+            "memory_after_mb": result.memory_after_mb,
+        }
+    if isinstance(result, IssueVerdict):
+        return {
+            "type": ISSUE,
+            "package": result.package,
+            "label": result.label,
+            "policy": result.policy,
+            "issue": result.issue.value,
+            "crashed": result.crashed,
+            "crash_exception": result.crash_exception,
+            "slots_preserved": dict(result.slots_preserved),
+            "async_update_visible": result.async_update_visible,
+            "handling": [[ms, path] for ms, path in result.handling],
+        }
+    raise EngineError(f"cannot encode result of type {type(result).__name__}")
+
+
+def decode_result(payload: dict[str, Any]) -> "HandlingMeasurement | IssueVerdict":
+    """Inverse of :func:`encode_result`."""
+    kind = payload.get("type")
+    if kind == HANDLING:
+        return HandlingMeasurement(
+            package=payload["package"],
+            label=payload["label"],
+            policy=payload["policy"],
+            episodes=[(ms, path) for ms, path in payload["episodes"]],
+            memory_after_mb=payload["memory_after_mb"],
+        )
+    if kind == ISSUE:
+        return IssueVerdict(
+            package=payload["package"],
+            label=payload["label"],
+            policy=payload["policy"],
+            issue=IssueKind(payload["issue"]),
+            crashed=payload["crashed"],
+            crash_exception=payload["crash_exception"],
+            slots_preserved=dict(payload["slots_preserved"]),
+            async_update_visible=payload["async_update_visible"],
+            handling=[(ms, path) for ms, path in payload["handling"]],
+        )
+    raise EngineError(f"cannot decode cached payload of type {kind!r}")

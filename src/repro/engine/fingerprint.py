@@ -1,0 +1,91 @@
+"""Canonical content fingerprints for cache keys.
+
+A simulation run is fully determined by its inputs: the app spec, the
+policy, the cost model, the seed and the scenario kwargs.  The engine
+addresses cached results by a SHA-256 over a *canonical* encoding of
+those inputs, so two experiments that share a run — or the same
+experiment re-run tomorrow — produce the same key, while any semantic
+change to an input (one cost constant, one extra view in a layout)
+produces a different one.
+
+The canonical form is plain JSON-able structure built by value:
+
+* dataclass instances encode as ``["dc", <qualified name>, {field: ...}]``
+  (recursing into field values — ``repr`` is never trusted);
+* enums as ``["enum", <qualified name>, <value>]``;
+* dicts as key-sorted pair lists (keys themselves canonicalised, so
+  non-string keys like ``Orientation`` work);
+* sets as sorted element lists; tuples and lists both as ``["seq", ...]``;
+* classes / functions by dotted name (a policy factory is identity, not
+  state).
+
+Anything else is an :class:`~repro.errors.EngineError` — refusing to
+fingerprint beats silently colliding.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+from typing import Any
+
+from repro.errors import EngineError
+
+#: Bump when the canonical encoding, the result codec, or simulator
+#: semantics change in a way that invalidates previously cached results.
+CACHE_SCHEMA_VERSION = 1
+
+_ATOMS = (str, int, float, bool, type(None))
+
+
+def canonicalize(obj: Any) -> Any:
+    """Reduce ``obj`` to a deterministic JSON-able structure."""
+    if isinstance(obj, bool) or obj is None or isinstance(obj, (str, int)):
+        return obj
+    if isinstance(obj, float):
+        # repr round-trips floats exactly; integral floats stay floats.
+        return ["f", repr(obj)]
+    if isinstance(obj, enum.Enum):
+        return ["enum", _qualname(type(obj)), canonicalize(obj.value)]
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        fields = {
+            field.name: canonicalize(getattr(obj, field.name))
+            for field in dataclasses.fields(obj)
+        }
+        return ["dc", _qualname(type(obj)), fields]
+    if isinstance(obj, dict):
+        pairs = sorted(
+            (_sort_key(key), canonicalize(key), canonicalize(value))
+            for key, value in obj.items()
+        )
+        return ["dict", [[key, value] for _, key, value in pairs]]
+    if isinstance(obj, (list, tuple)):
+        return ["seq", [canonicalize(item) for item in obj]]
+    if isinstance(obj, (set, frozenset)):
+        return ["set", sorted(_sort_key(item) for item in obj)]
+    if isinstance(obj, type) or callable(obj):
+        return ["ref", _qualname(obj)]
+    raise EngineError(
+        f"cannot fingerprint {type(obj).__name__!r} value {obj!r}; "
+        "cache keys must be built from data, not live objects"
+    )
+
+
+def fingerprint(obj: Any) -> str:
+    """SHA-256 hex digest of the canonical encoding of ``obj``."""
+    encoded = json.dumps(
+        canonicalize(obj), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(encoded.encode("utf-8")).hexdigest()
+
+
+def _qualname(obj: Any) -> str:
+    module = getattr(obj, "__module__", "")
+    name = getattr(obj, "__qualname__", getattr(obj, "__name__", repr(obj)))
+    return f"{module}.{name}"
+
+
+def _sort_key(obj: Any) -> str:
+    return json.dumps(canonicalize(obj), sort_keys=True, separators=(",", ":"))

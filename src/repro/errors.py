@@ -40,6 +40,11 @@ class ReplayDivergenceError(SimulationError):
     """
 
 
+class EngineError(SimulationError):
+    """The batch experiment engine was misused (unknown policy or run
+    kind, an unfingerprintable cache-key component, ...)."""
+
+
 class AppCrash(Exception):
     """Base class for exceptions that crash the simulated app process.
 

@@ -1,7 +1,17 @@
-"""CLI: ``python -m repro.harness.experiments [id ...]``.
+"""CLI: ``python -m repro.harness.experiments [id ...] [options]``.
 
 Without arguments, lists the available experiment ids.  With ids, runs
 each experiment and prints its paper-style report.
+
+Options (consumed anywhere on the line):
+
+* ``--jobs N``   — fan independent simulation runs across N worker
+  processes (default 1; results are byte-identical to serial).
+* ``--no-cache`` — disable the content-addressed result cache.  The
+  cache is on by default for CLI runs and lives in ``.repro-cache/``;
+  a second run of the same experiment (or one sharing runs, like fig7
+  after fig8) skips completed simulations.
+* ``--cache-root PATH`` — put the cache somewhere else.
 """
 
 from __future__ import annotations
@@ -9,6 +19,7 @@ from __future__ import annotations
 import importlib
 import sys
 
+from repro import engine
 from repro.harness.experiments import REGISTRY
 
 _MODULES = {
@@ -21,22 +32,60 @@ _MODULES = {
 }
 
 
+def parse_engine_args(argv: list[str]) -> tuple[list[str], dict, int | None]:
+    """Split engine options out of ``argv``.
+
+    Returns ``(positional, engine_kwargs, error_status)`` —
+    ``error_status`` is None unless an option was malformed.
+    """
+    positional: list[str] = []
+    kwargs: dict = {"cache": True}
+    walker = iter(argv)
+    for arg in walker:
+        if arg == "--jobs":
+            value = next(walker, None)
+            if value is None or not value.isdigit() or int(value) < 1:
+                print("--jobs needs a positive integer argument")
+                return positional, kwargs, 2
+            kwargs["jobs"] = int(value)
+        elif arg == "--no-cache":
+            kwargs["cache"] = False
+        elif arg == "--cache-root":
+            value = next(walker, None)
+            if value is None:
+                print("--cache-root needs a path argument")
+                return positional, kwargs, 2
+            kwargs["cache_root"] = value
+        else:
+            positional.append(arg)
+    return positional, kwargs, None
+
+
 def main(argv: list[str]) -> int:
-    if not argv:
+    keys, engine_kwargs, error = parse_engine_args(argv)
+    if error is not None:
+        return error
+    if not keys:
         print("available experiments:")
         for key in REGISTRY:
             print(f"  {key}")
-        print("usage: python -m repro.harness.experiments <id> [<id> ...]")
+        print("usage: python -m repro.harness.experiments <id> [<id> ...]"
+              " [--jobs N] [--no-cache] [--cache-root PATH]")
         return 0
-    for key in argv:
+    for key in keys:
         if key not in _MODULES:
             print(f"unknown experiment {key!r}; known: {', '.join(_MODULES)}")
             return 2
-        module = importlib.import_module(
-            f"repro.harness.experiments.{_MODULES[key]}"
-        )
-        print(module.format_report(module.run()))
-        print()
+    previous = engine.configure(**engine_kwargs)
+    try:
+        for key in keys:
+            module = importlib.import_module(
+                f"repro.harness.experiments.{_MODULES[key]}"
+            )
+            print(module.format_report(module.run()))
+            print()
+    finally:
+        engine.restore(previous)
     return 0
 
 

@@ -15,14 +15,9 @@ from dataclasses import dataclass
 from repro.android.views.inflate import ViewSpec
 from repro.apps.dsl import AppSpec, IssueKind, StateSlot, StorageKind, \
     filler_views, two_orientation_resources
-from repro.baselines.android10 import Android10Policy
-from repro.baselines.runtimedroid import (
-    RUNTIMEDROID_TABLE4,
-    RuntimeDroidPolicy,
-)
-from repro.core.policy import RCHDroidPolicy
+from repro.baselines.runtimedroid import RUNTIMEDROID_TABLE4
+from repro.engine import run_policy_matrix
 from repro.harness.report import render_table
-from repro.harness.runner import measure_handling
 from repro.sim.rng import DeterministicRng
 
 
@@ -96,23 +91,24 @@ class Fig12Result:
         return 0  # the Android-System way: no app modifications
 
 
-def run(seed: int = 0x5EED) -> Fig12Result:
-    rows: list[Fig12Row] = []
+def run(seed: int = 0x5EED, *, jobs: int | None = None,
+        cache=None) -> Fig12Result:
     table4_by_app = {entry.app: entry for entry in RUNTIMEDROID_TABLE4}
-    for app in build_table4_apps(seed):
-        stock = measure_handling(Android10Policy, app, seed=seed)
-        rchdroid = measure_handling(RCHDroidPolicy, app, seed=seed)
-        runtimedroid = measure_handling(RuntimeDroidPolicy, app, seed=seed)
-        rows.append(
-            Fig12Row(
-                label=app.label,
-                android10_ms=stock.steady_state_ms,
-                rchdroid_ms=rchdroid.steady_state_ms,
-                runtimedroid_ms=runtimedroid.steady_state_ms,
-                runtimedroid_mod_loc=table4_by_app[app.label].modification_loc,
-            )
+    apps = build_table4_apps(seed)
+    matrix = run_policy_matrix(
+        apps, ["android10", "rchdroid", "runtimedroid"],
+        seed=seed, jobs=jobs, cache=cache,
+    )
+    return Fig12Result(rows=[
+        Fig12Row(
+            label=app.label,
+            android10_ms=cell["android10"].steady_state_ms,
+            rchdroid_ms=cell["rchdroid"].steady_state_ms,
+            runtimedroid_ms=cell["runtimedroid"].steady_state_ms,
+            runtimedroid_mod_loc=table4_by_app[app.label].modification_loc,
         )
-    return Fig12Result(rows=rows)
+        for app, cell in zip(apps, matrix)
+    ])
 
 
 def format_report(result: Fig12Result) -> str:

@@ -13,10 +13,8 @@ from statistics import mean
 
 from repro.apps.dsl import IssueKind
 from repro.apps.top100 import build_top100
-from repro.baselines.android10 import Android10Policy
-from repro.core.policy import RCHDroidPolicy
+from repro.engine import run_policy_matrix
 from repro.harness.report import Comparison, render_comparisons, render_table
-from repro.harness.runner import measure_handling
 
 PAPER = {
     "android10_ms": 420.58,
@@ -76,26 +74,25 @@ class Fig14Result:
         return 100.0 * (self.mean_rchdroid_mb / self.mean_android10_mb - 1.0)
 
 
-def run(seed: int = 0x5EED) -> Fig14Result:
+def run(seed: int = 0x5EED, *, jobs: int | None = None,
+        cache=None) -> Fig14Result:
     fixable = [
         app for app in build_top100(seed)
         if app.issue is IssueKind.VIEW_STATE_LOSS
     ]
-    rows: list[Fig14Row] = []
-    for app in fixable:
-        stock = measure_handling(Android10Policy, app, seed=seed)
-        rchdroid = measure_handling(RCHDroidPolicy, app, seed=seed)
-        rows.append(
-            Fig14Row(
-                label=app.label,
-                android10_ms=stock.steady_state_ms,
-                rchdroid_ms=rchdroid.steady_state_ms,
-                rchdroid_init_ms=rchdroid.first_episode_ms,
-                android10_mb=stock.memory_after_mb,
-                rchdroid_mb=rchdroid.memory_after_mb,
-            )
+    matrix = run_policy_matrix(fixable, ["android10", "rchdroid"],
+                               seed=seed, jobs=jobs, cache=cache)
+    return Fig14Result(rows=[
+        Fig14Row(
+            label=app.label,
+            android10_ms=cell["android10"].steady_state_ms,
+            rchdroid_ms=cell["rchdroid"].steady_state_ms,
+            rchdroid_init_ms=cell["rchdroid"].first_episode_ms,
+            android10_mb=cell["android10"].memory_after_mb,
+            rchdroid_mb=cell["rchdroid"].memory_after_mb,
         )
-    return Fig14Result(rows=rows)
+        for app, cell in zip(fixable, matrix)
+    ])
 
 
 def format_report(result: Fig14Result) -> str:

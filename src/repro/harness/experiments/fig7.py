@@ -13,10 +13,8 @@ from dataclasses import dataclass
 from statistics import mean
 
 from repro.apps.appset27 import build_appset27
-from repro.baselines.android10 import Android10Policy
-from repro.core.policy import RCHDroidPolicy
+from repro.engine import run_policy_matrix
 from repro.harness.report import Comparison, render_comparisons, render_table
-from repro.harness.runner import measure_handling
 
 PAPER_MEAN_SAVING_PERCENT = 25.46
 
@@ -50,20 +48,20 @@ class Fig7Result:
         return mean(row.rchdroid_ms for row in self.rows)
 
 
-def run(seed: int = 0x5EED) -> Fig7Result:
-    rows: list[Fig7Row] = []
-    for app in build_appset27(seed):
-        stock = measure_handling(Android10Policy, app, seed=seed)
-        rchdroid = measure_handling(RCHDroidPolicy, app, seed=seed)
-        rows.append(
-            Fig7Row(
-                label=app.label,
-                android10_ms=stock.steady_state_ms,
-                rchdroid_ms=rchdroid.steady_state_ms,
-                rchdroid_init_ms=rchdroid.first_episode_ms,
-            )
+def run(seed: int = 0x5EED, *, jobs: int | None = None,
+        cache=None) -> Fig7Result:
+    apps = build_appset27(seed)
+    matrix = run_policy_matrix(apps, ["android10", "rchdroid"],
+                               seed=seed, jobs=jobs, cache=cache)
+    return Fig7Result(rows=[
+        Fig7Row(
+            label=app.label,
+            android10_ms=cell["android10"].steady_state_ms,
+            rchdroid_ms=cell["rchdroid"].steady_state_ms,
+            rchdroid_init_ms=cell["rchdroid"].first_episode_ms,
         )
-    return Fig7Result(rows=rows)
+        for app, cell in zip(apps, matrix)
+    ])
 
 
 def format_report(result: Fig7Result) -> str:

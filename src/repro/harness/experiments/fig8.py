@@ -11,10 +11,8 @@ from dataclasses import dataclass
 from statistics import mean
 
 from repro.apps.appset27 import build_appset27
-from repro.baselines.android10 import Android10Policy
-from repro.core.policy import RCHDroidPolicy
+from repro.engine import run_policy_matrix
 from repro.harness.report import Comparison, render_comparisons, render_table
-from repro.harness.runner import measure_handling
 
 PAPER_ANDROID10_MB = 47.56
 PAPER_RCHDROID_MB = 53.53
@@ -45,19 +43,19 @@ class Fig8Result:
         return self.mean_rchdroid_mb / self.mean_android10_mb
 
 
-def run(seed: int = 0x5EED) -> Fig8Result:
-    rows: list[Fig8Row] = []
-    for app in build_appset27(seed):
-        stock = measure_handling(Android10Policy, app, seed=seed)
-        rchdroid = measure_handling(RCHDroidPolicy, app, seed=seed)
-        rows.append(
-            Fig8Row(
-                label=app.label,
-                android10_mb=stock.memory_after_mb,
-                rchdroid_mb=rchdroid.memory_after_mb,
-            )
+def run(seed: int = 0x5EED, *, jobs: int | None = None,
+        cache=None) -> Fig8Result:
+    apps = build_appset27(seed)
+    matrix = run_policy_matrix(apps, ["android10", "rchdroid"],
+                               seed=seed, jobs=jobs, cache=cache)
+    return Fig8Result(rows=[
+        Fig8Row(
+            label=app.label,
+            android10_mb=cell["android10"].memory_after_mb,
+            rchdroid_mb=cell["rchdroid"].memory_after_mb,
         )
-    return Fig8Result(rows=rows)
+        for app, cell in zip(apps, matrix)
+    ])
 
 
 def format_report(result: Fig8Result) -> str:

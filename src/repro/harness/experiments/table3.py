@@ -12,10 +12,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.apps.appset27 import UNFIXABLE_APPS, build_appset27
-from repro.baselines.android10 import Android10Policy
-from repro.core.policy import RCHDroidPolicy
+from repro.engine import KIND_ISSUE, run_policy_matrix
 from repro.harness.report import render_table
-from repro.harness.runner import IssueVerdict, run_issue_scenario
+from repro.harness.runner import IssueVerdict
 
 
 @dataclass
@@ -53,22 +52,23 @@ class Table3Result:
         return [row.label for row in self.rows if not row.solved_by_rchdroid]
 
 
-def run(seed: int = 0x5EED) -> Table3Result:
-    rows: list[Table3Row] = []
-    for index, app in enumerate(build_appset27(seed), start=1):
-        stock = run_issue_scenario(Android10Policy, app, seed=seed)
-        rchdroid = run_issue_scenario(RCHDroidPolicy, app, seed=seed)
-        rows.append(
-            Table3Row(
-                index=index,
-                label=app.label,
-                downloads=app.downloads,
-                issue_description=app.issue_description,
-                stock=stock,
-                rchdroid=rchdroid,
-            )
+def run(seed: int = 0x5EED, *, jobs: int | None = None,
+        cache=None) -> Table3Result:
+    apps = build_appset27(seed)
+    matrix = run_policy_matrix(apps, ["android10", "rchdroid"],
+                               kind=KIND_ISSUE, seed=seed,
+                               jobs=jobs, cache=cache)
+    return Table3Result(rows=[
+        Table3Row(
+            index=index,
+            label=app.label,
+            downloads=app.downloads,
+            issue_description=app.issue_description,
+            stock=cell["android10"],
+            rchdroid=cell["rchdroid"],
         )
-    return Table3Result(rows=rows)
+        for index, (app, cell) in enumerate(zip(apps, matrix), start=1)
+    ])
 
 
 def format_report(result: Table3Result) -> str:

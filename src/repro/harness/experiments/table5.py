@@ -17,10 +17,9 @@ from repro.apps.top100 import (
     build_top100,
     expected_counts,
 )
-from repro.baselines.android10 import Android10Policy
-from repro.core.policy import RCHDroidPolicy
+from repro.engine import KIND_ISSUE, run_policy_matrix
 from repro.harness.report import render_table
-from repro.harness.runner import IssueVerdict, run_issue_scenario
+from repro.harness.runner import IssueVerdict
 
 
 @dataclass
@@ -76,25 +75,25 @@ class Table5Result:
         ]
 
 
-def run(seed: int = 0x5EED) -> Table5Result:
+def run(seed: int = 0x5EED, *, jobs: int | None = None,
+        cache=None) -> Table5Result:
     apps = build_top100(seed)
-    rows: list[Table5Row] = []
-    for table_row, app in zip(TOP100_TABLE, apps):
-        stock = run_issue_scenario(Android10Policy, app, seed=seed)
-        rchdroid = run_issue_scenario(RCHDroidPolicy, app, seed=seed)
-        rows.append(
-            Table5Row(
-                rank=table_row.rank,
-                label=table_row.name,
-                downloads=table_row.downloads,
-                declared_issue=table_row.has_issue,
-                problem=table_row.problem,
-                issue_kind=app.issue,
-                stock=stock,
-                rchdroid=rchdroid,
-            )
+    matrix = run_policy_matrix(apps, ["android10", "rchdroid"],
+                               kind=KIND_ISSUE, seed=seed,
+                               jobs=jobs, cache=cache)
+    return Table5Result(rows=[
+        Table5Row(
+            rank=table_row.rank,
+            label=table_row.name,
+            downloads=table_row.downloads,
+            declared_issue=table_row.has_issue,
+            problem=table_row.problem,
+            issue_kind=app.issue,
+            stock=cell["android10"],
+            rchdroid=cell["rchdroid"],
         )
-    return Table5Result(rows=rows)
+        for table_row, app, cell in zip(TOP100_TABLE, apps, matrix)
+    ])
 
 
 def format_report(result: Table5Result) -> str:

@@ -16,13 +16,24 @@ Two kinds of time passage exist:
   synchronous on-thread work (inflating views, binder marshalling).
   An event whose timestamp has already passed when it is popped simply
   runs late, which is exactly a queueing delay.
+
+Hot-path notes (this is the innermost loop of every simulation):
+
+* The heap holds plain ``(when_ms, seq, event)`` tuples, so ordering is
+  resolved by C-level tuple comparison and never reaches the
+  :class:`Event` object (which is ``__slots__``-only and not orderable).
+* Dispatch is pre-bound: ``self._dispatch`` points at the untraced
+  dispatcher until a real tracer is installed (assigning
+  ``scheduler.tracer`` rebinds it), so a disabled tracer costs nothing
+  per event — not even a branch.
+* The live-event count is an O(1) counter maintained on schedule /
+  cancel / dispatch instead of an O(n) queue scan.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.errors import SchedulerError
@@ -31,18 +42,41 @@ from repro.trace import span as trace_categories
 from repro.trace.tracer import NULL_TRACER
 
 
-@dataclass(order=True)
 class Event:
-    """A scheduled callback.  Ordering is ``(when_ms, seq)``."""
+    """A scheduled callback.  Queue ordering is ``(when_ms, seq)``."""
 
-    when_ms: float
-    seq: int
-    callback: Callable[[], None] = field(compare=False)
-    label: str = field(compare=False, default="")
-    cancelled: bool = field(compare=False, default=False)
+    __slots__ = ("when_ms", "seq", "callback", "label", "cancelled",
+                 "_scheduler")
+
+    def __init__(
+        self,
+        when_ms: float,
+        seq: int,
+        callback: Callable[[], None],
+        label: str = "",
+        scheduler: "Scheduler | None" = None,
+    ):
+        self.when_ms = when_ms
+        self.seq = seq
+        self.callback = callback
+        self.label = label
+        self.cancelled = False
+        self._scheduler = scheduler
 
     def cancel(self) -> None:
+        """Mark the event dead; it will be skipped when popped.
+
+        Idempotent: a second ``cancel()`` (or cancelling after dispatch)
+        is a no-op, so the scheduler's live counter is decremented at
+        most once per event.
+        """
+        if self.cancelled:
+            return
         self.cancelled = True
+        scheduler = self._scheduler
+        if scheduler is not None:
+            scheduler._live -= 1
+            self._scheduler = None
 
 
 class Scheduler:
@@ -50,13 +84,27 @@ class Scheduler:
 
     def __init__(self, clock: VirtualClock):
         self.clock = clock
-        self._queue: list[Event] = []
+        self._queue: list[tuple[float, int, Event]] = []
         self._seq = itertools.count()
-        self._running = False
+        self._live = 0
         self.events_executed = 0
-        self.tracer = NULL_TRACER
+        self._tracer = NULL_TRACER
+        self._dispatch: Callable[[Event], None] = self._dispatch_untraced
+
+    @property
+    def tracer(self):
         """Set by ``repro.trace.hooks.install_tracing``; the scheduler
-        keeps its own reference because dispatch is the hottest hook."""
+        keeps its own reference because dispatch is the hottest hook.
+        Assigning it rebinds the dispatch function, so the disabled path
+        never pays the ``tracer.enabled`` branch."""
+        return self._tracer
+
+    @tracer.setter
+    def tracer(self, tracer) -> None:
+        self._tracer = tracer
+        self._dispatch = (
+            self._dispatch_traced if tracer.enabled else self._dispatch_untraced
+        )
 
     # ------------------------------------------------------------------
     # scheduling
@@ -67,9 +115,7 @@ class Scheduler:
         """Enqueue ``callback`` to run ``delay_ms`` after the current time."""
         if delay_ms < 0:
             raise SchedulerError(f"negative delay: {delay_ms}")
-        event = Event(self.clock.now_ms + delay_ms, next(self._seq), callback, label)
-        heapq.heappush(self._queue, event)
-        return event
+        return self._push(self.clock.now_ms + delay_ms, callback, label)
 
     def schedule_at(
         self, when_ms: float, callback: Callable[[], None], label: str = ""
@@ -79,17 +125,22 @@ class Scheduler:
         Timestamps in the past are clamped to "now" (a busy queue delivers
         late, it never time-travels).
         """
-        when_ms = max(when_ms, self.clock.now_ms)
-        event = Event(when_ms, next(self._seq), callback, label)
-        heapq.heappush(self._queue, event)
+        return self._push(max(when_ms, self.clock.now_ms), callback, label)
+
+    def _push(
+        self, when_ms: float, callback: Callable[[], None], label: str
+    ) -> Event:
+        event = Event(when_ms, next(self._seq), callback, label, self)
+        heapq.heappush(self._queue, (when_ms, event.seq, event))
+        self._live += 1
         return event
 
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
     def pending(self) -> int:
-        """Number of live (non-cancelled) events still queued."""
-        return sum(1 for event in self._queue if not event.cancelled)
+        """Number of live (non-cancelled) events still queued.  O(1)."""
+        return self._live
 
     def run_until_idle(self, max_events: int = 1_000_000) -> int:
         """Drain the queue; returns the number of events executed.
@@ -98,32 +149,35 @@ class Scheduler:
         rescheduling itself unconditionally, which is a bug in the model.
         """
         executed = 0
-        while self._queue:
+        queue = self._queue
+        while queue:
             if executed >= max_events:
                 raise SchedulerError(
                     f"run_until_idle exceeded {max_events} events; runaway loop?"
                 )
-            event = heapq.heappop(self._queue)
+            event = heapq.heappop(queue)[2]
             if event.cancelled:
                 continue
+            self._live -= 1
+            event._scheduler = None
             self._dispatch(event)
             executed += 1
             self.events_executed += 1
         return executed
 
-    def _dispatch(self, event: Event) -> None:
+    def _dispatch_untraced(self, event: Event) -> None:
         # A callback that consumed work may have pushed the clock
         # past this event's timestamp; late events run "now".
         self.clock.jump_to(max(event.when_ms, self.clock.now_ms))
-        tracer = self.tracer
-        if tracer.enabled:
-            with tracer.span(
-                event.label or "event",
-                trace_categories.SCHEDULER,
-                seq=event.seq,
-            ):
-                event.callback()
-        else:
+        event.callback()
+
+    def _dispatch_traced(self, event: Event) -> None:
+        self.clock.jump_to(max(event.when_ms, self.clock.now_ms))
+        with self._tracer.span(
+            event.label or "event",
+            trace_categories.SCHEDULER,
+            seq=event.seq,
+        ):
             event.callback()
 
     def run_until(self, deadline_ms: float, max_events: int = 1_000_000) -> int:
@@ -134,18 +188,21 @@ class Scheduler:
         profiler sample can land mid-operation.
         """
         executed = 0
-        while self._queue:
+        queue = self._queue
+        while queue:
             if executed >= max_events:
                 raise SchedulerError(
                     f"run_until exceeded {max_events} events; runaway loop?"
                 )
-            head = self._queue[0]
-            if head.cancelled:
-                heapq.heappop(self._queue)
+            when_ms, _, event = queue[0]
+            if event.cancelled:
+                heapq.heappop(queue)
                 continue
-            if head.when_ms > deadline_ms:
+            if when_ms > deadline_ms:
                 break
-            event = heapq.heappop(self._queue)
+            heapq.heappop(queue)
+            self._live -= 1
+            event._scheduler = None
             self._dispatch(event)
             executed += 1
             self.events_executed += 1

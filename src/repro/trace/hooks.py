@@ -25,8 +25,10 @@ Hook points (category → site):
                         crash/kill.
 ======================  ================================================
 
-Hot sites (scheduler, looper, ipc, migration) guard on
-``tracer.enabled`` so the disabled cost is a single attribute check; the
+The scheduler pre-binds its dispatch function when a tracer is assigned
+(see ``sim/scheduler.py``), so the disabled path pays nothing per event;
+the other hot sites (looper, ipc, migration) guard on
+``tracer.enabled`` so their disabled cost is a single attribute check; the
 coarse sites use ``with ctx.tracer.span(...)`` against the null tracer's
 shared no-op handle.  Either way a disabled run records zero spans —
 ``tests/trace/test_hooks.py`` pins that.

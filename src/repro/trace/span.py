@@ -64,9 +64,14 @@ class SpanContext:
     depth: int
 
 
-@dataclass
+@dataclass(slots=True)
 class Span:
-    """One recorded operation.  ``end_ms`` is ``None`` while still open."""
+    """One recorded operation.  ``end_ms`` is ``None`` while still open.
+
+    ``slots=True`` matters: traced runs allocate one Span per scheduler
+    dispatch, looper message and migrated view, so the per-instance
+    ``__dict__`` would dominate the tracer's footprint.
+    """
 
     span_id: int
     parent_id: int | None

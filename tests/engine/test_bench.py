@@ -1,0 +1,91 @@
+"""bench-engine: report structure, acceptance checks, CLI parsing."""
+
+import json
+
+from repro.engine import bench
+
+
+def _report(*, identical=True, warm_memory=0.01, warm_disk=0.02, serial=1.0):
+    return {
+        "bench": "repro.engine",
+        "host": {"cpu_count": 4, "python": "3.11", "platform": "test"},
+        "jobs": 4,
+        "experiments": {
+            "fig14": {
+                "runs": 118,
+                "seconds": {
+                    "serial": serial,
+                    "parallel": 0.6,
+                    "cached_cold": 1.1,
+                    "cached_warm_memory": warm_memory,
+                    "cached_warm_disk": warm_disk,
+                },
+                "speedup_vs_serial": {
+                    "parallel": 1.67,
+                    "cached_warm_memory": 100.0,
+                    "cached_warm_disk": 50.0,
+                },
+                "cache_stats": {},
+                "identical_to_serial": {
+                    "parallel": identical,
+                    "cached_cold": identical,
+                    "cached_warm_memory": identical,
+                    "cached_warm_disk": identical,
+                },
+            }
+        },
+    }
+
+
+class TestCheckReport:
+    def test_good_report_passes(self):
+        assert bench.check_report(_report()) == []
+
+    def test_divergent_results_fail(self):
+        failures = bench.check_report(_report(identical=False))
+        assert any("differ from serial" in failure for failure in failures)
+
+    def test_slow_warm_cache_fails(self):
+        failures = bench.check_report(_report(warm_memory=2.0))
+        assert any("not faster than" in failure for failure in failures)
+
+    def test_slow_disk_tier_fails(self):
+        failures = bench.check_report(_report(warm_disk=2.0))
+        assert failures
+
+
+class TestReportOutput:
+    def test_write_report_is_valid_json(self, tmp_path):
+        path = tmp_path / "BENCH_engine.json"
+        bench.write_report(_report(), str(path))
+        loaded = json.loads(path.read_text())
+        assert loaded["experiments"]["fig14"]["runs"] == 118
+
+    def test_format_report_mentions_host_and_identity(self):
+        text = bench.format_report(_report())
+        assert "cpus=4" in text
+        assert "byte-identical to serial: yes" in text
+        assert "fig14" in text
+
+    def test_format_report_flags_divergence(self):
+        text = bench.format_report(_report(identical=False))
+        assert "byte-identical to serial: NO" in text
+
+
+class TestRequestBuilders:
+    def test_fig14_builder_covers_both_policies(self):
+        requests = bench._REQUEST_BUILDERS["fig14"]()
+        assert len(requests) == 118
+        assert {request.policy for request in requests} \
+            == {"android10", "rchdroid"}
+
+    def test_table5_builder_covers_the_full_corpus(self):
+        requests = bench._REQUEST_BUILDERS["table5"]()
+        assert len(requests) == 200
+        assert {request.kind for request in requests} == {"issue"}
+
+
+class TestCliParsing:
+    def test_unknown_argument_exits_2(self, capsys):
+        assert bench.main(["--frobnicate"]) == 2
+        assert "unknown argument" in capsys.readouterr().err

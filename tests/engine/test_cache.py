@@ -1,0 +1,119 @@
+"""Two-tier result cache: hits, persistence, invalidation, corruption."""
+
+import json
+
+from repro.apps.appset27 import build_appset27
+from repro.engine.batch import RunRequest, execute_request
+from repro.engine.cache import ResultCache
+from repro.engine.codec import decode_result, encode_result
+
+
+def _app():
+    return build_appset27()[0]
+
+
+def _result():
+    return execute_request(RunRequest.handling("rchdroid", _app()))
+
+
+def _encoded(result):
+    return json.dumps(encode_result(result), sort_keys=True)
+
+
+class TestCodec:
+    def test_handling_round_trips_exactly(self):
+        result = _result()
+        again = decode_result(encode_result(result))
+        assert again == result
+        assert again.episodes[0] == result.episodes[0]
+        assert isinstance(again.episodes[0], tuple)
+
+    def test_issue_round_trips_exactly(self):
+        result = execute_request(RunRequest.issue("android10", _app()))
+        again = decode_result(encode_result(result))
+        assert again == result
+        assert again.issue is result.issue
+
+
+class TestMemoryTier:
+    def test_miss_then_hit(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        request = RunRequest.handling("rchdroid", _app())
+        key = request.cache_key()
+        hit, _ = cache.get(key)
+        assert not hit
+        result = execute_request(request)
+        cache.put(key, result)
+        hit, cached = cache.get(key)
+        assert hit
+        assert cached is result  # tier 1 returns the stored object
+        assert cache.stats.memory_hits == 1
+        assert cache.stats.misses == 1
+
+    def test_memory_only_mode(self):
+        cache = ResultCache(root=None)
+        cache.put("k", _result())
+        hit, _ = cache.get("k")
+        assert hit
+
+
+class TestDiskTier:
+    def test_persists_across_instances(self, tmp_path):
+        request = RunRequest.handling("rchdroid", _app())
+        key = request.cache_key()
+        result = execute_request(request)
+        ResultCache(root=tmp_path).put(key, result)
+
+        fresh = ResultCache(root=tmp_path)
+        hit, cached = fresh.get(key)
+        assert hit
+        assert fresh.stats.disk_hits == 1
+        assert _encoded(cached) == _encoded(result)
+        # the hit was promoted to tier 1
+        hit, _ = fresh.get(key)
+        assert fresh.stats.memory_hits == 1
+
+    def test_schema_version_bump_invalidates(self, tmp_path):
+        request = RunRequest.handling("rchdroid", _app())
+        old = ResultCache(root=tmp_path, schema_version=1)
+        old.put(request.cache_key(1), _result())
+
+        new = ResultCache(root=tmp_path, schema_version=2)
+        hit, _ = new.get(request.cache_key(2))
+        assert not hit
+        # and the keys themselves differ, so even equal dirs can't collide
+        assert request.cache_key(1) != request.cache_key(2)
+
+    def test_corrupt_file_is_a_miss(self, tmp_path):
+        request = RunRequest.handling("rchdroid", _app())
+        key = request.cache_key()
+        cache = ResultCache(root=tmp_path)
+        cache.put(key, _result())
+        path = cache._path(key)
+        path.write_text("{ not json")
+
+        fresh = ResultCache(root=tmp_path)
+        hit, _ = fresh.get(key)
+        assert not hit
+
+    def test_wrong_key_in_payload_is_a_miss(self, tmp_path):
+        request = RunRequest.handling("rchdroid", _app())
+        key = request.cache_key()
+        cache = ResultCache(root=tmp_path)
+        cache.put(key, _result())
+        path = cache._path(key)
+        payload = json.loads(path.read_text())
+        payload["key"] = "0" * 64
+        path.write_text(json.dumps(payload))
+
+        fresh = ResultCache(root=tmp_path)
+        hit, _ = fresh.get(key)
+        assert not hit
+
+    def test_unwritable_root_degrades_to_memory(self, tmp_path):
+        blocker = tmp_path / "flat"
+        blocker.write_text("in the way")  # a file where the dir should go
+        cache = ResultCache(root=blocker / "sub")
+        cache.put("k", _result())
+        hit, _ = cache.get("k")
+        assert hit  # memory tier still served it

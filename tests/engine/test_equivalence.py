@@ -1,0 +1,68 @@
+"""Pinned end-to-end equivalence: parallel/cached experiments == serial.
+
+The engine's headline guarantee, checked on the real experiment
+pipelines: running Fig. 14 and Table 5 with ``jobs=4`` (on any host,
+whatever its core count) or through a cold-then-warm cache yields rows
+identical to the serial run — same objects, same formatted report.
+"""
+
+from repro.engine import ResultCache
+from repro.harness.experiments import fig14, table5
+
+
+class TestFig14:
+    def test_parallel_rows_identical_to_serial(self):
+        serial = fig14.run(jobs=1)
+        parallel = fig14.run(jobs=4)
+        assert parallel.rows == serial.rows
+        assert fig14.format_report(parallel) == fig14.format_report(serial)
+
+    def test_cached_rows_identical_to_serial(self, tmp_path):
+        serial = fig14.run(jobs=1)
+        cache = ResultCache(root=tmp_path)
+        cold = fig14.run(cache=cache)
+        warm = fig14.run(cache=cache)
+        assert cold.rows == serial.rows
+        assert warm.rows == serial.rows
+        assert cache.stats.memory_hits == cache.stats.stores == 118
+
+    def test_disk_tier_rows_identical_to_serial(self, tmp_path):
+        serial = fig14.run(jobs=1)
+        fig14.run(cache=ResultCache(root=tmp_path))
+        fresh = ResultCache(root=tmp_path)
+        from_disk = fig14.run(cache=fresh)
+        assert from_disk.rows == serial.rows
+        assert fresh.stats.disk_hits == 118
+        assert fresh.stats.misses == 0
+
+
+class TestTable5:
+    def test_parallel_rows_identical_to_serial(self):
+        serial = table5.run(jobs=1)
+        parallel = table5.run(jobs=4)
+        assert parallel.rows == serial.rows
+        assert parallel.solved == serial.solved
+        assert table5.format_report(parallel) == table5.format_report(serial)
+
+    def test_cached_rows_identical_to_serial(self, tmp_path):
+        serial = table5.run(jobs=1)
+        cache = ResultCache(root=tmp_path)
+        cold = table5.run(cache=cache)
+        warm = table5.run(cache=cache)
+        assert cold.rows == serial.rows
+        assert warm.rows == serial.rows
+        assert warm.solved == serial.solved
+
+
+class TestHeadlineNumbersSurvive:
+    """The paper-facing aggregates must not move under the engine."""
+
+    def test_fig14_means_pinned(self):
+        result = fig14.run(jobs=4)
+        assert len(result.rows) == 59
+        assert round(result.mean_rchdroid_ms, 2) == 251.03
+
+    def test_table5_counts_pinned(self, tmp_path):
+        result = table5.run(cache=ResultCache(root=tmp_path))
+        assert result.with_issue == 63
+        assert result.solved == 59

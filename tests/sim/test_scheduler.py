@@ -118,3 +118,90 @@ def test_events_executed_counter(scheduler):
         scheduler.schedule(1.0, lambda: None)
     scheduler.run_until_idle()
     assert scheduler.events_executed == 3
+
+
+def test_double_cancel_does_not_double_decrement(scheduler):
+    """cancel() must be idempotent: a second call (Message.recall after
+    AsyncTask.cancel, say) must not corrupt the live-event counter."""
+    event = scheduler.schedule(1.0, lambda: None)
+    scheduler.schedule(2.0, lambda: None)
+    event.cancel()
+    event.cancel()
+    assert scheduler.pending() == 1
+    scheduler.run_until_idle()
+    assert scheduler.pending() == 0
+
+
+def test_cancel_after_dispatch_does_not_corrupt_pending(scheduler):
+    """An event cancelled AFTER it ran (a late AsyncTask.cancel) is a
+    no-op for accounting: the dispatch already consumed its live slot."""
+    events = []
+    events.append(scheduler.schedule(1.0, lambda: None))
+    scheduler.schedule(2.0, lambda: None)
+    scheduler.run_until(1.5)
+    events[0].cancel()  # already dispatched
+    assert scheduler.pending() == 1
+    scheduler.run_until_idle()
+    assert scheduler.pending() == 0
+    assert scheduler.events_executed == 2
+
+
+def test_cancel_from_inside_own_callback(scheduler):
+    """Self-cancel during dispatch must not decrement a consumed slot."""
+    holder = {}
+
+    def run_and_cancel():
+        holder["event"].cancel()
+
+    holder["event"] = scheduler.schedule(1.0, run_and_cancel)
+    scheduler.schedule(2.0, lambda: None)
+    scheduler.run_until_idle()
+    assert scheduler.pending() == 0
+    assert scheduler.events_executed == 2
+
+
+def test_pending_matches_queue_under_churn(scheduler):
+    """The O(1) counter must agree with an actual scan at every step."""
+    import random
+
+    rng = random.Random(7)
+    live = []
+    for step in range(200):
+        if live and rng.random() < 0.4:
+            live.pop(rng.randrange(len(live))).cancel()
+        else:
+            live.append(scheduler.schedule(rng.uniform(0, 5), lambda: None))
+        actual = sum(
+            1 for _, _, event in scheduler._queue if not event.cancelled
+        )
+        assert scheduler.pending() == actual == len(live)
+    scheduler.run_until_idle()
+    assert scheduler.pending() == 0
+
+
+def test_event_has_slots():
+    from repro.sim.scheduler import Event
+
+    assert not hasattr(Event(0.0, 0, lambda: None), "__dict__")
+
+
+def test_tracer_rebinds_dispatch(scheduler):
+    """Assigning a live tracer swaps in the traced dispatch path; the
+    null tracer swaps it back out (the no-trace hot path costs nothing)."""
+    from repro.trace.tracer import NULL_TRACER, Tracer
+
+    assert scheduler._dispatch == scheduler._dispatch_untraced
+    scheduler.tracer = Tracer(scheduler.clock)
+    assert scheduler._dispatch == scheduler._dispatch_traced
+    scheduler.tracer = NULL_TRACER
+    assert scheduler._dispatch == scheduler._dispatch_untraced
+
+
+def test_traced_run_produces_scheduler_spans(scheduler):
+    from repro.trace.tracer import Tracer
+
+    tracer = Tracer(scheduler.clock)
+    scheduler.tracer = tracer
+    scheduler.schedule(1.0, lambda: None, label="tick")
+    scheduler.run_until_idle()
+    assert any(span.name == "tick" for span in tracer.spans)

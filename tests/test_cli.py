@@ -27,6 +27,46 @@ class TestExperimentsCli:
         assert "Twitter" in out and "Orbot" in out
 
 
+class TestEngineFlags:
+    def test_jobs_and_cache_root(self, capsys, tmp_path):
+        args = ["fig12", "--jobs", "2", "--cache-root", str(tmp_path)]
+        assert experiments_main(args) == 0
+        assert "Fig. 12" in capsys.readouterr().out
+        cached = list(tmp_path.rglob("*.json"))
+        assert len(cached) == 24  # 8 Table-4 apps x 3 policies
+
+    def test_no_cache_leaves_no_cache_dir(self, capsys, tmp_path):
+        args = ["fig12", "--no-cache", "--cache-root", str(tmp_path / "c")]
+        assert experiments_main(args) == 0
+        assert not (tmp_path / "c").exists()
+
+    def test_cached_rerun_reports_identically(self, capsys, tmp_path):
+        args = ["fig12", "--cache-root", str(tmp_path)]
+        assert experiments_main(args) == 0
+        first = capsys.readouterr().out
+        assert experiments_main(args) == 0
+        assert capsys.readouterr().out == first
+
+    def test_jobs_needs_a_positive_integer(self, capsys):
+        assert experiments_main(["fig12", "--jobs"]) == 2
+        assert experiments_main(["fig12", "--jobs", "zero"]) == 2
+        assert experiments_main(["fig12", "--jobs", "0"]) == 2
+
+    def test_cache_root_needs_a_path(self, capsys):
+        assert experiments_main(["fig12", "--cache-root"]) == 2
+
+    def test_engine_config_is_restored_after_a_run(self, tmp_path, capsys):
+        from repro import engine
+        from repro.engine.batch import _CONFIG
+
+        before = (_CONFIG.jobs, _CONFIG.cache, _CONFIG.cache_root)
+        args = ["fig12", "--jobs", "2", "--cache-root", str(tmp_path)]
+        assert experiments_main(args) == 0
+        capsys.readouterr()
+        after = engine.configure()  # no-op probe of the live config
+        assert (after.jobs, after.cache, after.cache_root) == before
+
+
 class TestReproCli:
     def test_help(self, capsys):
         assert repro_main(["--help"]) == 0
@@ -56,6 +96,11 @@ class TestReproCli:
         assert repro_main(["frobnicate"]) == 2
         out = capsys.readouterr().out
         assert "known commands:" in out and "trace" in out
+        assert "bench-engine" in out
+
+    def test_bench_engine_rejects_unknown_arguments(self, capsys):
+        assert repro_main(["bench-engine", "--bogus"]) == 2
+        assert "unknown argument" in capsys.readouterr().err
 
 
 class TestTraceCli:
