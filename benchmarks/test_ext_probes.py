@@ -1,0 +1,21 @@
+"""Extension bench: time-resolved recovery probes after a rotation storm.
+
+Expected shape: RCHDroid never crashes and its view state is intact at
+every sampled instant (the async value once it lands); the async update
+becomes visible by the last probe for the transparent policies.
+"""
+
+from conftest import run_once
+from repro.harness.experiments import ext_probes
+
+
+def test_ext_probes_delay_sweep(benchmark):
+    result = run_once(benchmark, lambda: ext_probes.run())
+    assert result.rchdroid_state_always_intact
+    assert result.async_eventually_visible["rchdroid"]
+    # Early probes must precede the async completion, late ones follow
+    # it — otherwise the sweep is not time-resolving anything.
+    series = result.series("rchdroid")
+    assert series[0].async_update_visible is False
+    assert series[-1].async_update_visible is True
+    print(ext_probes.format_report(result))

@@ -9,12 +9,15 @@ Commands:
   or Perfetto), and verify the trace replays identically from the same
   seed.  Options: ``-o/--output PATH``, ``--no-verify``.
 * ``bench-engine``       — benchmark the batch engine (serial vs parallel
-  vs cached) and write ``BENCH_engine.json``.  Options: ``--jobs N``,
-  ``-o/--output PATH``, ``--check`` (non-zero exit unless cached re-runs
-  beat cold serial and all modes are byte-identical).
+  vs cached vs prefix-snapshot forking) and write ``BENCH_engine.json``.
+  Options: ``--jobs N``, ``-o/--output PATH``, ``--check`` (non-zero exit
+  unless cached re-runs beat cold serial and all modes — forked cells
+  included — are byte-identical).
 * ``<experiment>``       — run one experiment (e.g. ``fig10``, ``table3``).
-  Options: ``--jobs N`` (parallel workers), ``--no-cache`` (skip the
-  ``.repro-cache/`` result cache), ``--cache-root PATH``.
+  Options: ``--jobs N|auto`` (parallel workers, default auto), ``--no-cache``
+  (skip the ``.repro-cache/`` result cache), ``--cache-root PATH``,
+  ``--no-snapshots`` (disable prefix-snapshot sharing), ``--verify-forks``
+  (re-run a sample of forked cells from scratch and compare).
 
 Unknown commands exit with status 2 and a "did you mean" hint.
 """

@@ -31,6 +31,16 @@ if TYPE_CHECKING:  # pragma: no cover
 class View:
     """A node of the view tree."""
 
+    __slots__ = (
+        "ctx", "view_id", "parent", "owner", "alive", "attrs",
+        "user_set_attrs", "dirty", "shadow_state", "sunny_state",
+        "sunny_peer", "memory_key",
+    )
+    """Slots keep per-view storage to a fixed layout: views dominate the
+    simulated object population, every snapshot copies all of them, and
+    the attr-storage path (``attrs``/``user_set_attrs``) is the hottest
+    per-mutation state."""
+
     view_type: str = "View"
     AUTO_SAVED_ATTRS: frozenset[str] = frozenset()
     """Attributes the *stock* per-view save function covers.  Android's
@@ -49,6 +59,10 @@ class View:
     def __init__(self, ctx: "SimContext", view_id: int | None = None):
         self.ctx = ctx
         self.view_id = view_id
+        self.memory_key = ctx.next_id("view-mem")
+        """Stable per-context identity for the memory ledger.  A CPython
+        ``id()`` would change across snapshot/restore, so a forked system
+        would free a different ledger entry than it allocated."""
         self.parent: "ViewGroup | None" = None
         self.owner: "Activity | None" = None
         self.alive = True
@@ -73,7 +87,7 @@ class View:
         self.owner = owner
         self.ctx.memory.allocate(
             owner.process.name,
-            ("view", id(self)),
+            ("view", self.memory_key),
             self.ctx.costs.view_base_mb + self.MEMORY_EXTRA_MB,
         )
 
@@ -83,7 +97,9 @@ class View:
             return
         self.alive = False
         if self.owner is not None:
-            self.ctx.memory.free(self.owner.process.name, ("view", id(self)))
+            self.ctx.memory.free(
+                self.owner.process.name, ("view", self.memory_key)
+            )
 
     def require_alive(self) -> None:
         if not self.alive:
@@ -206,6 +222,8 @@ class View:
 class ViewGroup(View):
     """A view that contains other views."""
 
+    __slots__ = ("children",)
+
     view_type = "ViewGroup"
 
     def __init__(self, ctx: "SimContext", view_id: int | None = None):
@@ -250,5 +268,7 @@ class ViewGroup(View):
 
 class DecorView(ViewGroup):
     """Root of an activity's view tree (Fig. 2(a))."""
+
+    __slots__ = ()
 
     view_type = "DecorView"

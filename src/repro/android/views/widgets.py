@@ -21,6 +21,7 @@ from repro.android.views.view import View, ViewGroup
 class TextView(View):
     """Displays text to the user.  Migration policy: ``setText``."""
 
+    __slots__ = ()
     view_type = "TextView"
     AUTO_SAVED_ATTRS = frozenset()
     MIGRATED_ATTRS = {"text": "setText"}
@@ -36,6 +37,7 @@ class TextView(View):
 class EditText(TextView):
     """Editable text box; the stock save function does keep its text."""
 
+    __slots__ = ()
     view_type = "EditText"
     AUTO_SAVED_ATTRS = frozenset({"text"})
 
@@ -43,6 +45,7 @@ class EditText(TextView):
 class Button(TextView):
     """A clickable TextView; migrated by its TextView policy."""
 
+    __slots__ = ("on_click",)
     view_type = "Button"
 
     def __init__(self, ctx, view_id=None):
@@ -69,6 +72,7 @@ class ImageView(View):
     Figure 9 benchmark app's memory scale with the image count.
     """
 
+    __slots__ = ()
     view_type = "ImageView"
     MIGRATED_ATTRS = {"drawable": "setDrawable"}
     MEMORY_EXTRA_MB = 0.55
@@ -88,6 +92,7 @@ class AbsListView(ViewGroup):
     position and ``setItemChecked`` for the selected item.
     """
 
+    __slots__ = ()
     view_type = "AbsListView"
     MIGRATED_ATTRS = {
         "selector_position": "positionSelector",
@@ -102,10 +107,12 @@ class AbsListView(ViewGroup):
 
 
 class ListView(AbsListView):
+    __slots__ = ()
     view_type = "ListView"
 
 
 class GridView(AbsListView):
+    __slots__ = ()
     view_type = "GridView"
 
 
@@ -113,6 +120,7 @@ class ScrollView(AbsListView):
     """Paper groups ScrollView under the AbsListView migration policy;
     its scroll offset rides the selector-position channel."""
 
+    __slots__ = ()
     view_type = "ScrollView"
 
     def scroll_to(self, offset: int) -> None:
@@ -126,6 +134,7 @@ class ScrollView(AbsListView):
 class VideoView(View):
     """Displays a video file.  Migration policy: ``setVideoURI``."""
 
+    __slots__ = ()
     view_type = "VideoView"
     MIGRATED_ATTRS = {"video_uri": "setVideoURI", "position_ms": "seekTo"}
     MEMORY_EXTRA_MB = 1.6
@@ -137,6 +146,7 @@ class VideoView(View):
 class ProgressBar(View):
     """Indicates operation progress.  Migration policy: ``setProgress``."""
 
+    __slots__ = ()
     view_type = "ProgressBar"
     MIGRATED_ATTRS = {"progress": "setProgress"}
 
@@ -149,6 +159,7 @@ class ProgressBar(View):
 
 
 class SeekBar(ProgressBar):
+    __slots__ = ()
     view_type = "SeekBar"
 
 
@@ -161,6 +172,7 @@ class CheckBox(Button):
     subtype's own contribution.
     """
 
+    __slots__ = ()
     view_type = "CheckBox"
     MIGRATED_ATTRS = {**TextView.MIGRATED_ATTRS, "checked": "setChecked"}
 
@@ -175,10 +187,12 @@ class CheckBox(Button):
 class Switch(CheckBox):
     """Two-state slider toggle; inherits the CheckBox policy."""
 
+    __slots__ = ()
     view_type = "Switch"
 
 
 class ToggleButton(CheckBox):
+    __slots__ = ()
     view_type = "ToggleButton"
 
 
@@ -186,6 +200,7 @@ class RadioButton(CheckBox):
     """One option of a radio group; checked state migrates like any
     CompoundButton (the Orbot bridge-selection bug of Fig. 13(d))."""
 
+    __slots__ = ()
     view_type = "RadioButton"
 
 
@@ -193,6 +208,7 @@ class Spinner(AbsListView):
     """Drop-down selection; inherits the AbsListView policy
     (``positionSelector`` carries the chosen entry)."""
 
+    __slots__ = ()
     view_type = "Spinner"
 
     def select(self, position: int) -> None:
@@ -206,6 +222,7 @@ class Spinner(AbsListView):
 class RatingBar(ProgressBar):
     """Star rating; its progress channel carries the rating."""
 
+    __slots__ = ()
     view_type = "RatingBar"
 
 

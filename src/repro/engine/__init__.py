@@ -6,14 +6,20 @@ figure/table is a list of independent ``measure_handling`` /
 first-class object (:class:`RunRequest`), executes it serially or across
 a process pool with submission-order merging (:func:`run_batch`), and
 memoises results in a two-tier content-addressed cache
-(:class:`ResultCache`).  The determinism contract: for a given request,
-serial, parallel and cached execution produce byte-identical results.
+(:class:`ResultCache`).  A third tier (:class:`SnapshotStore`) caches
+*prefix snapshots*: cache misses that share a fingerprint prefix run
+their common setup once and fork from a device checkpoint.  The
+determinism contract: for a given request, serial, parallel, cached and
+forked execution produce byte-identical results.
 See ``docs/PERFORMANCE.md``.
 """
 
 from repro.engine.batch import (
+    KIND_GC,
     KIND_HANDLING,
     KIND_ISSUE,
+    KIND_PROBE,
+    KIND_SCALABILITY,
     POLICIES,
     EngineConfig,
     RunRequest,
@@ -31,17 +37,26 @@ from repro.engine.fingerprint import (
     canonicalize,
     fingerprint,
 )
+from repro.engine.scenarios import SCENARIOS, ScenarioSpec
+from repro.engine.snapshots import SnapshotStats, SnapshotStore
 
 __all__ = [
     "CACHE_SCHEMA_VERSION",
     "DEFAULT_CACHE_ROOT",
+    "KIND_GC",
     "KIND_HANDLING",
     "KIND_ISSUE",
+    "KIND_PROBE",
+    "KIND_SCALABILITY",
     "POLICIES",
+    "SCENARIOS",
     "CacheStats",
     "EngineConfig",
     "ResultCache",
     "RunRequest",
+    "ScenarioSpec",
+    "SnapshotStats",
+    "SnapshotStore",
     "canonicalize",
     "configure",
     "decode_result",

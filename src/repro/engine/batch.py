@@ -14,8 +14,17 @@ executable in any process.
 * with a :class:`~repro.engine.cache.ResultCache`, completed runs are
   skipped entirely (two-tier, content-addressed — see
   ``docs/PERFORMANCE.md`` for the key scheme);
-* ``jobs > 1`` fans cache misses across a ``ProcessPoolExecutor``; the
-  per-run simulations stay single-threaded and deterministic.
+* cache misses are **grouped by prefix fingerprint**: requests that
+  differ only in their scenario's *divergent* kwargs share everything up
+  to the divergence point, so the engine runs the shared prefix once,
+  snapshots the device (:mod:`repro.sim.snapshot`), and forks each cell
+  — correct because forks are byte-identical to fresh runs, and
+  checkable with ``verify_forks`` (re-run a sample from scratch and
+  compare canonical encodings);
+* ``jobs`` fans groups across a ``ProcessPoolExecutor``; ``"auto"``
+  (the default) resolves to ``min(cpu_count, work units)`` and bypasses
+  the pool entirely when that is 1, so single-core hosts never pay the
+  pool's serialisation overhead.
 
 :func:`run_policy_matrix` is the shared per-experiment loop ("for every
 app, measure every policy") that fig7/fig8/fig12/fig14/table3/table5
@@ -24,6 +33,8 @@ previously each hand-rolled.
 
 from __future__ import annotations
 
+import json
+import os
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Callable, Iterable, Sequence
 
@@ -32,16 +43,24 @@ from repro.baselines.runtimedroid import RuntimeDroidPolicy
 from repro.core.policy import RCHDroidPolicy
 from repro.engine.cache import DEFAULT_CACHE_ROOT, ResultCache
 from repro.engine.fingerprint import CACHE_SCHEMA_VERSION, fingerprint
-from repro.errors import EngineError
-from repro.harness.runner import measure_handling, run_issue_scenario
+from repro.engine.scenarios import (
+    KIND_GC,
+    KIND_HANDLING,
+    KIND_ISSUE,
+    KIND_PROBE,
+    KIND_SCALABILITY,
+    SCENARIOS,
+)
+from repro.engine.snapshots import SnapshotStore
+from repro.errors import EngineError, SnapshotError
 from repro.sim.costs import DEFAULT_COSTS
+from repro.sim.snapshot import SNAPSHOT_FORMAT_VERSION, SystemSnapshot
+from repro.system import AndroidSystem
+from repro.trace.tracer import active_session
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.apps.dsl import AppSpec
     from repro.harness.runner import HandlingMeasurement, IssueVerdict
-
-KIND_HANDLING = "handling"
-KIND_ISSUE = "issue"
 
 #: Policies addressable by name in a :class:`RunRequest`.  Names are the
 #: policies' own ``.name`` attributes, which also appear in results.
@@ -49,11 +68,6 @@ POLICIES: dict[str, Callable[[], Any]] = {
     "android10": Android10Policy,
     "rchdroid": RCHDroidPolicy,
     "runtimedroid": RuntimeDroidPolicy,
-}
-
-_SCENARIOS: dict[str, Callable[..., Any]] = {
-    KIND_HANDLING: measure_handling,
-    KIND_ISSUE: run_issue_scenario,
 }
 
 
@@ -68,9 +82,9 @@ class RunRequest:
     kwargs: tuple[tuple[str, Any], ...] = ()
 
     def __post_init__(self) -> None:
-        if self.kind not in _SCENARIOS:
+        if self.kind not in SCENARIOS:
             raise EngineError(
-                f"unknown run kind {self.kind!r}; known: {sorted(_SCENARIOS)}"
+                f"unknown run kind {self.kind!r}; known: {sorted(SCENARIOS)}"
             )
         if self.policy not in POLICIES:
             raise EngineError(
@@ -89,6 +103,27 @@ class RunRequest:
         policy: str, app: "AppSpec", seed: int = 0x5EED, **kwargs: Any
     ) -> "RunRequest":
         return RunRequest(KIND_ISSUE, policy, app, seed,
+                          tuple(sorted(kwargs.items())))
+
+    @staticmethod
+    def gc(
+        app: "AppSpec", seed: int = 0x5EED, **kwargs: Any
+    ) -> "RunRequest":
+        return RunRequest(KIND_GC, "rchdroid", app, seed,
+                          tuple(sorted(kwargs.items())))
+
+    @staticmethod
+    def scalability(
+        policy: str, app: "AppSpec", seed: int = 0x5EED, **kwargs: Any
+    ) -> "RunRequest":
+        return RunRequest(KIND_SCALABILITY, policy, app, seed,
+                          tuple(sorted(kwargs.items())))
+
+    @staticmethod
+    def probe(
+        policy: str, app: "AppSpec", seed: int = 0x5EED, **kwargs: Any
+    ) -> "RunRequest":
+        return RunRequest(KIND_PROBE, policy, app, seed,
                           tuple(sorted(kwargs.items())))
 
     def cache_key(self, schema_version: int = CACHE_SCHEMA_VERSION) -> str:
@@ -120,6 +155,36 @@ class RunRequest:
             keys[schema_version] = key
         return key
 
+    def prefix_key(self, schema_version: int = CACHE_SCHEMA_VERSION) -> str:
+        """Content hash of this run's *shared prefix*.
+
+        Covers everything up to the scenario's divergence point — kind,
+        policy, seed, cost model, app spec, and the non-divergent kwargs
+        — plus the snapshot format version.  Two requests with equal
+        prefix keys can legally continue from one prefix snapshot; the
+        batch layer groups on exactly this.
+        """
+        keys = self.__dict__.get("_keys")
+        if keys is None:
+            keys = {}
+            object.__setattr__(self, "_keys", keys)
+        memo_key = ("prefix", schema_version)
+        key = keys.get(memo_key)
+        if key is None:
+            kwargs = dict(self.kwargs)
+            costs = kwargs.pop("costs", None) or DEFAULT_COSTS
+            prefix_kwargs, _ = SCENARIOS[self.kind].split_kwargs(
+                kwargs, self.seed
+            )
+            key = fingerprint([
+                "repro.engine.prefix", schema_version,
+                SNAPSHOT_FORMAT_VERSION, self.kind, self.policy, self.seed,
+                _memo_fingerprint(costs), sorted(prefix_kwargs.items()),
+                _memo_fingerprint(self.app),
+            ])
+            keys[memo_key] = key
+        return key
+
 
 #: id -> (strong ref, fingerprint).  The strong ref pins the object so
 #: its id cannot be recycled while the entry lives; the cap bounds memory
@@ -141,7 +206,7 @@ def _memo_fingerprint(obj: Any) -> str:
 
 def execute_request(request: RunRequest):
     """Run one request to completion in this process (the worker body)."""
-    scenario = _SCENARIOS[request.kind]
+    scenario = SCENARIOS[request.kind].run
     return scenario(
         POLICIES[request.policy], request.app,
         seed=request.seed, **dict(request.kwargs),
@@ -149,26 +214,40 @@ def execute_request(request: RunRequest):
 
 
 # ----------------------------------------------------------------------
-# engine-wide defaults (set by the CLI's --jobs / --no-cache)
+# engine-wide defaults (set by the CLI's --jobs / --no-cache / ...)
 # ----------------------------------------------------------------------
 @dataclass
 class EngineConfig:
-    jobs: int = 1
+    jobs: "int | str" = "auto"
+    """Worker processes; ``"auto"`` = ``min(cpu_count, work units)``,
+    degrading to in-process serial execution when that is 1."""
     cache: "bool | ResultCache" = False
     cache_root: str = DEFAULT_CACHE_ROOT
+    snapshots: bool = True
+    """Group cache misses by prefix fingerprint and fork from snapshots.
+    Automatically disabled while a TraceSession is active (forked systems
+    would escape the session's tracer registry)."""
+    verify_forks: bool = False
+    """Re-run a sample of forked cells from scratch and fail loudly if
+    any canonical encoding differs (the ``--verify-forks`` CLI flag)."""
 
 
 _CONFIG = EngineConfig()
 
 
 def configure(
-    jobs: int | None = None,
+    jobs: "int | str | None" = None,
     cache: "bool | ResultCache | None" = None,
     cache_root: str | None = None,
+    snapshots: bool | None = None,
+    verify_forks: bool | None = None,
 ) -> EngineConfig:
     """Set process-wide engine defaults; returns the previous config."""
     global _CONFIG, _DEFAULT_CACHE
-    previous = EngineConfig(_CONFIG.jobs, _CONFIG.cache, _CONFIG.cache_root)
+    previous = EngineConfig(
+        _CONFIG.jobs, _CONFIG.cache, _CONFIG.cache_root,
+        _CONFIG.snapshots, _CONFIG.verify_forks,
+    )
     if jobs is not None:
         _CONFIG.jobs = jobs
     if cache is not None:
@@ -176,6 +255,10 @@ def configure(
     if cache_root is not None and cache_root != _CONFIG.cache_root:
         _CONFIG.cache_root = cache_root
         _DEFAULT_CACHE = None
+    if snapshots is not None:
+        _CONFIG.snapshots = snapshots
+    if verify_forks is not None:
+        _CONFIG.verify_forks = verify_forks
     return previous
 
 
@@ -215,18 +298,28 @@ def _resolve_cache(cache: "bool | ResultCache | None") -> ResultCache | None:
 def run_batch(
     requests: Iterable[RunRequest],
     *,
-    jobs: int | None = None,
+    jobs: "int | str | None" = None,
     cache: "bool | ResultCache | None" = None,
+    snapshots: bool | None = None,
+    verify_forks: bool | None = None,
 ) -> list:
     """Execute ``requests``; results align with submission order.
 
-    ``jobs``/``cache`` default to the process-wide :func:`configure`
-    settings (serial, uncached out of the box).  ``cache=True`` uses the
-    shared default cache; a :class:`ResultCache` instance is used as-is.
+    All four knobs default to the process-wide :func:`configure`
+    settings (``jobs="auto"``, uncached, prefix-sharing on out of the
+    box).  ``cache=True`` uses the shared default cache; a
+    :class:`ResultCache` instance is used as-is.
     """
     requests = list(requests)
     jobs = _CONFIG.jobs if jobs is None else jobs
     store = _resolve_cache(cache)
+    share = _CONFIG.snapshots if snapshots is None else snapshots
+    verify = _CONFIG.verify_forks if verify_forks is None else verify_forks
+    if active_session() is not None:
+        # Session tracers are registered per system; a forked system
+        # would silently drop out of the session's report.  Sharing off
+        # keeps traced batches on the classic one-system-per-run path.
+        share = False
 
     results: list = [None] * len(requests)
     pending: list[tuple[int, RunRequest, str | None]] = []
@@ -243,12 +336,161 @@ def run_batch(
                    for index, request in enumerate(requests)]
 
     if pending:
-        fresh = _execute_many([request for _, request, _ in pending], jobs)
+        fresh = _execute_pending(
+            [request for _, request, _ in pending],
+            jobs, share, store, verify,
+        )
         for (index, request, key), result in zip(pending, fresh):
             results[index] = result
             if store is not None and key is not None:
                 store.put(key, result)
     return results
+
+
+def _resolve_jobs(jobs: "int | str", unit_count: int) -> int:
+    """``"auto"`` → one worker per unit up to the core count."""
+    if jobs == "auto":
+        return max(1, min(os.cpu_count() or 1, unit_count))
+    return max(1, int(jobs))
+
+
+def _execute_pending(
+    requests: Sequence[RunRequest],
+    jobs: "int | str",
+    share: bool,
+    result_cache: "ResultCache | None",
+    verify: bool,
+) -> list:
+    """Execute cache misses, prefix-shared when enabled."""
+    if not share:
+        workers = _resolve_jobs(jobs, len(requests))
+        return _execute_many(requests, workers)
+
+    # Group by prefix fingerprint, preserving submission order both
+    # across groups (first appearance) and within them.
+    groups: dict[str, list[int]] = {}
+    for position, request in enumerate(requests):
+        groups.setdefault(request.prefix_key(), []).append(position)
+    units = list(groups.values())
+
+    snap_root = None
+    if result_cache is not None and result_cache.root is not None:
+        snap_root = str(result_cache.root / "snapshots")
+
+    workers = _resolve_jobs(jobs, len(units))
+    results: list = [None] * len(requests)
+    if workers <= 1 or len(units) <= 1:
+        store = SnapshotStore(root=snap_root)
+        for positions in units:
+            unit_results = _execute_unit(
+                [requests[p] for p in positions], store, verify
+            )
+            for position, result in zip(positions, unit_results):
+                results[position] = result
+        return results
+
+    from concurrent.futures import ProcessPoolExecutor
+
+    payloads = [
+        (tuple(requests[p] for p in positions), snap_root, verify)
+        for positions in units
+    ]
+    chunksize = max(1, len(units) // (workers * 4))
+    try:
+        pool = ProcessPoolExecutor(max_workers=workers)
+    except (OSError, ValueError):  # no usable multiprocessing here
+        store = SnapshotStore(root=snap_root)
+        unit_lists = [
+            _execute_unit(list(reqs), store, verify)
+            for reqs, _, _ in payloads
+        ]
+    else:
+        with pool:
+            unit_lists = list(
+                pool.map(_execute_unit_task, payloads, chunksize=chunksize)
+            )
+    for positions, unit_results in zip(units, unit_lists):
+        for position, result in zip(positions, unit_results):
+            results[position] = result
+    return results
+
+
+def _execute_unit_task(payload) -> list:
+    """Worker body for one prefix group (pool processes start cold)."""
+    unit_requests, snap_root, verify = payload
+    return _execute_unit(list(unit_requests), SnapshotStore(root=snap_root),
+                         verify)
+
+
+def _execute_unit(
+    unit_requests: list[RunRequest],
+    store: SnapshotStore,
+    verify: bool,
+) -> list:
+    """Run one prefix group: shared prepare, snapshot, fork each cell.
+
+    A lone request runs the classic fresh path — grouping must never add
+    overhead to sweeps that happen not to share anything (table5's 200
+    cells are all distinct apps).
+    """
+    first = unit_requests[0]
+    if len(unit_requests) == 1:
+        return [execute_request(first)]
+
+    spec = SCENARIOS[first.kind]
+    kwargs = dict(first.kwargs)
+    costs = kwargs.get("costs")
+    prefix_kwargs, _ = spec.split_kwargs(kwargs, first.seed)
+
+    key = first.prefix_key()
+    snap = store.get(key)
+    live = None
+    if snap is None:
+        live = AndroidSystem(
+            policy=POLICIES[first.policy](), costs=costs, seed=first.seed
+        )
+        spec.prepare(live, first.app, **prefix_kwargs)
+        snap = SystemSnapshot.capture(live)
+        store.put(key, snap)
+
+    results = []
+    for index, request in enumerate(unit_requests):
+        _, suffix_kwargs = spec.split_kwargs(dict(request.kwargs),
+                                             request.seed)
+        # The first cell continues on the live system when we just built
+        # it — that IS the fresh path; every other cell forks.
+        system = live if (live is not None and index == 0) else snap.restore()
+        results.append(spec.finish(system, request.app, **suffix_kwargs))
+
+    if verify:
+        forked = [i for i in range(len(unit_requests))
+                  if not (live is not None and i == 0)]
+        for index in _verify_sample(forked):
+            fresh = execute_request(unit_requests[index])
+            if _canonical(fresh) != _canonical(results[index]):
+                raise SnapshotError(
+                    "forked result diverged from fresh run for "
+                    f"{unit_requests[index].kind} cell "
+                    f"{dict(unit_requests[index].kwargs)!r} "
+                    f"(policy={unit_requests[index].policy}, "
+                    f"app={unit_requests[index].app.package})"
+                )
+    return results
+
+
+def _verify_sample(forked: list[int]) -> list[int]:
+    """Deterministic sample of forked cells: first, middle, last."""
+    if not forked:
+        return []
+    picks = {forked[0], forked[len(forked) // 2], forked[-1]}
+    return sorted(picks)
+
+
+def _canonical(result: Any) -> str:
+    from repro.engine.codec import encode_result
+
+    return json.dumps(encode_result(result), sort_keys=True,
+                      separators=(",", ":"))
 
 
 def _execute_many(requests: Sequence[RunRequest], jobs: int) -> list:
@@ -274,8 +516,10 @@ def run_policy_matrix(
     *,
     kind: str = KIND_HANDLING,
     seed: int = 0x5EED,
-    jobs: int | None = None,
+    jobs: "int | str | None" = None,
     cache: "bool | ResultCache | None" = None,
+    snapshots: bool | None = None,
+    verify_forks: bool | None = None,
     **scenario_kwargs: Any,
 ) -> "list[dict[str, HandlingMeasurement | IssueVerdict]]":
     """Per app (in order), run every policy; returns one dict per app.
@@ -289,5 +533,6 @@ def run_policy_matrix(
         for app in apps
         for policy in policies
     ]
-    results = iter(run_batch(requests, jobs=jobs, cache=cache))
+    results = iter(run_batch(requests, jobs=jobs, cache=cache,
+                             snapshots=snapshots, verify_forks=verify_forks))
     return [{policy: next(results) for policy in policies} for _ in apps]

@@ -11,11 +11,18 @@ default — one handling matrix, one issue matrix) through
 * ``cached_warm_disk``  — a fresh cache at the same root (tier-2 hits,
   the "new process next day" case).
 
+A sixth, ``snapshot``, mode runs a *prefix-heavy* sweep (a rotation-storm
+probe matrix whose cells differ only in audit delay) twice cold:
+from-scratch vs prefix-shared, where each group prepares once, forks the
+rest from a device checkpoint, and (in the verified variant) re-runs a
+sample from scratch to assert byte-identity.
+
 Every mode's results are checked byte-identical (via the cache codec's
 canonical JSON) against the serial run; the report refuses to exist if
 they are not.  ``python -m repro bench-engine`` writes the report as
 ``BENCH_engine.json``; ``--check`` additionally exits non-zero unless
-cached re-runs beat the cold serial run.
+cached re-runs beat the cold serial run and forked results are
+byte-identical to from-scratch ones.
 
 Parallel speedup scales with cores: on a 1-core container the pool
 costs more than it saves, and the report says so honestly — the
@@ -32,6 +39,7 @@ import tempfile
 import time
 from typing import Any, Callable, Sequence
 
+from repro.apps.benchmark import make_benchmark_app
 from repro.apps.dsl import IssueKind
 from repro.apps.top100 import build_top100
 from repro.engine.batch import KIND_HANDLING, KIND_ISSUE, RunRequest, run_batch
@@ -40,6 +48,7 @@ from repro.engine.codec import encode_result
 
 DEFAULT_OUTPUT = "BENCH_engine.json"
 DEFAULT_EXPERIMENTS = ("fig14", "table5")
+SNAPSHOT_EXPERIMENT = "probes"
 
 #: experiment id -> request-list builder (matching what the experiment
 #: module submits through run_policy_matrix, so the timings are real).
@@ -72,6 +81,23 @@ def _table5_requests(seed: int = 0x5EED) -> list[RunRequest]:
         RunRequest(KIND_ISSUE, policy, app, seed)
         for app in build_top100(seed)
         for policy in ("android10", "rchdroid")
+    ]
+
+
+@_register("probes")
+def _probe_requests(seed: int = 0x5EED) -> list[RunRequest]:
+    # Prefix-heavy by design: per policy, two dozen audit delays share
+    # one long rotation storm over a large view tree, so the group is
+    # one prepare + twenty-three forks.  The delays stay below the
+    # benchmark app's 5 s async completion so the divergent suffixes are
+    # cheap observation windows, not a second workload.
+    app = make_benchmark_app(512)
+    delays = tuple(125.0 * step for step in range(1, 25))
+    return [
+        RunRequest.probe(policy, app, seed,
+                         storm_rotations=24, audit_delay_ms=delay)
+        for policy in ("runtimedroid", "rchdroid")
+        for delay in delays
     ]
 
 
@@ -108,6 +134,11 @@ def bench_experiment(
         tier_stats = {"cold": vars(cold_cache.stats).copy()}
         warm_memory_s, warm_memory = _timed(
             lambda: run_batch(requests, jobs=1, cache=cold_cache))
+        # The warm run reuses the cold cache object, so report the delta.
+        tier_stats["warm_memory"] = {
+            field: count - tier_stats["cold"][field]
+            for field, count in vars(cold_cache.stats).items()
+        }
         disk_cache = ResultCache(root=root)
         warm_disk_s, warm_disk = _timed(
             lambda: run_batch(requests, jobs=1, cache=disk_cache))
@@ -138,6 +169,43 @@ def bench_experiment(
     }
 
 
+def bench_snapshot(
+    name: str = SNAPSHOT_EXPERIMENT, *, seed: int = 0x5EED
+) -> dict[str, Any]:
+    """Benchmark prefix-snapshot sharing on a prefix-heavy sweep.
+
+    All three runs are cold (no result cache): ``serial`` executes every
+    cell from scratch, ``forked`` shares each group's prefix through a
+    snapshot, ``forked_verified`` additionally re-runs a sample of the
+    forked cells from scratch and compares.
+    """
+    requests = _REQUEST_BUILDERS[name](seed)
+    serial_s, serial = _timed(
+        lambda: run_batch(requests, jobs=1, cache=False, snapshots=False))
+    golden = _canonical(serial)
+    forked_s, forked = _timed(
+        lambda: run_batch(requests, jobs=1, cache=False, snapshots=True))
+    verified_s, verified = _timed(
+        lambda: run_batch(requests, jobs=1, cache=False, snapshots=True,
+                          verify_forks=True))
+    return {
+        "runs": len(requests),
+        "seconds": {
+            "serial": round(serial_s, 4),
+            "forked": round(forked_s, 4),
+            "forked_verified": round(verified_s, 4),
+        },
+        "speedup_vs_serial": {
+            "forked": round(serial_s / forked_s, 2),
+            "forked_verified": round(serial_s / verified_s, 2),
+        },
+        "identical_to_serial": {
+            "forked": _canonical(forked) == golden,
+            "forked_verified": _canonical(verified) == golden,
+        },
+    }
+
+
 def run_bench(
     *,
     jobs: int | None = None,
@@ -158,6 +226,10 @@ def run_bench(
         "experiments": {
             name: bench_experiment(name, jobs=jobs, seed=seed)
             for name in experiments
+        },
+        "snapshot": {
+            SNAPSHOT_EXPERIMENT: bench_snapshot(SNAPSHOT_EXPERIMENT,
+                                                seed=seed),
         },
     }
     report["ok"] = check_report(report) == []
@@ -182,6 +254,12 @@ def check_report(report: dict[str, Any]) -> list[str]:
                 failures.append(
                     f"{name}: {mode} ({seconds[mode]}s) not faster than "
                     f"serial ({seconds['serial']}s)"
+                )
+    for name, data in report.get("snapshot", {}).items():
+        for mode, same in data["identical_to_serial"].items():
+            if not same:
+                failures.append(
+                    f"snapshot/{name}: {mode} results differ from serial"
                 )
     return failures
 
@@ -208,6 +286,19 @@ def format_report(report: dict[str, Any]) -> str:
             f"{speedup['cached_warm_disk']}x disk)"
         )
         identical = all(data["identical_to_serial"].values())
+        lines.append(
+            f"    byte-identical to serial: {'yes' if identical else 'NO'}"
+        )
+    for name, data in report.get("snapshot", {}).items():
+        seconds = data["seconds"]
+        speedup = data["speedup_vs_serial"]
+        identical = all(data["identical_to_serial"].values())
+        lines.append(
+            f"  snapshot/{name}: {data['runs']} runs | "
+            f"serial {seconds['serial']}s | forked {seconds['forked']}s "
+            f"({speedup['forked']}x) | verified {seconds['forked_verified']}s "
+            f"({speedup['forked_verified']}x)"
+        )
         lines.append(
             f"    byte-identical to serial: {'yes' if identical else 'NO'}"
         )

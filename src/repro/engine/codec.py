@@ -13,13 +13,17 @@ from typing import Any
 
 from repro.apps.dsl import IssueKind
 from repro.errors import EngineError
-from repro.harness.runner import HandlingMeasurement, IssueVerdict
+from repro.harness.runner import HandlingMeasurement, IssueVerdict, ProbeVerdict
+from repro.harness.scenarios import GcTradeoffPoint, ScalabilityMeasurement
 
 HANDLING = "handling"
 ISSUE = "issue"
+GC = "gc"
+SCALABILITY = "scalability"
+PROBE = "probe"
 
 
-def encode_result(result: "HandlingMeasurement | IssueVerdict") -> dict[str, Any]:
+def encode_result(result: Any) -> dict[str, Any]:
     """Result dataclass → JSON-able payload (the disk-cache unit)."""
     if isinstance(result, HandlingMeasurement):
         return {
@@ -43,10 +47,46 @@ def encode_result(result: "HandlingMeasurement | IssueVerdict") -> dict[str, Any
             "async_update_visible": result.async_update_visible,
             "handling": [[ms, path] for ms, path in result.handling],
         }
+    if isinstance(result, GcTradeoffPoint):
+        return {
+            "type": GC,
+            "thresh_t_s": result.thresh_t_s,
+            "mean_handling_ms": result.mean_handling_ms,
+            "cpu_overhead_ms": result.cpu_overhead_ms,
+            "mean_memory_mb": result.mean_memory_mb,
+            "init_count": result.init_count,
+            "flip_count": result.flip_count,
+            "collections": result.collections,
+        }
+    if isinstance(result, ScalabilityMeasurement):
+        return {
+            "type": SCALABILITY,
+            "package": result.package,
+            "policy": result.policy,
+            "variant": result.variant,
+            "handling_ms": result.handling_ms,
+            "init_ms": result.init_ms,
+            "migration_ms": result.migration_ms,
+        }
+    if isinstance(result, ProbeVerdict):
+        return {
+            "type": PROBE,
+            "package": result.package,
+            "label": result.label,
+            "policy": result.policy,
+            "audit_delay_ms": result.audit_delay_ms,
+            "audited_at_ms": result.audited_at_ms,
+            "crashed": result.crashed,
+            "crash_exception": result.crash_exception,
+            "slots_matching": dict(result.slots_matching),
+            "async_update_visible": result.async_update_visible,
+            "memory_mb": result.memory_mb,
+            "handling_count": result.handling_count,
+        }
     raise EngineError(f"cannot encode result of type {type(result).__name__}")
 
 
-def decode_result(payload: dict[str, Any]) -> "HandlingMeasurement | IssueVerdict":
+def decode_result(payload: dict[str, Any]) -> Any:
     """Inverse of :func:`encode_result`."""
     kind = payload.get("type")
     if kind == HANDLING:
@@ -68,5 +108,38 @@ def decode_result(payload: dict[str, Any]) -> "HandlingMeasurement | IssueVerdic
             slots_preserved=dict(payload["slots_preserved"]),
             async_update_visible=payload["async_update_visible"],
             handling=[(ms, path) for ms, path in payload["handling"]],
+        )
+    if kind == GC:
+        return GcTradeoffPoint(
+            thresh_t_s=payload["thresh_t_s"],
+            mean_handling_ms=payload["mean_handling_ms"],
+            cpu_overhead_ms=payload["cpu_overhead_ms"],
+            mean_memory_mb=payload["mean_memory_mb"],
+            init_count=payload["init_count"],
+            flip_count=payload["flip_count"],
+            collections=payload["collections"],
+        )
+    if kind == SCALABILITY:
+        return ScalabilityMeasurement(
+            package=payload["package"],
+            policy=payload["policy"],
+            variant=payload["variant"],
+            handling_ms=payload["handling_ms"],
+            init_ms=payload["init_ms"],
+            migration_ms=payload["migration_ms"],
+        )
+    if kind == PROBE:
+        return ProbeVerdict(
+            package=payload["package"],
+            label=payload["label"],
+            policy=payload["policy"],
+            audit_delay_ms=payload["audit_delay_ms"],
+            audited_at_ms=payload["audited_at_ms"],
+            crashed=payload["crashed"],
+            crash_exception=payload["crash_exception"],
+            slots_matching=dict(payload["slots_matching"]),
+            async_update_visible=payload["async_update_visible"],
+            memory_mb=payload["memory_mb"],
+            handling_count=payload["handling_count"],
         )
     raise EngineError(f"cannot decode cached payload of type {kind!r}")

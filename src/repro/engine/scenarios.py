@@ -1,0 +1,115 @@
+"""The engine's scenario registry: how each run kind splits into phases.
+
+A :class:`ScenarioSpec` tells the batch layer three things about a run
+kind:
+
+* ``run`` — the classic fresh-path entry point (build a system, do
+  everything), used for cache misses when prefix-sharing is off and for
+  ``--verify-forks`` re-runs;
+* ``prepare`` / ``finish`` — the same scenario split at its divergence
+  point, so a *group* of requests that differ only in divergent kwargs
+  can run ``prepare`` once, snapshot, and ``finish`` each cell on a fork;
+* which kwargs are ``divergent`` (suffix-only — exactly the ones allowed
+  to differ within a group; everything else is part of the prefix
+  fingerprint).
+
+The split functions live next to their classic entry points in
+:mod:`repro.harness.runner` / :mod:`repro.harness.scenarios`; the fresh
+path *is* ``prepare`` + ``finish`` on a fresh system, which is what makes
+fork-equals-fresh hold by construction and checkable by re-execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.harness import runner, scenarios
+
+KIND_HANDLING = "handling"
+KIND_ISSUE = "issue"
+KIND_GC = "gc"
+KIND_SCALABILITY = "scalability"
+KIND_PROBE = "probe"
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """How one run kind maps onto the prepare/snapshot/finish pipeline."""
+
+    kind: str
+    run: Callable[..., Any]
+    prepare: Callable[..., None]
+    finish: Callable[..., Any]
+    divergent: frozenset[str]
+    """Kwarg names consumed by ``finish`` only — the axes a sweep may
+    vary *within* one prefix group."""
+    finish_shared: frozenset[str] = field(default_factory=frozenset)
+    """Prefix kwargs that ``finish`` also needs (e.g. the handling
+    scenario's ``gap_ms`` paces both the settle and the rotation loop)."""
+    pass_seed: bool = False
+    """Whether ``finish`` takes the request seed as a kwarg (the GC
+    suffix re-derives its rotation trace from it)."""
+
+    def split_kwargs(
+        self, kwargs: dict[str, Any], seed: int
+    ) -> tuple[dict[str, Any], dict[str, Any]]:
+        """Partition scenario kwargs into (prepare kwargs, finish kwargs).
+
+        ``costs`` is neither: the batch layer consumes it when building
+        the system.
+        """
+        prefix = {
+            name: value for name, value in kwargs.items()
+            if name not in self.divergent and name != "costs"
+        }
+        suffix = {
+            name: value for name, value in kwargs.items()
+            if name in self.divergent or name in self.finish_shared
+        }
+        if self.pass_seed:
+            suffix["seed"] = seed
+        return prefix, suffix
+
+
+SCENARIOS: dict[str, ScenarioSpec] = {
+    KIND_HANDLING: ScenarioSpec(
+        kind=KIND_HANDLING,
+        run=runner.measure_handling,
+        prepare=runner.prepare_handling,
+        finish=runner.finish_handling,
+        divergent=frozenset({"rotations"}),
+        finish_shared=frozenset({"gap_ms"}),
+    ),
+    KIND_ISSUE: ScenarioSpec(
+        kind=KIND_ISSUE,
+        run=runner.run_issue_scenario,
+        prepare=runner.prepare_issue,
+        finish=runner.finish_issue,
+        divergent=frozenset(),
+    ),
+    KIND_GC: ScenarioSpec(
+        kind=KIND_GC,
+        run=scenarios.run_gc,
+        prepare=scenarios.prepare_gc,
+        finish=scenarios.finish_gc,
+        divergent=frozenset(
+            {"thresh_t_s", "thresh_f", "duration_ms", "trace_spec"}
+        ),
+        pass_seed=True,
+    ),
+    KIND_SCALABILITY: ScenarioSpec(
+        kind=KIND_SCALABILITY,
+        run=scenarios.run_scalability,
+        prepare=scenarios.prepare_scalability,
+        finish=scenarios.finish_scalability,
+        divergent=frozenset({"variant"}),
+    ),
+    KIND_PROBE: ScenarioSpec(
+        kind=KIND_PROBE,
+        run=runner.run_probe,
+        prepare=runner.prepare_probe,
+        finish=runner.finish_probe,
+        divergent=frozenset({"audit_delay_ms"}),
+    ),
+}

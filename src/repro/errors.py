@@ -45,6 +45,16 @@ class EngineError(SimulationError):
     kind, an unfingerprintable cache-key component, ...)."""
 
 
+class SnapshotError(SimulationError):
+    """A system checkpoint could not be captured or restored.
+
+    Raised by ``repro.sim.snapshot`` when the object graph cannot be
+    serialised (unexpected unpicklable state), when stored snapshot bytes
+    are unreadable or from an incompatible format version, or when a
+    capture would break tracing invariants (a tracer registered with an
+    active :class:`~repro.trace.tracer.TraceSession`)."""
+
+
 class AppCrash(Exception):
     """Base class for exceptions that crash the simulated app process.
 

@@ -12,6 +12,7 @@ from typing import Callable
 
 from repro.harness.experiments import (
     ext_fragments,
+    ext_probes,
     ext_robustness,
     ext_sessions,
     fig7,
@@ -42,6 +43,7 @@ REGISTRY: dict[str, Callable[[], object]] = {
     "fig13": fig13.run,
     "fig14": fig14.run,
     "ext-fragments": ext_fragments.run,
+    "ext-probes": ext_probes.run,
     "ext-robustness": ext_robustness.run,
     "ext-sessions": ext_sessions.run,
     "sec5.6-energy": sec56_energy.run,

@@ -6,12 +6,18 @@ each experiment and prints its paper-style report.
 Options (consumed anywhere on the line):
 
 * ``--jobs N``   — fan independent simulation runs across N worker
-  processes (default 1; results are byte-identical to serial).
+  processes (``auto``, the default, uses one per CPU core; results are
+  byte-identical to serial).
 * ``--no-cache`` — disable the content-addressed result cache.  The
   cache is on by default for CLI runs and lives in ``.repro-cache/``;
   a second run of the same experiment (or one sharing runs, like fig7
   after fig8) skips completed simulations.
 * ``--cache-root PATH`` — put the cache somewhere else.
+* ``--no-snapshots`` — disable prefix-snapshot sharing: run every
+  uncached simulation from scratch instead of forking sweeps that share
+  a prefix from a device checkpoint.
+* ``--verify-forks`` — after each shared group, re-run a sample of the
+  forked cells from scratch and fail unless byte-identical.
 """
 
 from __future__ import annotations
@@ -27,8 +33,8 @@ _MODULES = {
     "fig7": "fig7", "fig8": "fig8", "fig9": "fig9", "fig10": "fig10",
     "fig11": "fig11", "fig12": "fig12", "fig13": "fig13", "fig14": "fig14",
     "sec5.6-energy": "sec56_energy", "sec5.7-deployment": "sec57_deployment",
-    "ext-fragments": "ext_fragments", "ext-robustness": "ext_robustness",
-    "ext-sessions": "ext_sessions",
+    "ext-fragments": "ext_fragments", "ext-probes": "ext_probes",
+    "ext-robustness": "ext_robustness", "ext-sessions": "ext_sessions",
 }
 
 
@@ -44,12 +50,19 @@ def parse_engine_args(argv: list[str]) -> tuple[list[str], dict, int | None]:
     for arg in walker:
         if arg == "--jobs":
             value = next(walker, None)
-            if value is None or not value.isdigit() or int(value) < 1:
-                print("--jobs needs a positive integer argument")
+            if value == "auto":
+                kwargs["jobs"] = "auto"
+            elif value is None or not value.isdigit() or int(value) < 1:
+                print("--jobs needs a positive integer or 'auto'")
                 return positional, kwargs, 2
-            kwargs["jobs"] = int(value)
+            else:
+                kwargs["jobs"] = int(value)
         elif arg == "--no-cache":
             kwargs["cache"] = False
+        elif arg == "--no-snapshots":
+            kwargs["snapshots"] = False
+        elif arg == "--verify-forks":
+            kwargs["verify_forks"] = True
         elif arg == "--cache-root":
             value = next(walker, None)
             if value is None:
@@ -70,7 +83,8 @@ def main(argv: list[str]) -> int:
         for key in REGISTRY:
             print(f"  {key}")
         print("usage: python -m repro.harness.experiments <id> [<id> ...]"
-              " [--jobs N] [--no-cache] [--cache-root PATH]")
+              " [--jobs N|auto] [--no-cache] [--cache-root PATH]"
+              " [--no-snapshots] [--verify-forks]")
         return 0
     for key in keys:
         if key not in _MODULES:

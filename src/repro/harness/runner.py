@@ -1,6 +1,6 @@
 """Per-app scenario runners.
 
-Two canonical scenarios drive the evaluation:
+Three canonical scenarios drive the evaluation:
 
 * :func:`run_issue_scenario` — the *effectiveness* scenario behind
   Table 3 and Table 5: put user state into the app, optionally start its
@@ -9,6 +9,18 @@ Two canonical scenarios drive the evaluation:
 * :func:`measure_handling` — the *performance* scenario behind Figs. 7,
   10a and 14a: repeated rotations with a settling gap, reporting the
   per-path handling times and the post-change memory footprint.
+* :func:`run_probe` — a *time-resolved* audit: a heavy shared prefix
+  (settle, sentinels, a rotation storm, async kickoff, one more rotate)
+  observed at a sweep of audit delays.
+
+Each scenario is split into a ``prepare_*`` phase (the shared prefix —
+everything before the first divergent parameter matters) and a
+``finish_*`` phase (the divergent suffix plus the audit).  The plain
+``run_*``/``measure_*`` entry points compose the two on a fresh system;
+the engine's prefix-sharing instead runs ``prepare_*`` once per group,
+snapshots, and runs ``finish_*`` on forks.  Keeping the split *inside*
+this module is what makes fork-equals-fresh checkable: both paths execute
+literally the same statements in the same order.
 """
 
 from __future__ import annotations
@@ -42,6 +54,27 @@ def _sentinel_for(app: AppSpec, slot_name: str) -> object:
     if slot.storage is StorageKind.VIEW_ATTR and slot.attr in _SENTINELS:
         return _SENTINELS[slot.attr]
     return f"sentinel:{slot_name}"
+
+
+def _written_sentinels(app: AppSpec) -> dict[str, object]:
+    """The value written into each slot during the prefix (pure)."""
+    return {slot.name: _sentinel_for(app, slot.name) for slot in app.slots}
+
+
+def _expected_sentinels(app: AppSpec) -> dict[str, object]:
+    """What each slot should hold at audit time (pure).
+
+    A slot the app's own async task updates will legitimately hold the
+    task's value at audit time; expect that instead of the sentinel.
+    """
+    sentinels = _written_sentinels(app)
+    if app.async_script is not None:
+        updated = {(vid, attr): value
+                   for vid, attr, value in app.async_script.updates}
+        for slot in app.slots:
+            if (slot.view_id, slot.attr) in updated:
+                sentinels[slot.name] = updated[(slot.view_id, slot.attr)]
+    return sentinels
 
 
 @dataclass
@@ -78,36 +111,22 @@ class IssueVerdict:
         return not self.issue_observed
 
 
-def run_issue_scenario(
-    policy_factory: PolicyFactory,
-    app: AppSpec,
-    *,
-    costs: "CostModel | None" = None,
-    seed: int = 0x5EED,
-    settle_ms: float = 500.0,
-) -> IssueVerdict:
-    """Launch, interact, rotate mid-async, and audit the aftermath."""
-    system = AndroidSystem(policy=policy_factory(), costs=costs, seed=seed)
+def prepare_issue(
+    system: AndroidSystem, app: AppSpec, *, settle_ms: float = 500.0
+) -> None:
+    """Issue-scenario prefix: launch, settle, user input, async kickoff."""
     system.launch(app)
     system.run_for(settle_ms)
-
-    sentinels = {slot.name: _sentinel_for(app, slot.name) for slot in app.slots}
-    for name, value in sentinels.items():
+    for name, value in _written_sentinels(app).items():
         system.write_slot(app, name, value)
-
-    # A slot the app's own async task updates will legitimately hold the
-    # task's value at audit time; expect that instead of the sentinel.
-    if app.async_script is not None:
-        updated = {(vid, attr): value
-                   for vid, attr, value in app.async_script.updates}
-        for slot in app.slots:
-            if (slot.view_id, slot.attr) in updated:
-                sentinels[slot.name] = updated[(slot.view_id, slot.attr)]
-
-    async_started = False
     if app.async_script is not None:
         system.start_async(app)
-        async_started = True
+
+
+def finish_issue(system: AndroidSystem, app: AppSpec) -> IssueVerdict:
+    """Issue-scenario suffix: rotate mid-flight and audit the aftermath."""
+    sentinels = _expected_sentinels(app)
+    async_started = app.async_script is not None
 
     system.rotate()
     if async_started:
@@ -151,6 +170,20 @@ def run_issue_scenario(
     )
 
 
+def run_issue_scenario(
+    policy_factory: PolicyFactory,
+    app: AppSpec,
+    *,
+    costs: "CostModel | None" = None,
+    seed: int = 0x5EED,
+    settle_ms: float = 500.0,
+) -> IssueVerdict:
+    """Launch, interact, rotate mid-async, and audit the aftermath."""
+    system = AndroidSystem(policy=policy_factory(), costs=costs, seed=seed)
+    prepare_issue(system, app, settle_ms=settle_ms)
+    return finish_issue(system, app)
+
+
 @dataclass
 class HandlingMeasurement:
     """Outcome of one performance scenario run."""
@@ -182,6 +215,34 @@ class HandlingMeasurement:
         return self.episodes[0][0] if self.episodes else 0.0
 
 
+def prepare_handling(
+    system: AndroidSystem, app: AppSpec, *, gap_ms: float = 2_000.0
+) -> None:
+    """Handling-scenario prefix: launch and let the app settle."""
+    system.launch(app)
+    system.run_for(gap_ms)
+
+
+def finish_handling(
+    system: AndroidSystem,
+    app: AppSpec,
+    *,
+    rotations: int = 4,
+    gap_ms: float = 2_000.0,
+) -> HandlingMeasurement:
+    """Handling-scenario suffix: the rotation loop and the report."""
+    for _ in range(rotations):
+        system.rotate()
+        system.run_for(gap_ms)
+    return HandlingMeasurement(
+        package=app.package,
+        label=app.label,
+        policy=system.policy.name,
+        episodes=system.handling_times(),
+        memory_after_mb=system.memory_of(app.package),
+    )
+
+
 def measure_handling(
     policy_factory: PolicyFactory,
     app: AppSpec,
@@ -198,15 +259,121 @@ def measure_handling(
     the ATMS and the corresponding activity resumed", Section 5.1).
     """
     system = AndroidSystem(policy=policy_factory(), costs=costs, seed=seed)
+    prepare_handling(system, app, gap_ms=gap_ms)
+    return finish_handling(system, app, rotations=rotations, gap_ms=gap_ms)
+
+
+@dataclass
+class ProbeVerdict:
+    """One time-resolved observation of an app after a rotation storm.
+
+    Unlike :class:`IssueVerdict` there is no pass/fail judgement: a probe
+    reports the *raw* device state at its audit instant (an async update
+    may legitimately not have landed yet at an early ``audit_delay_ms``).
+    """
+
+    package: str
+    label: str
+    policy: str
+    audit_delay_ms: float
+    audited_at_ms: float
+    crashed: bool
+    crash_exception: str | None
+    slots_matching: dict[str, bool]
+    """Per slot: does it currently hold the value the user wrote?"""
+    async_update_visible: bool | None
+    memory_mb: float
+    handling_count: int
+
+
+def prepare_probe(
+    system: AndroidSystem,
+    app: AppSpec,
+    *,
+    settle_ms: float = 500.0,
+    storm_rotations: int = 6,
+    storm_gap_ms: float = 1_000.0,
+) -> None:
+    """Probe prefix: settle, sentinels, rotation storm, async, one rotate.
+
+    Deliberately heavy — this models a device that has already absorbed a
+    burst of configuration changes before the observation window opens,
+    so a sweep over ``audit_delay_ms`` shares almost all of its work.
+    """
     system.launch(app)
-    system.run_for(gap_ms)
-    for _ in range(rotations):
+    system.run_for(settle_ms)
+    for name, value in _written_sentinels(app).items():
+        system.write_slot(app, name, value)
+    for _ in range(storm_rotations):
         system.rotate()
-        system.run_for(gap_ms)
-    return HandlingMeasurement(
+        system.run_for(storm_gap_ms)
+    if app.async_script is not None and not system.crashed(app.package):
+        system.start_async(app)
+    system.rotate()
+
+
+def finish_probe(
+    system: AndroidSystem, app: AppSpec, *, audit_delay_ms: float = 200.0
+) -> ProbeVerdict:
+    """Probe suffix: let ``audit_delay_ms`` pass, then record raw state."""
+    system.run_for(audit_delay_ms)
+
+    written = _written_sentinels(app)
+    crashed = system.crashed(app.package)
+    slots_matching: dict[str, bool] = {}
+    async_visible: bool | None = None
+    if crashed:
+        slots_matching = {name: False for name in written}
+        if app.async_script is not None:
+            async_visible = False
+    else:
+        for name, value in written.items():
+            slots_matching[name] = system.read_slot(app, name) == value
+        if app.async_script is not None and app.async_script.updates:
+            foreground = system.foreground_activity(app.package)
+            async_visible = False
+            if foreground is not None:
+                view_id, attr, value = app.async_script.updates[0]
+                view = foreground.find_view(view_id)
+                async_visible = (
+                    view is not None and view.get_attr(attr) == value
+                )
+
+    crash_exception = (
+        system.ctx.recorder.crashes[0].exception if crashed else None
+    )
+    return ProbeVerdict(
         package=app.package,
         label=app.label,
         policy=system.policy.name,
-        episodes=system.handling_times(),
-        memory_after_mb=system.memory_of(app.package),
+        audit_delay_ms=audit_delay_ms,
+        audited_at_ms=system.now_ms,
+        crashed=crashed,
+        crash_exception=crash_exception,
+        slots_matching=slots_matching,
+        async_update_visible=async_visible,
+        memory_mb=0.0 if crashed else system.memory_of(app.package),
+        handling_count=len(system.handling_times()),
     )
+
+
+def run_probe(
+    policy_factory: PolicyFactory,
+    app: AppSpec,
+    *,
+    costs: "CostModel | None" = None,
+    seed: int = 0x5EED,
+    settle_ms: float = 500.0,
+    storm_rotations: int = 6,
+    storm_gap_ms: float = 1_000.0,
+    audit_delay_ms: float = 200.0,
+) -> ProbeVerdict:
+    """Rotation-storm prefix, then a single time-resolved audit."""
+    system = AndroidSystem(policy=policy_factory(), costs=costs, seed=seed)
+    prepare_probe(
+        system, app,
+        settle_ms=settle_ms,
+        storm_rotations=storm_rotations,
+        storm_gap_ms=storm_gap_ms,
+    )
+    return finish_probe(system, app, audit_delay_ms=audit_delay_ms)

@@ -8,10 +8,17 @@
 * :func:`gc_stress` — Fig. 11: ten minutes of bursty rotations under a
   given ``THRESH_T``, reporting mean handling latency, CPU overhead and
   mean memory.
+
+Like :mod:`repro.harness.runner`, the sweep scenarios are split into a
+``prepare_*`` prefix (shared across a sweep: everything up to the first
+divergent parameter) and a ``finish_*`` suffix, so the engine can run
+the prefix once, snapshot, and fork each operating point.  The classic
+entry points compose the same two phases on a fresh system.
 """
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from statistics import mean
 from typing import TYPE_CHECKING, Callable
@@ -19,7 +26,7 @@ from typing import TYPE_CHECKING, Callable
 from repro.apps.benchmark import make_benchmark_app
 from repro.apps.workload import RotationTraceSpec, rotation_trace
 from repro.core.gc import GcThresholds
-from repro.core.policy import RCHDroidConfig, RCHDroidPolicy
+from repro.core.policy import RCHDroidPolicy
 from repro.metrics.profiler import TracePoint
 from repro.sim.rng import DeterministicRng
 from repro.system import AndroidSystem
@@ -121,6 +128,74 @@ class ScalabilityPoint:
     migration_ms: float
 
 
+@dataclass
+class ScalabilityMeasurement:
+    """One (app, policy, variant) cell of the Fig. 10 sweep."""
+
+    package: str
+    policy: str
+    variant: str
+    handling_ms: float = 0.0
+    """``stock``: the single restart; ``paths``: the flip (2nd change)."""
+    init_ms: float = 0.0
+    """``paths`` only: the first change (shadow-init path)."""
+    migration_ms: float = 0.0
+    """``migration`` only: the lazy view-tree migration batch."""
+
+
+def prepare_scalability(system: AndroidSystem, app) -> None:
+    """Scalability prefix: launch the sized benchmark app."""
+    system.launch(app)
+
+
+def finish_scalability(
+    system: AndroidSystem, app, *, variant: str = "stock"
+) -> ScalabilityMeasurement:
+    """Scalability suffix: one of the three Fig. 10 probe sequences."""
+    if variant == "stock":
+        system.rotate()
+        return ScalabilityMeasurement(
+            app.package, system.policy.name, variant,
+            handling_ms=system.last_handling_ms() or 0.0,
+        )
+    if variant == "paths":
+        system.rotate()
+        init_ms = system.last_handling_ms() or 0.0
+        system.rotate()
+        flip_ms = system.last_handling_ms() or 0.0
+        return ScalabilityMeasurement(
+            app.package, system.policy.name, variant,
+            handling_ms=flip_ms, init_ms=init_ms,
+        )
+    if variant == "migration":
+        # Async migration time: start the task on the sunny activity,
+        # rotate, let it return onto the (now shadow) tree and measure
+        # the lazy-migration batch.
+        system.start_async(app)
+        system.rotate()
+        system.run_until_idle()
+        engine = system.policy.engine_for(app.package)
+        return ScalabilityMeasurement(
+            app.package, system.policy.name, variant,
+            migration_ms=engine.last_batch_cost_ms(),
+        )
+    raise ValueError(f"unknown scalability variant {variant!r}")
+
+
+def run_scalability(
+    policy_factory: PolicyFactory,
+    app,
+    *,
+    seed: int = 0x5EED,
+    costs=None,
+    variant: str = "stock",
+) -> ScalabilityMeasurement:
+    """One scalability cell on a fresh system (the engine's fresh path)."""
+    system = AndroidSystem(policy=policy_factory(), costs=costs, seed=seed)
+    prepare_scalability(system, app)
+    return finish_scalability(system, app, variant=variant)
+
+
 def scalability_sweep(
     view_counts: tuple[int, ...] = (1, 2, 4, 8, 16, 32),
 ) -> list[ScalabilityPoint]:
@@ -130,36 +205,15 @@ def scalability_sweep(
 
     points: list[ScalabilityPoint] = []
     for count in view_counts:
-        stock = AndroidSystem(policy=Android10Policy())
         app = make_benchmark_app(count)
-        stock.launch(app)
-        stock.rotate()
-        android10_ms = stock.last_handling_ms() or 0.0
-
-        policy = RCHDroidPolicy()
-        rch = AndroidSystem(policy=policy)
-        app2 = make_benchmark_app(count)
-        rch.launch(app2)
-        rch.rotate()
-        init_ms = rch.last_handling_ms() or 0.0
-        rch.rotate()
-        flip_ms = rch.last_handling_ms() or 0.0
-
-        # Async migration time: start the task on the sunny activity,
-        # rotate, let it return onto the (now shadow) tree and measure
-        # the lazy-migration batch.
-        policy3 = RCHDroidPolicy()
-        mig = AndroidSystem(policy=policy3)
-        app3 = make_benchmark_app(count)
-        mig.launch(app3)
-        mig.start_async(app3)
-        mig.rotate()
-        mig.run_until_idle()
-        engine = policy3.engine_for(app3.package)
-        migration_ms = engine.last_batch_cost_ms()
-
+        stock = run_scalability(Android10Policy, app, variant="stock")
+        paths = run_scalability(RCHDroidPolicy, app, variant="paths")
+        mig = run_scalability(RCHDroidPolicy, app, variant="migration")
         points.append(
-            ScalabilityPoint(count, android10_ms, flip_ms, init_ms, migration_ms)
+            ScalabilityPoint(
+                count, stock.handling_ms, paths.handling_ms,
+                paths.init_ms, mig.migration_ms,
+            )
         )
     return points
 
@@ -178,21 +232,21 @@ class GcTradeoffPoint:
     collections: int
 
 
-def gc_stress(
-    thresh_t_s: float,
-    *,
-    num_images: int = 32,
-    duration_ms: float = 600_000.0,
-    thresh_f: int = 4,
-    seed: int = 0x5EED,
-    trace_spec: RotationTraceSpec | None = None,
-) -> GcTradeoffPoint:
-    """One Fig. 11 operating point: ten minutes of bursty rotations.
+def prepare_gc(system: AndroidSystem, app) -> None:
+    """GC prefix: launch the heavy benchmark app.
 
-    ``THRESH_F`` stays at the paper's four-per-minute; the sweep varies
-    ``THRESH_T``.  The trace (≈ six changes/minute, bursty) is identical
-    across operating points, so differences come from the GC policy only.
+    The GC thresholds are *not* consulted before the first configuration
+    change (the collector only arms once a shadow activity exists), so
+    the launch is identical across every ``THRESH_T`` operating point —
+    the suffix installs the point's thresholds before its first rotate.
     """
+    system.launch(app)
+
+
+def _apply_gc_thresholds(
+    system: AndroidSystem, *, thresh_t_s: float, thresh_f: int
+) -> None:
+    """Install one operating point's thresholds on a prepared system."""
     thresholds = GcThresholds(
         thresh_t_ms=thresh_t_s * 1_000.0,
         thresh_f=thresh_f,
@@ -201,10 +255,28 @@ def gc_stress(
         # normalised to per-minute before comparison).
         frequency_window_ms=20_000.0,
     )
-    policy = RCHDroidPolicy(RCHDroidConfig(thresholds=thresholds))
-    system = AndroidSystem(policy=policy, seed=seed)
-    app = make_benchmark_app(num_images)
-    system.launch(app)
+    policy = system.policy
+    if not isinstance(policy, RCHDroidPolicy):
+        raise TypeError(f"gc scenario needs an RCHDroid policy, got {policy.name}")
+    policy.config = dataclasses.replace(policy.config, thresholds=thresholds)
+    assert policy.gc is not None  # created when the policy attached
+    policy.gc.thresholds = thresholds
+
+
+def finish_gc(
+    system: AndroidSystem,
+    app,
+    *,
+    thresh_t_s: float,
+    duration_ms: float = 600_000.0,
+    thresh_f: int = 4,
+    seed: int = 0x5EED,
+    trace_spec: RotationTraceSpec | None = None,
+) -> GcTradeoffPoint:
+    """GC suffix: install thresholds, replay the bursty rotation trace,
+    audit latency / CPU / memory over the window."""
+    _apply_gc_thresholds(system, thresh_t_s=thresh_t_s, thresh_f=thresh_f)
+    policy = system.policy
 
     spec = trace_spec if trace_spec is not None else RotationTraceSpec(
         duration_ms=duration_ms
@@ -228,4 +300,44 @@ def gc_stress(
         init_count=sum(1 for _, path in episodes if path == "init"),
         flip_count=sum(1 for _, path in episodes if path == "flip"),
         collections=policy.gc.collected_count,
+    )
+
+
+def run_gc(
+    policy_factory: PolicyFactory,
+    app,
+    *,
+    seed: int = 0x5EED,
+    costs=None,
+    **kwargs,
+) -> GcTradeoffPoint:
+    """One GC operating point on a fresh system (the engine's fresh path)."""
+    system = AndroidSystem(policy=policy_factory(), costs=costs, seed=seed)
+    prepare_gc(system, app)
+    return finish_gc(system, app, seed=seed, **kwargs)
+
+
+def gc_stress(
+    thresh_t_s: float,
+    *,
+    num_images: int = 32,
+    duration_ms: float = 600_000.0,
+    thresh_f: int = 4,
+    seed: int = 0x5EED,
+    trace_spec: RotationTraceSpec | None = None,
+) -> GcTradeoffPoint:
+    """One Fig. 11 operating point: ten minutes of bursty rotations.
+
+    ``THRESH_F`` stays at the paper's four-per-minute; the sweep varies
+    ``THRESH_T``.  The trace (≈ six changes/minute, bursty) is identical
+    across operating points, so differences come from the GC policy only.
+    """
+    return run_gc(
+        RCHDroidPolicy,
+        make_benchmark_app(num_images),
+        seed=seed,
+        thresh_t_s=thresh_t_s,
+        duration_ms=duration_ms,
+        thresh_f=thresh_f,
+        trace_spec=trace_spec,
     )

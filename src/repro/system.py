@@ -37,6 +37,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.apps.dsl import AppSpec, AsyncScript
     from repro.policy import RuntimeChangePolicy
     from repro.sim.costs import CostModel
+    from repro.sim.snapshot import SystemSnapshot
     from repro.trace.tracer import NullTracer, Tracer
 
 
@@ -66,12 +67,18 @@ class AndroidSystem:
         self.atms = ActivityTaskManagerService(self.ctx, self.policy, config)
         self.profiler = Profiler(self.ctx.recorder)
         self.energy = EnergyModel(self.ctx.costs, self.ctx.recorder)
+        self._launched_apps: list["AppSpec"] = []
+        """Specs launched on this device, in launch order.  Snapshots
+        externalise these (they are immutable inputs shared by every
+        fork) instead of deep-copying them."""
 
     # ------------------------------------------------------------------
     # device verbs
     # ------------------------------------------------------------------
     def launch(self, app: "AppSpec"):
         """Install + cold-start an app; returns its activity record."""
+        if not any(existing is app for existing in self._launched_apps):
+            self._launched_apps.append(app)
         return self.atms.launch(app)
 
     def rotate(self) -> str | None:
@@ -171,6 +178,51 @@ class AndroidSystem:
         if activity is None:
             raise LookupError(f"{app.package} has no foreground activity")
         return activity
+
+    # ------------------------------------------------------------------
+    # snapshot / fork
+    # ------------------------------------------------------------------
+    def shared_inputs(self) -> list[Any]:
+        """Immutable inputs shared by this system and every fork of it.
+
+        Snapshots reference these by identity instead of copying them:
+        the cost model, each launched app spec, and the spec's resource
+        table and async script.  Nothing here is ever mutated
+        by a run (specs are declarative; the cost model is frozen), so
+        sharing them across forks is safe and keeps capture/restore cost
+        proportional to *mutable* device state only.
+        """
+        inputs: list[Any] = [self.ctx.costs]
+        for app in self._launched_apps:
+            inputs.append(app)
+            inputs.append(app.resources)
+            if app.async_script is not None:
+                inputs.append(app.async_script)
+        return inputs
+
+    def snapshot(self) -> "SystemSnapshot":
+        """Checkpoint the full device state at the current instant.
+
+        The returned :class:`~repro.sim.snapshot.SystemSnapshot` is
+        immutable; this system continues running unaffected.  Any number
+        of independent copies can later be materialised with
+        :meth:`fork` — each continues from exactly this point and, given
+        the same subsequent verbs, produces byte-identical results to a
+        fresh run (the prefix-sharing engine's correctness contract).
+        """
+        from repro.sim.snapshot import SystemSnapshot
+
+        return SystemSnapshot.capture(self)
+
+    @classmethod
+    def fork(cls, snap: "SystemSnapshot") -> "AndroidSystem":
+        """Materialise an independent system from a snapshot.
+
+        Equivalent to ``snap.restore()``; provided on the facade so the
+        checkpoint API reads as a pair: ``system.snapshot()`` /
+        ``AndroidSystem.fork(snap)``.
+        """
+        return snap.restore()
 
     # ------------------------------------------------------------------
     # metric queries

@@ -143,8 +143,10 @@ class TestConfigure:
 
     def test_config_dataclass_defaults(self):
         config = EngineConfig()
-        assert config.jobs == 1
+        assert config.jobs == "auto"
         assert config.cache is False
+        assert config.snapshots is True
+        assert config.verify_forks is False
 
 
 def _resolve_default_cache():

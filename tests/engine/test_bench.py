@@ -5,6 +5,19 @@ import json
 from repro.engine import bench
 
 
+def _snapshot_section(*, identical=True):
+    return {
+        "probes": {
+            "runs": 48,
+            "seconds": {"serial": 1.0, "forked": 0.4,
+                        "forked_verified": 0.6},
+            "speedup_vs_serial": {"forked": 2.5, "forked_verified": 1.67},
+            "identical_to_serial": {"forked": identical,
+                                    "forked_verified": identical},
+        }
+    }
+
+
 def _report(*, identical=True, warm_memory=0.01, warm_disk=0.02, serial=1.0):
     return {
         "bench": "repro.engine",
@@ -53,6 +66,17 @@ class TestCheckReport:
         failures = bench.check_report(_report(warm_disk=2.0))
         assert failures
 
+    def test_divergent_forked_results_fail(self):
+        report = _report()
+        report["snapshot"] = _snapshot_section(identical=False)
+        failures = bench.check_report(report)
+        assert any("snapshot/probes" in failure for failure in failures)
+
+    def test_identical_forked_results_pass(self):
+        report = _report()
+        report["snapshot"] = _snapshot_section()
+        assert bench.check_report(report) == []
+
 
 class TestReportOutput:
     def test_write_report_is_valid_json(self, tmp_path):
@@ -71,6 +95,13 @@ class TestReportOutput:
         text = bench.format_report(_report(identical=False))
         assert "byte-identical to serial: NO" in text
 
+    def test_format_report_covers_the_snapshot_mode(self):
+        report = _report()
+        report["snapshot"] = _snapshot_section()
+        text = bench.format_report(report)
+        assert "snapshot/probes" in text
+        assert "2.5x" in text
+
 
 class TestRequestBuilders:
     def test_fig14_builder_covers_both_policies(self):
@@ -83,6 +114,14 @@ class TestRequestBuilders:
         requests = bench._REQUEST_BUILDERS["table5"]()
         assert len(requests) == 200
         assert {request.kind for request in requests} == {"issue"}
+
+    def test_probes_builder_is_two_prefix_groups(self):
+        requests = bench._REQUEST_BUILDERS["probes"]()
+        assert {request.kind for request in requests} == {"probe"}
+        prefixes = {request.prefix_key() for request in requests}
+        assert len(prefixes) == 2
+        assert len({request.cache_key() for request in requests}) \
+            == len(requests)
 
 
 class TestCliParsing:

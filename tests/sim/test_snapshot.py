@@ -1,0 +1,132 @@
+"""SystemSnapshot: fork-equals-fresh, round trips, refusal cases."""
+
+import json
+
+import pytest
+
+from repro.apps.benchmark import make_benchmark_app
+from repro.baselines.android10 import Android10Policy
+from repro.baselines.runtimedroid import RuntimeDroidPolicy
+from repro.core.policy import RCHDroidPolicy
+from repro.engine import encode_result
+from repro.errors import SnapshotError
+from repro.harness.runner import (
+    finish_issue,
+    finish_probe,
+    prepare_issue,
+    prepare_probe,
+    run_issue_scenario,
+    run_probe,
+)
+from repro.sim.snapshot import SystemSnapshot
+from repro.system import AndroidSystem
+from repro.trace.tracer import TraceSession
+
+POLICY_FACTORIES = {
+    "android10": Android10Policy,
+    "runtimedroid": RuntimeDroidPolicy,
+    "rchdroid": RCHDroidPolicy,
+}
+
+
+def _encoded(result):
+    return json.dumps(encode_result(result), sort_keys=True)
+
+
+class TestForkEqualsFresh:
+    @pytest.mark.parametrize("policy", sorted(POLICY_FACTORIES))
+    def test_issue_scenario_matches_classic_entry_point(self, policy):
+        factory = POLICY_FACTORIES[policy]
+        app = make_benchmark_app(2)
+        fresh = run_issue_scenario(factory, app)
+
+        live = AndroidSystem(policy=factory(), seed=0x5EED)
+        prepare_issue(live, app)
+        snap = live.snapshot()
+        forked = AndroidSystem.fork(snap)
+        assert _encoded(finish_issue(forked, app)) == _encoded(fresh)
+
+    @pytest.mark.parametrize("policy", sorted(POLICY_FACTORIES))
+    def test_issue_scenario_with_standalone_tracer(self, policy):
+        factory = POLICY_FACTORIES[policy]
+        app = make_benchmark_app(2)
+        fresh_sys = AndroidSystem(policy=factory(), seed=0x5EED, trace=True)
+        prepare_issue(fresh_sys, app)
+        fresh = finish_issue(fresh_sys, app)
+
+        live = AndroidSystem(policy=factory(), seed=0x5EED, trace=True)
+        prepare_issue(live, app)
+        forked = AndroidSystem.fork(live.snapshot())
+        assert _encoded(finish_issue(forked, app)) == _encoded(fresh)
+
+    @pytest.mark.parametrize("policy", sorted(POLICY_FACTORIES))
+    def test_fork_mid_async_task(self, policy):
+        """The probe prefix snapshots with an async task in flight."""
+        factory = POLICY_FACTORIES[policy]
+        app = make_benchmark_app(2)
+        fresh = run_probe(factory, app, audit_delay_ms=6_000.0)
+
+        live = AndroidSystem(policy=factory(), seed=0x5EED)
+        prepare_probe(live, app)
+        forked = AndroidSystem.fork(live.snapshot())
+        verdict = finish_probe(forked, app, audit_delay_ms=6_000.0)
+        assert _encoded(verdict) == _encoded(fresh)
+
+    def test_two_forks_from_one_snapshot_are_identical(self):
+        app = make_benchmark_app(2)
+        live = AndroidSystem(policy=RCHDroidPolicy(), seed=0x5EED)
+        prepare_issue(live, app)
+        snap = live.snapshot()
+        first = finish_issue(AndroidSystem.fork(snap), app)
+        second = finish_issue(AndroidSystem.fork(snap), app)
+        assert _encoded(first) == _encoded(second)
+
+    def test_fork_preserves_external_identity(self):
+        """Shared inputs (the AppSpec) come back as the same objects."""
+        app = make_benchmark_app(2)
+        live = AndroidSystem(policy=RCHDroidPolicy(), seed=0x5EED)
+        prepare_issue(live, app)
+        forked = AndroidSystem.fork(live.snapshot())
+        assert any(shared is app for shared in forked.shared_inputs())
+
+
+class TestDiskRoundTrip:
+    def test_bytes_round_trip_forks_identically(self):
+        app = make_benchmark_app(2)
+        fresh = run_issue_scenario(RCHDroidPolicy, app)
+
+        live = AndroidSystem(policy=RCHDroidPolicy(), seed=0x5EED)
+        prepare_issue(live, app)
+        snap = live.snapshot()
+        assert snap.size_bytes > 0
+        reloaded = SystemSnapshot.from_bytes(snap.to_bytes())
+        verdict = finish_issue(AndroidSystem.fork(reloaded), app)
+        assert _encoded(verdict) == _encoded(fresh)
+
+    def test_unknown_format_version_is_rejected(self):
+        app = make_benchmark_app(1)
+        live = AndroidSystem(policy=RCHDroidPolicy(), seed=0x5EED)
+        live.launch(app)
+        data = live.snapshot().to_bytes()
+        with pytest.raises(SnapshotError):
+            SystemSnapshot.from_bytes(data[:40])
+
+
+class TestRefusals:
+    def test_session_registered_tracer_cannot_snapshot(self):
+        """Session tracers are observed externally; forking one would
+        double-report spans, so capture refuses."""
+        app = make_benchmark_app(1)
+        with TraceSession():
+            live = AndroidSystem(policy=RCHDroidPolicy(), seed=0x5EED)
+            live.launch(app)
+            with pytest.raises(SnapshotError):
+                live.snapshot()
+
+    def test_standalone_tracer_snapshots_inside_session(self):
+        app = make_benchmark_app(1)
+        with TraceSession():
+            live = AndroidSystem(policy=RCHDroidPolicy(), seed=0x5EED,
+                                 trace=True)
+            live.launch(app)
+            assert live.snapshot().size_bytes > 0
