@@ -1,0 +1,37 @@
+"""Extension bench: the faulted fleet, all three policies.
+
+Expected shape: stock Android 10 crashes a nontrivial fraction of the
+population and loses state almost everywhere; RCHDroid and RuntimeDroid
+never crash; RuntimeDroid's in-place delivery has the lowest handling
+latencies of the three.
+"""
+
+from conftest import run_once
+from repro.harness.experiments import ext_fleet
+
+
+def test_ext_fleet_population(benchmark):
+    result = run_once(benchmark, lambda: ext_fleet.run(jobs=1))
+    report = result.report()
+    by_policy = {row["policy"]: row for row in report["policies"]}
+
+    stock = by_policy["android10"]
+    rchdroid = by_policy["rchdroid"]
+    runtimedroid = by_policy["runtimedroid"]
+
+    assert stock["crash_rate"] > 0.2
+    assert rchdroid["crash_rate"] == 0
+    assert runtimedroid["crash_rate"] == 0
+
+    # Transparent handling confines loss; stock loses almost everywhere.
+    assert stock["data_loss_rate"] > rchdroid["data_loss_rate"]
+    assert stock["data_loss_rate"] > 0.9
+
+    # In-place delivery is the cheapest handling path.
+    assert (runtimedroid["handling"]["mean_ms"]
+            < rchdroid["handling"]["mean_ms"]
+            < stock["handling"]["mean_ms"])
+
+    # Every cohort covered the whole fleet.
+    assert report["fleet"]["covered_shards"] == report["fleet"]["shards"]
+    print(ext_fleet.format_report(result))

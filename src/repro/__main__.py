@@ -12,7 +12,17 @@ Commands:
   vs cached vs prefix-snapshot forking) and write ``BENCH_engine.json``.
   Options: ``--jobs N``, ``-o/--output PATH``, ``--check`` (non-zero exit
   unless cached re-runs beat cold serial and all modes — forked cells
-  included — are byte-identical).
+  included — are byte-identical).  ``bench-engine fleet`` benchmarks the
+  fleet simulator instead (cohort-forked vs cold spawn, serial vs
+  sharded identity) and writes ``BENCH_fleet.json``; ``--devices N``
+  sizes it.
+* ``fleet``              — simulate a device fleet: cohorts forked from
+  per-(app, policy) templates play seeded user sessions, aggregated into
+  crash/data-loss rates and handling-latency quantiles per policy.
+  Options: ``--devices N`` (total, default 120), ``--policy NAME``
+  (repeatable; default all three), ``--faults F`` (fraction of devices
+  per fault kind, default 0), ``--jobs N|auto``, ``--shard-size N``,
+  ``--seed N``, ``-o/--output PATH`` (write the canonical JSON report).
 * ``<experiment>``       — run one experiment (e.g. ``fig10``, ``table3``).
   Options: ``--jobs N|auto`` (parallel workers, default auto), ``--no-cache``
   (skip the ``.repro-cache/`` result cache), ``--cache-root PATH``,
@@ -37,6 +47,8 @@ def main(argv: list[str]) -> int:
         return 0
     if command == "trace":
         return trace_command(argv[1:])
+    if command == "fleet":
+        return fleet_command(argv[1:])
     if command == "bench-engine":
         from repro.engine.bench import main as bench_main
 
@@ -49,7 +61,8 @@ def main(argv: list[str]) -> int:
     if command in _MODULES:
         return experiments_main(argv)
     return _unknown_command(
-        command, ["demo", "experiments", "trace", "bench-engine", *_MODULES]
+        command,
+        ["demo", "experiments", "trace", "fleet", "bench-engine", *_MODULES],
     )
 
 
@@ -61,6 +74,89 @@ def _unknown_command(command: str, known: list[str]) -> int:
     print(f"unknown command {command!r}{hint}")
     print("known commands: " + ", ".join(known))
     return 2
+
+
+# ----------------------------------------------------------------------
+# fleet subcommand
+# ----------------------------------------------------------------------
+def fleet_command(args: list[str]) -> int:
+    """Run a fleet simulation and print (optionally write) its report."""
+    devices = 120
+    policies: list[str] = []
+    faults_fraction = 0.0
+    jobs: "int | str | None" = None
+    shard_size = 32
+    seed = 0x5EED
+    out_path: str | None = None
+    walker = iter(args)
+    try:
+        for arg in walker:
+            if arg == "--devices":
+                devices = int(next(walker))
+            elif arg == "--policy":
+                policies.append(next(walker))
+            elif arg == "--faults":
+                faults_fraction = float(next(walker))
+            elif arg == "--jobs":
+                value = next(walker)
+                jobs = value if value == "auto" else int(value)
+            elif arg == "--shard-size":
+                shard_size = int(next(walker))
+            elif arg == "--seed":
+                seed = int(next(walker), 0)
+            elif arg in ("-o", "--output"):
+                out_path = next(walker)
+            else:
+                print(f"unexpected argument {arg!r}")
+                print(
+                    "usage: python -m repro fleet [--devices N]"
+                    " [--policy NAME]... [--faults F] [--jobs N|auto]"
+                    " [--shard-size N] [--seed N] [-o PATH]"
+                )
+                return 2
+    except StopIteration:
+        print("missing value for the last option")
+        return 2
+    except ValueError as error:
+        print(f"bad option value: {error}")
+        return 2
+
+    import math
+
+    from repro.errors import FleetError
+    from repro.fleet import (
+        FaultPlan,
+        FleetSpec,
+        NO_FAULTS,
+        fleet_corpus,
+        format_fleet_report,
+        run_fleet,
+    )
+
+    cell_count = len(fleet_corpus()) * (len(policies) or 3)
+    try:
+        spec = FleetSpec(
+            policies=tuple(policies) if policies else FleetSpec.policies,
+            devices_per_cell=max(1, math.ceil(devices / cell_count)),
+            faults=(FaultPlan.uniform(faults_fraction)
+                    if faults_fraction else NO_FAULTS),
+            seed=seed,
+            shard_size=shard_size,
+        )
+        result = run_fleet(spec, jobs=jobs)
+    except FleetError as error:
+        print(f"fleet error: {error}")
+        return 2
+    print(format_fleet_report(result))
+    if out_path is not None:
+        try:
+            with open(out_path, "w", encoding="utf-8") as handle:
+                handle.write(result.to_json() + "\n")
+        except OSError as error:
+            print(f"cannot write {out_path}: {error.strerror or error}")
+            return 1
+        print(f"\nwrote {out_path}")
+    return 0
 
 
 # ----------------------------------------------------------------------

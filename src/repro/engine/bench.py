@@ -27,6 +27,13 @@ byte-identical to from-scratch ones.
 Parallel speedup scales with cores: on a 1-core container the pool
 costs more than it saves, and the report says so honestly — the
 ``host.cpu_count`` field is there so numbers are read in context.
+
+``python -m repro bench-engine fleet`` benchmarks the fleet simulator
+instead (``BENCH_fleet.json``): cohort spawning by template fork vs
+per-device cold setup (the gated speedup — session play time is
+identical by construction, so the spawn path is timed on its own), plus
+end-to-end fleet runs in serial, sharded, and cold-setup form, all
+gated byte-identical.
 """
 
 from __future__ import annotations
@@ -47,6 +54,8 @@ from repro.engine.cache import ResultCache
 from repro.engine.codec import encode_result
 
 DEFAULT_OUTPUT = "BENCH_engine.json"
+DEFAULT_FLEET_OUTPUT = "BENCH_fleet.json"
+DEFAULT_FLEET_DEVICES = 360
 DEFAULT_EXPERIMENTS = ("fig14", "table5")
 SNAPSHOT_EXPERIMENT = "probes"
 
@@ -206,6 +215,144 @@ def bench_snapshot(
     }
 
 
+def bench_fleet(
+    *, devices: int = DEFAULT_FLEET_DEVICES, jobs: int | None = None,
+    seed: int = 0x5EED,
+) -> dict[str, Any]:
+    """Benchmark the fleet simulator (``repro.fleet``).
+
+    Two questions, answered separately because session play time is
+    identical on every path:
+
+    * **spawn** — materialising one cohort's devices by forking the
+      cohort template (capture once + restore per device) vs building
+      each device cold (the gated speedup);
+    * **end-to-end** — the same fleet run serially, sharded across a
+      pool, and with cold per-device setup, gated byte-identical.
+    """
+    import math
+
+    from repro.fleet.run import (
+        FleetSpec,
+        build_template,
+        capture_template,
+        run_fleet,
+    )
+
+    if jobs is None:
+        jobs = os.cpu_count() or 1
+    cells = len(FleetSpec().cells())
+    spec = FleetSpec(
+        devices_per_cell=max(1, math.ceil(devices / cells)), seed=seed
+    )
+
+    def spawn_cold() -> None:
+        for cell_index in range(cells):
+            for _ in range(spec.devices_per_cell):
+                build_template(spec, cell_index)
+
+    def spawn_forked() -> None:
+        for cell_index in range(cells):
+            template = capture_template(spec, cell_index)
+            for _ in range(spec.devices_per_cell):
+                template.restore()
+
+    spawn_cold_s, _ = _timed(lambda: [spawn_cold()])
+    spawn_forked_s, _ = _timed(lambda: [spawn_forked()])
+
+    serial_s, serial = _timed(lambda: [run_fleet(spec, jobs=1)])
+    golden = serial[0].to_json()
+    sharded_s, sharded = _timed(lambda: [run_fleet(spec, jobs=jobs)])
+    cold_s, cold = _timed(
+        lambda: [run_fleet(spec, jobs=1, use_templates=False)])
+
+    return {
+        "devices": spec.total_devices,
+        "cells": cells,
+        "shard_size": spec.shard_size,
+        "spawn": {
+            "cold_s": round(spawn_cold_s, 4),
+            "forked_s": round(spawn_forked_s, 4),
+            "speedup": round(spawn_cold_s / spawn_forked_s, 2),
+        },
+        "seconds": {
+            "serial": round(serial_s, 4),
+            "sharded": round(sharded_s, 4),
+            "cold_setup": round(cold_s, 4),
+        },
+        "speedup_vs_serial": {
+            "sharded": round(serial_s / sharded_s, 2),
+        },
+        "identical_to_serial": {
+            "sharded": sharded[0].to_json() == golden,
+            "cold_setup": cold[0].to_json() == golden,
+        },
+    }
+
+
+def run_fleet_bench(
+    *, jobs: int | None = None, devices: int = DEFAULT_FLEET_DEVICES,
+    seed: int = 0x5EED,
+) -> dict[str, Any]:
+    """Produce the full BENCH_fleet.json report structure."""
+    if jobs is None:
+        jobs = os.cpu_count() or 1
+    report: dict[str, Any] = {
+        "bench": "repro.fleet",
+        "host": {
+            "cpu_count": os.cpu_count(),
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+        },
+        "jobs": jobs,
+        "fleet": bench_fleet(devices=devices, jobs=jobs, seed=seed),
+    }
+    report["ok"] = check_fleet_report(report) == []
+    return report
+
+
+def check_fleet_report(report: dict[str, Any]) -> list[str]:
+    """Acceptance failures for a fleet benchmark (empty = pass).
+
+    Gated: sharded and cold-setup runs byte-identical to serial, and
+    forked cohort spawning faster than per-device cold setup.  The
+    sharded wall-clock speedup is reported, not gated — it is a
+    property of the host's core count.
+    """
+    failures: list[str] = []
+    data = report["fleet"]
+    for mode, same in data["identical_to_serial"].items():
+        if not same:
+            failures.append(f"fleet: {mode} report differs from serial")
+    spawn = data["spawn"]
+    if spawn["forked_s"] >= spawn["cold_s"]:
+        failures.append(
+            f"fleet: forked spawn ({spawn['forked_s']}s) not faster than "
+            f"cold setup ({spawn['cold_s']}s)"
+        )
+    return failures
+
+
+def format_fleet_report(report: dict[str, Any]) -> str:
+    data = report["fleet"]
+    spawn = data["spawn"]
+    seconds = data["seconds"]
+    identical = all(data["identical_to_serial"].values())
+    return "\n".join([
+        f"fleet benchmark — jobs={report['jobs']}, "
+        f"host cpus={report['host']['cpu_count']}",
+        f"  {data['devices']} devices in {data['cells']} cohorts "
+        f"(shard size {data['shard_size']})",
+        f"  spawn: cold {spawn['cold_s']}s | forked {spawn['forked_s']}s "
+        f"({spawn['speedup']}x)",
+        f"  end-to-end: serial {seconds['serial']}s | sharded "
+        f"{seconds['sharded']}s "
+        f"({data['speedup_vs_serial']['sharded']}x) | cold setup "
+        f"{seconds['cold_setup']}s",
+        f"  byte-identical to serial: {'yes' if identical else 'NO'}",
+    ])
+
+
 def run_bench(
     *,
     jobs: int | None = None,
@@ -308,8 +455,10 @@ def format_report(report: dict[str, Any]) -> str:
 def main(argv: Sequence[str] | None = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     jobs: int | None = None
-    output = DEFAULT_OUTPUT
+    output: str | None = None
     check = False
+    mode = "engine"
+    devices = DEFAULT_FLEET_DEVICES
     while argv:
         arg = argv.pop(0)
         if arg == "--jobs" and argv:
@@ -318,14 +467,24 @@ def main(argv: Sequence[str] | None = None) -> int:
             output = argv.pop(0)
         elif arg == "--check":
             check = True
+        elif arg == "--devices" and argv:
+            devices = int(argv.pop(0))
+        elif arg in ("engine", "fleet"):
+            mode = arg
         else:
             print(f"bench-engine: unknown argument {arg!r}", file=sys.stderr)
             return 2
-    report = run_bench(jobs=jobs)
-    write_report(report, output)
-    print(format_report(report))
-    print(f"wrote {output}")
-    failures = check_report(report)
+    if mode == "fleet":
+        report = run_fleet_bench(jobs=jobs, devices=devices)
+        write_report(report, output or DEFAULT_FLEET_OUTPUT)
+        print(format_fleet_report(report))
+        failures = check_fleet_report(report)
+    else:
+        report = run_bench(jobs=jobs)
+        write_report(report, output or DEFAULT_OUTPUT)
+        print(format_report(report))
+        failures = check_report(report)
+    print(f"wrote {output or (DEFAULT_FLEET_OUTPUT if mode == 'fleet' else DEFAULT_OUTPUT)}")
     for failure in failures:
         print(f"CHECK FAILED: {failure}", file=sys.stderr)
     return 1 if (check and failures) else 0

@@ -55,6 +55,11 @@ class SnapshotError(SimulationError):
     active :class:`~repro.trace.tracer.TraceSession`)."""
 
 
+class FleetError(SimulationError):
+    """The fleet simulator was misconfigured (unknown policy, empty
+    cohort, mismatched partial results, or a missing shard template)."""
+
+
 class AppCrash(Exception):
     """Base class for exceptions that crash the simulated app process.
 

@@ -1,0 +1,52 @@
+"""repro.fleet: sharded fleet simulation with streaming aggregation.
+
+A fleet run drives thousands of simulated devices — forked from
+per-(app, policy) cohort templates — through seeded synthetic user
+sessions, optionally degrades a seeded fraction of them with injected
+faults, and streams everything into small mergeable accumulators whose
+report is byte-identical across worker counts and resumed runs.
+
+See docs/FLEET.md for the architecture and the determinism argument.
+"""
+
+from repro.fleet.aggregate import CohortAccumulator, LatencySketch
+from repro.fleet.device import DeviceOutcome, run_device
+from repro.fleet.faults import NO_FAULTS, DeviceFaults, FaultPlan
+from repro.fleet.population import (
+    DEFAULT_POPULATION,
+    PopulationSpec,
+    device_script,
+    fleet_corpus,
+)
+from repro.fleet.run import (
+    FleetResult,
+    FleetSpec,
+    Shard,
+    format_fleet_report,
+    merge_fleet_results,
+    plan_shards,
+    run_fleet,
+    template_cache_stats,
+)
+
+__all__ = [
+    "CohortAccumulator",
+    "DEFAULT_POPULATION",
+    "DeviceFaults",
+    "DeviceOutcome",
+    "FaultPlan",
+    "FleetResult",
+    "FleetSpec",
+    "LatencySketch",
+    "NO_FAULTS",
+    "PopulationSpec",
+    "Shard",
+    "device_script",
+    "fleet_corpus",
+    "format_fleet_report",
+    "merge_fleet_results",
+    "plan_shards",
+    "run_device",
+    "run_fleet",
+    "template_cache_stats",
+]

@@ -1,0 +1,227 @@
+"""Streaming, mergeable aggregation for fleet runs.
+
+A fleet run never materialises per-device results: each shard folds its
+devices into one :class:`CohortAccumulator` as they finish, and the
+coordinator merges shard accumulators.  Byte-identical reports across
+``--jobs 1``, ``--jobs N`` and resumed runs therefore require the
+accumulators to be **merge-topology independent** — a serial run folds
+device-by-device, a sharded run folds shard partials pairwise, and both
+must land on exactly the same bits.
+
+Two design rules make that true:
+
+* every accumulated quantity is an **integer**.  Latencies and megabytes
+  are quantised to fixed point (:func:`quantize`, 1e-6 resolution) at
+  ``add`` time; integer addition is exact, so any merge order or
+  grouping produces the same totals.  Means are derived *once*, at
+  report time, from identical operands.  (Float partial sums would
+  break this: ``(a+b)+(c+d)`` and ``((a+b)+c)+d`` differ in the last
+  ulp.)
+* quantiles come from a **log-bucketed sketch** (:class:`LatencySketch`,
+  DDSketch-style): a value is mapped to bucket ``ceil(log_γ(v/v₀))``
+  with γ = 1.02 (≈2 % relative error), and the sketch is a sparse
+  ``bucket → count`` map.  Merging is bucket-wise integer addition —
+  commutative and associative — and the quantile rule (smallest bucket
+  whose cumulative count reaches the rank) reads buckets in sorted
+  order, so it is independent of insertion and merge order.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.fleet.device import DeviceOutcome
+
+#: Fixed-point denominator for exact sums of ms / MB quantities.
+FIXED_POINT = 1_000_000
+
+#: Sketch geometry: relative accuracy ≈ (GAMMA - 1) / 2 per bucket.
+SKETCH_GAMMA = 1.02
+SKETCH_MIN_VALUE = 0.1  # ms; everything below lands in the floor bucket
+
+
+def quantize(value: float) -> int:
+    """Exact fixed-point representation of a measured quantity."""
+    return round(value * FIXED_POINT)
+
+
+def dequantize(total: int, count: int = 1) -> float:
+    return total / (FIXED_POINT * count) if count else 0.0
+
+
+class LatencySketch:
+    """Deterministic mergeable quantile sketch over positive values."""
+
+    __slots__ = ("buckets", "floor_count", "total")
+
+    def __init__(self) -> None:
+        self.buckets: dict[int, int] = {}
+        self.floor_count = 0
+        self.total = 0
+
+    # ------------------------------------------------------------------
+    def add(self, value: float) -> None:
+        self.total += 1
+        if value <= SKETCH_MIN_VALUE:
+            self.floor_count += 1
+            return
+        index = math.ceil(
+            math.log(value / SKETCH_MIN_VALUE) / math.log(SKETCH_GAMMA)
+        )
+        self.buckets[index] = self.buckets.get(index, 0) + 1
+
+    def merge(self, other: "LatencySketch") -> None:
+        self.total += other.total
+        self.floor_count += other.floor_count
+        for index, count in other.buckets.items():
+            self.buckets[index] = self.buckets.get(index, 0) + count
+
+    # ------------------------------------------------------------------
+    def quantile(self, q: float) -> float | None:
+        """The smallest bucket bound covering rank ``ceil(q * total)``."""
+        if self.total == 0:
+            return None
+        rank = max(1, math.ceil(q * self.total))
+        if rank <= self.floor_count:
+            return SKETCH_MIN_VALUE
+        cumulative = self.floor_count
+        for index in sorted(self.buckets):
+            cumulative += self.buckets[index]
+            if cumulative >= rank:
+                return SKETCH_MIN_VALUE * SKETCH_GAMMA ** index
+        # Unreachable: cumulative counts always reach self.total.
+        return SKETCH_MIN_VALUE * SKETCH_GAMMA ** max(self.buckets)
+
+    # ------------------------------------------------------------------
+    def encode(self) -> dict:
+        return {
+            "floor": self.floor_count,
+            "total": self.total,
+            "buckets": {str(index): count
+                        for index, count in sorted(self.buckets.items())},
+        }
+
+    @classmethod
+    def decode(cls, data: dict) -> "LatencySketch":
+        sketch = cls()
+        sketch.floor_count = data["floor"]
+        sketch.total = data["total"]
+        sketch.buckets = {int(index): count
+                          for index, count in data["buckets"].items()}
+        return sketch
+
+
+@dataclass
+class CohortAccumulator:
+    """Everything a fleet report needs about one (app, policy) cohort.
+
+    Integer-only state (see the module docstring); picklable, so shard
+    workers can return it across the process pool.
+    """
+
+    package: str
+    policy: str
+    devices: int = 0
+    crashed_devices: int = 0
+    devices_with_loss: int = 0
+    loss_events: int = 0
+    audits: int = 0
+    process_deaths: int = 0
+    faulted_devices: int = 0
+    ops: int = 0
+    handling_count: int = 0
+    handling_sum_q: int = 0
+    handling_sketch: LatencySketch = field(default_factory=LatencySketch)
+    memory_devices: int = 0
+    memory_sum_q: int = 0
+
+    # ------------------------------------------------------------------
+    def add(self, outcome: "DeviceOutcome") -> None:
+        self.devices += 1
+        self.crashed_devices += 1 if outcome.crashed else 0
+        self.devices_with_loss += 1 if outcome.loss_events else 0
+        self.loss_events += outcome.loss_events
+        self.audits += outcome.audits
+        self.process_deaths += outcome.process_deaths
+        self.faulted_devices += 1 if outcome.faulted else 0
+        self.ops += outcome.ops
+        for duration_ms in outcome.handling_ms:
+            self.handling_count += 1
+            self.handling_sum_q += quantize(duration_ms)
+            self.handling_sketch.add(duration_ms)
+        if outcome.memory_mb is not None:
+            self.memory_devices += 1
+            self.memory_sum_q += quantize(outcome.memory_mb)
+
+    def merge(self, other: "CohortAccumulator", *,
+              check_cohort: bool = True) -> None:
+        """Fold ``other`` in; integer-exact under any merge topology.
+
+        ``check_cohort=False`` relaxes the package check for policy
+        rollups, which fold several apps' cohorts into one ``"*"`` row.
+        """
+        if check_cohort and (
+                other.package, other.policy) != (self.package, self.policy):
+            raise ValueError(
+                f"cannot merge cohort {other.package}/{other.policy} into "
+                f"{self.package}/{self.policy}"
+            )
+        self.devices += other.devices
+        self.crashed_devices += other.crashed_devices
+        self.devices_with_loss += other.devices_with_loss
+        self.loss_events += other.loss_events
+        self.audits += other.audits
+        self.process_deaths += other.process_deaths
+        self.faulted_devices += other.faulted_devices
+        self.ops += other.ops
+        self.handling_count += other.handling_count
+        self.handling_sum_q += other.handling_sum_q
+        self.handling_sketch.merge(other.handling_sketch)
+        self.memory_devices += other.memory_devices
+        self.memory_sum_q += other.memory_sum_q
+
+    def copy_empty(self) -> "CohortAccumulator":
+        return CohortAccumulator(self.package, self.policy)
+
+    # ------------------------------------------------------------------
+    def row(self, *, include_package: bool = True) -> dict:
+        """One report row; every float derived once from integer state."""
+        devices = self.devices
+
+        def rate(count: int) -> float:
+            return round(count / devices, 6) if devices else 0.0
+
+        def qtile(q: float) -> float | None:
+            value = self.handling_sketch.quantile(q)
+            return round(value, 4) if value is not None else None
+
+        row: dict = {}
+        if include_package:
+            row["app"] = self.package
+        row.update({
+            "policy": self.policy,
+            "devices": devices,
+            "crash_rate": rate(self.crashed_devices),
+            "data_loss_rate": rate(self.devices_with_loss),
+            "loss_events": self.loss_events,
+            "audits": self.audits,
+            "process_deaths": self.process_deaths,
+            "faulted_devices": self.faulted_devices,
+            "ops": self.ops,
+            "handling": {
+                "count": self.handling_count,
+                "mean_ms": round(
+                    dequantize(self.handling_sum_q, self.handling_count), 4
+                ),
+                "p50_ms": qtile(0.50),
+                "p95_ms": qtile(0.95),
+                "p99_ms": qtile(0.99),
+            },
+            "memory_mean_mb": round(
+                dequantize(self.memory_sum_q, self.memory_devices), 4
+            ),
+        })
+        return row

@@ -1,0 +1,170 @@
+"""One fleet device: play a session script, audit state, fold to an outcome.
+
+The driver is the fleet's unit of work.  It receives a freshly forked
+:class:`~repro.system.AndroidSystem` (or, on the benchmark's cold path,
+a freshly prepared one — byte-identical by the snapshot contract), plays
+the member's script, and reduces everything observed into a small
+:class:`DeviceOutcome` so the executor can recycle the system
+immediately — peak memory stays proportional to one device, not the
+fleet.
+
+Audit semantics follow ``harness/sessions.py``: after every
+configuration change settles (and after every relaunch), each declared
+state slot is compared against what the simulated user last entered.  A
+mismatch counts one loss event and the user re-enters the value, so a
+single restart defect is counted once, not once per subsequent audit.
+A crash ends the session — the user gave up — which is what makes
+fleet crash rates and loss rates policy-differentiating rather than
+additive noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.fleet.faults import DeviceFaults, FaultPlan, apply_slow_storage
+from repro.fleet.population import template_value
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.apps.dsl import AppSpec
+    from repro.system import AndroidSystem
+
+#: Simulated pause after a relaunch before the post-restart audit.
+RELAUNCH_SETTLE_MS = 200.0
+
+
+@dataclass(frozen=True)
+class DeviceOutcome:
+    """Everything the aggregator keeps about one finished device."""
+
+    member: int
+    crashed: bool
+    loss_events: int
+    audits: int
+    process_deaths: int
+    handling_ms: tuple[float, ...]
+    memory_mb: float | None
+    ops: int
+    faulted: bool
+
+
+def run_device(
+    system: "AndroidSystem",
+    app: "AppSpec",
+    script: tuple[tuple, ...],
+    faults: DeviceFaults,
+    plan: FaultPlan,
+    member: int,
+) -> DeviceOutcome:
+    """Play one member's session on ``system`` and fold it to an outcome."""
+    package = app.package
+    if faults.slow_storage:
+        apply_slow_storage(system, plan.slow_storage_multiplier)
+    ops = list(script)
+    if faults.low_memory_kill:
+        # Halfway through the session, aligned to an op boundary (the
+        # script alternates op, wait, op, wait, ...).
+        middle = len(ops) // 2
+        middle -= middle % 2
+        ops[middle:middle] = [("kill",), ("wait", 250.0)]
+
+    expected = {slot.name: template_value(slot.name) for slot in app.slots}
+    handling_baseline = len(system.handling_times())
+    loss_events = 0
+    audits = 0
+    process_deaths = 0
+    ops_done = 0
+    pending_audit = False
+    death_armed = False
+
+    def audit() -> None:
+        nonlocal loss_events, audits
+        if system.foreground_activity(package) is None:
+            return
+        for slot in app.slots:
+            audits += 1
+            value = system.read_slot(app, slot.name)
+            if value != expected[slot.name]:
+                loss_events += 1
+                # The user re-enters the lost value.
+                system.write_slot(app, slot.name, expected[slot.name])
+
+    for op in ops:
+        if system.crashed(package):
+            break
+        kind = op[0]
+        if kind == "wait":
+            system.run_for(op[1])
+            if pending_audit and not system.crashed(package):
+                pending_audit = False
+                audit()
+            continue
+        if system.foreground_activity(package) is None:
+            # Killed earlier (OS or script); the user comes back.
+            process_deaths += 1
+            system.launch(app)
+            system.run_for(RELAUNCH_SETTLE_MS)
+            audit()
+        if kind == "rotate":
+            system.rotate()
+        elif kind == "resize":
+            system.resize(op[1], op[2])
+        elif kind == "locale":
+            system.set_locale(op[1])
+        elif kind == "night":
+            system.set_night_mode(op[1])
+        elif kind == "write":
+            slot = app.slots[op[1] % len(app.slots)]
+            value = f"m{member}.s{op[1]}"
+            system.write_slot(app, slot.name, value)
+            expected[slot.name] = value
+        elif kind == "async":
+            if app.async_script is not None:
+                system.start_async(app)
+        elif kind == "kill":
+            _kill_app_process(system, package)
+        if kind in ("rotate", "resize", "locale", "night"):
+            pending_audit = True
+            if faults.mid_migration_death and not death_armed:
+                death_armed = True
+                system.ctx.scheduler.schedule(
+                    plan.mid_migration_delay_ms,
+                    lambda: _kill_app_process(system, package),
+                    label="fleet:mid-migration-death",
+                )
+        ops_done += 1
+
+    if not system.crashed(package):
+        system.run_until_idle()
+    crashed = system.crashed(package)
+    if not crashed:
+        if system.foreground_activity(package) is None:
+            process_deaths += 1
+        else:
+            audit()
+
+    handling = tuple(
+        duration_ms
+        for duration_ms, _ in system.handling_times()[handling_baseline:]
+    )
+    alive = (not crashed
+             and system.foreground_activity(package) is not None)
+    memory_mb = system.memory_of(package) if alive else None
+    return DeviceOutcome(
+        member=member,
+        crashed=crashed,
+        loss_events=loss_events,
+        audits=audits,
+        process_deaths=process_deaths,
+        handling_ms=handling,
+        memory_mb=memory_mb,
+        ops=ops_done,
+        faulted=faults.any,
+    )
+
+
+def _kill_app_process(system: "AndroidSystem", package: str) -> None:
+    thread = system.atms.threads.get(package)
+    if thread is not None and thread.process.alive:
+        thread.process.kill()

@@ -1,0 +1,216 @@
+"""Seeded synthetic user populations: the fleet's workload stream.
+
+Two responsibilities:
+
+* :func:`fleet_corpus` — the small app corpus a fleet runs.  The three
+  archetypes cover the state-durability ladder (view attr, bare field,
+  custom-saved, Application object, SharedPreferences) and both async
+  crash modes (stale view update, leaked dialog), so population-level
+  crash and data-loss rates are *emergent* from policy semantics, not
+  scripted per app.
+* :func:`device_script` — one device's session, drawn from a seeded
+  distribution: rotations, fold/unfold resizes, locale and dark-mode
+  switches, state writes, async tasks in flight, background kills, and
+  think-time gaps.  Scripts are keyed by **member index only** (not by
+  cohort), so device *i* performs the identical session under every
+  (app, policy) cell — fleet comparisons across policies are therefore
+  apples-to-apples.  Everything flows through
+  :class:`~repro.sim.rng.DeterministicRng` sub-streams: the same seed
+  always produces the same fleet, device by device, op by op.
+
+Script ops are plain value tuples (picklable, snapshot-friendly)::
+
+    ("rotate",) ("resize", w, h) ("locale", "fr-FR") ("night", True)
+    ("write", step) ("async",) ("kill",) ("wait", gap_ms)
+
+The generator appends a ``wait`` after every op, so audits (which the
+device driver performs after each settle) observe post-migration state,
+and it guarantees at least one configuration change per session so every
+device contributes handling data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.android.views.inflate import ViewSpec
+from repro.apps.dsl import (
+    AppSpec,
+    AsyncScript,
+    StateSlot,
+    StorageKind,
+    filler_views,
+    two_orientation_resources,
+)
+from repro.sim.rng import DeterministicRng
+
+#: Stable view ids shared by all fleet archetypes.
+SLOT_VIEW_ID = 10
+ASYNC_TARGET_ID = 11
+
+#: Fold/unfold geometry: cover display vs inner display of a foldable.
+FOLDED_SIZE = (1080, 2092)
+UNFOLDED_SIZE = (1812, 2176)
+
+LOCALES = ("en-US", "fr-FR", "de-DE", "ja-JP", "pt-BR")
+
+
+@dataclass(frozen=True)
+class PopulationSpec:
+    """Distribution parameters for per-device session scripts."""
+
+    min_ops: int = 6
+    max_ops: int = 14
+    min_gap_ms: float = 150.0
+    max_gap_ms: float = 2_500.0
+    weights: tuple[tuple[str, float], ...] = (
+        ("rotate", 5.0),
+        ("write", 4.0),
+        ("fold", 2.0),
+        ("async", 2.0),
+        ("locale", 1.0),
+        ("night", 1.0),
+        ("kill", 1.0),
+    )
+
+
+DEFAULT_POPULATION = PopulationSpec()
+
+_CONFIG_CHANGE_OPS = {"rotate", "resize", "locale", "night"}
+
+
+def is_config_change(op: tuple) -> bool:
+    return op[0] in _CONFIG_CHANGE_OPS
+
+
+def _weighted_choice(rng: DeterministicRng,
+                     weights: tuple[tuple[str, float], ...]) -> str:
+    total = sum(weight for _, weight in weights)
+    draw = rng.uniform(0.0, total)
+    cumulative = 0.0
+    for kind, weight in weights:
+        cumulative += weight
+        if draw <= cumulative:
+            return kind
+    return weights[-1][0]
+
+
+def device_script(
+    population: PopulationSpec, seed: int, member: int
+) -> tuple[tuple, ...]:
+    """The session script of fleet member ``member`` (deterministic)."""
+    rng = DeterministicRng(seed).fork(f"fleet-device-{member}")
+    op_count = rng.randint(population.min_ops, population.max_ops)
+    ops: list[tuple] = []
+    folded = False
+    night = False
+    saw_config_change = False
+    for step in range(op_count):
+        kind = _weighted_choice(rng, population.weights)
+        if kind == "rotate":
+            op: tuple = ("rotate",)
+        elif kind == "fold":
+            folded = not folded
+            width, height = FOLDED_SIZE if folded else UNFOLDED_SIZE
+            op = ("resize", width, height)
+        elif kind == "locale":
+            op = ("locale", rng.choice(LOCALES))
+        elif kind == "night":
+            night = not night
+            op = ("night", night)
+        elif kind == "write":
+            op = ("write", step)
+        elif kind == "async":
+            op = ("async",)
+        else:
+            op = ("kill",)
+        saw_config_change = saw_config_change or is_config_change(op)
+        ops.append(op)
+        ops.append(
+            ("wait",
+             round(rng.uniform(population.min_gap_ms,
+                               population.max_gap_ms), 1))
+        )
+    if not saw_config_change:
+        # Every session exercises the paper's subject at least once.
+        ops.append(("rotate",))
+        ops.append(("wait", 500.0))
+    return tuple(ops)
+
+
+def template_value(slot_name: str) -> str:
+    """The state every template seeds into a slot before capture."""
+    return f"seed:{slot_name}"
+
+
+# ----------------------------------------------------------------------
+# the fleet app corpus
+# ----------------------------------------------------------------------
+def _notepad() -> AppSpec:
+    """View-attr note + persisted draft + async sync (stale-view crash)."""
+    return AppSpec(
+        package="fleet.notepad", label="FleetNotepad",
+        resources=two_orientation_resources(
+            "main",
+            [ViewSpec("TextView", view_id=SLOT_VIEW_ID),
+             ViewSpec("TextView", view_id=ASYNC_TARGET_ID),
+             *filler_views(12)],
+        ),
+        slots=(
+            StateSlot("note", StorageKind.VIEW_ATTR,
+                      view_id=SLOT_VIEW_ID, attr="text"),
+            StateSlot("draft", StorageKind.PERSISTED),
+        ),
+        async_script=AsyncScript(
+            "sync", 4_000.0, ((ASYNC_TARGET_ID, "text", "synced"),)
+        ),
+        extra_heap_mb=8.0,
+    )
+
+
+def _tracker() -> AppSpec:
+    """Bare field + custom-saved journal behind a real onSaveInstanceState."""
+    return AppSpec(
+        package="fleet.tracker", label="FleetTracker",
+        resources=two_orientation_resources(
+            "main",
+            [ViewSpec("TextView", view_id=SLOT_VIEW_ID),
+             *filler_views(24)],
+        ),
+        implements_on_save=True,
+        slots=(
+            StateSlot("count", StorageKind.BARE_FIELD),
+            StateSlot("journal", StorageKind.CUSTOM_SAVED),
+        ),
+        extra_heap_mb=6.0,
+    )
+
+
+def _gallery() -> AppSpec:
+    """Image-heavy app with Application state and a dialog-leaking loader."""
+    return AppSpec(
+        package="fleet.gallery", label="FleetGallery",
+        resources=two_orientation_resources(
+            "main",
+            [ViewSpec("TextView", view_id=SLOT_VIEW_ID),
+             ViewSpec("TextView", view_id=ASYNC_TARGET_ID),
+             *[ViewSpec("ImageView", view_id=500 + index)
+               for index in range(6)],
+             *filler_views(32)],
+        ),
+        slots=(
+            StateSlot("caption", StorageKind.VIEW_ATTR,
+                      view_id=SLOT_VIEW_ID, attr="text"),
+            StateSlot("pin", StorageKind.APPLICATION),
+        ),
+        async_script=AsyncScript(
+            "load", 6_000.0, ((ASYNC_TARGET_ID, "text", "loaded"),),
+            shows_dialog=True,
+        ),
+        extra_heap_mb=14.0,
+    )
+
+
+def fleet_corpus() -> tuple[AppSpec, ...]:
+    """The default fleet app set (validated by the fleet test suite)."""
+    return (_notepad(), _tracker(), _gallery())

@@ -1,0 +1,472 @@
+"""Cohort spawner and sharded fleet executor.
+
+The fleet is a matrix of (app, policy) **cells**; each cell's cohort of
+devices forks from one template :class:`~repro.sim.snapshot.SystemSnapshot`
+(the app launched, settled, and its slots seeded) — PR 3's prefix
+sharing as the hot path.  Templates are captured with
+``trim_history=True``: the recorder's busy/heap/event/latency history is
+dead weight for a fork that only measures its *own* future, and
+trimming it shrinks every per-device restore.
+
+Determinism across execution shapes is structural, not incidental:
+
+* the **shard plan** is a pure function of the spec (cells × cohort
+  size × ``shard_size``), never of the worker count — ``--jobs 1`` and
+  ``--jobs 8`` execute the identical shard list;
+* shards never span cells, and each shard folds its devices in
+  ascending member order into one integer-only
+  :class:`~repro.fleet.aggregate.CohortAccumulator` (exact under any
+  merge topology — see ``fleet/aggregate.py``);
+* the coordinator merges shard accumulators in ascending shard-id
+  order, whether they came back from a pool, a serial loop, or two
+  resumed partial runs via :func:`merge_fleet_results`.
+
+Memory stays bounded by recycling: a shard worker materialises one
+device at a time, folds it into the shard accumulator, and drops it —
+peak RSS scales with one device plus one accumulator, independent of
+the fleet size.  Worker processes cache the restored template bytes
+once per (root, key) in module globals (:func:`template_cache_stats`),
+so a 100-shard cohort costs one disk read per worker, not one per fork.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+import tempfile
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.engine.batch import POLICIES, _resolve_jobs
+from repro.engine.fingerprint import fingerprint
+from repro.engine.snapshots import SnapshotStore
+from repro.errors import FleetError
+from repro.fleet.aggregate import CohortAccumulator
+from repro.fleet.device import run_device
+from repro.fleet.faults import NO_FAULTS, FaultPlan
+from repro.fleet.population import (
+    DEFAULT_POPULATION,
+    PopulationSpec,
+    device_script,
+    fleet_corpus,
+    template_value,
+)
+from repro.harness.report import render_table
+from repro.sim.snapshot import SNAPSHOT_FORMAT_VERSION, SystemSnapshot
+from repro.system import AndroidSystem
+
+DEFAULT_POLICIES = ("android10", "runtimedroid", "rchdroid")
+
+
+@dataclass(frozen=True)
+class FleetSpec:
+    """One fleet run, described entirely by value (picklable)."""
+
+    apps: tuple = ()
+    policies: tuple[str, ...] = DEFAULT_POLICIES
+    devices_per_cell: int = 8
+    population: PopulationSpec = DEFAULT_POPULATION
+    faults: FaultPlan = NO_FAULTS
+    seed: int = 0x5EED
+    shard_size: int = 32
+    settle_ms: float = 400.0
+
+    def __post_init__(self) -> None:
+        if not self.apps:
+            object.__setattr__(self, "apps", fleet_corpus())
+        for policy in self.policies:
+            if policy not in POLICIES:
+                raise FleetError(
+                    f"unknown policy {policy!r}; known: {sorted(POLICIES)}"
+                )
+        if self.devices_per_cell < 1:
+            raise FleetError("devices_per_cell must be >= 1")
+        if self.shard_size < 1:
+            raise FleetError("shard_size must be >= 1")
+
+    # ------------------------------------------------------------------
+    def cells(self) -> list[tuple]:
+        """(app, policy) cells in fixed app-major order."""
+        return [(app, policy)
+                for app in self.apps for policy in self.policies]
+
+    @property
+    def total_devices(self) -> int:
+        return len(self.cells()) * self.devices_per_cell
+
+
+@dataclass(frozen=True)
+class Shard:
+    """A contiguous member range of one cell's cohort."""
+
+    shard_id: int
+    cell_index: int
+    start: int
+    stop: int
+
+    @property
+    def devices(self) -> int:
+        return self.stop - self.start
+
+
+def plan_shards(spec: FleetSpec) -> list[Shard]:
+    """The shard list — a pure function of the spec, never of jobs."""
+    shards: list[Shard] = []
+    for cell_index in range(len(spec.cells())):
+        for start in range(0, spec.devices_per_cell, spec.shard_size):
+            stop = min(start + spec.shard_size, spec.devices_per_cell)
+            shards.append(Shard(len(shards), cell_index, start, stop))
+    return shards
+
+
+# ----------------------------------------------------------------------
+# cohort templates
+# ----------------------------------------------------------------------
+def template_key(spec: FleetSpec, cell_index: int) -> str:
+    app, policy = spec.cells()[cell_index]
+    return fingerprint([
+        "repro.fleet.template", SNAPSHOT_FORMAT_VERSION, policy,
+        spec.seed, spec.settle_ms, fingerprint(app),
+    ])
+
+
+#: First-run burn-in: rotations played before the template's state is
+#: seeded.  An even count, so the template ends in its initial
+#: orientation; played with no async in flight, so no policy can crash.
+TEMPLATE_BURN_IN_ROTATIONS = 4
+
+
+def build_template(spec: FleetSpec, cell_index: int) -> AndroidSystem:
+    """A settled device with the cell's app launched and state seeded.
+
+    The template represents a device past its first-run workload: the
+    app's startup async task has completed and the device has seen a few
+    rotations (setup-wizard churn).  That work happens *before* the
+    slots are seeded, so no policy's handling of it can disturb the
+    seeded state — and it is exactly the work every forked device gets
+    to skip, which is why cohort spawning via fork beats per-device cold
+    setup (the gated ``bench-engine fleet`` speedup).
+    """
+    app, policy = spec.cells()[cell_index]
+    system = AndroidSystem(policy=POLICIES[policy](), seed=spec.seed)
+    system.launch(app)
+    system.run_for(spec.settle_ms)
+    if app.async_script is not None:
+        system.start_async(app)
+        system.run_for(app.async_script.duration_ms + 50.0)
+    for _ in range(TEMPLATE_BURN_IN_ROTATIONS):
+        system.rotate()
+        system.run_for(300.0)
+    for slot in app.slots:
+        system.write_slot(app, slot.name, template_value(slot.name))
+    system.run_for(50.0)
+    return system
+
+
+def capture_template(spec: FleetSpec, cell_index: int) -> SystemSnapshot:
+    return SystemSnapshot.capture(
+        build_template(spec, cell_index), trim_history=True
+    )
+
+
+# ----------------------------------------------------------------------
+# per-worker template cache (one disk read per worker process, not per
+# fork — see the satellite test in tests/fleet/test_fleet_run.py)
+# ----------------------------------------------------------------------
+_TEMPLATE_CACHE: dict[tuple[str, str], SystemSnapshot] = {}
+_TEMPLATE_DISK_READS = 0
+
+
+def template_cache_stats() -> tuple[int, int]:
+    """(cached templates, disk reads) in this process."""
+    return len(_TEMPLATE_CACHE), _TEMPLATE_DISK_READS
+
+
+def _reset_template_cache() -> None:
+    global _TEMPLATE_DISK_READS
+    _TEMPLATE_CACHE.clear()
+    _TEMPLATE_DISK_READS = 0
+
+
+def _load_worker_template(root: str, key: str) -> SystemSnapshot:
+    global _TEMPLATE_DISK_READS
+    cache_key = (str(root), key)
+    snap = _TEMPLATE_CACHE.get(cache_key)
+    if snap is None:
+        snap = SnapshotStore(root=root)._read_disk(key)
+        if snap is None:
+            raise FleetError(f"fleet template {key} missing under {root}")
+        _TEMPLATE_DISK_READS += 1
+        _TEMPLATE_CACHE[cache_key] = snap
+    return snap
+
+
+# ----------------------------------------------------------------------
+# shard execution
+# ----------------------------------------------------------------------
+def _run_shard(
+    spec: FleetSpec, shard: Shard, template: SystemSnapshot | None
+) -> CohortAccumulator:
+    """Fold one shard's devices, in member order, into an accumulator.
+
+    ``template=None`` is the benchmark's cold path: every device is
+    prepared from scratch instead of forked (byte-identical results by
+    the fork-equals-fresh contract, at per-device setup cost).
+    """
+    app, policy = spec.cells()[shard.cell_index]
+    accumulator = CohortAccumulator(app.package, policy)
+    for member in range(shard.start, shard.stop):
+        if template is None:
+            system = build_template(spec, shard.cell_index)
+        else:
+            system = template.restore()
+        outcome = run_device(
+            system, app,
+            device_script(spec.population, spec.seed, member),
+            spec.faults.draw(spec.seed, member),
+            spec.faults, member,
+        )
+        accumulator.add(outcome)
+        del system  # recycle before the next device
+    return accumulator
+
+
+def _run_shard_task(payload) -> CohortAccumulator:
+    """Pool worker body: template via the per-process cache."""
+    spec, shard, root, key = payload
+    return _run_shard(spec, shard, _load_worker_template(root, key))
+
+
+# ----------------------------------------------------------------------
+# the fleet result
+# ----------------------------------------------------------------------
+@dataclass
+class FleetResult:
+    """Aggregate outcome of a (possibly partial) fleet run."""
+
+    seed: int
+    shard_size: int
+    total_shards: int
+    shard_ids: tuple[int, ...]
+    devices: int
+    cohorts: list[CohortAccumulator] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    def report(self) -> dict:
+        policy_rollup: dict[str, CohortAccumulator] = {}
+        for accumulator in self.cohorts:
+            rollup = policy_rollup.setdefault(
+                accumulator.policy,
+                CohortAccumulator("*", accumulator.policy),
+            )
+            rollup.merge(accumulator, check_cohort=False)
+        return {
+            "fleet": {
+                "seed": self.seed,
+                "shard_size": self.shard_size,
+                "shards": self.total_shards,
+                "covered_shards": len(self.shard_ids),
+                "devices": self.devices,
+                "cells": len(self.cohorts),
+            },
+            "cohorts": [acc.row() for acc in self.cohorts],
+            "policies": [
+                policy_rollup[policy].row(include_package=False)
+                for policy in sorted(policy_rollup)
+            ],
+        }
+
+    def to_json(self) -> str:
+        """Canonical byte form — the identity the determinism tests pin."""
+        return json.dumps(self.report(), sort_keys=True,
+                          separators=(",", ":"))
+
+
+def merge_fleet_results(first: FleetResult, second: FleetResult) -> FleetResult:
+    """Combine two partial runs of the *same* fleet (resume support).
+
+    ``first`` must cover the lower shard ids; accumulators are
+    integer-exact, so the merged result is byte-identical to a single
+    run over the union.
+    """
+    if (first.seed, first.shard_size, first.total_shards) != (
+            second.seed, second.shard_size, second.total_shards):
+        raise FleetError("cannot merge results of different fleet specs")
+    overlap = set(first.shard_ids) & set(second.shard_ids)
+    if overlap:
+        raise FleetError(f"partial runs overlap on shards {sorted(overlap)}")
+    if first.shard_ids and second.shard_ids and \
+            max(first.shard_ids) > min(second.shard_ids):
+        first, second = second, first
+    cohorts: list[CohortAccumulator] = []
+    for left, right in zip(first.cohorts, second.cohorts):
+        merged = left.copy_empty()
+        merged.merge(left)
+        merged.merge(right)
+        cohorts.append(merged)
+    return FleetResult(
+        seed=first.seed,
+        shard_size=first.shard_size,
+        total_shards=first.total_shards,
+        shard_ids=tuple(sorted((*first.shard_ids, *second.shard_ids))),
+        devices=first.devices + second.devices,
+        cohorts=cohorts,
+    )
+
+
+# ----------------------------------------------------------------------
+# the entry point
+# ----------------------------------------------------------------------
+def run_fleet(
+    spec: FleetSpec,
+    *,
+    jobs: "int | str | None" = None,
+    shard_ids: Sequence[int] | None = None,
+    snapshot_root: str | None = None,
+    use_templates: bool = True,
+) -> FleetResult:
+    """Run a fleet (or a subset of its shards) and aggregate it.
+
+    ``jobs`` follows the engine convention (``"auto"`` = one worker per
+    core, bounded by the shard count; default from the engine config).
+    ``shard_ids`` restricts execution to a subset of the plan — partial
+    runs merge back together with :func:`merge_fleet_results`.
+    ``use_templates=False`` is the benchmark's cold path (per-device
+    setup instead of cohort forking).
+    """
+    from repro.engine.batch import _CONFIG
+
+    all_shards = plan_shards(spec)
+    if shard_ids is None:
+        shards = all_shards
+    else:
+        wanted = set(shard_ids)
+        unknown = wanted - {shard.shard_id for shard in all_shards}
+        if unknown:
+            raise FleetError(f"unknown shard ids {sorted(unknown)}")
+        shards = [s for s in all_shards if s.shard_id in wanted]
+
+    workers = _resolve_jobs(
+        _CONFIG.jobs if jobs is None else jobs, len(shards)
+    )
+    needed_cells = sorted({shard.cell_index for shard in shards})
+
+    if workers <= 1 or len(shards) <= 1 or not use_templates:
+        templates: dict[int, SystemSnapshot | None] = {}
+        for cell_index in needed_cells:
+            templates[cell_index] = (
+                capture_template(spec, cell_index) if use_templates else None
+            )
+        accumulators = [
+            _run_shard(spec, shard, templates[shard.cell_index])
+            for shard in shards
+        ]
+    else:
+        accumulators = _run_sharded(spec, shards, needed_cells,
+                                    workers, snapshot_root)
+
+    return _fold(spec, all_shards, shards, accumulators)
+
+
+def _run_sharded(
+    spec: FleetSpec,
+    shards: list[Shard],
+    needed_cells: list[int],
+    workers: int,
+    snapshot_root: str | None,
+) -> list[CohortAccumulator]:
+    """Fan shards across a process pool; templates travel via disk."""
+    root = snapshot_root or tempfile.mkdtemp(prefix="repro-fleet-templates-")
+    cleanup = snapshot_root is None
+    try:
+        store = SnapshotStore(root=root)
+        keys: dict[int, str] = {}
+        for cell_index in needed_cells:
+            key = template_key(spec, cell_index)
+            keys[cell_index] = key
+            if store._read_disk(key) is None:
+                store.put(key, capture_template(spec, cell_index))
+        payloads = [
+            (spec, shard, root, keys[shard.cell_index]) for shard in shards
+        ]
+        from concurrent.futures import ProcessPoolExecutor
+
+        chunksize = max(1, len(shards) // (workers * 4))
+        try:
+            pool = ProcessPoolExecutor(max_workers=workers)
+        except (OSError, ValueError):  # no usable multiprocessing here
+            return [
+                _run_shard(spec, shard,
+                           store.get(keys[shard.cell_index]))
+                for shard in shards
+            ]
+        with pool:
+            # pool.map preserves submission order: accumulators come
+            # back aligned with the (ascending) shard list.
+            return list(pool.map(_run_shard_task, payloads,
+                                 chunksize=chunksize))
+    finally:
+        if cleanup:
+            shutil.rmtree(root, ignore_errors=True)
+
+
+def _fold(
+    spec: FleetSpec,
+    all_shards: list[Shard],
+    shards: list[Shard],
+    accumulators: list[CohortAccumulator],
+) -> FleetResult:
+    """Merge shard accumulators (ascending shard id) into cell cohorts."""
+    cohorts = [
+        CohortAccumulator(app.package, policy)
+        for app, policy in spec.cells()
+    ]
+    for shard, accumulator in zip(shards, accumulators):
+        cohorts[shard.cell_index].merge(accumulator)
+    return FleetResult(
+        seed=spec.seed,
+        shard_size=spec.shard_size,
+        total_shards=len(all_shards),
+        shard_ids=tuple(shard.shard_id for shard in shards),
+        devices=sum(shard.devices for shard in shards),
+        cohorts=cohorts,
+    )
+
+
+# ----------------------------------------------------------------------
+# report formatting
+# ----------------------------------------------------------------------
+def format_fleet_report(result: FleetResult) -> str:
+    report = result.report()
+    meta = report["fleet"]
+
+    def cells(row: dict, with_app: bool) -> list:
+        handling = row["handling"]
+        return [
+            *([row["app"]] if with_app else []),
+            row["policy"], row["devices"],
+            f"{100 * row['crash_rate']:.1f}%",
+            f"{100 * row['data_loss_rate']:.1f}%",
+            row["process_deaths"],
+            f"{handling['mean_ms']:.1f}" if handling["count"] else "-",
+            f"{handling['p95_ms']:.1f}" if handling["count"] else "-",
+            f"{row['memory_mean_mb']:.1f}",
+        ]
+
+    table = render_table(
+        ["app", "policy", "devices", "crash", "data loss", "deaths",
+         "handling mean", "p95 (ms)", "mem (MB)"],
+        [cells(row, True) for row in report["cohorts"]],
+        title=(
+            f"Fleet: {meta['devices']} devices, {meta['cells']} cohorts, "
+            f"{meta['covered_shards']}/{meta['shards']} shards, "
+            f"seed {meta['seed']:#x}"
+        ),
+    )
+    rollup = render_table(
+        ["policy", "devices", "crash", "data loss", "deaths",
+         "handling mean", "p95 (ms)", "mem (MB)"],
+        [cells(row, False) for row in report["policies"]],
+        title="Per-policy rollup",
+    )
+    return f"{table}\n\n{rollup}"

@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Callable
 
 from repro.harness.experiments import (
+    ext_fleet,
     ext_fragments,
     ext_probes,
     ext_robustness,
@@ -42,6 +43,7 @@ REGISTRY: dict[str, Callable[[], object]] = {
     "fig12": fig12.run,
     "fig13": fig13.run,
     "fig14": fig14.run,
+    "ext-fleet": ext_fleet.run,
     "ext-fragments": ext_fragments.run,
     "ext-probes": ext_probes.run,
     "ext-robustness": ext_robustness.run,

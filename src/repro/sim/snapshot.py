@@ -220,8 +220,19 @@ class SystemSnapshot:
 
     # ------------------------------------------------------------------
     @classmethod
-    def capture(cls, system: "AndroidSystem") -> "SystemSnapshot":
-        """Checkpoint ``system``; the live system is left untouched."""
+    def capture(
+        cls, system: "AndroidSystem", *, trim_history: bool = False
+    ) -> "SystemSnapshot":
+        """Checkpoint ``system``; the live system is left untouched.
+
+        ``trim_history=True`` captures with the recorder's query-only
+        history (busy intervals, heap samples, events, latencies)
+        emptied — crash records, open intervals, and counters are kept
+        because they carry live semantics (``crashed()`` reads them).
+        Forks that only inspect their *own* future behave identically
+        but restore from a smaller payload; the fleet's cohort templates
+        use this.  The live system's history is restored afterwards.
+        """
         session = active_session()
         if session is not None and system.tracer in session.tracers:
             # A session-registered tracer cannot be meaningfully forked:
@@ -232,10 +243,26 @@ class SystemSnapshot:
                 "with an active TraceSession"
             )
         externals = tuple(system.shared_inputs())
+        recorder = system.ctx.recorder
+        saved_history = (
+            (recorder.busy, recorder.heap, recorder.events,
+             recorder.latencies)
+            if trim_history
+            else None
+        )
         try:
+            if saved_history is not None:
+                recorder.busy = []
+                recorder.heap = []
+                recorder.events = []
+                recorder.latencies = []
             payload = dumps(system, externals)
         except (pickle.PicklingError, TypeError, ValueError) as exc:
             raise SnapshotError(f"cannot capture system: {exc}") from exc
+        finally:
+            if saved_history is not None:
+                (recorder.busy, recorder.heap, recorder.events,
+                 recorder.latencies) = saved_history
         return cls(
             payload,
             externals,

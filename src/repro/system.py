@@ -200,7 +200,7 @@ class AndroidSystem:
                 inputs.append(app.async_script)
         return inputs
 
-    def snapshot(self) -> "SystemSnapshot":
+    def snapshot(self, *, trim_history: bool = False) -> "SystemSnapshot":
         """Checkpoint the full device state at the current instant.
 
         The returned :class:`~repro.sim.snapshot.SystemSnapshot` is
@@ -209,10 +209,15 @@ class AndroidSystem:
         :meth:`fork` — each continues from exactly this point and, given
         the same subsequent verbs, produces byte-identical results to a
         fresh run (the prefix-sharing engine's correctness contract).
+
+        ``trim_history=True`` drops the recorder's accumulated
+        busy/heap/event/latency history from the checkpoint (crashes and
+        counters are kept); forks behave identically for everything they
+        observe *after* the capture point, from a smaller payload.
         """
         from repro.sim.snapshot import SystemSnapshot
 
-        return SystemSnapshot.capture(self)
+        return SystemSnapshot.capture(self, trim_history=trim_history)
 
     @classmethod
     def fork(cls, snap: "SystemSnapshot") -> "AndroidSystem":

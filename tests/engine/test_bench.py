@@ -124,7 +124,56 @@ class TestRequestBuilders:
             == len(requests)
 
 
+def _fleet_report(*, identical=True, spawn_cold=0.4, spawn_forked=0.1):
+    return {
+        "bench": "repro.fleet",
+        "host": {"cpu_count": 4, "python": "3.11", "platform": "test"},
+        "jobs": 4,
+        "fleet": {
+            "devices": 360,
+            "cells": 9,
+            "shard_size": 32,
+            "spawn": {
+                "cold_s": spawn_cold,
+                "forked_s": spawn_forked,
+                "speedup": round(spawn_cold / spawn_forked, 2),
+            },
+            "seconds": {"serial": 1.0, "sharded": 0.5, "cold_setup": 1.2},
+            "speedup_vs_serial": {"sharded": 2.0},
+            "identical_to_serial": {"sharded": identical,
+                                    "cold_setup": identical},
+        },
+    }
+
+
+class TestCheckFleetReport:
+    def test_good_report_passes(self):
+        assert bench.check_fleet_report(_fleet_report()) == []
+
+    def test_divergent_results_fail(self):
+        failures = bench.check_fleet_report(_fleet_report(identical=False))
+        assert any("differs from serial" in failure for failure in failures)
+
+    def test_slow_forked_spawn_fails(self):
+        failures = bench.check_fleet_report(
+            _fleet_report(spawn_cold=0.1, spawn_forked=0.4))
+        assert any("not faster than" in failure for failure in failures)
+
+    def test_format_mentions_spawn_and_identity(self):
+        text = bench.format_fleet_report(_fleet_report())
+        assert "spawn" in text
+        assert "byte-identical to serial: yes" in text
+
+    def test_format_flags_divergence(self):
+        text = bench.format_fleet_report(_fleet_report(identical=False))
+        assert "byte-identical to serial: NO" in text
+
+
 class TestCliParsing:
     def test_unknown_argument_exits_2(self, capsys):
         assert bench.main(["--frobnicate"]) == 2
+        assert "unknown argument" in capsys.readouterr().err
+
+    def test_fleet_mode_rejects_unknown_arguments(self, capsys):
+        assert bench.main(["fleet", "--frobnicate"]) == 2
         assert "unknown argument" in capsys.readouterr().err

@@ -1,0 +1,151 @@
+"""Aggregation: merge-topology independence is the load-bearing claim."""
+
+import random
+
+import pytest
+
+from repro.fleet.aggregate import (
+    CohortAccumulator,
+    LatencySketch,
+    dequantize,
+    quantize,
+)
+from repro.fleet.device import DeviceOutcome
+
+
+def _outcome(member, **overrides):
+    defaults = dict(
+        member=member, crashed=member % 3 == 0,
+        loss_events=member % 2, audits=4, process_deaths=member % 2,
+        handling_ms=(10.5 + member, 120.0 + member),
+        memory_mb=40.0 + member if member % 3 else None,
+        ops=8, faulted=member % 5 == 0,
+    )
+    defaults.update(overrides)
+    return DeviceOutcome(**defaults)
+
+
+class TestQuantize:
+    def test_round_trip(self):
+        assert dequantize(quantize(123.456789)) == pytest.approx(123.456789)
+
+    def test_sum_is_exact_under_any_grouping(self):
+        values = [0.1, 0.2, 0.3, 1e-6, 123.456]
+        left = sum(quantize(v) for v in values)
+        right = (quantize(0.1) + quantize(0.2)) + (
+            quantize(0.3) + (quantize(1e-6) + quantize(123.456)))
+        assert left == right
+
+
+class TestLatencySketch:
+    def test_quantiles_are_monotonic(self):
+        sketch = LatencySketch()
+        rng = random.Random(7)
+        for _ in range(500):
+            sketch.add(rng.uniform(0.5, 900.0))
+        qs = [sketch.quantile(q) for q in (0.1, 0.5, 0.9, 0.99, 1.0)]
+        assert qs == sorted(qs)
+
+    def test_relative_error_is_bounded(self):
+        sketch = LatencySketch()
+        values = sorted(5.0 + 3.7 * step for step in range(200))
+        for value in values:
+            sketch.add(value)
+        for q in (0.5, 0.95, 0.99):
+            exact = values[min(len(values) - 1,
+                               int(q * len(values)))]
+            approx = sketch.quantile(q)
+            assert abs(approx - exact) / exact < 0.05
+
+    def test_merge_is_order_independent(self):
+        rng = random.Random(11)
+        values = [rng.uniform(0.05, 2000.0) for _ in range(300)]
+        chunks = [values[i::4] for i in range(4)]
+        sketches = []
+        for chunk in chunks:
+            sketch = LatencySketch()
+            for value in chunk:
+                sketch.add(value)
+            sketches.append(sketch)
+
+        def fold(order):
+            total = LatencySketch()
+            for index in order:
+                total.merge(sketches[index])
+            return (total.total, total.floor_count,
+                    sorted(total.buckets.items()))
+
+        assert fold([0, 1, 2, 3]) == fold([3, 1, 0, 2]) == fold([2, 3, 1, 0])
+
+    def test_floor_bucket(self):
+        sketch = LatencySketch()
+        sketch.add(0.01)
+        sketch.add(0.0)
+        assert sketch.quantile(0.5) == pytest.approx(0.1)
+
+    def test_empty_sketch_has_no_quantiles(self):
+        assert LatencySketch().quantile(0.5) is None
+
+    def test_encode_decode_round_trip(self):
+        sketch = LatencySketch()
+        for value in (0.05, 1.0, 50.0, 1000.0):
+            sketch.add(value)
+        clone = LatencySketch.decode(sketch.encode())
+        assert clone.total == sketch.total
+        assert clone.floor_count == sketch.floor_count
+        assert clone.buckets == sketch.buckets
+
+
+class TestCohortAccumulator:
+    def test_merge_equals_sequential_add(self):
+        outcomes = [_outcome(member) for member in range(40)]
+        serial = CohortAccumulator("a.pkg", "rchdroid")
+        for outcome in outcomes:
+            serial.add(outcome)
+
+        shards = []
+        for start in range(0, 40, 7):
+            shard = CohortAccumulator("a.pkg", "rchdroid")
+            for outcome in outcomes[start:start + 7]:
+                shard.add(outcome)
+            shards.append(shard)
+        merged = CohortAccumulator("a.pkg", "rchdroid")
+        for shard in shards:
+            merged.merge(shard)
+
+        assert merged.row() == serial.row()
+
+    def test_merge_rejects_cohort_mismatch(self):
+        left = CohortAccumulator("a.pkg", "rchdroid")
+        with pytest.raises(ValueError):
+            left.merge(CohortAccumulator("b.pkg", "rchdroid"))
+        with pytest.raises(ValueError):
+            left.merge(CohortAccumulator("a.pkg", "android10"))
+
+    def test_unchecked_merge_supports_rollups(self):
+        left = CohortAccumulator("*", "rchdroid")
+        cohort = CohortAccumulator("a.pkg", "rchdroid")
+        cohort.add(_outcome(1))
+        left.merge(cohort, check_cohort=False)
+        assert left.devices == 1
+
+    def test_row_rates(self):
+        accumulator = CohortAccumulator("a.pkg", "rchdroid")
+        for member in range(4):
+            accumulator.add(_outcome(
+                member, crashed=member == 0, loss_events=member % 2,
+                memory_mb=50.0, handling_ms=(100.0,),
+            ))
+        row = accumulator.row()
+        assert row["devices"] == 4
+        assert row["crash_rate"] == pytest.approx(0.25)
+        assert row["data_loss_rate"] == pytest.approx(0.5)
+        assert row["memory_mean_mb"] == pytest.approx(50.0)
+        assert row["handling"]["count"] == 4
+        assert row["handling"]["mean_ms"] == pytest.approx(100.0)
+
+    def test_devices_without_memory_are_excluded_from_the_mean(self):
+        accumulator = CohortAccumulator("a.pkg", "android10")
+        accumulator.add(_outcome(0, memory_mb=None, crashed=True))
+        accumulator.add(_outcome(1, memory_mb=30.0, crashed=False))
+        assert accumulator.row()["memory_mean_mb"] == pytest.approx(30.0)

@@ -130,3 +130,74 @@ class TestRefusals:
                                  trace=True)
             live.launch(app)
             assert live.snapshot().size_bytes > 0
+
+
+class TestTrimHistory:
+    """Satellite of the fleet PR: history-trimmed template captures."""
+
+    def _busy_system(self):
+        app = make_benchmark_app(2)
+        live = AndroidSystem(policy=RCHDroidPolicy(), seed=0x5EED)
+        prepare_issue(live, app)
+        # Accumulate some history worth trimming.
+        live.rotate()
+        live.run_for(500.0)
+        return live, app
+
+    def test_trimmed_capture_is_smaller(self):
+        live, _ = self._busy_system()
+        full = SystemSnapshot.capture(live)
+        trimmed = SystemSnapshot.capture(live, trim_history=True)
+        assert trimmed.size_bytes < full.size_bytes
+
+    def test_capture_leaves_live_history_intact(self):
+        live, _ = self._busy_system()
+        recorder = live.ctx.recorder
+        before = (list(recorder.busy), list(recorder.heap),
+                  list(recorder.events), list(recorder.latencies))
+        SystemSnapshot.capture(live, trim_history=True)
+        assert (recorder.busy, recorder.heap,
+                recorder.events, recorder.latencies) == before
+
+    def test_trimmed_fork_starts_with_empty_history(self):
+        live, _ = self._busy_system()
+        assert live.ctx.recorder.latencies  # the trim has something to drop
+        forked = SystemSnapshot.capture(live, trim_history=True).restore()
+        recorder = forked.ctx.recorder
+        assert recorder.busy == []
+        assert recorder.heap == []
+        assert recorder.events == []
+        assert recorder.latencies == []
+
+    def test_trim_preserves_crashes_and_counters(self):
+        app = make_benchmark_app(2)
+        live = AndroidSystem(policy=Android10Policy(), seed=0x5EED)
+        live.launch(app)
+        live.start_async(app)
+        live.rotate()
+        live.run_until_idle()  # async lands on the destroyed tree: crash
+        assert live.crashed(app.package)
+        forked = SystemSnapshot.capture(live, trim_history=True).restore()
+        assert forked.crashed(app.package)
+        assert forked.ctx.recorder.counters == live.ctx.recorder.counters
+
+    def test_trimmed_fork_behaves_identically_post_capture(self):
+        """The fork-equals-fresh contract only covers what a fork
+        observes about its own future; both fork flavours must agree."""
+        live, app = self._busy_system()
+        trimmed = SystemSnapshot.capture(live, trim_history=True).restore()
+        full = SystemSnapshot.capture(live).restore()
+        for system in (trimmed, full):
+            system.start_async(app)
+            system.rotate()
+            system.run_until_idle()
+        assert not trimmed.crashed(app.package)
+        trimmed_tail = trimmed.handling_times()
+        full_tail = full.handling_times()[-len(trimmed_tail):] \
+            if trimmed_tail else []
+        assert trimmed_tail == full_tail
+        assert (trimmed.memory_of(app.package)
+                == full.memory_of(app.package))
+        for slot in app.slots:
+            assert (trimmed.read_slot(app, slot.name)
+                    == full.read_slot(app, slot.name))

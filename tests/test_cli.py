@@ -103,6 +103,49 @@ class TestReproCli:
         assert "unknown argument" in capsys.readouterr().err
 
 
+class TestFleetCli:
+    def test_fleet_runs_and_writes_canonical_report(self, capsys, tmp_path):
+        import json
+
+        out_path = tmp_path / "fleet.json"
+        args = ["fleet", "--devices", "18", "--jobs", "1",
+                "-o", str(out_path)]
+        assert repro_main(args) == 0
+        printed = capsys.readouterr().out
+        assert "Per-policy rollup" in printed
+        report = json.loads(out_path.read_text())
+        assert report["fleet"]["devices"] == 18
+        assert {row["policy"] for row in report["policies"]} == {
+            "android10", "rchdroid", "runtimedroid"}
+
+    def test_fleet_policy_filter(self, capsys):
+        args = ["fleet", "--devices", "6", "--jobs", "1",
+                "--policy", "rchdroid"]
+        assert repro_main(args) == 0
+        printed = capsys.readouterr().out
+        assert "rchdroid" in printed
+        assert "android10" not in printed
+
+    def test_fleet_typo_gets_a_hint(self, capsys):
+        assert repro_main(["fleeet"]) == 2
+        out = capsys.readouterr().out
+        assert "did you mean 'fleet'?" in out
+
+    def test_fleet_rejects_unknown_arguments(self, capsys):
+        assert repro_main(["fleet", "--bogus"]) == 2
+        assert "unexpected argument" in capsys.readouterr().out
+
+    def test_fleet_rejects_bad_values(self, capsys):
+        assert repro_main(["fleet", "--devices", "many"]) == 2
+        assert repro_main(["fleet", "--devices"]) == 2
+        capsys.readouterr()
+
+    def test_fleet_rejects_unknown_policy(self, capsys):
+        args = ["fleet", "--devices", "6", "--policy", "nope"]
+        assert repro_main(args) == 2
+        assert "fleet error" in capsys.readouterr().out
+
+
 class TestTraceCli:
     def test_trace_demo_writes_verified_chrome_trace(self, capsys, tmp_path):
         import json

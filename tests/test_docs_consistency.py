@@ -46,8 +46,8 @@ def test_experiments_md_covers_every_paper_artifact(experiments_text):
 
 
 def test_experiments_md_documents_extensions(experiments_text):
-    for ext in ("ext-fragments", "ext-probes", "ext-robustness",
-                "ext-sessions"):
+    for ext in ("ext-fleet", "ext-fragments", "ext-probes",
+                "ext-robustness", "ext-sessions"):
         assert ext in experiments_text, ext
 
 
@@ -60,7 +60,8 @@ def test_registry_ids_have_benchmark_modules():
         "fig7": "fig7", "fig8": "fig8", "fig9": "fig9", "fig10": "fig10",
         "fig11": "fig11", "fig12": "fig12", "fig13": "fig13",
         "fig14": "fig14", "sec5.6-energy": "sec56",
-        "sec5.7-deployment": "sec57", "ext-fragments": "ext_fragments",
+        "sec5.7-deployment": "sec57", "ext-fleet": "ext_fleet",
+        "ext-fragments": "ext_fragments",
         "ext-probes": "ext_probes", "ext-robustness": "ext_robustness",
         "ext-sessions": "ext_sessions",
     }
