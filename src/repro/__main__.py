@@ -21,8 +21,19 @@ Commands:
   crash/data-loss rates and handling-latency quantiles per policy.
   Options: ``--devices N`` (total, default 120), ``--policy NAME``
   (repeatable; default all three), ``--faults F`` (fraction of devices
-  per fault kind, default 0), ``--jobs N|auto``, ``--shard-size N``,
-  ``--seed N``, ``-o/--output PATH`` (write the canonical JSON report).
+  per fault kind, default 0), ``--oracle RATE`` (run the differential
+  oracle on a deterministic sample of members; verdict counts join the
+  report), ``--jobs N|auto``, ``--shard-size N``, ``--seed N``,
+  ``-o/--output PATH`` (write the canonical JSON report).
+* ``oracle <app>``       — run one cross-policy differential session:
+  the same seeded session under every policy, end states and span
+  streams diffed and every divergence classified
+  (EXPECTED_POLICY_DELTA / STATE_DIVERGENCE / SIMULATOR_BUG — see
+  docs/ORACLE.md).  Apps come from the fleet corpus or the 27-app
+  corpus, by package or name.  Options: ``--policy NAME`` (repeatable;
+  default all three), ``--seed N``, ``--member N`` (session script
+  variant), ``-o/--output PATH`` (write the JSON report).  Exits 1 if
+  any divergence classifies as SIMULATOR_BUG.
 * ``<experiment>``       — run one experiment (e.g. ``fig10``, ``table3``).
   Options: ``--jobs N|auto`` (parallel workers, default auto), ``--no-cache``
   (skip the ``.repro-cache/`` result cache), ``--cache-root PATH``,
@@ -49,6 +60,8 @@ def main(argv: list[str]) -> int:
         return trace_command(argv[1:])
     if command == "fleet":
         return fleet_command(argv[1:])
+    if command == "oracle":
+        return oracle_command(argv[1:])
     if command == "bench-engine":
         from repro.engine.bench import main as bench_main
 
@@ -62,7 +75,8 @@ def main(argv: list[str]) -> int:
         return experiments_main(argv)
     return _unknown_command(
         command,
-        ["demo", "experiments", "trace", "fleet", "bench-engine", *_MODULES],
+        ["demo", "experiments", "trace", "fleet", "oracle",
+         "bench-engine", *_MODULES],
     )
 
 
@@ -84,6 +98,7 @@ def fleet_command(args: list[str]) -> int:
     devices = 120
     policies: list[str] = []
     faults_fraction = 0.0
+    oracle_rate = 0.0
     jobs: "int | str | None" = None
     shard_size = 32
     seed = 0x5EED
@@ -97,6 +112,8 @@ def fleet_command(args: list[str]) -> int:
                 policies.append(next(walker))
             elif arg == "--faults":
                 faults_fraction = float(next(walker))
+            elif arg == "--oracle":
+                oracle_rate = float(next(walker))
             elif arg == "--jobs":
                 value = next(walker)
                 jobs = value if value == "auto" else int(value)
@@ -110,8 +127,9 @@ def fleet_command(args: list[str]) -> int:
                 print(f"unexpected argument {arg!r}")
                 print(
                     "usage: python -m repro fleet [--devices N]"
-                    " [--policy NAME]... [--faults F] [--jobs N|auto]"
-                    " [--shard-size N] [--seed N] [-o PATH]"
+                    " [--policy NAME]... [--faults F] [--oracle RATE]"
+                    " [--jobs N|auto] [--shard-size N] [--seed N]"
+                    " [-o PATH]"
                 )
                 return 2
     except StopIteration:
@@ -123,7 +141,7 @@ def fleet_command(args: list[str]) -> int:
 
     import math
 
-    from repro.errors import FleetError
+    from repro.errors import FleetError, OracleError
     from repro.fleet import (
         FaultPlan,
         FleetSpec,
@@ -142,9 +160,10 @@ def fleet_command(args: list[str]) -> int:
                     if faults_fraction else NO_FAULTS),
             seed=seed,
             shard_size=shard_size,
+            oracle_rate=oracle_rate,
         )
         result = run_fleet(spec, jobs=jobs)
-    except FleetError as error:
+    except (FleetError, OracleError) as error:
         print(f"fleet error: {error}")
         return 2
     print(format_fleet_report(result))
@@ -156,7 +175,98 @@ def fleet_command(args: list[str]) -> int:
             print(f"cannot write {out_path}: {error.strerror or error}")
             return 1
         print(f"\nwrote {out_path}")
+    if result.oracle is not None and result.oracle.simulator_bugs:
+        return 1
     return 0
+
+
+# ----------------------------------------------------------------------
+# oracle subcommand
+# ----------------------------------------------------------------------
+def _oracle_app(name: str):
+    """Resolve an app by package or display name across both corpora."""
+    from repro.apps.appset27 import build_appset27
+    from repro.fleet import fleet_corpus
+
+    apps = [*fleet_corpus(), *build_appset27()]
+    by_key = {}
+    for app in apps:
+        by_key[app.package.lower()] = app
+        by_key[app.label.lower()] = app
+    found = by_key.get(name.lower())
+    return found, sorted(by_key)
+
+
+def oracle_command(args: list[str]) -> int:
+    """Run one cross-policy differential session and report verdicts."""
+    target: str | None = None
+    policies: list[str] = []
+    seed = 0x5EED
+    member = 0
+    out_path: str | None = None
+    walker = iter(args)
+    try:
+        for arg in walker:
+            if arg == "--policy":
+                policies.append(next(walker))
+            elif arg == "--seed":
+                seed = int(next(walker), 0)
+            elif arg == "--member":
+                member = int(next(walker))
+            elif arg in ("-o", "--output"):
+                out_path = next(walker)
+            elif target is None and not arg.startswith("-"):
+                target = arg
+            else:
+                print(f"unexpected argument {arg!r}")
+                print(
+                    "usage: python -m repro oracle <app> [--policy NAME]..."
+                    " [--seed N] [--member N] [-o PATH]"
+                )
+                return 2
+    except StopIteration:
+        print("missing value for the last option")
+        return 2
+    except ValueError as error:
+        print(f"bad option value: {error}")
+        return 2
+
+    from repro.errors import OracleError
+    from repro.oracle import (
+        format_oracle_report,
+        report_for,
+        run_oracle_session,
+    )
+    from repro.oracle.session import DEFAULT_POLICIES
+
+    if target is None:
+        print("usage: python -m repro oracle <app> [--policy NAME]..."
+              " [--seed N] [--member N] [-o PATH]")
+        return 2
+    app, known = _oracle_app(target)
+    if app is None:
+        return _unknown_command(target, known)
+    try:
+        session = run_oracle_session(
+            app,
+            tuple(policies) if policies else DEFAULT_POLICIES,
+            seed,
+            member=member,
+        )
+    except OracleError as error:
+        print(f"oracle error: {error}")
+        return 2
+    report = report_for([session])
+    print(format_oracle_report(report))
+    if out_path is not None:
+        try:
+            with open(out_path, "w", encoding="utf-8") as handle:
+                handle.write(report.to_json() + "\n")
+        except OSError as error:
+            print(f"cannot write {out_path}: {error.strerror or error}")
+            return 1
+        print(f"\nwrote {out_path}")
+    return 0 if report.clean else 1
 
 
 # ----------------------------------------------------------------------

@@ -57,7 +57,16 @@ class SnapshotError(SimulationError):
 
 class FleetError(SimulationError):
     """The fleet simulator was misconfigured (unknown policy, empty
-    cohort, mismatched partial results, or a missing shard template)."""
+    cohort, unknown shard ids, or mismatched partial results)."""
+
+
+class OracleError(SimulationError):
+    """The differential oracle was misconfigured or could not run.
+
+    Raised by ``repro.oracle`` for unknown apps or policies, a sampling
+    rate outside [0, 1], an empty policy set (a differential needs at
+    least one pair to compare), or a rule table that fails to classify a
+    divergence."""
 
 
 class AppCrash(Exception):

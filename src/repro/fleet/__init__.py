@@ -9,7 +9,11 @@ report is byte-identical across worker counts and resumed runs.
 See docs/FLEET.md for the architecture and the determinism argument.
 """
 
-from repro.fleet.aggregate import CohortAccumulator, LatencySketch
+from repro.fleet.aggregate import (
+    CohortAccumulator,
+    LatencySketch,
+    OracleAccumulator,
+)
 from repro.fleet.device import DeviceOutcome, run_device
 from repro.fleet.faults import NO_FAULTS, DeviceFaults, FaultPlan
 from repro.fleet.population import (
@@ -24,6 +28,7 @@ from repro.fleet.run import (
     Shard,
     format_fleet_report,
     merge_fleet_results,
+    oracle_members,
     plan_shards,
     run_fleet,
     template_cache_stats,
@@ -39,12 +44,14 @@ __all__ = [
     "FleetSpec",
     "LatencySketch",
     "NO_FAULTS",
+    "OracleAccumulator",
     "PopulationSpec",
     "Shard",
     "device_script",
     "fleet_corpus",
     "format_fleet_report",
     "merge_fleet_results",
+    "oracle_members",
     "plan_shards",
     "run_device",
     "run_fleet",

@@ -34,6 +34,7 @@ from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.fleet.device import DeviceOutcome
+    from repro.oracle.session import OracleSession
 
 #: Fixed-point denominator for exact sums of ms / MB quantities.
 FIXED_POINT = 1_000_000
@@ -225,3 +226,65 @@ class CohortAccumulator:
             ),
         })
         return row
+
+
+@dataclass
+class OracleAccumulator:
+    """Verdict counts from in-fleet differential oracle sessions.
+
+    Follows the same contract as :class:`CohortAccumulator`: every
+    count is an integer, ``merge`` is integer dict addition
+    (commutative and associative), and the report row emits keys in
+    sorted order — so a fleet report with ``--oracle`` is byte-identical
+    across ``--jobs 1``, ``--jobs N``, and resumed partial runs.
+    Oracle sessions span *all* policies of an app, so this accumulator
+    lives beside the per-cell cohorts rather than inside one.
+    """
+
+    sessions: int = 0
+    verdicts: dict[str, int] = field(default_factory=dict)
+    by_policy: dict[str, dict[str, int]] = field(default_factory=dict)
+    simulator_bug_details: list = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    def add_session(self, session: "OracleSession") -> None:
+        self.sessions += 1
+        for finding in session.findings:
+            self.verdicts[finding.verdict] = (
+                self.verdicts.get(finding.verdict, 0) + 1
+            )
+            for policy in finding.policies:
+                bucket = self.by_policy.setdefault(policy, {})
+                bucket[finding.verdict] = bucket.get(finding.verdict, 0) + 1
+            if finding.verdict == "SIMULATOR_BUG":
+                self.simulator_bug_details.append(
+                    f"{session.package}: {finding.detail}"
+                )
+
+    def merge(self, other: "OracleAccumulator") -> None:
+        self.sessions += other.sessions
+        for verdict, count in other.verdicts.items():
+            self.verdicts[verdict] = self.verdicts.get(verdict, 0) + count
+        for policy, counts in other.by_policy.items():
+            bucket = self.by_policy.setdefault(policy, {})
+            for verdict, count in counts.items():
+                bucket[verdict] = bucket.get(verdict, 0) + count
+        self.simulator_bug_details.extend(other.simulator_bug_details)
+
+    # ------------------------------------------------------------------
+    @property
+    def simulator_bugs(self) -> int:
+        return self.verdicts.get("SIMULATOR_BUG", 0)
+
+    def row(self) -> dict:
+        """One report section; key order independent of fold order."""
+        return {
+            "sessions": self.sessions,
+            "verdicts": {v: self.verdicts[v]
+                         for v in sorted(self.verdicts)},
+            "by_policy": {
+                policy: {v: counts[v] for v in sorted(counts)}
+                for policy, counts in sorted(self.by_policy.items())
+            },
+            "simulator_bug_details": sorted(self.simulator_bug_details),
+        }

@@ -41,7 +41,7 @@ from repro.engine.batch import POLICIES, _resolve_jobs
 from repro.engine.fingerprint import fingerprint
 from repro.engine.snapshots import SnapshotStore
 from repro.errors import FleetError
-from repro.fleet.aggregate import CohortAccumulator
+from repro.fleet.aggregate import CohortAccumulator, OracleAccumulator
 from repro.fleet.device import run_device
 from repro.fleet.faults import NO_FAULTS, FaultPlan
 from repro.fleet.population import (
@@ -70,6 +70,10 @@ class FleetSpec:
     seed: int = 0x5EED
     shard_size: int = 32
     settle_ms: float = 400.0
+    oracle_rate: float = 0.0
+    """Fraction of members that also get a cross-policy differential
+    oracle session (digest-only).  0 disables the oracle entirely and
+    leaves the report byte-identical to pre-oracle fleets."""
 
     def __post_init__(self) -> None:
         if not self.apps:
@@ -83,6 +87,10 @@ class FleetSpec:
             raise FleetError("devices_per_cell must be >= 1")
         if self.shard_size < 1:
             raise FleetError("shard_size must be >= 1")
+        if self.oracle_rate:
+            from repro.oracle.sampler import _check_rate
+
+            _check_rate(self.oracle_rate)  # raises OracleError if bad
 
     # ------------------------------------------------------------------
     def cells(self) -> list[tuple]:
@@ -175,43 +183,105 @@ def capture_template(spec: FleetSpec, cell_index: int) -> SystemSnapshot:
 # ----------------------------------------------------------------------
 _TEMPLATE_CACHE: dict[tuple[str, str], SystemSnapshot] = {}
 _TEMPLATE_DISK_READS = 0
+_TEMPLATE_REBUILDS = 0
 
 
-def template_cache_stats() -> tuple[int, int]:
-    """(cached templates, disk reads) in this process."""
-    return len(_TEMPLATE_CACHE), _TEMPLATE_DISK_READS
+def template_cache_stats() -> tuple[int, int, int]:
+    """(cached templates, disk reads, cold rebuilds) in this process."""
+    return len(_TEMPLATE_CACHE), _TEMPLATE_DISK_READS, _TEMPLATE_REBUILDS
 
 
 def _reset_template_cache() -> None:
-    global _TEMPLATE_DISK_READS
+    global _TEMPLATE_DISK_READS, _TEMPLATE_REBUILDS
     _TEMPLATE_CACHE.clear()
     _TEMPLATE_DISK_READS = 0
+    _TEMPLATE_REBUILDS = 0
 
 
-def _load_worker_template(root: str, key: str) -> SystemSnapshot:
-    global _TEMPLATE_DISK_READS
+def _load_worker_template(
+    root: str, key: str, spec: FleetSpec, cell_index: int
+) -> SystemSnapshot:
+    """The cell's template, from cache, disk, or a cold rebuild.
+
+    A template that is missing or unreadable on disk (truncated by a
+    crashed coordinator, evicted by a cleaner) is a **miss, not an
+    error**: templates are a pure optimisation under the
+    fork-equals-fresh contract, so the worker rebuilds the snapshot
+    cold — the shard's results stay byte-identical, only slower.
+    """
+    global _TEMPLATE_DISK_READS, _TEMPLATE_REBUILDS
     cache_key = (str(root), key)
     snap = _TEMPLATE_CACHE.get(cache_key)
     if snap is None:
         snap = SnapshotStore(root=root)._read_disk(key)
         if snap is None:
-            raise FleetError(f"fleet template {key} missing under {root}")
-        _TEMPLATE_DISK_READS += 1
+            snap = capture_template(spec, cell_index)
+            _TEMPLATE_REBUILDS += 1
+        else:
+            _TEMPLATE_DISK_READS += 1
         _TEMPLATE_CACHE[cache_key] = snap
     return snap
 
 
 # ----------------------------------------------------------------------
+# in-fleet oracle sampling
+# ----------------------------------------------------------------------
+def oracle_members(spec: FleetSpec, shard: Shard) -> list[int]:
+    """The shard's members that get a differential oracle session.
+
+    Oracle sessions span *all* policies of an app, so each sampled
+    (app, member) pair runs exactly once fleet-wide: in the shard of
+    the app's **first**-policy cell that owns the member.  Sampling
+    itself is a pure function of (seed, member) — never of shard
+    layout or worker count — which is what keeps ``--oracle`` reports
+    byte-identical across ``--jobs`` and resumes.
+    """
+    if spec.oracle_rate <= 0.0:
+        return []
+    _, policy = spec.cells()[shard.cell_index]
+    if policy != spec.policies[0]:
+        return []
+    from repro.oracle.sampler import sampled
+
+    return [member for member in range(shard.start, shard.stop)
+            if sampled(spec.seed, member, spec.oracle_rate)]
+
+
+def oracle_cell_indices(spec: FleetSpec, shard: Shard) -> dict[str, int]:
+    """policy → cell index of the shard's app (cells are app-major)."""
+    app_index = shard.cell_index // len(spec.policies)
+    return {policy: app_index * len(spec.policies) + offset
+            for offset, policy in enumerate(spec.policies)}
+
+
+# ----------------------------------------------------------------------
 # shard execution
 # ----------------------------------------------------------------------
+@dataclass
+class ShardOutcome:
+    """What one shard hands back to the coordinator."""
+
+    cohort: CohortAccumulator
+    oracle: OracleAccumulator | None = None
+
+
 def _run_shard(
-    spec: FleetSpec, shard: Shard, template: SystemSnapshot | None
-) -> CohortAccumulator:
+    spec: FleetSpec,
+    shard: Shard,
+    template: SystemSnapshot | None,
+    oracle_templates: "dict[str, SystemSnapshot | None] | None" = None,
+) -> ShardOutcome:
     """Fold one shard's devices, in member order, into an accumulator.
 
     ``template=None`` is the benchmark's cold path: every device is
     prepared from scratch instead of forked (byte-identical results by
     the fork-equals-fresh contract, at per-device setup cost).
+
+    ``oracle_templates`` (policy → per-policy template of this shard's
+    app, or ``None`` entries on the cold path) enables the sampled
+    differential oracle: each sampled member's session is re-run under
+    every policy from the shared templates and the verdicts folded into
+    the shard's :class:`~repro.fleet.aggregate.OracleAccumulator`.
     """
     app, policy = spec.cells()[shard.cell_index]
     accumulator = CohortAccumulator(app.package, policy)
@@ -228,13 +298,42 @@ def _run_shard(
         )
         accumulator.add(outcome)
         del system  # recycle before the next device
-    return accumulator
+
+    oracle_acc: OracleAccumulator | None = None
+    members = oracle_members(spec, shard)
+    if members:
+        from repro.oracle.session import run_oracle_session
+
+        cell_of = oracle_cell_indices(spec, shard)
+        prefixes = dict(oracle_templates or {})
+        for pol, cell_index in cell_of.items():
+            if prefixes.get(pol) is None:
+                prefixes[pol] = capture_template(spec, cell_index)
+        initial = {slot.name: template_value(slot.name)
+                   for slot in app.slots}
+        oracle_acc = OracleAccumulator()
+        for member in members:
+            session = run_oracle_session(
+                app, spec.policies, spec.seed,
+                script=device_script(spec.population, spec.seed, member),
+                member=member, trace=False, prefixes=prefixes,
+                initial_values=initial,
+            )
+            oracle_acc.add_session(session)
+    return ShardOutcome(cohort=accumulator, oracle=oracle_acc)
 
 
-def _run_shard_task(payload) -> CohortAccumulator:
-    """Pool worker body: template via the per-process cache."""
-    spec, shard, root, key = payload
-    return _run_shard(spec, shard, _load_worker_template(root, key))
+def _run_shard_task(payload) -> ShardOutcome:
+    """Pool worker body: templates via the per-process cache."""
+    spec, shard, root, key, oracle_keys = payload
+    template = _load_worker_template(root, key, spec, shard.cell_index)
+    oracle_templates = None
+    if oracle_keys:
+        oracle_templates = {
+            policy: _load_worker_template(root, pol_key, spec, cell_index)
+            for policy, (cell_index, pol_key) in oracle_keys.items()
+        }
+    return _run_shard(spec, shard, template, oracle_templates)
 
 
 # ----------------------------------------------------------------------
@@ -250,6 +349,8 @@ class FleetResult:
     shard_ids: tuple[int, ...]
     devices: int
     cohorts: list[CohortAccumulator] = field(default_factory=list)
+    oracle_rate: float = 0.0
+    oracle: OracleAccumulator | None = None
 
     # ------------------------------------------------------------------
     def report(self) -> dict:
@@ -260,7 +361,7 @@ class FleetResult:
                 CohortAccumulator("*", accumulator.policy),
             )
             rollup.merge(accumulator, check_cohort=False)
-        return {
+        report = {
             "fleet": {
                 "seed": self.seed,
                 "shard_size": self.shard_size,
@@ -275,6 +376,12 @@ class FleetResult:
                 for policy in sorted(policy_rollup)
             ],
         }
+        if self.oracle_rate > 0.0:
+            # Present only when sampling is on, so oracle-off reports
+            # keep their pre-oracle bytes.
+            oracle = self.oracle or OracleAccumulator()
+            report["oracle"] = {"rate": self.oracle_rate, **oracle.row()}
+        return report
 
     def to_json(self) -> str:
         """Canonical byte form — the identity the determinism tests pin."""
@@ -289,8 +396,10 @@ def merge_fleet_results(first: FleetResult, second: FleetResult) -> FleetResult:
     integer-exact, so the merged result is byte-identical to a single
     run over the union.
     """
-    if (first.seed, first.shard_size, first.total_shards) != (
-            second.seed, second.shard_size, second.total_shards):
+    if (first.seed, first.shard_size, first.total_shards,
+            first.oracle_rate) != (
+            second.seed, second.shard_size, second.total_shards,
+            second.oracle_rate):
         raise FleetError("cannot merge results of different fleet specs")
     overlap = set(first.shard_ids) & set(second.shard_ids)
     if overlap:
@@ -304,6 +413,12 @@ def merge_fleet_results(first: FleetResult, second: FleetResult) -> FleetResult:
         merged.merge(left)
         merged.merge(right)
         cohorts.append(merged)
+    oracle: OracleAccumulator | None = None
+    if first.oracle is not None or second.oracle is not None:
+        oracle = OracleAccumulator()
+        for part in (first.oracle, second.oracle):
+            if part is not None:
+                oracle.merge(part)
     return FleetResult(
         seed=first.seed,
         shard_size=first.shard_size,
@@ -311,6 +426,8 @@ def merge_fleet_results(first: FleetResult, second: FleetResult) -> FleetResult:
         shard_ids=tuple(sorted((*first.shard_ids, *second.shard_ids))),
         devices=first.devices + second.devices,
         cohorts=cohorts,
+        oracle_rate=first.oracle_rate,
+        oracle=oracle,
     )
 
 
@@ -350,31 +467,49 @@ def run_fleet(
         _CONFIG.jobs if jobs is None else jobs, len(shards)
     )
     needed_cells = sorted({shard.cell_index for shard in shards})
+    # Shards that run oracle sessions fork *every* policy's template of
+    # their app, so those cells must be provisioned too.
+    oracle_cells: dict[int, dict[str, int]] = {}
+    for shard in shards:
+        if oracle_members(spec, shard):
+            oracle_cells[shard.shard_id] = oracle_cell_indices(spec, shard)
+    all_cells = sorted(
+        set(needed_cells).union(
+            cell for mapping in oracle_cells.values()
+            for cell in mapping.values()
+        )
+    )
 
     if workers <= 1 or len(shards) <= 1 or not use_templates:
         templates: dict[int, SystemSnapshot | None] = {}
-        for cell_index in needed_cells:
+        for cell_index in all_cells:
             templates[cell_index] = (
                 capture_template(spec, cell_index) if use_templates else None
             )
-        accumulators = [
-            _run_shard(spec, shard, templates[shard.cell_index])
+        outcomes = [
+            _run_shard(
+                spec, shard, templates[shard.cell_index],
+                {policy: templates[cell_index]
+                 for policy, cell_index
+                 in oracle_cells.get(shard.shard_id, {}).items()} or None,
+            )
             for shard in shards
         ]
     else:
-        accumulators = _run_sharded(spec, shards, needed_cells,
-                                    workers, snapshot_root)
+        outcomes = _run_sharded(spec, shards, all_cells, oracle_cells,
+                                workers, snapshot_root)
 
-    return _fold(spec, all_shards, shards, accumulators)
+    return _fold(spec, all_shards, shards, outcomes)
 
 
 def _run_sharded(
     spec: FleetSpec,
     shards: list[Shard],
     needed_cells: list[int],
+    oracle_cells: dict[int, dict[str, int]],
     workers: int,
     snapshot_root: str | None,
-) -> list[CohortAccumulator]:
+) -> list[ShardOutcome]:
     """Fan shards across a process pool; templates travel via disk."""
     root = snapshot_root or tempfile.mkdtemp(prefix="repro-fleet-templates-")
     cleanup = snapshot_root is None
@@ -386,8 +521,17 @@ def _run_sharded(
             keys[cell_index] = key
             if store._read_disk(key) is None:
                 store.put(key, capture_template(spec, cell_index))
+
+        def oracle_keys(shard: Shard):
+            mapping = oracle_cells.get(shard.shard_id)
+            if not mapping:
+                return None
+            return {policy: (cell_index, keys[cell_index])
+                    for policy, cell_index in mapping.items()}
+
         payloads = [
-            (spec, shard, root, keys[shard.cell_index]) for shard in shards
+            (spec, shard, root, keys[shard.cell_index], oracle_keys(shard))
+            for shard in shards
         ]
         from concurrent.futures import ProcessPoolExecutor
 
@@ -395,11 +539,7 @@ def _run_sharded(
         try:
             pool = ProcessPoolExecutor(max_workers=workers)
         except (OSError, ValueError):  # no usable multiprocessing here
-            return [
-                _run_shard(spec, shard,
-                           store.get(keys[shard.cell_index]))
-                for shard in shards
-            ]
+            return [_run_shard_task(payload) for payload in payloads]
         with pool:
             # pool.map preserves submission order: accumulators come
             # back aligned with the (ascending) shard list.
@@ -414,15 +554,22 @@ def _fold(
     spec: FleetSpec,
     all_shards: list[Shard],
     shards: list[Shard],
-    accumulators: list[CohortAccumulator],
+    outcomes: list[ShardOutcome],
 ) -> FleetResult:
-    """Merge shard accumulators (ascending shard id) into cell cohorts."""
+    """Merge shard outcomes (ascending shard id) into cell cohorts."""
     cohorts = [
         CohortAccumulator(app.package, policy)
         for app, policy in spec.cells()
     ]
-    for shard, accumulator in zip(shards, accumulators):
-        cohorts[shard.cell_index].merge(accumulator)
+    oracle: OracleAccumulator | None = None
+    for shard, outcome in zip(shards, outcomes):
+        cohorts[shard.cell_index].merge(outcome.cohort)
+        if outcome.oracle is not None:
+            if oracle is None:
+                oracle = OracleAccumulator()
+            oracle.merge(outcome.oracle)
+    if spec.oracle_rate > 0.0 and oracle is None:
+        oracle = OracleAccumulator()
     return FleetResult(
         seed=spec.seed,
         shard_size=spec.shard_size,
@@ -430,6 +577,8 @@ def _fold(
         shard_ids=tuple(shard.shard_id for shard in shards),
         devices=sum(shard.devices for shard in shards),
         cohorts=cohorts,
+        oracle_rate=spec.oracle_rate,
+        oracle=oracle,
     )
 
 
@@ -469,4 +618,28 @@ def format_fleet_report(result: FleetResult) -> str:
         [cells(row, False) for row in report["policies"]],
         title="Per-policy rollup",
     )
-    return f"{table}\n\n{rollup}"
+    sections = [table, rollup]
+    if "oracle" in report:
+        oracle = report["oracle"]
+        verdict_rows = [
+            [policy,
+             counts.get("EXPECTED_POLICY_DELTA", 0),
+             counts.get("STATE_DIVERGENCE", 0),
+             counts.get("SIMULATOR_BUG", 0)]
+            for policy, counts in oracle["by_policy"].items()
+        ]
+        sections.append(render_table(
+            ["policy", "expected", "state-div", "SIM-BUG"],
+            verdict_rows,
+            title=(
+                f"Differential oracle: {oracle['sessions']} sampled "
+                f"sessions at rate {oracle['rate']:g} — "
+                + ("CLEAN"
+                   if not oracle['verdicts'].get('SIMULATOR_BUG')
+                   else f"{oracle['verdicts']['SIMULATOR_BUG']} "
+                        "SIMULATOR_BUG")
+            ),
+        ))
+        for detail in oracle["simulator_bug_details"][:10]:
+            sections.append(f"  SIM-BUG: {detail}")
+    return "\n\n".join(sections)

@@ -13,6 +13,7 @@ from typing import Callable
 from repro.harness.experiments import (
     ext_fleet,
     ext_fragments,
+    ext_oracle,
     ext_probes,
     ext_robustness,
     ext_sessions,
@@ -45,6 +46,7 @@ REGISTRY: dict[str, Callable[[], object]] = {
     "fig14": fig14.run,
     "ext-fleet": ext_fleet.run,
     "ext-fragments": ext_fragments.run,
+    "ext-oracle": ext_oracle.run,
     "ext-probes": ext_probes.run,
     "ext-robustness": ext_robustness.run,
     "ext-sessions": ext_sessions.run,

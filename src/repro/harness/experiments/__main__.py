@@ -34,7 +34,8 @@ _MODULES = {
     "fig11": "fig11", "fig12": "fig12", "fig13": "fig13", "fig14": "fig14",
     "sec5.6-energy": "sec56_energy", "sec5.7-deployment": "sec57_deployment",
     "ext-fleet": "ext_fleet",
-    "ext-fragments": "ext_fragments", "ext-probes": "ext_probes",
+    "ext-fragments": "ext_fragments", "ext-oracle": "ext_oracle",
+    "ext-probes": "ext_probes",
     "ext-robustness": "ext_robustness", "ext-sessions": "ext_sessions",
 }
 

@@ -1,0 +1,70 @@
+"""repro.oracle: always-on cross-policy differential checking.
+
+The paper's central claim — transparent handling preserves app state
+where stock Android loses it — is checked here by *construction* rather
+than by hand-pinned expectations: run the same seeded session under
+several policies (sharing each policy's setup prefix via the snapshot
+tier), capture per-policy span streams and a structured end-state
+digest, diff pairwise, and classify every divergence with a pluggable
+rule table into
+
+* ``EXPECTED_POLICY_DELTA`` — different lifecycle behaviour by design
+  (stock relaunches, RuntimeDroid hot-updates, RCHDroid shadow GC);
+* ``STATE_DIVERGENCE``     — slot/storage content differs and one side
+  lost its own user's state: candidate data loss;
+* ``SIMULATOR_BUG``        — divergence where none is allowed: the
+  policy-independent span prefix, a replay of the identical policy, or
+  a state mismatch with neither side self-inconsistent.
+
+Three surfaces: ``python -m repro oracle <app>`` for one session,
+the ``ext-oracle`` experiment for the 27-app corpus, and
+``repro fleet --oracle RATE`` for deterministic in-fleet sampling.
+See docs/ORACLE.md.
+"""
+
+from repro.oracle.classify import (
+    DEFAULT_RULES,
+    VERDICT_EXPECTED_POLICY_DELTA,
+    VERDICT_SIMULATOR_BUG,
+    VERDICT_STATE_DIVERGENCE,
+    VERDICTS,
+    ClassificationRule,
+    Finding,
+    classify,
+)
+from repro.oracle.differ import DigestDivergence, diff_digests
+from repro.oracle.digest import StateDigest, capture_digest
+from repro.oracle.report import (
+    OracleReport,
+    format_oracle_report,
+    report_for,
+)
+from repro.oracle.sampler import sample_members, sampled
+from repro.oracle.session import (
+    OracleSession,
+    PolicyRun,
+    run_oracle_session,
+)
+
+__all__ = [
+    "ClassificationRule",
+    "DEFAULT_RULES",
+    "DigestDivergence",
+    "Finding",
+    "OracleReport",
+    "OracleSession",
+    "PolicyRun",
+    "StateDigest",
+    "VERDICTS",
+    "VERDICT_EXPECTED_POLICY_DELTA",
+    "VERDICT_SIMULATOR_BUG",
+    "VERDICT_STATE_DIVERGENCE",
+    "capture_digest",
+    "classify",
+    "diff_digests",
+    "format_oracle_report",
+    "report_for",
+    "run_oracle_session",
+    "sample_members",
+    "sampled",
+]

@@ -1,0 +1,217 @@
+"""The divergence classifier: a pluggable, ordered rule table.
+
+Every divergence the differ surfaces is wrapped in a
+:class:`DivergenceContext` (what kind of comparison produced it, which
+policies, where in the stream) and walked down a rule table; the first
+rule whose predicate matches classifies it.  The default table encodes
+the oracle's three-way taxonomy:
+
+``SIMULATOR_BUG``
+    Divergence where the simulator promised identity: a replay of the
+    *same* policy from the same fork (determinism broken), the
+    policy-independent span prefix (divergence before the first
+    configuration change or kill — no policy code had run yet), or a
+    state mismatch where *neither* side lost its own user's state (two
+    policies that both kept everything must agree on the values).
+
+``STATE_DIVERGENCE``
+    A state-tier digest field differs across policies and at least one
+    side's self-audit shows loss (or a crash) — candidate data loss,
+    attributed to the self-inconsistent side(s).
+
+``EXPECTED_POLICY_DELTA``
+    Everything else across policies: lifecycle fields and span streams
+    legitimately differ by design (stock relaunches, RuntimeDroid
+    hot-updates, RCHDroid's shadow GC), attributed to both sides.
+
+The table is *data*, not code: pass a custom ``rules=`` tuple to
+:func:`classify` to tighten or relax the taxonomy without touching the
+oracle (docs/ORACLE.md shows an example).  A context no rule matches
+raises :class:`~repro.errors.OracleError` — an unclassifiable
+divergence means the table has a hole, and silence is the one thing an
+oracle must never offer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Sequence
+
+from repro.errors import OracleError
+from repro.oracle.differ import DigestDivergence
+from repro.oracle.digest import STATE_FIELDS
+from repro.trace.replay import Divergence
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.oracle.digest import StateDigest
+
+VERDICT_EXPECTED_POLICY_DELTA = "EXPECTED_POLICY_DELTA"
+VERDICT_STATE_DIVERGENCE = "STATE_DIVERGENCE"
+VERDICT_SIMULATOR_BUG = "SIMULATOR_BUG"
+
+VERDICTS = (
+    VERDICT_EXPECTED_POLICY_DELTA,
+    VERDICT_STATE_DIVERGENCE,
+    VERDICT_SIMULATOR_BUG,
+)
+
+#: Comparison kinds a context can carry.
+COMPARE_REPLAY = "replay"        # same policy, run vs. re-run
+COMPARE_DIGEST = "digest"        # cross-policy digest field
+COMPARE_SPANS = "spans"          # cross-policy span stream
+
+
+@dataclass(frozen=True)
+class DivergenceContext:
+    """One divergence plus everything a rule may predicate on."""
+
+    compare: str
+    """One of :data:`COMPARE_REPLAY` / ``COMPARE_DIGEST`` / ``COMPARE_SPANS``."""
+    a_policy: str
+    b_policy: str
+    divergence: "DigestDivergence | Divergence"
+    a_digest: "StateDigest | None" = None
+    b_digest: "StateDigest | None" = None
+    span_index: int | None = None
+    """For span divergences: the index in the compared streams."""
+    prefix_end: int | None = None
+    """For span divergences: first index where policies may differ."""
+
+    # ------------------------------------------------------------------
+    @property
+    def same_policy(self) -> bool:
+        return self.a_policy == self.b_policy
+
+    @property
+    def digest_field(self) -> str | None:
+        if isinstance(self.divergence, DigestDivergence):
+            return self.divergence.field
+        return None
+
+    @property
+    def in_policy_independent_prefix(self) -> bool:
+        return (
+            self.span_index is not None
+            and self.prefix_end is not None
+            and self.span_index < self.prefix_end
+        )
+
+    def losing_policies(self) -> tuple[str, ...]:
+        """The side(s) whose own self-audit shows loss or a crash."""
+        losers = []
+        for policy, digest in ((self.a_policy, self.a_digest),
+                               (self.b_policy, self.b_digest)):
+            if digest is not None and not digest.self_consistent():
+                losers.append(policy)
+        return tuple(losers)
+
+    def describe(self) -> str:
+        return self.divergence.describe()
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One classified divergence, attributed to the policies it charges."""
+
+    verdict: str
+    compare: str
+    rule: str
+    policies: tuple[str, ...]
+    detail: str
+
+    def to_dict(self) -> dict:
+        return {
+            "verdict": self.verdict,
+            "compare": self.compare,
+            "rule": self.rule,
+            "policies": list(self.policies),
+            "detail": self.detail,
+        }
+
+
+@dataclass(frozen=True)
+class ClassificationRule:
+    """One row of the rule table.
+
+    ``matches`` decides applicability; ``attribute`` picks the policies
+    a finding charges (default: both sides of the comparison).
+    """
+
+    name: str
+    verdict: str
+    matches: Callable[[DivergenceContext], bool]
+    attribute: Callable[[DivergenceContext], tuple[str, ...]] = field(
+        default=lambda ctx: tuple(
+            dict.fromkeys((ctx.a_policy, ctx.b_policy))
+        )
+    )
+
+    def apply(self, ctx: DivergenceContext) -> Finding:
+        return Finding(
+            verdict=self.verdict,
+            compare=ctx.compare,
+            rule=self.name,
+            policies=self.attribute(ctx),
+            detail=ctx.describe(),
+        )
+
+
+def _state_mismatch(ctx: DivergenceContext) -> bool:
+    return (ctx.compare == COMPARE_DIGEST
+            and ctx.digest_field in STATE_FIELDS)
+
+
+DEFAULT_RULES: tuple[ClassificationRule, ...] = (
+    ClassificationRule(
+        name="replay-nondeterminism",
+        verdict=VERDICT_SIMULATOR_BUG,
+        matches=lambda ctx: ctx.same_policy,
+    ),
+    ClassificationRule(
+        name="policy-independent-prefix",
+        verdict=VERDICT_SIMULATOR_BUG,
+        matches=lambda ctx: (ctx.compare == COMPARE_SPANS
+                             and ctx.in_policy_independent_prefix),
+    ),
+    ClassificationRule(
+        name="state-loss",
+        verdict=VERDICT_STATE_DIVERGENCE,
+        matches=lambda ctx: (_state_mismatch(ctx)
+                             and bool(ctx.losing_policies())),
+        attribute=lambda ctx: ctx.losing_policies(),
+    ),
+    ClassificationRule(
+        name="state-mismatch-without-loss",
+        verdict=VERDICT_SIMULATOR_BUG,
+        matches=_state_mismatch,
+    ),
+    ClassificationRule(
+        name="lifecycle-delta",
+        verdict=VERDICT_EXPECTED_POLICY_DELTA,
+        matches=lambda ctx: ctx.compare == COMPARE_DIGEST,
+    ),
+    ClassificationRule(
+        name="span-delta",
+        verdict=VERDICT_EXPECTED_POLICY_DELTA,
+        matches=lambda ctx: ctx.compare == COMPARE_SPANS,
+    ),
+)
+
+
+def classify(
+    contexts: Sequence[DivergenceContext],
+    rules: Sequence[ClassificationRule] = DEFAULT_RULES,
+) -> list[Finding]:
+    """Walk every divergence down the rule table, first match wins."""
+    findings: list[Finding] = []
+    for ctx in contexts:
+        for rule in rules:
+            if rule.matches(ctx):
+                findings.append(rule.apply(ctx))
+                break
+        else:
+            raise OracleError(
+                f"no rule classifies divergence ({ctx.compare}, "
+                f"{ctx.a_policy} vs {ctx.b_policy}): {ctx.describe()}"
+            )
+    return findings

@@ -1,0 +1,160 @@
+"""Pairwise diffing of digests and span streams.
+
+Two comparison primitives feed the classifier:
+
+* :func:`diff_digests` — field-by-field comparison of two
+  :class:`~repro.oracle.digest.StateDigest` instances, one
+  :class:`DigestDivergence` per differing field;
+* :func:`diff_span_streams` — bounded span-stream comparison built on
+  the replay checker's :func:`~repro.trace.replay.collect_divergences`,
+  after *rebasing* both streams to their fork instant.  Rebasing
+  matters because each policy's setup prefix costs a different amount
+  of simulated time: two policies that behave identically after the
+  fork still disagree on every absolute timestamp, and the oracle must
+  not confuse that offset with a behavioural divergence.
+
+The policy-independent prefix boundary (:func:`first_policy_event`)
+finds the first span at which the streams are *allowed* to differ — the
+first configuration-change handling or process kill.  Everything before
+it is plain app work (writes, waits, async starts) whose simulation
+does not consult the policy at all, so a divergence there is the
+simulator's fault, not the policy's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import TYPE_CHECKING
+
+from repro.trace.replay import Divergence, collect_divergences
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.oracle.digest import StateDigest
+
+#: Span fields kept when comparing streams across *different* policies
+#: (ids and args are tracer-local bookkeeping; timestamps are compared
+#: after rebasing).
+_CROSS_POLICY_FIELDS = (
+    "name", "category", "kind", "process", "thread", "start_ms", "end_ms",
+)
+
+#: Span names that open the policy-divergent part of a session: the
+#: first configuration change handed to the policy, or a process dying
+#: (relaunch recovery is lifecycle work policies pace differently).
+_POLICY_EVENT_CATEGORIES = ("atms", "process")
+_POLICY_EVENT_MARKERS = ("update-configuration", "process-kill",
+                         "process-crash")
+
+
+@dataclass(frozen=True)
+class DigestDivergence:
+    """One digest field on which two policies disagree."""
+
+    field: str
+    a_policy: str
+    b_policy: str
+    a_value: object
+    b_value: object
+
+    def describe(self) -> str:
+        return (
+            f"digest field {self.field!r}: "
+            f"{self.a_policy}={self.a_value!r} "
+            f"{self.b_policy}={self.b_value!r}"
+        )
+
+
+def diff_digests(a: "StateDigest", b: "StateDigest") -> list[DigestDivergence]:
+    """Every digest field on which ``a`` and ``b`` disagree.
+
+    ``policy`` is the identity under comparison and is skipped;
+    ``package`` differing is a caller error surfaced as a divergence so
+    it can never be silently classified away.
+    """
+    found: list[DigestDivergence] = []
+    for spec in fields(a):
+        if spec.name == "policy":
+            continue
+        va, vb = getattr(a, spec.name), getattr(b, spec.name)
+        if va != vb:
+            found.append(
+                DigestDivergence(spec.name, a.policy, b.policy, va, vb)
+            )
+    return found
+
+
+def rebase_snapshot(snapshot: list[dict], origin_ms: float) -> list[dict]:
+    """Shift a span snapshot's timestamps so ``origin_ms`` becomes 0."""
+    rebased = []
+    for entry in snapshot:
+        copy = dict(entry)
+        for field in ("start_ms", "end_ms"):
+            if copy.get(field) is not None:
+                copy[field] = round(copy[field] - origin_ms, 9)
+        rebased.append(copy)
+    return rebased
+
+
+def strip_for_cross_policy(snapshot: list[dict]) -> list[dict]:
+    """Reduce spans to the fields comparable across policies."""
+    return [
+        {field: entry.get(field) for field in _CROSS_POLICY_FIELDS}
+        for entry in snapshot
+    ]
+
+
+def first_policy_event(snapshot: list[dict]) -> int:
+    """Length of the stream's policy-independent prefix.
+
+    The tracer's buffer is *completion*-ordered, so an index cut-off
+    cannot come from the first policy event's own position: the
+    ``update-configuration`` span that opens policy-divergent territory
+    encloses the relaunch/hot-update work it triggers and therefore
+    completes (and is buffered) *after* its children.  The boundary is
+    a time instead — the earliest **start** of any policy-event span —
+    and the prefix is every span that finished strictly before it,
+    which completion ordering makes a contiguous leading run.
+
+    A stream with no policy event at all is pure app work end to end:
+    the whole stream is prefix, and any cross-policy divergence in it
+    is the simulator's fault.
+    """
+    event_start = None
+    for entry in snapshot:
+        if entry.get("category") not in _POLICY_EVENT_CATEGORIES:
+            continue
+        name = str(entry.get("name", ""))
+        if any(marker in name for marker in _POLICY_EVENT_MARKERS):
+            start = entry.get("start_ms")
+            if start is not None and (event_start is None
+                                      or start < event_start):
+                event_start = start
+    if event_start is None:
+        return len(snapshot)
+    prefix_end = 0
+    for entry in snapshot:
+        end = entry.get("end_ms")
+        if end is None or end >= event_start:
+            break
+        prefix_end += 1
+    return prefix_end
+
+
+def diff_span_streams(
+    a: list[dict], b: list[dict], max_diffs: int = 64
+) -> tuple[list[Divergence], int]:
+    """Cross-policy span comparison on rebased, stripped streams.
+
+    Returns ``(divergences, prefix_end)`` where ``prefix_end`` is the
+    policy-independent prefix boundary (the smaller of the two streams'
+    first policy events): a divergence at ``index < prefix_end`` is in
+    territory where the policies were not yet allowed to differ.
+    """
+    stripped_a = strip_for_cross_policy(a)
+    stripped_b = strip_for_cross_policy(b)
+    prefix_end = min(first_policy_event(stripped_a),
+                     first_policy_event(stripped_b))
+    return (
+        collect_divergences(stripped_a, stripped_b, max_diffs=max_diffs),
+        prefix_end,
+    )

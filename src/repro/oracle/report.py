@@ -1,0 +1,181 @@
+"""Aggregate oracle sessions into a report, and render it for humans.
+
+An :class:`OracleReport` folds any number of
+:class:`~repro.oracle.session.OracleSession` results into integer
+verdict counts — overall, per policy, and per app — plus the individual
+findings.  Counts are plain integers and apps/policies are emitted in
+sorted/declared order, so ``to_json`` is canonical: two reports over
+the same sessions are byte-identical regardless of fold order.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable
+
+from repro.oracle.classify import (
+    VERDICT_SIMULATOR_BUG,
+    VERDICTS,
+    Finding,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.oracle.session import OracleSession
+
+
+def _zero_verdicts() -> dict[str, int]:
+    return {verdict: 0 for verdict in VERDICTS}
+
+
+@dataclass
+class OracleReport:
+    """Verdict counts over one or more differential sessions."""
+
+    policies: tuple[str, ...] = ()
+    sessions: int = 0
+    totals: dict[str, int] = field(default_factory=_zero_verdicts)
+    by_policy: dict[str, dict[str, int]] = field(default_factory=dict)
+    by_app: dict[str, dict[str, int]] = field(default_factory=dict)
+    findings: list[dict] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    def add(self, session: "OracleSession") -> None:
+        if not self.policies:
+            self.policies = session.policies
+        for policy in session.policies:
+            self.by_policy.setdefault(policy, _zero_verdicts())
+        self.sessions += 1
+        app_counts = self.by_app.setdefault(
+            session.package, _zero_verdicts()
+        )
+        for finding in session.findings:
+            self.totals[finding.verdict] += 1
+            app_counts[finding.verdict] += 1
+            for policy in finding.policies:
+                bucket = self.by_policy.setdefault(
+                    policy, _zero_verdicts()
+                )
+                bucket[finding.verdict] += 1
+            self.findings.append(
+                {"app": session.package, **finding.to_dict()}
+            )
+
+    def add_all(self, sessions: Iterable["OracleSession"]) -> None:
+        for session in sessions:
+            self.add(session)
+
+    # ------------------------------------------------------------------
+    @property
+    def simulator_bugs(self) -> int:
+        return self.totals[VERDICT_SIMULATOR_BUG]
+
+    @property
+    def clean(self) -> bool:
+        """No simulator bugs: the differential check passed."""
+        return self.simulator_bugs == 0
+
+    def to_dict(self) -> dict:
+        return {
+            "policies": list(self.policies),
+            "sessions": self.sessions,
+            "totals": {v: self.totals[v] for v in VERDICTS},
+            "by_policy": {
+                policy: {v: counts[v] for v in VERDICTS}
+                for policy, counts in sorted(self.by_policy.items())
+            },
+            "by_app": {
+                app: {v: counts[v] for v in VERDICTS}
+                for app, counts in sorted(self.by_app.items())
+            },
+            "findings": sorted(
+                self.findings,
+                key=lambda f: (f["app"], f["verdict"], f["rule"],
+                               f["detail"]),
+            ),
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=False)
+
+
+def report_for(sessions: Iterable["OracleSession"]) -> OracleReport:
+    report = OracleReport()
+    report.add_all(sessions)
+    return report
+
+
+# ----------------------------------------------------------------------
+# human-readable rendering
+# ----------------------------------------------------------------------
+_SHORT = {
+    "EXPECTED_POLICY_DELTA": "expected",
+    "STATE_DIVERGENCE": "state-div",
+    "SIMULATOR_BUG": "SIM-BUG",
+}
+
+
+def format_oracle_report(report: OracleReport,
+                         max_findings: int = 20) -> str:
+    """Render a report the way the CLI prints it."""
+    lines = []
+    lines.append("differential oracle report")
+    lines.append(
+        f"  sessions: {report.sessions}   "
+        f"policies: {', '.join(report.policies) or '-'}"
+    )
+    lines.append(
+        "  verdicts: "
+        + "   ".join(
+            f"{_SHORT[v]}={report.totals[v]}" for v in VERDICTS
+        )
+    )
+
+    if report.by_policy:
+        lines.append("")
+        width = max(len(p) for p in report.by_policy)
+        header = f"  {'policy'.ljust(width)}  " + "  ".join(
+            _SHORT[v].rjust(9) for v in VERDICTS
+        )
+        lines.append(header)
+        for policy in sorted(report.by_policy):
+            counts = report.by_policy[policy]
+            lines.append(
+                f"  {policy.ljust(width)}  "
+                + "  ".join(str(counts[v]).rjust(9) for v in VERDICTS)
+            )
+
+    divergent_apps = {
+        app: counts for app, counts in sorted(report.by_app.items())
+        if any(counts[v] for v in VERDICTS)
+    }
+    if len(report.by_app) > 1 and divergent_apps:
+        lines.append("")
+        lines.append(
+            f"  apps with divergences: {len(divergent_apps)}"
+            f"/{len(report.by_app)}"
+        )
+
+    shown = report.to_dict()["findings"]
+    interesting = [f for f in shown
+                   if f["verdict"] != "EXPECTED_POLICY_DELTA"]
+    if interesting:
+        lines.append("")
+        lines.append("  notable findings:")
+        for finding in interesting[:max_findings]:
+            lines.append(
+                f"    [{_SHORT[finding['verdict']]}] "
+                f"{finding['app']} ({'+'.join(finding['policies'])}, "
+                f"rule {finding['rule']}): {finding['detail']}"
+            )
+        hidden = len(interesting) - max_findings
+        if hidden > 0:
+            lines.append(f"    ... and {hidden} more")
+
+    lines.append("")
+    lines.append(
+        "  verdict: CLEAN (no simulator bugs)" if report.clean
+        else f"  verdict: {report.simulator_bugs} SIMULATOR_BUG "
+             "finding(s) — the simulator broke a promise"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,56 @@
+"""Deterministic fleet-member sampling for the in-fleet oracle.
+
+``repro fleet --oracle RATE`` cannot afford a differential session per
+device, so it samples.  The sample must be a pure function of
+``(seed, member)`` — **not** of shard layout, worker count, or arrival
+order — so that a fleet run is byte-identical across ``--jobs 1``,
+``--jobs 4``, and a resumed run: the same members are sampled no matter
+how the work was sliced.
+
+Each member gets its own :class:`~repro.sim.rng.DeterministicRng`
+sub-stream (``fleet-oracle-<member>``) and draws exactly one uniform;
+the member is sampled iff the draw lands under the rate.  One stream
+per member (rather than one shared stream) keeps the decision
+independent of every other member's existence.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.errors import OracleError
+from repro.sim.rng import DeterministicRng
+
+
+def _check_rate(rate: float) -> float:
+    try:
+        rate = float(rate)
+    except (TypeError, ValueError):
+        raise OracleError(f"oracle rate must be a number, got {rate!r}")
+    if not 0.0 <= rate <= 1.0:
+        raise OracleError(
+            f"oracle rate must be within [0, 1], got {rate}"
+        )
+    return rate
+
+
+def sampled(seed: int, member: int, rate: float) -> bool:
+    """Is fleet ``member`` oracle-sampled at ``rate`` under ``seed``?
+
+    Pure in ``(seed, member, rate)``; rate 0 samples nobody and rate 1
+    everybody, without consuming randomness differently in between.
+    """
+    rate = _check_rate(rate)
+    if rate <= 0.0:
+        return False
+    if rate >= 1.0:
+        return True
+    rng = DeterministicRng(seed).fork(f"fleet-oracle-{member}")
+    return rng.uniform(0.0, 1.0) < rate
+
+
+def sample_members(seed: int, members: Iterable[int],
+                   rate: float) -> tuple[int, ...]:
+    """The sampled subset of ``members``, in the order given."""
+    rate = _check_rate(rate)
+    return tuple(m for m in members if sampled(seed, m, rate))

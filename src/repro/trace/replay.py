@@ -4,8 +4,10 @@ A recorded trace is serialized to a *snapshot* (plain JSON-able dicts in
 completion order).  Re-running the same scenario with the same seed must
 reproduce the snapshot span for span — same names, categories, parents,
 processes, and (virtual-clock) timestamps.  ``diff_snapshots`` finds the
-first divergent span; ``verify_replay`` runs a scenario twice and fails
-loudly with a :class:`~repro.errors.ReplayDivergenceError` naming it.
+first divergent span (``collect_divergences`` a bounded list of them, for
+the differential oracle); ``verify_replay`` runs a scenario twice and
+fails loudly with a :class:`~repro.errors.ReplayDivergenceError` naming
+it.
 
 This is the guard the later perf work leans on: any optimisation that
 reorders events, drops an IPC hop, or perturbs a timestamp trips the
@@ -68,28 +70,47 @@ def snapshot_spans(snap: Snapshot) -> list[Span]:
     return [Span.from_dict(entry) for entry in snap]
 
 
-def diff_snapshots(recorded: Snapshot, replayed: Snapshot) -> Divergence | None:
-    """First divergence between two snapshots, or None when identical."""
+def collect_divergences(
+    recorded: Snapshot, replayed: Snapshot, max_diffs: int = 64
+) -> list[Divergence]:
+    """Up to ``max_diffs`` divergences, in (span index, field) order.
+
+    The bounded generalisation of :func:`diff_snapshots` the differential
+    oracle classifies over: where the replay checker only needs the first
+    divergent span to fail loudly, the oracle wants *every* divergence
+    (up to a bound — two traces that disagree early tend to disagree
+    everywhere after) so each one can be classified separately.  A
+    trailing ``span_count`` divergence is reported when the snapshots
+    have different lengths and the bound is not yet exhausted.
+    """
+    if max_diffs < 1:
+        raise ValueError(f"max_diffs must be >= 1, got {max_diffs}")
+    found: list[Divergence] = []
     for index, (a, b) in enumerate(zip(recorded, replayed)):
         for field in _COMPARED_FIELDS:
             va, vb = a.get(field), b.get(field)
             if field in ("start_ms", "end_ms"):
                 if va is None or vb is None:
                     if va is not vb:
-                        return Divergence(index, field, va, vb)
+                        found.append(Divergence(index, field, va, vb))
                 elif abs(va - vb) > _TIME_TOLERANCE_MS:
-                    return Divergence(index, field, va, vb)
+                    found.append(Divergence(index, field, va, vb))
             elif va != vb:
-                return Divergence(index, field, va, vb)
+                found.append(Divergence(index, field, va, vb))
+            if len(found) >= max_diffs:
+                return found
     if len(recorded) != len(replayed):
         index = min(len(recorded), len(replayed))
-        return Divergence(
-            index,
-            "span_count",
-            len(recorded),
-            len(replayed),
+        found.append(
+            Divergence(index, "span_count", len(recorded), len(replayed))
         )
-    return None
+    return found
+
+
+def diff_snapshots(recorded: Snapshot, replayed: Snapshot) -> Divergence | None:
+    """First divergence between two snapshots, or None when identical."""
+    found = collect_divergences(recorded, replayed, max_diffs=1)
+    return found[0] if found else None
 
 
 def check_replay(recorded: Snapshot, replayed: Snapshot) -> None:

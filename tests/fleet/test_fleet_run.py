@@ -192,22 +192,67 @@ class TestWorkerTemplateCache:
                       if shard.cell_index == 0]
             assert len(shards) == 2
             for shard in shards:
-                _run_shard_task((spec, shard, str(tmp_path), key))
-            cached, disk_reads = template_cache_stats()
+                _run_shard_task((spec, shard, str(tmp_path), key, None))
+            cached, disk_reads, rebuilds = template_cache_stats()
             assert cached == 1
             assert disk_reads == 1
+            assert rebuilds == 0
         finally:
             _reset_template_cache()
 
-    def test_missing_template_is_an_error(self, tmp_path):
+    def test_missing_template_rebuilds_cold(self, tmp_path):
+        """A worker that cannot find its template on disk treats that as
+        a cache miss and rebuilds it from scratch, byte-identically."""
         spec = FleetSpec(devices_per_cell=2, shard_size=2)
         shard = plan_shards(spec)[0]
+        key = template_key(spec, shard.cell_index)
+        SnapshotStore(root=tmp_path).put(
+            key, capture_template(spec, shard.cell_index))
         _reset_template_cache()
         try:
-            with pytest.raises(FleetError):
-                _run_shard_task((spec, shard, str(tmp_path), "nope"))
+            warm = _run_shard_task((spec, shard, str(tmp_path), key, None))
         finally:
             _reset_template_cache()
+        try:
+            cold = _run_shard_task(
+                (spec, shard, str(tmp_path / "empty"), key, None))
+            cached, disk_reads, rebuilds = template_cache_stats()
+            assert rebuilds == 1
+            assert disk_reads == 0
+        finally:
+            _reset_template_cache()
+        assert cold.cohort.row() == warm.cohort.row()
+
+    def test_truncated_template_rebuilds_byte_identically(self, tmp_path):
+        """Satellite: a cohort template truncated on disk mid-run is a
+        miss, not an error — the worker rebuilds cold and the shard's
+        results are byte-identical to the intact-template run."""
+        spec = FleetSpec(devices_per_cell=4, shard_size=2)
+        shard = plan_shards(spec)[0]
+        key = template_key(spec, shard.cell_index)
+        store = SnapshotStore(root=tmp_path)
+        store.put(key, capture_template(spec, shard.cell_index))
+
+        _reset_template_cache()
+        try:
+            warm = _run_shard_task((spec, shard, str(tmp_path), key, None))
+        finally:
+            _reset_template_cache()
+
+        # Truncate the template bytes in place, as a crashed coordinator
+        # or a mid-write eviction would.
+        victim = store._path(key)
+        blob = victim.read_bytes()
+        victim.write_bytes(blob[: len(blob) // 2])
+
+        try:
+            cold = _run_shard_task((spec, shard, str(tmp_path), key, None))
+            cached, disk_reads, rebuilds = template_cache_stats()
+            assert rebuilds == 1
+            assert disk_reads == 0
+        finally:
+            _reset_template_cache()
+        assert cold.cohort.row() == warm.cohort.row()
 
 
 class TestReportShape:
@@ -231,3 +276,63 @@ class TestReportShape:
         assert by_policy["runtimedroid"]["crash_rate"] == 0
         assert (by_policy["runtimedroid"]["handling"]["mean_ms"]
                 < by_policy["android10"]["handling"]["mean_ms"])
+
+
+class TestFleetOracle:
+    """Sampled differential oracle folded into the fleet report."""
+
+    RATE = FleetSpec(devices_per_cell=6, shard_size=2, oracle_rate=0.5)
+
+    def test_rate_outside_unit_interval_is_rejected(self):
+        from repro.errors import OracleError
+        for bad in (-0.1, 1.5, float("nan")):
+            with pytest.raises(OracleError):
+                FleetSpec(oracle_rate=bad)
+
+    def test_sampling_is_a_pure_function_of_seed_and_member(self):
+        from repro.oracle import sampled
+        draws = [sampled(7, member, 0.25) for member in range(200)]
+        assert draws == [sampled(7, member, 0.25) for member in range(200)]
+        assert 0 < sum(draws) < 200
+
+    def test_oracle_section_only_present_when_sampling(self):
+        plain = run_fleet(SMALL, jobs=1)
+        assert plain.oracle is None
+        assert "oracle" not in plain.report()
+        sampled_run = run_fleet(self.RATE, jobs=1)
+        assert sampled_run.oracle is not None
+        section = sampled_run.report()["oracle"]
+        assert section["rate"] == 0.5
+        assert section["sessions"] > 0
+        assert section["verdicts"].get("SIMULATOR_BUG", 0) == 0
+        assert section["simulator_bug_details"] == []
+
+    def test_oracle_report_identical_across_jobs(self):
+        serial = run_fleet(self.RATE, jobs=1)
+        sharded = run_fleet(self.RATE, jobs=4)
+        assert serial.to_json() == sharded.to_json()
+
+    def test_oracle_report_survives_resume(self):
+        full = run_fleet(self.RATE, jobs=1)
+        ids = [shard.shard_id for shard in plan_shards(self.RATE)]
+        half = len(ids) // 2
+        merged = merge_fleet_results(
+            run_fleet(self.RATE, jobs=1, shard_ids=ids[:half]),
+            run_fleet(self.RATE, jobs=1, shard_ids=ids[half:]),
+        )
+        assert merged.to_json() == full.to_json()
+
+    def test_mismatched_oracle_rates_cannot_merge(self):
+        left = run_fleet(self.RATE, jobs=1, shard_ids=[0])
+        other = FleetSpec(devices_per_cell=6, shard_size=2, oracle_rate=0.25)
+        right = run_fleet(other, jobs=1, shard_ids=[1])
+        with pytest.raises(FleetError):
+            merge_fleet_results(left, right)
+
+    def test_sessions_run_once_per_sampled_app_member_pair(self):
+        from repro.oracle import sample_members
+        result = run_fleet(self.RATE, jobs=1)
+        apps = len(self.RATE.cells()) // len(self.RATE.policies)
+        expected = apps * len(sample_members(
+            self.RATE.seed, range(self.RATE.devices_per_cell), 0.5))
+        assert result.oracle.sessions == expected

@@ -21,8 +21,8 @@ def test_registry_covers_every_table_and_figure():
     assert set(REGISTRY) == {
         "table2", "table3", "table5", "fig7", "fig8", "fig9", "fig10",
         "fig11", "fig12", "fig13", "fig14", "sec5.6-energy", "sec5.7-deployment",
-        "ext-fleet", "ext-fragments", "ext-probes", "ext-robustness",
-        "ext-sessions",
+        "ext-fleet", "ext-fragments", "ext-oracle", "ext-probes",
+        "ext-robustness", "ext-sessions",
     }
 
 

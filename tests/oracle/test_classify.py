@@ -1,0 +1,140 @@
+"""The rule table: taxonomy, attribution, pluggability, no silence."""
+
+import pytest
+
+from repro.errors import OracleError
+from repro.oracle import (
+    ClassificationRule,
+    DEFAULT_RULES,
+    VERDICT_EXPECTED_POLICY_DELTA,
+    VERDICT_SIMULATOR_BUG,
+    VERDICT_STATE_DIVERGENCE,
+    classify,
+)
+from repro.oracle.classify import (
+    COMPARE_DIGEST,
+    COMPARE_REPLAY,
+    COMPARE_SPANS,
+    DivergenceContext,
+)
+from repro.oracle.differ import DigestDivergence
+from repro.trace.replay import Divergence
+from tests.oracle.test_digest import make_digest
+
+
+def digest_ctx(field, a_digest, b_digest, compare=COMPARE_DIGEST):
+    return DivergenceContext(
+        compare=compare,
+        a_policy=a_digest.policy, b_policy=b_digest.policy,
+        divergence=DigestDivergence(
+            field, a_digest.policy, b_digest.policy,
+            getattr(a_digest, field), getattr(b_digest, field),
+        ),
+        a_digest=a_digest, b_digest=b_digest,
+    )
+
+
+def span_ctx(index, prefix_end, a="android10", b="rchdroid"):
+    return DivergenceContext(
+        compare=COMPARE_SPANS, a_policy=a, b_policy=b,
+        divergence=Divergence(index=index, field="name",
+                              recorded="x", replayed="y"),
+        span_index=index, prefix_end=prefix_end,
+    )
+
+
+class TestDefaultTaxonomy:
+    def test_replay_divergence_is_a_simulator_bug(self):
+        ctx = digest_ctx(
+            "slots",
+            make_digest(policy="rchdroid"),
+            make_digest(policy="rchdroid", slots=(("note", "'x'"),)),
+            compare=COMPARE_REPLAY,
+        )
+        finding, = classify([ctx])
+        assert finding.verdict == VERDICT_SIMULATOR_BUG
+        assert finding.rule == "replay-nondeterminism"
+        assert finding.policies == ("rchdroid",)
+
+    def test_prefix_span_divergence_is_a_simulator_bug(self):
+        finding, = classify([span_ctx(index=2, prefix_end=5)])
+        assert finding.verdict == VERDICT_SIMULATOR_BUG
+        assert finding.rule == "policy-independent-prefix"
+
+    def test_post_prefix_span_divergence_is_expected(self):
+        finding, = classify([span_ctx(index=5, prefix_end=5)])
+        assert finding.verdict == VERDICT_EXPECTED_POLICY_DELTA
+        assert finding.rule == "span-delta"
+
+    def test_state_loss_is_attributed_to_the_losing_side_only(self):
+        stock = make_digest(policy="android10", slots=(("note", "None"),),
+                            lost_slots=("note",))
+        fixed = make_digest(policy="rchdroid")
+        finding, = classify([digest_ctx("lost_slots", stock, fixed)])
+        assert finding.verdict == VERDICT_STATE_DIVERGENCE
+        assert finding.policies == ("android10",)
+
+    def test_crashed_side_is_a_loser_too(self):
+        crashed = make_digest(policy="android10", crashed=True,
+                              crash_kinds=("NullPointer",))
+        alive = make_digest(policy="rchdroid")
+        finding, = classify([digest_ctx("crashed", crashed, alive)])
+        assert finding.verdict == VERDICT_STATE_DIVERGENCE
+        assert finding.policies == ("android10",)
+
+    def test_state_mismatch_without_any_loser_is_a_simulator_bug(self):
+        """Two policies that both kept their own user's state must agree
+        on the values; disagreement means the simulator lied."""
+        a = make_digest(policy="android10", slots=(("note", "'a'"),))
+        b = make_digest(policy="rchdroid", slots=(("note", "'b'"),))
+        finding, = classify([digest_ctx("slots", a, b)])
+        assert finding.verdict == VERDICT_SIMULATOR_BUG
+        assert finding.rule == "state-mismatch-without-loss"
+        assert finding.policies == ("android10", "rchdroid")
+
+    def test_lifecycle_delta_is_expected(self):
+        a = make_digest(policy="android10", relaunches=3)
+        b = make_digest(policy="runtimedroid")
+        finding, = classify([digest_ctx("relaunches", a, b)])
+        assert finding.verdict == VERDICT_EXPECTED_POLICY_DELTA
+        assert finding.rule == "lifecycle-delta"
+        assert finding.policies == ("android10", "runtimedroid")
+
+
+class TestPluggability:
+    def test_custom_rule_can_tighten_the_taxonomy(self):
+        """docs/ORACLE.md's example: treat any relaunch-count delta as
+        suspect by prepending one rule — no oracle code touched."""
+        strict = (
+            ClassificationRule(
+                name="no-relaunch-deltas",
+                verdict=VERDICT_SIMULATOR_BUG,
+                matches=lambda ctx: ctx.digest_field == "relaunches",
+            ),
+            *DEFAULT_RULES,
+        )
+        a = make_digest(policy="android10", relaunches=3)
+        b = make_digest(policy="runtimedroid")
+        finding, = classify([digest_ctx("relaunches", a, b)], rules=strict)
+        assert finding.verdict == VERDICT_SIMULATOR_BUG
+        assert finding.rule == "no-relaunch-deltas"
+
+    def test_first_match_wins(self):
+        everything = ClassificationRule(
+            name="catch-all", verdict=VERDICT_EXPECTED_POLICY_DELTA,
+            matches=lambda ctx: True,
+        )
+        finding, = classify([span_ctx(index=0, prefix_end=5)],
+                            rules=(everything, *DEFAULT_RULES))
+        assert finding.rule == "catch-all"
+
+    def test_unclassifiable_divergence_raises_instead_of_silence(self):
+        with pytest.raises(OracleError):
+            classify([span_ctx(index=0, prefix_end=5)], rules=())
+
+    def test_findings_serialise_for_reports(self):
+        finding, = classify([span_ctx(index=5, prefix_end=5)])
+        data = finding.to_dict()
+        assert data["verdict"] == VERDICT_EXPECTED_POLICY_DELTA
+        assert data["policies"] == ["android10", "rchdroid"]
+        assert isinstance(data["detail"], str)

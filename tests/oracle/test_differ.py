@@ -1,0 +1,123 @@
+"""Digest diffing, span rebasing, and the policy-independent prefix."""
+
+from repro.oracle import diff_digests
+from repro.oracle.differ import (
+    diff_span_streams,
+    first_policy_event,
+    rebase_snapshot,
+    strip_for_cross_policy,
+)
+from tests.oracle.test_digest import make_digest
+
+
+def span(name, category, start, end, **extra):
+    entry = {
+        "name": name, "category": category, "kind": "sync",
+        "process": "fleet.notepad", "thread": "main",
+        "start_ms": start, "end_ms": end,
+        "span_id": len(name),  # tracer-local noise the strip must drop
+        "args": {"local": True},
+    }
+    entry.update(extra)
+    return entry
+
+
+class TestDiffDigests:
+    def test_identical_digests_diff_empty(self):
+        assert diff_digests(make_digest(), make_digest()) == []
+
+    def test_policy_field_is_identity_not_divergence(self):
+        a = make_digest(policy="android10")
+        b = make_digest(policy="rchdroid")
+        assert diff_digests(a, b) == []
+
+    def test_reports_one_divergence_per_field(self):
+        a = make_digest(policy="android10", lost_slots=("note",),
+                        relaunches=2)
+        b = make_digest(policy="rchdroid")
+        found = diff_digests(a, b)
+        assert sorted(d.field for d in found) == ["lost_slots", "relaunches"]
+        by_field = {d.field: d for d in found}
+        assert by_field["lost_slots"].a_policy == "android10"
+        assert by_field["lost_slots"].a_value == ("note",)
+        assert "lost_slots" in by_field["lost_slots"].describe()
+
+
+class TestRebase:
+    def test_shifts_both_timestamps(self):
+        rebased = rebase_snapshot([span("work", "app", 1000.0, 1010.5)],
+                                  1000.0)
+        assert rebased[0]["start_ms"] == 0.0
+        assert rebased[0]["end_ms"] == 10.5
+
+    def test_open_spans_keep_their_none_end(self):
+        entry = span("work", "app", 1000.0, None)
+        assert rebase_snapshot([entry], 1000.0)[0]["end_ms"] is None
+
+    def test_input_is_not_mutated(self):
+        entry = span("work", "app", 1000.0, 1010.0)
+        rebase_snapshot([entry], 1000.0)
+        assert entry["start_ms"] == 1000.0
+
+    def test_strip_drops_tracer_local_fields(self):
+        stripped = strip_for_cross_policy([span("w", "app", 0.0, 1.0)])
+        assert "span_id" not in stripped[0]
+        assert "args" not in stripped[0]
+        assert stripped[0]["name"] == "w"
+
+
+class TestPolicyIndependentPrefix:
+    def test_stream_without_policy_events_is_all_prefix(self):
+        stream = [span("w1", "app", 0.0, 1.0), span("w2", "app", 1.0, 2.0)]
+        assert first_policy_event(stream) == len(stream)
+
+    def test_boundary_is_the_events_start_time_not_its_index(self):
+        """The tracer buffer is completion-ordered: the enclosing
+        update-configuration span lands *after* the policy-dependent
+        children it triggered.  The prefix must stop at its start."""
+        stream = [
+            span("setup", "app", 0.0, 5.0),
+            span("relaunch", "lifecycle", 10.0, 14.0),  # child, buffered 1st
+            span("update-configuration", "atms", 10.0, 15.0),
+        ]
+        assert first_policy_event(stream) == 1
+
+    def test_span_straddling_the_boundary_is_not_prefix(self):
+        stream = [
+            span("early", "app", 0.0, 2.0),
+            span("straddler", "app", 3.0, 12.0),
+            span("update-configuration", "atms", 10.0, 15.0),
+        ]
+        assert first_policy_event(stream) == 1
+
+    def test_process_kill_also_opens_divergent_territory(self):
+        stream = [
+            span("early", "app", 0.0, 2.0),
+            span("process-kill", "process", 5.0, 6.0),
+        ]
+        assert first_policy_event(stream) == 1
+
+    def test_app_category_never_matches_markers(self):
+        stream = [span("update-configuration-cache", "app", 0.0, 1.0)]
+        assert first_policy_event(stream) == 1
+
+
+class TestDiffSpanStreams:
+    def test_prefix_end_is_the_smaller_of_both_streams(self):
+        a = [span("w", "app", 0.0, 1.0),
+             span("update-configuration", "atms", 2.0, 3.0)]
+        b = [span("w", "app", 0.0, 1.0), span("w2", "app", 1.0, 2.0)]
+        _, prefix_end = diff_span_streams(a, b)
+        assert prefix_end == 1
+
+    def test_streams_differing_only_in_local_fields_are_equal(self):
+        a = [span("w", "app", 0.0, 1.0)]
+        b = [dict(span("w", "app", 0.0, 1.0), span_id=999)]
+        divergences, _ = diff_span_streams(a, b)
+        assert divergences == []
+
+    def test_divergences_are_bounded(self):
+        a = [span(f"a{i}", "app", float(i), i + 1.0) for i in range(20)]
+        b = [span(f"b{i}", "app", float(i), i + 1.0) for i in range(20)]
+        divergences, _ = diff_span_streams(a, b, max_diffs=5)
+        assert len(divergences) == 5

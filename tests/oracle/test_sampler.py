@@ -1,0 +1,57 @@
+"""Deterministic member sampling for ``repro fleet --oracle``."""
+
+import pytest
+
+from repro.errors import OracleError
+from repro.oracle import sample_members, sampled
+
+
+class TestSampled:
+    def test_pure_in_seed_and_member(self):
+        draws = [sampled(0x5EED, m, 0.3) for m in range(500)]
+        assert draws == [sampled(0x5EED, m, 0.3) for m in range(500)]
+
+    def test_rate_zero_samples_nobody(self):
+        assert not any(sampled(1, m, 0.0) for m in range(200))
+
+    def test_rate_one_samples_everybody(self):
+        assert all(sampled(1, m, 1.0) for m in range(200))
+
+    def test_rate_is_roughly_respected(self):
+        hits = sum(sampled(7, m, 0.25) for m in range(2000))
+        assert 0.15 < hits / 2000 < 0.35
+
+    def test_members_draw_independently(self):
+        """One sub-stream per member: adding members never reshuffles
+        earlier decisions (what keeps resumes byte-identical)."""
+        first = [sampled(7, m, 0.5) for m in range(10)]
+        longer = [sampled(7, m, 0.5) for m in range(100)]
+        assert longer[:10] == first
+
+    def test_different_seeds_sample_differently(self):
+        assert ([sampled(1, m, 0.5) for m in range(100)]
+                != [sampled(2, m, 0.5) for m in range(100)])
+
+    @pytest.mark.parametrize("bad", [-0.5, 1.01, float("nan"), "lots", None])
+    def test_bad_rates_are_rejected(self, bad):
+        with pytest.raises(OracleError):
+            sampled(1, 0, bad)
+
+
+class TestSampleMembers:
+    def test_subset_preserves_member_order(self):
+        members = sample_members(7, range(100), 0.5)
+        assert list(members) == sorted(members)
+        assert set(members) <= set(range(100))
+
+    def test_agrees_with_pointwise_sampling(self):
+        assert sample_members(7, range(50), 0.25) == tuple(
+            m for m in range(50) if sampled(7, m, 0.25))
+
+    def test_slicing_cannot_change_the_sample(self):
+        """Sampling a shard's member range yields exactly the fleet-wide
+        sample restricted to that range."""
+        whole = sample_members(7, range(40), 0.5)
+        sliced = (sample_members(7, range(0, 20), 0.5)
+                  + sample_members(7, range(20, 40), 0.5))
+        assert sliced == whole

@@ -1,0 +1,123 @@
+"""End-to-end differential sessions and the aggregate report."""
+
+import json
+
+import pytest
+
+from repro.errors import OracleError
+from repro.fleet.population import fleet_corpus
+from repro.oracle import (
+    VERDICT_SIMULATOR_BUG,
+    format_oracle_report,
+    report_for,
+    run_oracle_session,
+)
+from repro.oracle.session import build_prefix, capture_prefix
+
+NOTEPAD = fleet_corpus()[0]
+
+# One short script exercising a config change, a fresh write, and the
+# async path — enough for every policy to show its character quickly.
+SCRIPT = (
+    ("wait", 200.0),
+    ("write", 0),
+    ("wait", 100.0),
+    ("rotate",),
+    ("wait", 400.0),
+)
+
+
+@pytest.fixture(scope="module")
+def session():
+    return run_oracle_session(NOTEPAD, seed=7, script=SCRIPT)
+
+
+class TestOracleSession:
+    def test_runs_every_policy_record_and_replay(self, session):
+        assert set(session.runs) == {
+            "android10", "runtimedroid", "rchdroid"}
+        for run in session.runs.values():
+            assert run.deterministic
+
+    def test_finds_no_simulator_bugs(self, session):
+        assert session.simulator_bugs() == []
+
+    def test_stock_loses_the_note_and_rchdroid_keeps_it(self, session):
+        stock = session.runs["android10"].digest
+        fixed = session.runs["rchdroid"].digest
+        assert "note" in stock.lost_slots
+        assert fixed.lost_slots == ()
+        counts = session.verdict_counts()
+        assert counts["android10"].get("STATE_DIVERGENCE", 0) > 0
+        assert counts["rchdroid"].get("STATE_DIVERGENCE", 0) == 0
+
+    def test_span_streams_cover_only_the_post_fork_session(self, session):
+        for run in session.runs.values():
+            assert run.spans
+            starts = [entry["start_ms"] for entry in run.spans
+                      if entry["start_ms"] is not None]
+            assert min(starts) >= 0.0  # rebased to the fork instant
+
+    def test_same_seed_reruns_identically(self, session):
+        again = run_oracle_session(NOTEPAD, seed=7, script=SCRIPT)
+        assert ([f.to_dict() for f in again.findings]
+                == [f.to_dict() for f in session.findings])
+
+    def test_digest_only_fast_path_skips_spans(self):
+        fast = run_oracle_session(NOTEPAD, seed=7, script=SCRIPT,
+                                  trace=False)
+        assert all(not run.spans for run in fast.runs.values())
+        assert fast.simulator_bugs() == []
+
+    def test_caller_supplied_prefixes_are_used(self):
+        prefixes = {
+            policy: capture_prefix(NOTEPAD, policy, 7)
+            for policy in ("android10", "rchdroid")
+        }
+        session = run_oracle_session(
+            NOTEPAD, ("android10", "rchdroid"), 7,
+            script=SCRIPT, trace=False, prefixes=prefixes,
+        )
+        assert set(session.runs) == {"android10", "rchdroid"}
+        assert session.simulator_bugs() == []
+
+    def test_policy_set_is_validated(self):
+        with pytest.raises(OracleError):
+            run_oracle_session(NOTEPAD, ())
+        with pytest.raises(OracleError):
+            run_oracle_session(NOTEPAD, ("rchdroid", "rchdroid"))
+        with pytest.raises(OracleError):
+            build_prefix(NOTEPAD, "nope", 7)
+
+    def test_prefix_plays_no_configuration_changes(self):
+        system = build_prefix(NOTEPAD, "android10", 7)
+        assert system.handling_times() == []
+        assert not system.crashed(NOTEPAD.package)
+        assert system.foreground_activity(NOTEPAD.package) is not None
+
+
+class TestOracleReport:
+    def test_report_json_is_canonical(self, session):
+        report = report_for([session])
+        data = json.loads(report.to_json())
+        assert data["sessions"] == 1
+        assert data["policies"] == list(session.policies)
+        assert report.to_json() == report_for([session]).to_json()
+
+    def test_counts_fold_across_sessions(self, session):
+        doubled = report_for([session, session])
+        single = report_for([session])
+        assert doubled.sessions == 2
+        assert doubled.totals == {
+            v: 2 * n for v, n in single.totals.items()}
+
+    def test_clean_report_renders_clean_verdict(self, session):
+        text = format_oracle_report(report_for([session]))
+        assert "CLEAN (no simulator bugs)" in text
+        assert "state-div" in text
+
+    def test_simulator_bugs_flip_the_verdict_line(self, session):
+        report = report_for([session])
+        report.totals[VERDICT_SIMULATOR_BUG] += 1
+        assert not report.clean
+        assert "broke a promise" in format_oracle_report(report)

@@ -145,6 +145,76 @@ class TestFleetCli:
         assert repro_main(args) == 2
         assert "fleet error" in capsys.readouterr().out
 
+    def test_fleet_oracle_sampling_joins_the_report(self, capsys, tmp_path):
+        import json
+
+        out_path = tmp_path / "fleet.json"
+        args = ["fleet", "--devices", "18", "--jobs", "1",
+                "--oracle", "0.5", "-o", str(out_path)]
+        assert repro_main(args) == 0
+        assert "Differential oracle" in capsys.readouterr().out
+        report = json.loads(out_path.read_text())
+        assert report["oracle"]["rate"] == 0.5
+        assert report["oracle"]["sessions"] > 0
+
+    def test_fleet_without_oracle_keeps_the_old_report_shape(
+            self, capsys, tmp_path):
+        import json
+
+        out_path = tmp_path / "fleet.json"
+        args = ["fleet", "--devices", "18", "--jobs", "1",
+                "-o", str(out_path)]
+        assert repro_main(args) == 0
+        capsys.readouterr()
+        assert "oracle" not in json.loads(out_path.read_text())
+
+    def test_fleet_rejects_bad_oracle_rate(self, capsys):
+        assert repro_main(["fleet", "--devices", "6",
+                           "--oracle", "1.5"]) == 2
+        assert "oracle rate must be within [0, 1]" in capsys.readouterr().out
+
+
+class TestOracleCli:
+    def test_session_reports_clean_and_writes_json(self, capsys, tmp_path):
+        import json
+
+        out_path = tmp_path / "oracle.json"
+        args = ["oracle", "fleet.notepad", "--seed", "7",
+                "-o", str(out_path)]
+        assert repro_main(args) == 0
+        printed = capsys.readouterr().out
+        assert "differential oracle report" in printed
+        assert "CLEAN (no simulator bugs)" in printed
+        report = json.loads(out_path.read_text())
+        assert report["sessions"] == 1
+        assert report["totals"]["SIMULATOR_BUG"] == 0
+
+    def test_resolves_apps_by_display_name_too(self, capsys):
+        assert repro_main(["oracle", "FleetNotepad", "--seed", "7"]) == 0
+        capsys.readouterr()
+
+    def test_policy_subset_is_honoured(self, capsys):
+        args = ["oracle", "fleet.notepad", "--seed", "7",
+                "--policy", "rchdroid", "--policy", "runtimedroid"]
+        assert repro_main(args) == 0
+        printed = capsys.readouterr().out
+        assert "rchdroid" in printed
+        assert "android10" not in printed
+
+    def test_unknown_app_is_an_error_with_known_list(self, capsys):
+        assert repro_main(["oracle", "nope.app"]) == 2
+        assert "fleet.notepad" in capsys.readouterr().out
+
+    def test_duplicate_policy_is_an_oracle_error(self, capsys):
+        args = ["oracle", "fleet.notepad",
+                "--policy", "rchdroid", "--policy", "rchdroid"]
+        assert repro_main(args) == 2
+        assert "oracle error" in capsys.readouterr().out
+
+    def test_missing_app_prints_usage(self, capsys):
+        assert repro_main(["oracle"]) == 2
+        assert "usage" in capsys.readouterr().out
+
 
 class TestTraceCli:
     def test_trace_demo_writes_verified_chrome_trace(self, capsys, tmp_path):

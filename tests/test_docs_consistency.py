@@ -46,7 +46,7 @@ def test_experiments_md_covers_every_paper_artifact(experiments_text):
 
 
 def test_experiments_md_documents_extensions(experiments_text):
-    for ext in ("ext-fleet", "ext-fragments", "ext-probes",
+    for ext in ("ext-fleet", "ext-fragments", "ext-oracle", "ext-probes",
                 "ext-robustness", "ext-sessions"):
         assert ext in experiments_text, ext
 
@@ -61,7 +61,7 @@ def test_registry_ids_have_benchmark_modules():
         "fig11": "fig11", "fig12": "fig12", "fig13": "fig13",
         "fig14": "fig14", "sec5.6-energy": "sec56",
         "sec5.7-deployment": "sec57", "ext-fleet": "ext_fleet",
-        "ext-fragments": "ext_fragments",
+        "ext-fragments": "ext_fragments", "ext-oracle": "ext_oracle",
         "ext-probes": "ext_probes", "ext-robustness": "ext_robustness",
         "ext-sessions": "ext_sessions",
     }

@@ -48,3 +48,57 @@ def test_appcrash_timestamp_optional_and_mutable():
     assert crash.when_ms is None
     crash.when_ms = 5.0  # loopers stamp it at dispatch time
     assert crash.when_ms == 5.0
+
+
+class TestSubsystemErrorTaxonomy:
+    """Every public subsystem error is a SimulationError with a useful
+    message — callers can catch the base class at a subsystem boundary
+    and still print something actionable."""
+
+    def test_every_public_error_is_exported(self):
+        import repro.errors as errors_module
+
+        public = {
+            name for name in dir(errors_module)
+            if isinstance(getattr(errors_module, name), type)
+            and issubclass(getattr(errors_module, name), Exception)
+        }
+        for expected in ("ReplayDivergenceError", "EngineError",
+                         "SnapshotError", "FleetError", "OracleError"):
+            assert expected in public
+
+
+def _subsystem_errors():
+    from repro.errors import (
+        EngineError,
+        FleetError,
+        OracleError,
+        ReplayDivergenceError,
+        SnapshotError,
+    )
+
+    return [ReplayDivergenceError, EngineError, SnapshotError,
+            FleetError, OracleError]
+
+
+@pytest.mark.parametrize("exc_type", _subsystem_errors())
+def test_subsystem_errors_subclass_simulation_error(exc_type):
+    assert issubclass(exc_type, SimulationError)
+    assert not issubclass(exc_type, AppCrash)
+
+
+@pytest.mark.parametrize("exc_type", _subsystem_errors())
+def test_subsystem_errors_carry_their_message(exc_type):
+    error = exc_type("lp0 on fire")
+    assert "lp0 on fire" in str(error)
+    with pytest.raises(SimulationError):
+        raise error
+
+
+def test_subsystem_errors_are_distinct_branches():
+    """Catching one subsystem's error must not swallow another's."""
+    types = _subsystem_errors()
+    for i, left in enumerate(types):
+        for right in types[i + 1:]:
+            assert not issubclass(left, right)
+            assert not issubclass(right, left)

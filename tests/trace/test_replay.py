@@ -100,3 +100,50 @@ class TestSnapshotIo:
         assert len(spans) == len(snap)
         selfs = export.self_times_ms(spans)
         assert all(value >= 0.0 for value in selfs.values())
+
+
+class TestCollectDivergences:
+    """The bounded multi-divergence collector the oracle diffs with."""
+
+    def test_identical_snapshots_collect_nothing(self):
+        snap = replay.snapshot(traced_scenario())
+        assert replay.collect_divergences(snap, list(snap)) == []
+
+    def test_collects_every_tampered_field(self):
+        recorded = replay.snapshot(traced_scenario())
+        tampered = [dict(entry) for entry in recorded]
+        tampered[1]["name"] = "evil"
+        tampered[4]["category"] = "worse"
+        found = replay.collect_divergences(recorded, tampered)
+        assert [(d.index, d.field) for d in found] == [
+            (1, "name"), (4, "category")]
+
+    def test_max_diffs_bounds_the_scan(self):
+        recorded = replay.snapshot(traced_scenario())
+        tampered = [dict(entry) for entry in recorded]
+        for entry in tampered:
+            entry["name"] = "evil"
+        found = replay.collect_divergences(recorded, tampered, max_diffs=3)
+        assert len(found) == 3
+
+    def test_max_diffs_must_be_positive(self):
+        with pytest.raises(ValueError):
+            replay.collect_divergences([], [], max_diffs=0)
+
+    def test_length_mismatch_reported_after_field_diffs(self):
+        recorded = replay.snapshot(traced_scenario())
+        truncated = [dict(entry) for entry in recorded[:-2]]
+        found = replay.collect_divergences(recorded, truncated)
+        assert found[-1].field == "span_count"
+        assert found[-1].index == len(truncated)
+
+    def test_first_divergence_matches_single_diff_api(self):
+        """diff_snapshots is exactly collect_divergences truncated to 1 —
+        the legacy single-divergence contract must not drift."""
+        recorded = replay.snapshot(traced_scenario())
+        tampered = [dict(entry) for entry in recorded]
+        tampered[2]["name"] = "evil"
+        tampered[5]["name"] = "worse"
+        single = replay.diff_snapshots(recorded, tampered)
+        multi = replay.collect_divergences(recorded, tampered)
+        assert (single.index, single.field) == (multi[0].index, multi[0].field)
