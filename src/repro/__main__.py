@@ -23,7 +23,16 @@ Commands:
   (repeatable; default all three), ``--faults F`` (fraction of devices
   per fault kind, default 0), ``--oracle RATE`` (run the differential
   oracle on a deterministic sample of members; verdict counts join the
-  report), ``--jobs N|auto``, ``--shard-size N``, ``--seed N``,
+  report), ``--jobs N|auto`` (``auto`` = one worker per core, bounded
+  by the shard count), ``--shard-size N``, ``--seed N``,
+  ``--checkpoint PATH`` (periodic resumable checkpoints; a killed run
+  re-invoked with the same spec and path resumes byte-identically),
+  ``--checkpoint-every N`` (shards between writes, default 64),
+  ``--stats`` (template-provisioning counters: cache/disk/rebuild plus
+  shared-memory arena hits/misses/fallbacks — printed and added to the
+  JSON report), ``--verify-deltas`` (spot-check the delta-snapshot
+  codec on every shard), ``--no-arena`` (disable the shared-memory
+  template arena, fall back to per-worker disk reads),
   ``-o/--output PATH`` (write the canonical JSON report).
 * ``oracle <app>``       — run one cross-policy differential session:
   the same seeded session under every policy, end states and span
@@ -93,6 +102,37 @@ def _unknown_command(command: str, known: list[str]) -> int:
 # ----------------------------------------------------------------------
 # fleet subcommand
 # ----------------------------------------------------------------------
+_FLEET_USAGE = (
+    "usage: python -m repro fleet [--devices N]"
+    " [--policy NAME]... [--faults F] [--oracle RATE]"
+    " [--jobs N|auto] [--shard-size N] [--seed N]"
+    " [--checkpoint PATH] [--checkpoint-every N]"
+    " [--stats] [--verify-deltas] [--no-arena] [-o PATH]"
+)
+
+
+def _parse_jobs(value: str) -> "int | str":
+    """``--jobs`` values: a worker count or the literal ``auto``.
+
+    ``auto`` resolves to one worker per core, bounded by the shard
+    count (the engine's :func:`_resolve_jobs` convention).  Anything
+    else raises with a did-you-mean hint — callers exit 2.
+    """
+    if value == "auto":
+        return "auto"
+    try:
+        return int(value)
+    except ValueError:
+        import difflib
+
+        hint = (" (did you mean 'auto'?)"
+                if difflib.get_close_matches(value, ["auto"], n=1,
+                                             cutoff=0.6) else "")
+        raise ValueError(
+            f"--jobs expects a worker count or 'auto', got {value!r}{hint}"
+        ) from None
+
+
 def fleet_command(args: list[str]) -> int:
     """Run a fleet simulation and print (optionally write) its report."""
     devices = 120
@@ -103,6 +143,11 @@ def fleet_command(args: list[str]) -> int:
     shard_size = 32
     seed = 0x5EED
     out_path: str | None = None
+    checkpoint_path: str | None = None
+    checkpoint_every: int | None = None
+    collect_stats = False
+    verify_deltas = False
+    use_arena = True
     walker = iter(args)
     try:
         for arg in walker:
@@ -115,22 +160,29 @@ def fleet_command(args: list[str]) -> int:
             elif arg == "--oracle":
                 oracle_rate = float(next(walker))
             elif arg == "--jobs":
-                value = next(walker)
-                jobs = value if value == "auto" else int(value)
+                jobs = _parse_jobs(next(walker))
             elif arg == "--shard-size":
                 shard_size = int(next(walker))
             elif arg == "--seed":
                 seed = int(next(walker), 0)
+            elif arg == "--checkpoint":
+                checkpoint_path = next(walker)
+            elif arg == "--checkpoint-every":
+                checkpoint_every = int(next(walker))
+                if checkpoint_every < 1:
+                    print("--checkpoint-every must be >= 1")
+                    return 2
+            elif arg == "--stats":
+                collect_stats = True
+            elif arg == "--verify-deltas":
+                verify_deltas = True
+            elif arg == "--no-arena":
+                use_arena = False
             elif arg in ("-o", "--output"):
                 out_path = next(walker)
             else:
                 print(f"unexpected argument {arg!r}")
-                print(
-                    "usage: python -m repro fleet [--devices N]"
-                    " [--policy NAME]... [--faults F] [--oracle RATE]"
-                    " [--jobs N|auto] [--shard-size N] [--seed N]"
-                    " [-o PATH]"
-                )
+                print(_FLEET_USAGE)
                 return 2
     except StopIteration:
         print("missing value for the last option")
@@ -143,6 +195,7 @@ def fleet_command(args: list[str]) -> int:
 
     from repro.errors import FleetError, OracleError
     from repro.fleet import (
+        DEFAULT_CHECKPOINT_EVERY,
         FaultPlan,
         FleetSpec,
         NO_FAULTS,
@@ -162,7 +215,17 @@ def fleet_command(args: list[str]) -> int:
             shard_size=shard_size,
             oracle_rate=oracle_rate,
         )
-        result = run_fleet(spec, jobs=jobs)
+        result = run_fleet(
+            spec,
+            jobs=jobs,
+            use_arena=use_arena,
+            checkpoint_path=checkpoint_path,
+            checkpoint_every=(checkpoint_every
+                              if checkpoint_every is not None
+                              else DEFAULT_CHECKPOINT_EVERY),
+            verify_deltas=verify_deltas,
+            collect_stats=collect_stats,
+        )
     except (FleetError, OracleError) as error:
         print(f"fleet error: {error}")
         return 2

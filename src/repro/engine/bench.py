@@ -31,9 +31,25 @@ costs more than it saves, and the report says so honestly — the
 ``python -m repro bench-engine fleet`` benchmarks the fleet simulator
 instead (``BENCH_fleet.json``): cohort spawning by template fork vs
 per-device cold setup (the gated speedup — session play time is
-identical by construction, so the spawn path is timed on its own), plus
-end-to-end fleet runs in serial, sharded, and cold-setup form, all
-gated byte-identical.
+identical by construction, so the spawn path is timed on its own),
+end-to-end fleet runs in serial, sharded (arena and disk-only), and
+cold-setup form, all gated byte-identical, the delta-snapshot residue
+of a diverged device (gated smaller than the full payload), and a
+**devices × jobs scaling curve**: each point runs in its own
+subprocess so its peak RSS (``ru_maxrss``, self and pool children) is
+an honest high-water mark, and ``--check`` gates the bounded-memory
+claim — RSS at the largest point must stay within a small constant of
+the smallest, because the executor streams accumulators instead of
+materialising devices.
+
+``--resume-check`` additionally starts a checkpointed fleet run in a
+subprocess, SIGKILLs it once the first checkpoint lands, resumes it,
+and gates the resumed report byte-identical to an uninterrupted run.
+``--max-rss-mb N`` arms a hard address-space ceiling
+(``resource.setrlimit``) before anything runs — the CI scale job uses
+it to turn "bounded memory" from a claim into an enforced limit — and
+the ``fleet-cli`` mode forwards its arguments to ``python -m repro
+fleet`` under that ceiling.
 """
 
 from __future__ import annotations
@@ -58,6 +74,17 @@ DEFAULT_FLEET_OUTPUT = "BENCH_fleet.json"
 DEFAULT_FLEET_DEVICES = 360
 DEFAULT_EXPERIMENTS = ("fig14", "table5")
 SNAPSHOT_EXPERIMENT = "probes"
+
+#: Scaling-curve geometry: device counts per jobs value.  Each point is
+#: a subprocess, so the curve's RSS numbers are per-run high-water
+#: marks, not a shared monotone maximum.
+SCALING_DEVICES = (360, 1440, 5760)
+
+#: "Bounded memory" gate: peak RSS at the largest curve point may be at
+#: most this multiple of the smallest point's (same jobs value).  A
+#: fleet executor that materialised devices or results would scale RSS
+#: linearly with the 16x device range and blow well past this.
+SCALING_RSS_BOUND = 3.0
 
 #: experiment id -> request-list builder (matching what the experiment
 #: module submits through run_policy_matrix, so the timings are real).
@@ -262,7 +289,12 @@ def bench_fleet(
 
     serial_s, serial = _timed(lambda: [run_fleet(spec, jobs=1)])
     golden = serial[0].to_json()
-    sharded_s, sharded = _timed(lambda: [run_fleet(spec, jobs=jobs)])
+    # At least two workers, so the identity gates exercise the real
+    # pool (arena, work stealing) even on a single-core host.
+    pool_jobs = max(2, jobs)
+    sharded_s, sharded = _timed(lambda: [run_fleet(spec, jobs=pool_jobs)])
+    noarena_s, noarena = _timed(
+        lambda: [run_fleet(spec, jobs=pool_jobs, use_arena=False)])
     cold_s, cold = _timed(
         lambda: [run_fleet(spec, jobs=1, use_templates=False)])
 
@@ -275,9 +307,11 @@ def bench_fleet(
             "forked_s": round(spawn_forked_s, 4),
             "speedup": round(spawn_cold_s / spawn_forked_s, 2),
         },
+        "delta": _bench_delta_residue(spec),
         "seconds": {
             "serial": round(serial_s, 4),
             "sharded": round(sharded_s, 4),
+            "sharded_noarena": round(noarena_s, 4),
             "cold_setup": round(cold_s, 4),
         },
         "speedup_vs_serial": {
@@ -285,14 +319,194 @@ def bench_fleet(
         },
         "identical_to_serial": {
             "sharded": sharded[0].to_json() == golden,
+            "sharded_noarena": noarena[0].to_json() == golden,
             "cold_setup": cold[0].to_json() == golden,
         },
     }
 
 
+def _bench_delta_residue(spec) -> dict[str, Any]:
+    """Delta-snapshot residue of one diverged device vs the full payload.
+
+    The claim behind delta snapshots: a device a short session past its
+    fork point differs from the cohort template by ~KB of counters and
+    slots, not by its ~MB payload.  Measured (and the round trip
+    verified) on a real fork of the first cell's template.
+    """
+    from repro.fleet.run import capture_template
+    from repro.sim.snapshot import SystemSnapshot
+
+    template = capture_template(spec, 0)
+    fork = template.restore()
+    fork.rotate()
+    fork.run_for(350.0)
+    full = SystemSnapshot.capture(fork)
+    delta = full.delta_from(template)
+    full_bytes = len(bytes(full.payload))
+    return {
+        "template_bytes": len(bytes(template.payload)),
+        "full_bytes": full_bytes,
+        "delta_bytes": delta.size_bytes,
+        "ratio": round(delta.size_bytes / full_bytes, 4),
+        "round_trip_identical": delta.apply(template) == bytes(full.payload),
+    }
+
+
+# ----------------------------------------------------------------------
+# scaling curve, resume check, RSS ceiling
+# ----------------------------------------------------------------------
+def _repro_env() -> dict[str, str]:
+    """Subprocess env that can ``import repro`` like this process."""
+    import repro
+
+    src = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (src if not existing
+                         else os.pathsep.join([src, existing]))
+    return env
+
+
+def _scaling_point(devices: int, jobs: int, seed: int) -> dict[str, Any]:
+    """Run one curve point in a subprocess; report seconds and peak RSS."""
+    import subprocess
+
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.engine.bench",
+         "--scaling-point", str(devices), str(jobs), str(seed)],
+        capture_output=True, text=True, env=_repro_env(), timeout=1800,
+    )
+    if proc.returncode != 0:
+        return {"devices": devices, "jobs": jobs, "ok": False,
+                "error": (proc.stderr or proc.stdout).strip()[-500:]}
+    return json.loads(proc.stdout.splitlines()[-1])
+
+
+def _scaling_point_main(devices: int, jobs: int, seed: int) -> int:
+    """The subprocess body behind one scaling-curve point."""
+    import math
+    import resource
+
+    from repro.fleet.run import FleetSpec, run_fleet
+
+    cells = len(FleetSpec().cells())
+    spec = FleetSpec(
+        devices_per_cell=max(1, math.ceil(devices / cells)), seed=seed
+    )
+    start = time.perf_counter()
+    result = run_fleet(spec, jobs=jobs)
+    elapsed = time.perf_counter() - start
+    # Linux reports ru_maxrss in KB; children covers the worker pool.
+    rss_self = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    rss_children = resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss
+    print(json.dumps({
+        "devices": result.devices,
+        "jobs": jobs,
+        "seconds": round(elapsed, 4),
+        "rss_mb": round(max(rss_self, rss_children) / 1024.0, 1),
+        "ok": result.devices == spec.total_devices,
+    }))
+    return 0
+
+
+def bench_fleet_scaling(
+    *, jobs: int | None = None, seed: int = 0x5EED,
+    devices_points: Sequence[int] = SCALING_DEVICES,
+) -> list[dict[str, Any]]:
+    """The devices × jobs scaling curve (one subprocess per point)."""
+    if jobs is None:
+        jobs = os.cpu_count() or 1
+    jobs_values = sorted({1, max(2, jobs)})
+    return [
+        _scaling_point(devices, jobs_value, seed)
+        for jobs_value in jobs_values
+        for devices in devices_points
+    ]
+
+
+def fleet_resume_check(
+    *, devices: int = 2000, jobs: int = 2, seed: int = 0x5EED,
+    oracle_rate: float = 0.0,
+) -> dict[str, Any]:
+    """Kill a checkpointed fleet run mid-flight, resume it, compare.
+
+    Three subprocess runs of the real CLI: an uninterrupted reference,
+    a checkpointed run SIGKILLed as soon as its first checkpoint lands,
+    and a resume from that checkpoint.  The gate is byte-identity of
+    the resumed JSON report against the uninterrupted one.
+    """
+    import signal
+    import subprocess
+
+    env = _repro_env()
+
+    def base_cmd(out: str) -> list[str]:
+        cmd = [sys.executable, "-m", "repro", "fleet",
+               "--devices", str(devices), "--jobs", str(jobs),
+               "--seed", str(seed), "-o", out]
+        if oracle_rate:
+            cmd += ["--oracle", str(oracle_rate)]
+        return cmd
+
+    with tempfile.TemporaryDirectory(prefix="repro-fleet-resume-") as root:
+        uninterrupted = os.path.join(root, "uninterrupted.json")
+        interrupted = os.path.join(root, "interrupted.json")
+        ckpt = os.path.join(root, "fleet.ckpt")
+        ckpt_args = ["--checkpoint", ckpt, "--checkpoint-every", "2"]
+
+        subprocess.run(base_cmd(uninterrupted), check=True, env=env,
+                       capture_output=True, timeout=1800)
+
+        victim = subprocess.Popen(
+            base_cmd(interrupted) + ckpt_args, env=env,
+            stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+        )
+        deadline = time.monotonic() + 600
+        while (not os.path.exists(ckpt) and victim.poll() is None
+               and time.monotonic() < deadline):
+            time.sleep(0.05)
+        killed = victim.poll() is None
+        if killed:
+            victim.send_signal(signal.SIGKILL)
+        victim.wait(timeout=60)
+
+        resume = subprocess.run(
+            base_cmd(interrupted) + ckpt_args, env=env,
+            capture_output=True, timeout=1800,
+        )
+        identical = False
+        if resume.returncode == 0:
+            with open(uninterrupted, "rb") as left, \
+                    open(interrupted, "rb") as right:
+                identical = left.read() == right.read()
+        return {
+            "devices": devices,
+            "jobs": jobs,
+            "killed_mid_run": killed,
+            "resume_exit": resume.returncode,
+            "identical": identical,
+        }
+
+
+def apply_rss_ceiling(max_rss_mb: int) -> None:
+    """Arm a hard address-space limit for this process and its children.
+
+    Exceeding it turns allocations into ``MemoryError``/exit instead of
+    swapping the host — the CI scale job runs the million-scale fleet
+    under this so "bounded memory" is enforced, not asserted.
+    """
+    import resource
+
+    limit = max_rss_mb * 1024 * 1024
+    _, hard = resource.getrlimit(resource.RLIMIT_AS)
+    if hard != resource.RLIM_INFINITY:
+        limit = min(limit, hard)
+    resource.setrlimit(resource.RLIMIT_AS, (limit, hard))
+
+
 def run_fleet_bench(
     *, jobs: int | None = None, devices: int = DEFAULT_FLEET_DEVICES,
-    seed: int = 0x5EED,
+    seed: int = 0x5EED, scaling: bool = True, resume_check: bool = False,
 ) -> dict[str, Any]:
     """Produce the full BENCH_fleet.json report structure."""
     if jobs is None:
@@ -307,6 +521,10 @@ def run_fleet_bench(
         "jobs": jobs,
         "fleet": bench_fleet(devices=devices, jobs=jobs, seed=seed),
     }
+    if scaling:
+        report["scaling"] = bench_fleet_scaling(jobs=jobs, seed=seed)
+    if resume_check:
+        report["resume"] = fleet_resume_check(jobs=max(2, jobs), seed=seed)
     report["ok"] = check_fleet_report(report) == []
     return report
 
@@ -314,10 +532,15 @@ def run_fleet_bench(
 def check_fleet_report(report: dict[str, Any]) -> list[str]:
     """Acceptance failures for a fleet benchmark (empty = pass).
 
-    Gated: sharded and cold-setup runs byte-identical to serial, and
-    forked cohort spawning faster than per-device cold setup.  The
-    sharded wall-clock speedup is reported, not gated — it is a
-    property of the host's core count.
+    Gated: sharded (arena and disk-only) and cold-setup runs
+    byte-identical to serial; forked cohort spawning faster than
+    per-device cold setup; the delta residue round-trip identical and
+    smaller than the full payload; every scaling-curve point completed
+    with peak RSS at the largest device count within
+    ``SCALING_RSS_BOUND`` of the smallest (same jobs value); and, when
+    present, the killed-then-resumed report byte-identical to the
+    uninterrupted one.  Wall-clock speedups are reported, not gated —
+    they are properties of the host's core count.
     """
     failures: list[str] = []
     data = report["fleet"]
@@ -330,6 +553,47 @@ def check_fleet_report(report: dict[str, Any]) -> list[str]:
             f"fleet: forked spawn ({spawn['forked_s']}s) not faster than "
             f"cold setup ({spawn['cold_s']}s)"
         )
+    delta = data.get("delta")
+    if delta is not None:
+        if not delta["round_trip_identical"]:
+            failures.append("fleet: delta round trip not byte-identical")
+        if delta["delta_bytes"] >= delta["full_bytes"]:
+            failures.append(
+                f"fleet: delta residue ({delta['delta_bytes']}B) not "
+                f"smaller than the full payload ({delta['full_bytes']}B)"
+            )
+    curve = report.get("scaling")
+    if curve is None:
+        failures.append("fleet: scaling curve missing")
+    else:
+        by_jobs: dict[int, list[dict]] = {}
+        for point in curve:
+            if not point.get("ok"):
+                failures.append(
+                    f"scaling: point devices={point.get('devices')} "
+                    f"jobs={point.get('jobs')} failed"
+                    + (f" ({point['error']})" if point.get("error") else "")
+                )
+            else:
+                by_jobs.setdefault(point["jobs"], []).append(point)
+        for jobs_value, points in by_jobs.items():
+            if len(points) < 2:
+                continue
+            smallest = min(points, key=lambda p: p["devices"])
+            largest = max(points, key=lambda p: p["devices"])
+            if largest["rss_mb"] > SCALING_RSS_BOUND * smallest["rss_mb"]:
+                failures.append(
+                    f"scaling: jobs={jobs_value} peak RSS grows with "
+                    f"fleet size ({smallest['rss_mb']}MB @ "
+                    f"{smallest['devices']} -> {largest['rss_mb']}MB @ "
+                    f"{largest['devices']}; bound {SCALING_RSS_BOUND}x)"
+                )
+    resume = report.get("resume")
+    if resume is not None and not resume["identical"]:
+        failures.append(
+            "resume: killed-then-resumed report differs from the "
+            "uninterrupted run"
+        )
     return failures
 
 
@@ -338,7 +602,7 @@ def format_fleet_report(report: dict[str, Any]) -> str:
     spawn = data["spawn"]
     seconds = data["seconds"]
     identical = all(data["identical_to_serial"].values())
-    return "\n".join([
+    lines = [
         f"fleet benchmark — jobs={report['jobs']}, "
         f"host cpus={report['host']['cpu_count']}",
         f"  {data['devices']} devices in {data['cells']} cohorts "
@@ -347,10 +611,37 @@ def format_fleet_report(report: dict[str, Any]) -> str:
         f"({spawn['speedup']}x)",
         f"  end-to-end: serial {seconds['serial']}s | sharded "
         f"{seconds['sharded']}s "
-        f"({data['speedup_vs_serial']['sharded']}x) | cold setup "
+        f"({data['speedup_vs_serial']['sharded']}x) | disk-only "
+        f"{seconds['sharded_noarena']}s | cold setup "
         f"{seconds['cold_setup']}s",
         f"  byte-identical to serial: {'yes' if identical else 'NO'}",
-    ])
+    ]
+    delta = data.get("delta")
+    if delta is not None:
+        lines.append(
+            f"  delta residue: {delta['delta_bytes']}B of "
+            f"{delta['full_bytes']}B full payload "
+            f"({100 * delta['ratio']:.1f}%)"
+        )
+    for point in report.get("scaling", []):
+        if point.get("ok"):
+            lines.append(
+                f"  scaling: {point['devices']} devices x jobs="
+                f"{point['jobs']}: {point['seconds']}s, peak RSS "
+                f"{point['rss_mb']}MB"
+            )
+        else:
+            lines.append(
+                f"  scaling: devices={point.get('devices')} "
+                f"jobs={point.get('jobs')}: FAILED"
+            )
+    resume = report.get("resume")
+    if resume is not None:
+        lines.append(
+            f"  resume: killed mid-run={resume['killed_mid_run']}, "
+            f"byte-identical={'yes' if resume['identical'] else 'NO'}"
+        )
+    return "\n".join(lines)
 
 
 def run_bench(
@@ -459,6 +750,9 @@ def main(argv: Sequence[str] | None = None) -> int:
     check = False
     mode = "engine"
     devices = DEFAULT_FLEET_DEVICES
+    scaling = True
+    resume_check = False
+    max_rss_mb: int | None = None
     while argv:
         arg = argv.pop(0)
         if arg == "--jobs" and argv:
@@ -469,13 +763,36 @@ def main(argv: Sequence[str] | None = None) -> int:
             check = True
         elif arg == "--devices" and argv:
             devices = int(argv.pop(0))
+        elif arg == "--no-scaling":
+            scaling = False
+        elif arg == "--resume-check":
+            resume_check = True
+        elif arg == "--max-rss-mb" and argv:
+            max_rss_mb = int(argv.pop(0))
+        elif arg == "--scaling-point" and len(argv) >= 3:
+            # Internal: the subprocess body behind one curve point.
+            return _scaling_point_main(
+                int(argv[0]), int(argv[1]), int(argv[2])
+            )
+        elif arg == "fleet-cli":
+            # Forward the rest to `python -m repro fleet`, optionally
+            # under the RSS ceiling armed above.
+            if max_rss_mb is not None:
+                apply_rss_ceiling(max_rss_mb)
+            from repro.__main__ import fleet_command
+
+            return fleet_command(argv)
         elif arg in ("engine", "fleet"):
             mode = arg
         else:
             print(f"bench-engine: unknown argument {arg!r}", file=sys.stderr)
             return 2
+    if max_rss_mb is not None:
+        apply_rss_ceiling(max_rss_mb)
     if mode == "fleet":
-        report = run_fleet_bench(jobs=jobs, devices=devices)
+        report = run_fleet_bench(jobs=jobs, devices=devices,
+                                 scaling=scaling,
+                                 resume_check=resume_check)
         write_report(report, output or DEFAULT_FLEET_OUTPUT)
         print(format_fleet_report(report))
         failures = check_fleet_report(report)

@@ -14,6 +14,19 @@ from repro.fleet.aggregate import (
     LatencySketch,
     OracleAccumulator,
 )
+from repro.fleet.arena import (
+    ArenaHandle,
+    TemplateArena,
+    arena_available,
+    arena_get,
+    arena_stats,
+)
+from repro.fleet.checkpoint import (
+    DEFAULT_CHECKPOINT_EVERY,
+    FleetCheckpoint,
+    load_checkpoint,
+    save_checkpoint,
+)
 from repro.fleet.device import DeviceOutcome, run_device
 from repro.fleet.faults import NO_FAULTS, DeviceFaults, FaultPlan
 from repro.fleet.population import (
@@ -31,15 +44,19 @@ from repro.fleet.run import (
     oracle_members,
     plan_shards,
     run_fleet,
+    steal_order,
     template_cache_stats,
 )
 
 __all__ = [
+    "ArenaHandle",
     "CohortAccumulator",
+    "DEFAULT_CHECKPOINT_EVERY",
     "DEFAULT_POPULATION",
     "DeviceFaults",
     "DeviceOutcome",
     "FaultPlan",
+    "FleetCheckpoint",
     "FleetResult",
     "FleetSpec",
     "LatencySketch",
@@ -47,13 +64,20 @@ __all__ = [
     "OracleAccumulator",
     "PopulationSpec",
     "Shard",
+    "TemplateArena",
+    "arena_available",
+    "arena_get",
+    "arena_stats",
     "device_script",
     "fleet_corpus",
     "format_fleet_report",
+    "load_checkpoint",
     "merge_fleet_results",
     "oracle_members",
     "plan_shards",
     "run_device",
     "run_fleet",
+    "save_checkpoint",
+    "steal_order",
     "template_cache_stats",
 ]

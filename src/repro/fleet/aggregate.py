@@ -188,6 +188,36 @@ class CohortAccumulator:
         return CohortAccumulator(self.package, self.policy)
 
     # ------------------------------------------------------------------
+    # checkpoint codec: JSON-able, integer-exact round trip
+    # ------------------------------------------------------------------
+    def encode(self) -> dict:
+        return {
+            "package": self.package,
+            "policy": self.policy,
+            "devices": self.devices,
+            "crashed_devices": self.crashed_devices,
+            "devices_with_loss": self.devices_with_loss,
+            "loss_events": self.loss_events,
+            "audits": self.audits,
+            "process_deaths": self.process_deaths,
+            "faulted_devices": self.faulted_devices,
+            "ops": self.ops,
+            "handling_count": self.handling_count,
+            "handling_sum_q": self.handling_sum_q,
+            "handling_sketch": self.handling_sketch.encode(),
+            "memory_devices": self.memory_devices,
+            "memory_sum_q": self.memory_sum_q,
+        }
+
+    @classmethod
+    def decode(cls, data: dict) -> "CohortAccumulator":
+        fields = dict(data)
+        fields["handling_sketch"] = LatencySketch.decode(
+            fields["handling_sketch"]
+        )
+        return cls(**fields)
+
+    # ------------------------------------------------------------------
     def row(self, *, include_package: bool = True) -> dict:
         """One report row; every float derived once from integer state."""
         devices = self.devices
@@ -270,6 +300,28 @@ class OracleAccumulator:
             for verdict, count in counts.items():
                 bucket[verdict] = bucket.get(verdict, 0) + count
         self.simulator_bug_details.extend(other.simulator_bug_details)
+
+    # ------------------------------------------------------------------
+    # checkpoint codec
+    # ------------------------------------------------------------------
+    def encode(self) -> dict:
+        return {
+            "sessions": self.sessions,
+            "verdicts": dict(self.verdicts),
+            "by_policy": {policy: dict(counts)
+                          for policy, counts in self.by_policy.items()},
+            "simulator_bug_details": list(self.simulator_bug_details),
+        }
+
+    @classmethod
+    def decode(cls, data: dict) -> "OracleAccumulator":
+        return cls(
+            sessions=data["sessions"],
+            verdicts=dict(data["verdicts"]),
+            by_policy={policy: dict(counts)
+                       for policy, counts in data["by_policy"].items()},
+            simulator_bug_details=list(data["simulator_bug_details"]),
+        )
 
     # ------------------------------------------------------------------
     @property

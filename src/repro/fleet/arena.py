@@ -1,0 +1,339 @@
+"""Shared-memory template arena: one copy of cohort bytes per host.
+
+Before this tier every pool worker read each cohort template from disk
+once and kept its own heap copy of the bytes — per-host template cost
+scaled with ``workers x cohorts``.  The arena drives it to one copy per
+host: the coordinator packs every template into a single
+``multiprocessing.shared_memory`` segment, workers attach once per
+process, and each template's payload is served as a **zero-copy
+memoryview** over the shared pages — the cached
+:class:`~repro.sim.snapshot.SystemSnapshot` in every worker points at
+the same physical memory.
+
+Layout: each template is stored split, so the payload can stay a view:
+
+* a small *meta* blob — ``(format version, policy name, now_ms,
+  externals)``, pickled with the snapshot pickler;
+* the raw *payload* blob — either the full payload bytes, or (for the
+  non-base policies of an app, whose payloads share most structure with
+  the base policy's) an rsync-style :func:`~repro.sim.snapshot.bdiff`
+  patch against the base entry's payload.  Delta entries are composed
+  at first use and cached as bytes; full entries stay views.
+
+Every entry carries the sha256 of its *resolved* payload, checked once
+per worker per template.  The arena is strictly an optimisation under
+the fork-equals-fresh contract, so every failure mode — platform
+without shared memory, unlinked segment, corrupt bytes, digest
+mismatch — is a **miss, never an error**: the caller falls back to the
+per-worker disk cache, and failing that rebuilds the template cold,
+byte-identically (``tests/fleet/test_arena.py`` pins all three paths).
+
+Lifecycle: the coordinator owns the segment and unlinks it when the
+run ends (``destroy()``, called from a ``finally``).  Workers only ever
+attach, and attach **untracked** — attaching must not transfer
+ownership to ``multiprocessing``'s resource tracker, or the first
+worker to exit would reap a segment its siblings (and the coordinator)
+still use — and release their views through an ``atexit`` hook so a
+clean worker exit neither leaks ``/dev/shm`` entries nor trips
+exported-buffer errors.  A crashed worker leaks nothing either: its
+mappings die with the process, and the segment itself still belongs to
+the coordinator (whose own tracker registration reaps it even if the
+coordinator dies before ``destroy()``).
+"""
+
+from __future__ import annotations
+
+import atexit
+import hashlib
+from dataclasses import dataclass
+
+from repro.sim.snapshot import (
+    SNAPSHOT_FORMAT_VERSION,
+    SystemSnapshot,
+    bdiff,
+    bpatch,
+    dumps,
+    loads,
+)
+
+#: Fraction of the full payload a sibling-policy delta must beat to be
+#: stored as a patch instead of full bytes.
+DELTA_WORTHWHILE = 0.8
+
+
+# ----------------------------------------------------------------------
+# availability
+# ----------------------------------------------------------------------
+_AVAILABLE: bool | None = None
+
+
+def arena_available() -> bool:
+    """Can this host create (and map) POSIX shared memory at all?"""
+    global _AVAILABLE
+    if _AVAILABLE is None:
+        try:
+            from multiprocessing import shared_memory
+
+            probe = shared_memory.SharedMemory(create=True, size=16)
+            probe.close()
+            probe.unlink()
+            _AVAILABLE = True
+        except Exception:
+            _AVAILABLE = False
+    return _AVAILABLE
+
+
+# ----------------------------------------------------------------------
+# the shared layout
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ArenaEntry:
+    """Where one template lives inside the segment."""
+
+    meta_offset: int
+    meta_length: int
+    payload_offset: int
+    payload_length: int
+    digest: str
+    """sha256 hex of the *resolved* (composed, for deltas) payload."""
+    base_key: str | None = None
+    """Set when the payload blob is a bdiff patch against this entry."""
+
+
+@dataclass(frozen=True)
+class ArenaHandle:
+    """Picklable address of a published arena: segment name + index."""
+
+    name: str
+    entries: tuple[tuple[str, ArenaEntry], ...]
+
+    def entry(self, key: str) -> ArenaEntry | None:
+        for entry_key, entry in self.entries:
+            if entry_key == key:
+                return entry
+        return None
+
+
+class TemplateArena:
+    """Coordinator-owned shared segment holding cohort templates."""
+
+    def __init__(self, shm, handle: ArenaHandle):
+        self._shm = shm
+        self.handle = handle
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def publish(
+        cls,
+        snapshots: "dict[str, SystemSnapshot]",
+        delta_bases: "dict[str, str] | None" = None,
+    ) -> "TemplateArena | None":
+        """Pack ``snapshots`` into one fresh segment; ``None`` = no shm.
+
+        ``delta_bases`` maps a key to the key whose payload it should be
+        stored as a delta against (base entries must be full).  A delta
+        that does not actually shrink the entry is stored full — the
+        mapping is advisory.
+        """
+        if not arena_available():
+            return None
+        delta_bases = delta_bases or {}
+        blobs: list[tuple[str, bytes, bytes, str, str | None]] = []
+        for key, snap in snapshots.items():
+            meta = dumps((
+                SNAPSHOT_FORMAT_VERSION,
+                snap.policy_name,
+                snap.now_ms,
+                snap.externals,
+            ))
+            payload = bytes(snap.payload)
+            digest = hashlib.sha256(payload).hexdigest()
+            base_key = delta_bases.get(key)
+            if base_key is not None and base_key in snapshots:
+                patch = bdiff(bytes(snapshots[base_key].payload), payload)
+                if len(patch) < DELTA_WORTHWHILE * len(payload):
+                    blobs.append((key, meta, patch, digest, base_key))
+                    continue
+            blobs.append((key, meta, payload, digest, None))
+
+        total = sum(len(meta) + len(body) for _, meta, body, _, _ in blobs)
+        try:
+            from multiprocessing import shared_memory
+
+            shm = shared_memory.SharedMemory(create=True,
+                                             size=max(1, total))
+        except Exception:
+            return None
+        entries: list[tuple[str, ArenaEntry]] = []
+        cursor = 0
+        for key, meta, body, digest, base_key in blobs:
+            shm.buf[cursor:cursor + len(meta)] = meta
+            meta_offset = cursor
+            cursor += len(meta)
+            shm.buf[cursor:cursor + len(body)] = body
+            entries.append((key, ArenaEntry(
+                meta_offset=meta_offset,
+                meta_length=len(meta),
+                payload_offset=cursor,
+                payload_length=len(body),
+                digest=digest,
+                base_key=base_key,
+            )))
+            cursor += len(body)
+        return cls(shm, ArenaHandle(shm.name, tuple(entries)))
+
+    # ------------------------------------------------------------------
+    def destroy(self) -> None:
+        """Unmap and unlink the segment (idempotent)."""
+        if self._shm is None:
+            return
+        try:
+            self._shm.close()
+        except Exception:
+            pass
+        try:
+            self._shm.unlink()
+        except Exception:
+            pass
+        self._shm = None
+
+
+# ----------------------------------------------------------------------
+# worker side: attach once, serve zero-copy views
+# ----------------------------------------------------------------------
+_ATTACHED: dict[str, object | None] = {}
+_VIEWS: list[memoryview] = []
+_STATS = {
+    "arena_attaches": 0,
+    "arena_hits": 0,
+    "arena_misses": 0,
+    "arena_corrupt": 0,
+}
+_ATEXIT_REGISTERED = False
+
+
+def arena_stats() -> dict[str, int]:
+    """This process's arena counters (monotonic)."""
+    return dict(_STATS)
+
+
+def _reset_arena_stats() -> None:
+    for key in _STATS:
+        _STATS[key] = 0
+
+
+def _detach_all() -> None:
+    """Release every view and mapping now (tests / arena teardown)."""
+    _release_at_exit()
+
+
+def _release_at_exit() -> None:
+    # Views into the segment must be released before the mappings are
+    # torn down, or SharedMemory.__del__ trips "exported pointers exist"
+    # during interpreter shutdown.
+    for view in _VIEWS:
+        try:
+            view.release()
+        except Exception:
+            pass
+    _VIEWS.clear()
+    for shm in _ATTACHED.values():
+        if shm is not None:
+            try:
+                shm.close()
+            except Exception:
+                pass
+    _ATTACHED.clear()
+
+
+def _attach(name: str):
+    """Map the named segment (memoised per process); ``None`` = miss."""
+    global _ATEXIT_REGISTERED
+    if name in _ATTACHED:
+        return _ATTACHED[name]
+    shm = None
+    try:
+        from multiprocessing import shared_memory
+
+        try:
+            shm = shared_memory.SharedMemory(name=name, track=False)
+        except TypeError:
+            # Pre-3.13 SharedMemory has no ``track`` flag and attaching
+            # registers the segment with the resource tracker as if the
+            # worker owned it.  The tracker's cache is a *set shared by
+            # every process on the host*, so neither leaving the
+            # registration (first worker to exit unlinks the segment
+            # under its siblings) nor unregistering it (erases the
+            # coordinator's entry, whose later unlink then logs a
+            # KeyError) is sound.  Attaching is not owning: suppress
+            # the registration at the source.
+            from multiprocessing import resource_tracker
+
+            original_register = resource_tracker.register
+            resource_tracker.register = lambda *args, **kwargs: None
+            try:
+                shm = shared_memory.SharedMemory(name=name)
+            finally:
+                resource_tracker.register = original_register
+        _STATS["arena_attaches"] += 1
+    except Exception:
+        shm = None
+    _ATTACHED[name] = shm
+    if not _ATEXIT_REGISTERED:
+        atexit.register(_release_at_exit)
+        _ATEXIT_REGISTERED = True
+    return shm
+
+
+def arena_get(handle: "ArenaHandle | None", key: str) -> SystemSnapshot | None:
+    """One template out of the arena; ``None`` is always just a miss.
+
+    Full entries come back with a zero-copy memoryview payload over the
+    shared pages; delta entries are composed against their base entry
+    (one bytes materialisation, still no disk).  Any irregularity —
+    segment gone, key unknown, digest mismatch, unreadable meta —
+    counts as a miss (``arena_corrupt`` when the bytes were there but
+    wrong) and the caller falls back to disk or a cold rebuild.
+    """
+    if handle is None:
+        return None
+    entry = handle.entry(key)
+    shm = _attach(handle.name) if entry is not None else None
+    if entry is None or shm is None:
+        _STATS["arena_misses"] += 1
+        return None
+    try:
+        payload: "memoryview | bytes"
+        if entry.base_key is None:
+            view = memoryview(shm.buf)[
+                entry.payload_offset:entry.payload_offset
+                + entry.payload_length
+            ]
+            _VIEWS.append(view)
+            payload = view
+        else:
+            base = arena_get(handle, entry.base_key)
+            if base is None:
+                _STATS["arena_misses"] += 1
+                return None
+            patch = bytes(shm.buf[
+                entry.payload_offset:entry.payload_offset
+                + entry.payload_length
+            ])
+            payload = bpatch(bytes(base.payload), patch)
+        if hashlib.sha256(bytes(payload)).hexdigest() != entry.digest:
+            _STATS["arena_corrupt"] += 1
+            return None
+        meta = loads(bytes(shm.buf[
+            entry.meta_offset:entry.meta_offset + entry.meta_length
+        ]))
+        version, policy_name, now_ms, externals = meta
+        if version != SNAPSHOT_FORMAT_VERSION:
+            _STATS["arena_corrupt"] += 1
+            return None
+    except Exception:
+        _STATS["arena_corrupt"] += 1
+        return None
+    _STATS["arena_hits"] += 1
+    return SystemSnapshot(payload, externals, policy_name=policy_name,
+                          now_ms=now_ms)

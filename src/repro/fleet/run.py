@@ -17,31 +17,59 @@ Determinism across execution shapes is structural, not incidental:
   ascending member order into one integer-only
   :class:`~repro.fleet.aggregate.CohortAccumulator` (exact under any
   merge topology — see ``fleet/aggregate.py``);
-* the coordinator merges shard accumulators in ascending shard-id
-  order, whether they came back from a pool, a serial loop, or two
-  resumed partial runs via :func:`merge_fleet_results`.
+* the coordinator folds shard accumulators **as they complete**, in
+  whatever order the pool returns them — integer-exact merges make the
+  fold order irrelevant, which is also what makes work-stealing and
+  checkpoint/resume byte-identical to a serial run.
+
+The executor is a **work-stealing pool**: shards are submitted
+individually (largest first, so a tail shard cannot strand a worker at
+the end of the run) through a bounded in-flight window, and each idle
+worker pulls the next shard off the shared queue.  With
+``checkpoint_path`` set, the coordinator periodically publishes the
+accumulators plus the completed shard-id set (atomic replace, see
+``fleet/checkpoint.py``); a killed run resumes from the last
+checkpoint and produces the byte-identical report.
 
 Memory stays bounded by recycling: a shard worker materialises one
 device at a time, folds it into the shard accumulator, and drops it —
 peak RSS scales with one device plus one accumulator, independent of
-the fleet size.  Worker processes cache the restored template bytes
-once per (root, key) in module globals (:func:`template_cache_stats`),
-so a 100-shard cohort costs one disk read per worker, not one per fork.
+the fleet size.  Template bytes are zero-copy: the coordinator
+publishes every cohort template into a shared-memory arena
+(``fleet/arena.py``) read by all workers through memoryviews — one
+copy per host — with the per-worker disk cache as fallback and a cold
+rebuild as the byte-identical last resort
+(:func:`template_cache_stats` counts every path).
 """
 
 from __future__ import annotations
 
 import json
+import os
 import shutil
 import tempfile
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Callable, Sequence
 
 from repro.engine.batch import POLICIES, _resolve_jobs
 from repro.engine.fingerprint import fingerprint
 from repro.engine.snapshots import SnapshotStore
-from repro.errors import FleetError
+from repro.errors import FleetError, SnapshotError
 from repro.fleet.aggregate import CohortAccumulator, OracleAccumulator
+from repro.fleet.arena import (
+    ArenaHandle,
+    TemplateArena,
+    arena_get,
+    arena_stats,
+    _reset_arena_stats,
+)
+from repro.fleet.checkpoint import (
+    DEFAULT_CHECKPOINT_EVERY,
+    FleetCheckpoint,
+    load_checkpoint,
+    save_checkpoint,
+)
 from repro.fleet.device import run_device
 from repro.fleet.faults import NO_FAULTS, FaultPlan
 from repro.fleet.population import (
@@ -172,53 +200,84 @@ def build_template(spec: FleetSpec, cell_index: int) -> AndroidSystem:
 
 
 def capture_template(spec: FleetSpec, cell_index: int) -> SystemSnapshot:
+    global _TEMPLATE_CAPTURES
+    _TEMPLATE_CAPTURES += 1
     return SystemSnapshot.capture(
         build_template(spec, cell_index), trim_history=True
     )
 
 
 # ----------------------------------------------------------------------
-# per-worker template cache (one disk read per worker process, not per
-# fork — see the satellite test in tests/fleet/test_fleet_run.py)
+# per-worker template cache (one arena attach / disk read per worker
+# process, not per fork — see tests/fleet/test_fleet_run.py)
 # ----------------------------------------------------------------------
 _TEMPLATE_CACHE: dict[tuple[str, str], SystemSnapshot] = {}
 _TEMPLATE_DISK_READS = 0
 _TEMPLATE_REBUILDS = 0
+_TEMPLATE_CAPTURES = 0
+_ARENA_FALLBACKS = 0
 
 
-def template_cache_stats() -> tuple[int, int, int]:
-    """(cached templates, disk reads, cold rebuilds) in this process."""
-    return len(_TEMPLATE_CACHE), _TEMPLATE_DISK_READS, _TEMPLATE_REBUILDS
+def template_cache_stats() -> dict[str, int]:
+    """This process's template-provisioning counters.
+
+    ``templates_cached``/``disk_reads``/``rebuilds`` are the PR 5 cache
+    counters; ``captures`` counts template builds (coordinator-side and
+    cold rebuilds alike); ``arena_fallbacks`` counts loads that had an
+    arena handle but fell through to disk/rebuild; the ``arena_*`` keys
+    come from :func:`repro.fleet.arena.arena_stats`.
+    """
+    return {
+        "templates_cached": len(_TEMPLATE_CACHE),
+        "disk_reads": _TEMPLATE_DISK_READS,
+        "rebuilds": _TEMPLATE_REBUILDS,
+        "captures": _TEMPLATE_CAPTURES,
+        "arena_fallbacks": _ARENA_FALLBACKS,
+        **arena_stats(),
+    }
 
 
 def _reset_template_cache() -> None:
     global _TEMPLATE_DISK_READS, _TEMPLATE_REBUILDS
+    global _TEMPLATE_CAPTURES, _ARENA_FALLBACKS
     _TEMPLATE_CACHE.clear()
     _TEMPLATE_DISK_READS = 0
     _TEMPLATE_REBUILDS = 0
+    _TEMPLATE_CAPTURES = 0
+    _ARENA_FALLBACKS = 0
+    _reset_arena_stats()
 
 
 def _load_worker_template(
-    root: str, key: str, spec: FleetSpec, cell_index: int
+    root: str,
+    key: str,
+    spec: FleetSpec,
+    cell_index: int,
+    arena: "ArenaHandle | None" = None,
 ) -> SystemSnapshot:
-    """The cell's template, from cache, disk, or a cold rebuild.
+    """The cell's template: cache, arena, disk, or a cold rebuild.
 
-    A template that is missing or unreadable on disk (truncated by a
-    crashed coordinator, evicted by a cleaner) is a **miss, not an
-    error**: templates are a pure optimisation under the
-    fork-equals-fresh contract, so the worker rebuilds the snapshot
-    cold — the shard's results stay byte-identical, only slower.
+    Every tier degrades to the next as a **miss, not an error**: a
+    vanished shared-memory segment, a template truncated on disk by a
+    crashed coordinator — templates are a pure optimisation under the
+    fork-equals-fresh contract, so the worst case is rebuilding the
+    snapshot cold, byte-identical and merely slower.
     """
-    global _TEMPLATE_DISK_READS, _TEMPLATE_REBUILDS
+    global _TEMPLATE_DISK_READS, _TEMPLATE_REBUILDS, _ARENA_FALLBACKS
     cache_key = (str(root), key)
     snap = _TEMPLATE_CACHE.get(cache_key)
     if snap is None:
-        snap = SnapshotStore(root=root)._read_disk(key)
+        if arena is not None:
+            snap = arena_get(arena, key)
+            if snap is None:
+                _ARENA_FALLBACKS += 1
         if snap is None:
-            snap = capture_template(spec, cell_index)
-            _TEMPLATE_REBUILDS += 1
-        else:
-            _TEMPLATE_DISK_READS += 1
+            snap = SnapshotStore(root=root)._read_disk(key)
+            if snap is None:
+                snap = capture_template(spec, cell_index)
+                _TEMPLATE_REBUILDS += 1
+            else:
+                _TEMPLATE_DISK_READS += 1
         _TEMPLATE_CACHE[cache_key] = snap
     return snap
 
@@ -263,6 +322,40 @@ class ShardOutcome:
 
     cohort: CohortAccumulator
     oracle: OracleAccumulator | None = None
+    stats: dict | None = None
+    """Worker-cumulative :func:`template_cache_stats` (plus ``pid``),
+    attached only when the run collects stats."""
+
+
+def _verify_device_delta(
+    system: AndroidSystem, template: SystemSnapshot
+) -> None:
+    """Spot-check the delta codec against a full snapshot of ``system``.
+
+    The device's end state expressed as (template + delta) must compose
+    back to the byte-identical full payload, and the composed snapshot
+    must itself restore.  Raises :class:`~repro.errors.SnapshotError`
+    on any divergence — ``--verify-deltas`` turns silent codec bugs
+    into loud ones.
+    """
+    full = SystemSnapshot.capture(system)
+    try:
+        delta = full.delta_from(template)
+    except SnapshotError:
+        # A process death mid-session relaunched the app with this
+        # worker's own spec object, so the device no longer shares the
+        # template's externalised inputs and cannot be expressed as a
+        # delta at all.  Verify the codec on a fresh fork instead —
+        # same template, shared externals by construction.
+        full = SystemSnapshot.capture(template.restore())
+        delta = full.delta_from(template)
+    composed = delta.apply(template)
+    if composed != bytes(full.payload):
+        raise SnapshotError(
+            "delta verification failed: template + delta does not "
+            "reproduce the device's full snapshot payload"
+        )
+    delta.restore(template)  # must come back to life, not just to bytes
 
 
 def _run_shard(
@@ -270,6 +363,8 @@ def _run_shard(
     shard: Shard,
     template: SystemSnapshot | None,
     oracle_templates: "dict[str, SystemSnapshot | None] | None" = None,
+    *,
+    verify_deltas: bool = False,
 ) -> ShardOutcome:
     """Fold one shard's devices, in member order, into an accumulator.
 
@@ -282,6 +377,9 @@ def _run_shard(
     differential oracle: each sampled member's session is re-run under
     every policy from the shared templates and the verdicts folded into
     the shard's :class:`~repro.fleet.aggregate.OracleAccumulator`.
+
+    ``verify_deltas`` spot-checks the delta-snapshot codec on the
+    shard's first device (see :func:`_verify_device_delta`).
     """
     app, policy = spec.cells()[shard.cell_index]
     accumulator = CohortAccumulator(app.package, policy)
@@ -297,6 +395,8 @@ def _run_shard(
             spec.faults, member,
         )
         accumulator.add(outcome)
+        if verify_deltas and template is not None and member == shard.start:
+            _verify_device_delta(system, template)
         del system  # recycle before the next device
 
     oracle_acc: OracleAccumulator | None = None
@@ -324,16 +424,105 @@ def _run_shard(
 
 
 def _run_shard_task(payload) -> ShardOutcome:
-    """Pool worker body: templates via the per-process cache."""
-    spec, shard, root, key, oracle_keys = payload
-    template = _load_worker_template(root, key, spec, shard.cell_index)
+    """Self-contained shard body: templates via the per-process cache.
+
+    ``payload`` is ``(spec, shard, root, key, oracle_keys)`` with an
+    optional sixth :class:`~repro.fleet.arena.ArenaHandle` element —
+    kept as the spec-carrying entry point for tests and for hosts where
+    the initializer-based pool is unavailable.
+    """
+    spec, shard, root, key, oracle_keys = payload[:5]
+    arena = payload[5] if len(payload) > 5 else None
+    template = _load_worker_template(root, key, spec, shard.cell_index,
+                                     arena)
     oracle_templates = None
     if oracle_keys:
         oracle_templates = {
-            policy: _load_worker_template(root, pol_key, spec, cell_index)
+            policy: _load_worker_template(root, pol_key, spec, cell_index,
+                                          arena)
             for policy, (cell_index, pol_key) in oracle_keys.items()
         }
     return _run_shard(spec, shard, template, oracle_templates)
+
+
+# ----------------------------------------------------------------------
+# the work-stealing pool: initializer-carried run state, per-shard tasks
+# ----------------------------------------------------------------------
+# One FleetSpec pickle per worker (via the pool initializer), not one
+# per task — at ~31k shards for a million-device fleet, spec-carrying
+# payloads would serialise the spec thousands of times over.
+_WORKER_SPEC: FleetSpec | None = None
+_WORKER_ROOT: str | None = None
+_WORKER_ARENA: ArenaHandle | None = None
+_WORKER_COLLECT_STATS = False
+_WORKER_VERIFY_DELTAS = False
+
+
+def _fleet_worker_init(
+    spec: FleetSpec,
+    root: str,
+    arena: "ArenaHandle | None",
+    collect_stats: bool,
+    verify_deltas: bool,
+) -> None:
+    global _WORKER_SPEC, _WORKER_ROOT, _WORKER_ARENA
+    global _WORKER_COLLECT_STATS, _WORKER_VERIFY_DELTAS
+    # Forked workers inherit the coordinator's counters; zero them so a
+    # worker's stats report covers exactly its own work.
+    _reset_template_cache()
+    _WORKER_SPEC = spec
+    _WORKER_ROOT = root
+    _WORKER_ARENA = arena
+    _WORKER_COLLECT_STATS = collect_stats
+    _WORKER_VERIFY_DELTAS = verify_deltas
+
+
+def _run_shard_entry(task) -> ShardOutcome:
+    """Pool task body: ``(shard, key, oracle_keys)`` against init state."""
+    shard, key, oracle_keys = task
+    spec = _WORKER_SPEC
+    assert spec is not None and _WORKER_ROOT is not None
+    template = _load_worker_template(
+        _WORKER_ROOT, key, spec, shard.cell_index, _WORKER_ARENA
+    )
+    oracle_templates = None
+    if oracle_keys:
+        oracle_templates = {
+            policy: _load_worker_template(
+                _WORKER_ROOT, pol_key, spec, cell_index, _WORKER_ARENA
+            )
+            for policy, (cell_index, pol_key) in oracle_keys.items()
+        }
+    outcome = _run_shard(spec, shard, template, oracle_templates,
+                         verify_deltas=_WORKER_VERIFY_DELTAS)
+    if _WORKER_COLLECT_STATS:
+        outcome.stats = {"pid": os.getpid(), **template_cache_stats()}
+    return outcome
+
+
+def steal_order(shards: Sequence[Shard]) -> list[Shard]:
+    """Submission order for the self-scheduling pool: largest shards
+    first (LPT), shard id as the deterministic tie-break — so a big
+    tail shard cannot strand one worker while the rest sit idle.
+    Execution order never affects report bytes (integer-exact folds);
+    this only shapes the wall-clock tail.
+    """
+    return sorted(shards, key=lambda s: (-s.devices, s.shard_id))
+
+
+def _delta_bases(spec: FleetSpec, keys: dict[int, str]) -> dict[str, str]:
+    """Arena delta mapping: sibling-policy templates of one app share
+    most of their payload, so store them as patches against the app's
+    first-policy (base) template.  Cells are app-major, so the base
+    cell of ``cell_index`` is the first cell of the same app-block.
+    """
+    policies = len(spec.policies)
+    bases: dict[str, str] = {}
+    for cell_index, key in keys.items():
+        base_index = (cell_index // policies) * policies
+        if base_index != cell_index and base_index in keys:
+            bases[key] = keys[base_index]
+    return bases
 
 
 # ----------------------------------------------------------------------
@@ -351,6 +540,10 @@ class FleetResult:
     cohorts: list[CohortAccumulator] = field(default_factory=list)
     oracle_rate: float = 0.0
     oracle: OracleAccumulator | None = None
+    cache_stats: dict | None = None
+    """Aggregated template-provisioning counters (coordinator plus all
+    workers), populated only when the run collects stats — absent by
+    default so stats never perturb the pinned report bytes."""
 
     # ------------------------------------------------------------------
     def report(self) -> dict:
@@ -381,6 +574,12 @@ class FleetResult:
             # keep their pre-oracle bytes.
             oracle = self.oracle or OracleAccumulator()
             report["oracle"] = {"rate": self.oracle_rate, **oracle.row()}
+        if self.cache_stats is not None:
+            # Present only under --stats: provisioning counters are
+            # observability, not results, and must not perturb the
+            # byte-identity the determinism tests pin.
+            report["cache"] = {key: self.cache_stats[key]
+                              for key in sorted(self.cache_stats)}
         return report
 
     def to_json(self) -> str:
@@ -441,6 +640,11 @@ def run_fleet(
     shard_ids: Sequence[int] | None = None,
     snapshot_root: str | None = None,
     use_templates: bool = True,
+    use_arena: bool = True,
+    checkpoint_path: str | None = None,
+    checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
+    verify_deltas: bool = False,
+    collect_stats: bool = False,
 ) -> FleetResult:
     """Run a fleet (or a subset of its shards) and aggregate it.
 
@@ -449,7 +653,22 @@ def run_fleet(
     ``shard_ids`` restricts execution to a subset of the plan — partial
     runs merge back together with :func:`merge_fleet_results`.
     ``use_templates=False`` is the benchmark's cold path (per-device
-    setup instead of cohort forking).
+    setup instead of cohort forking); ``use_arena=False`` forces the
+    per-worker disk cache even where shared memory is available.
+
+    ``checkpoint_path`` makes the run resumable: completed shards are
+    periodically published there (every ``checkpoint_every`` folds,
+    atomic replace), a killed run picks up from the file, and the
+    resumed report is byte-identical to an uninterrupted one.  Missing
+    or corrupt checkpoints restart from scratch; a checkpoint from a
+    *different* spec raises.  Incompatible with an explicit
+    ``shard_ids`` subset (partial coverage would be recorded as fleet
+    progress).
+
+    ``verify_deltas`` spot-checks the delta-snapshot codec on every
+    shard's first device; ``collect_stats`` attaches aggregated
+    template-provisioning counters as ``result.cache_stats`` (and a
+    ``"cache"`` report section).
     """
     from repro.engine.batch import _CONFIG
 
@@ -457,49 +676,138 @@ def run_fleet(
     if shard_ids is None:
         shards = all_shards
     else:
+        if checkpoint_path is not None:
+            raise FleetError(
+                "checkpoint_path requires a full run; it cannot track an "
+                "explicit shard_ids subset"
+            )
         wanted = set(shard_ids)
         unknown = wanted - {shard.shard_id for shard in all_shards}
         if unknown:
             raise FleetError(f"unknown shard ids {sorted(unknown)}")
         shards = [s for s in all_shards if s.shard_id in wanted]
 
-    workers = _resolve_jobs(
-        _CONFIG.jobs if jobs is None else jobs, len(shards)
-    )
-    needed_cells = sorted({shard.cell_index for shard in shards})
-    # Shards that run oracle sessions fork *every* policy's template of
-    # their app, so those cells must be provisioned too.
-    oracle_cells: dict[int, dict[str, int]] = {}
-    for shard in shards:
-        if oracle_members(spec, shard):
-            oracle_cells[shard.shard_id] = oracle_cell_indices(spec, shard)
-    all_cells = sorted(
-        set(needed_cells).union(
-            cell for mapping in oracle_cells.values()
-            for cell in mapping.values()
+    # --- seed accumulators, possibly from a checkpoint -----------------
+    cohorts = [
+        CohortAccumulator(app.package, policy)
+        for app, policy in spec.cells()
+    ]
+    oracle: OracleAccumulator | None = None
+    completed: set[int] = set()
+    devices_done = 0
+    spec_fp = fingerprint(spec) if checkpoint_path is not None else ""
+    if checkpoint_path is not None:
+        resumed = load_checkpoint(checkpoint_path, spec_fp, len(all_shards))
+        if resumed is not None:
+            cohorts = resumed.cohorts
+            oracle = resumed.oracle
+            completed = set(resumed.completed)
+            devices_done = resumed.devices
+
+    folds_since_write = 0
+
+    def write_checkpoint() -> None:
+        save_checkpoint(checkpoint_path, FleetCheckpoint(
+            spec_fingerprint=spec_fp,
+            total_shards=len(all_shards),
+            completed=tuple(completed),
+            devices=devices_done,
+            cohorts=cohorts,
+            oracle=oracle,
+        ))
+
+    def fold(shard: Shard, outcome: ShardOutcome) -> None:
+        nonlocal oracle, devices_done, folds_since_write
+        cohorts[shard.cell_index].merge(outcome.cohort)
+        if outcome.oracle is not None:
+            if oracle is None:
+                oracle = OracleAccumulator()
+            oracle.merge(outcome.oracle)
+        completed.add(shard.shard_id)
+        devices_done += shard.devices
+        folds_since_write += 1
+        if checkpoint_path is not None \
+                and folds_since_write >= checkpoint_every:
+            write_checkpoint()
+            folds_since_write = 0
+
+    todo = [s for s in shards if s.shard_id not in completed]
+    worker_stats: dict[int, dict] = {}
+
+    if todo:
+        workers = _resolve_jobs(
+            _CONFIG.jobs if jobs is None else jobs, len(todo)
         )
+        needed_cells = sorted({shard.cell_index for shard in todo})
+        # Shards that run oracle sessions fork *every* policy's template
+        # of their app, so those cells must be provisioned too.
+        oracle_cells: dict[int, dict[str, int]] = {}
+        for shard in todo:
+            if oracle_members(spec, shard):
+                oracle_cells[shard.shard_id] = \
+                    oracle_cell_indices(spec, shard)
+        all_cells = sorted(
+            set(needed_cells).union(
+                cell for mapping in oracle_cells.values()
+                for cell in mapping.values()
+            )
+        )
+
+        if workers <= 1 or len(todo) <= 1 or not use_templates:
+            templates: dict[int, SystemSnapshot | None] = {}
+            for cell_index in all_cells:
+                templates[cell_index] = (
+                    capture_template(spec, cell_index)
+                    if use_templates else None
+                )
+            for shard in todo:
+                outcome = _run_shard(
+                    spec, shard, templates[shard.cell_index],
+                    {policy: templates[cell_index]
+                     for policy, cell_index
+                     in oracle_cells.get(shard.shard_id, {}).items()}
+                    or None,
+                    verify_deltas=verify_deltas,
+                )
+                fold(shard, outcome)
+        else:
+            _run_sharded(
+                spec, todo, all_cells, oracle_cells, workers,
+                snapshot_root, use_arena, collect_stats, verify_deltas,
+                fold, worker_stats,
+            )
+
+    if checkpoint_path is not None and (
+            folds_since_write or not os.path.exists(checkpoint_path)):
+        write_checkpoint()
+
+    if spec.oracle_rate > 0.0 and oracle is None:
+        oracle = OracleAccumulator()
+
+    cache_stats: dict | None = None
+    if collect_stats:
+        cache_stats = dict(template_cache_stats())
+        cache_stats["workers"] = len(worker_stats)
+        for pid, stats in worker_stats.items():
+            if pid == os.getpid():
+                # The pool-less fallback runs shards in-process; its
+                # counters are already in template_cache_stats().
+                continue
+            for key, value in stats.items():
+                if key != "pid":
+                    cache_stats[key] = cache_stats.get(key, 0) + value
+
+    return FleetResult(
+        seed=spec.seed,
+        shard_size=spec.shard_size,
+        total_shards=len(all_shards),
+        shard_ids=tuple(sorted(completed)),
+        devices=devices_done,
+        cohorts=cohorts,
+        oracle_rate=spec.oracle_rate,
+        oracle=oracle,
+        cache_stats=cache_stats,
     )
-
-    if workers <= 1 or len(shards) <= 1 or not use_templates:
-        templates: dict[int, SystemSnapshot | None] = {}
-        for cell_index in all_cells:
-            templates[cell_index] = (
-                capture_template(spec, cell_index) if use_templates else None
-            )
-        outcomes = [
-            _run_shard(
-                spec, shard, templates[shard.cell_index],
-                {policy: templates[cell_index]
-                 for policy, cell_index
-                 in oracle_cells.get(shard.shard_id, {}).items()} or None,
-            )
-            for shard in shards
-        ]
-    else:
-        outcomes = _run_sharded(spec, shards, all_cells, oracle_cells,
-                                workers, snapshot_root)
-
-    return _fold(spec, all_shards, shards, outcomes)
 
 
 def _run_sharded(
@@ -509,18 +817,42 @@ def _run_sharded(
     oracle_cells: dict[int, dict[str, int]],
     workers: int,
     snapshot_root: str | None,
-) -> list[ShardOutcome]:
-    """Fan shards across a process pool; templates travel via disk."""
+    use_arena: bool,
+    collect_stats: bool,
+    verify_deltas: bool,
+    fold: Callable[[Shard, ShardOutcome], None],
+    worker_stats: dict[int, dict],
+) -> None:
+    """Work-steal shards across a process pool, folding on completion.
+
+    Templates are published to the shared-memory arena (zero-copy hot
+    path) *and* the disk store (the fallback tier); each shard is its
+    own pool task, submitted largest-first through a bounded in-flight
+    window, so idle workers always pull the next undone shard and
+    ``fold`` (hence checkpointing) sees outcomes as they land.
+    """
     root = snapshot_root or tempfile.mkdtemp(prefix="repro-fleet-templates-")
     cleanup = snapshot_root is None
+    arena: TemplateArena | None = None
     try:
         store = SnapshotStore(root=root)
         keys: dict[int, str] = {}
+        snapshots: dict[str, SystemSnapshot] = {}
         for cell_index in needed_cells:
             key = template_key(spec, cell_index)
             keys[cell_index] = key
-            if store._read_disk(key) is None:
-                store.put(key, capture_template(spec, cell_index))
+            snap = store._read_disk(key)
+            if snap is None:
+                snap = capture_template(spec, cell_index)
+                store.put(key, snap)
+            snapshots[key] = snap
+        handle: ArenaHandle | None = None
+        if use_arena:
+            arena = TemplateArena.publish(
+                snapshots, _delta_bases(spec, keys)
+            )
+            if arena is not None:
+                handle = arena.handle
 
         def oracle_keys(shard: Shard):
             mapping = oracle_cells.get(shard.shard_id)
@@ -529,57 +861,59 @@ def _run_sharded(
             return {policy: (cell_index, keys[cell_index])
                     for policy, cell_index in mapping.items()}
 
-        payloads = [
-            (spec, shard, root, keys[shard.cell_index], oracle_keys(shard))
-            for shard in shards
-        ]
-        from concurrent.futures import ProcessPoolExecutor
+        tasks = deque(
+            (shard, keys[shard.cell_index], oracle_keys(shard))
+            for shard in steal_order(shards)
+        )
 
-        chunksize = max(1, len(shards) // (workers * 4))
+        def record(outcome: ShardOutcome) -> None:
+            if collect_stats and outcome.stats:
+                # Worker stats are cumulative: keep the last report per
+                # pid, sum across pids at the end.
+                worker_stats[outcome.stats["pid"]] = outcome.stats
+
+        from concurrent.futures import (
+            FIRST_COMPLETED,
+            ProcessPoolExecutor,
+            wait,
+        )
+
         try:
-            pool = ProcessPoolExecutor(max_workers=workers)
+            pool = ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=_fleet_worker_init,
+                initargs=(spec, root, handle, collect_stats, verify_deltas),
+            )
         except (OSError, ValueError):  # no usable multiprocessing here
-            return [_run_shard_task(payload) for payload in payloads]
+            _fleet_worker_init(spec, root, handle, collect_stats,
+                              verify_deltas)
+            for task in tasks:
+                outcome = _run_shard_entry(task)
+                record(outcome)
+                fold(task[0], outcome)
+            return
         with pool:
-            # pool.map preserves submission order: accumulators come
-            # back aligned with the (ascending) shard list.
-            return list(pool.map(_run_shard_task, payloads,
-                                 chunksize=chunksize))
+            # The in-flight window bounds coordinator memory (pending
+            # futures, pickled results) without ever starving a worker:
+            # 4 tasks per worker in flight is refill headroom, and
+            # fold-on-completion keeps checkpoints fresh.
+            window = workers * 4
+            pending: dict = {}
+            while tasks or pending:
+                while tasks and len(pending) < window:
+                    task = tasks.popleft()
+                    pending[pool.submit(_run_shard_entry, task)] = task[0]
+                done, _ = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    shard = pending.pop(future)
+                    outcome = future.result()
+                    record(outcome)
+                    fold(shard, outcome)
     finally:
+        if arena is not None:
+            arena.destroy()
         if cleanup:
             shutil.rmtree(root, ignore_errors=True)
-
-
-def _fold(
-    spec: FleetSpec,
-    all_shards: list[Shard],
-    shards: list[Shard],
-    outcomes: list[ShardOutcome],
-) -> FleetResult:
-    """Merge shard outcomes (ascending shard id) into cell cohorts."""
-    cohorts = [
-        CohortAccumulator(app.package, policy)
-        for app, policy in spec.cells()
-    ]
-    oracle: OracleAccumulator | None = None
-    for shard, outcome in zip(shards, outcomes):
-        cohorts[shard.cell_index].merge(outcome.cohort)
-        if outcome.oracle is not None:
-            if oracle is None:
-                oracle = OracleAccumulator()
-            oracle.merge(outcome.oracle)
-    if spec.oracle_rate > 0.0 and oracle is None:
-        oracle = OracleAccumulator()
-    return FleetResult(
-        seed=spec.seed,
-        shard_size=spec.shard_size,
-        total_shards=len(all_shards),
-        shard_ids=tuple(shard.shard_id for shard in shards),
-        devices=sum(shard.devices for shard in shards),
-        cohorts=cohorts,
-        oracle_rate=spec.oracle_rate,
-        oracle=oracle,
-    )
 
 
 # ----------------------------------------------------------------------
@@ -642,4 +976,11 @@ def format_fleet_report(result: FleetResult) -> str:
         ))
         for detail in oracle["simulator_bug_details"][:10]:
             sections.append(f"  SIM-BUG: {detail}")
+    if "cache" in report:
+        cache = report["cache"]
+        sections.append(render_table(
+            ["counter", "count"],
+            [[key, cache[key]] for key in sorted(cache)],
+            title="Template provisioning (--stats)",
+        ))
     return "\n\n".join(sections)

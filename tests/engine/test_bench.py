@@ -124,7 +124,9 @@ class TestRequestBuilders:
             == len(requests)
 
 
-def _fleet_report(*, identical=True, spawn_cold=0.4, spawn_forked=0.1):
+def _fleet_report(*, identical=True, spawn_cold=0.4, spawn_forked=0.1,
+                  delta_bytes=900, rss_small=25.0, rss_large=27.0,
+                  resume_identical=True):
     return {
         "bench": "repro.fleet",
         "host": {"cpu_count": 4, "python": "3.11", "platform": "test"},
@@ -138,11 +140,28 @@ def _fleet_report(*, identical=True, spawn_cold=0.4, spawn_forked=0.1):
                 "forked_s": spawn_forked,
                 "speedup": round(spawn_cold / spawn_forked, 2),
             },
-            "seconds": {"serial": 1.0, "sharded": 0.5, "cold_setup": 1.2},
+            "delta": {
+                "template_bytes": 9000,
+                "full_bytes": 9100,
+                "delta_bytes": delta_bytes,
+                "ratio": round(delta_bytes / 9100, 4),
+                "round_trip_identical": identical,
+            },
+            "seconds": {"serial": 1.0, "sharded": 0.5,
+                        "sharded_noarena": 0.6, "cold_setup": 1.2},
             "speedup_vs_serial": {"sharded": 2.0},
             "identical_to_serial": {"sharded": identical,
+                                    "sharded_noarena": identical,
                                     "cold_setup": identical},
         },
+        "scaling": [
+            {"devices": 360, "jobs": 1, "seconds": 0.8,
+             "rss_mb": rss_small, "ok": True},
+            {"devices": 5760, "jobs": 1, "seconds": 12.0,
+             "rss_mb": rss_large, "ok": True},
+        ],
+        "resume": {"devices": 2000, "jobs": 2, "killed_mid_run": True,
+                   "resume_exit": 0, "identical": resume_identical},
     }
 
 
@@ -159,10 +178,42 @@ class TestCheckFleetReport:
             _fleet_report(spawn_cold=0.1, spawn_forked=0.4))
         assert any("not faster than" in failure for failure in failures)
 
+    def test_fat_delta_residue_fails(self):
+        failures = bench.check_fleet_report(_fleet_report(delta_bytes=9100))
+        assert any("delta residue" in failure for failure in failures)
+
+    def test_missing_scaling_curve_fails(self):
+        report = _fleet_report()
+        del report["scaling"]
+        failures = bench.check_fleet_report(report)
+        assert any("scaling curve missing" in failure
+                   for failure in failures)
+
+    def test_unbounded_rss_growth_fails(self):
+        failures = bench.check_fleet_report(
+            _fleet_report(rss_small=25.0, rss_large=250.0))
+        assert any("RSS grows" in failure for failure in failures)
+
+    def test_failed_scaling_point_fails(self):
+        report = _fleet_report()
+        report["scaling"][0] = {"devices": 360, "jobs": 1, "ok": False,
+                                "error": "boom"}
+        failures = bench.check_fleet_report(report)
+        assert any("point devices=360" in failure for failure in failures)
+
+    def test_divergent_resume_fails(self):
+        failures = bench.check_fleet_report(
+            _fleet_report(resume_identical=False))
+        assert any("resumed report differs" in failure
+                   for failure in failures)
+
     def test_format_mentions_spawn_and_identity(self):
         text = bench.format_fleet_report(_fleet_report())
         assert "spawn" in text
         assert "byte-identical to serial: yes" in text
+        assert "delta residue" in text
+        assert "scaling" in text
+        assert "resume" in text
 
     def test_format_flags_divergence(self):
         text = bench.format_fleet_report(_fleet_report(identical=False))

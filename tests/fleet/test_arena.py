@@ -1,0 +1,209 @@
+"""Shared-memory template arena: lifecycle, miss semantics, identity.
+
+The arena is strictly an optimisation under the fork-equals-fresh
+contract, so the tests here pin two kinds of promise:
+
+* **lifecycle** — segments never outlive the run (normal exit *and*
+  crashed workers leave no ``/dev/shm`` entries), and ``destroy()`` is
+  idempotent;
+* **miss, never error** — unknown keys, unlinked segments, and corrupt
+  bytes all degrade to ``None`` so the caller falls back to disk or a
+  cold rebuild, and every fallback path produces byte-identical fleet
+  reports.
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+import signal
+
+import pytest
+
+from repro.fleet.arena import (
+    TemplateArena,
+    _detach_all,
+    _reset_arena_stats,
+    arena_available,
+    arena_get,
+    arena_stats,
+)
+from repro.fleet.run import (
+    FleetSpec,
+    _delta_bases,
+    _reset_template_cache,
+    capture_template,
+    run_fleet,
+    template_key,
+)
+
+pytestmark = pytest.mark.skipif(
+    not arena_available(), reason="no shared memory on this host"
+)
+
+SPEC = FleetSpec(devices_per_cell=4, shard_size=2)
+
+
+@pytest.fixture(autouse=True)
+def _clean_arena_state():
+    _reset_template_cache()
+    yield
+    _detach_all()
+    _reset_template_cache()
+
+
+def _shm_entries() -> set[str]:
+    return set(glob.glob("/dev/shm/psm_*"))
+
+
+def _publish(cell_indices=(0,), delta=False):
+    keys = {ci: template_key(SPEC, ci) for ci in cell_indices}
+    snaps = {keys[ci]: capture_template(SPEC, ci) for ci in cell_indices}
+    bases = _delta_bases(SPEC, keys) if delta else None
+    arena = TemplateArena.publish(snaps, bases)
+    assert arena is not None
+    return arena, keys, snaps
+
+
+class TestLifecycle:
+    def test_destroy_removes_the_segment(self):
+        before = _shm_entries()
+        arena, _, _ = _publish()
+        assert len(_shm_entries()) == len(before) + 1
+        arena.destroy()
+        assert _shm_entries() == before
+
+    def test_destroy_is_idempotent(self):
+        arena, _, _ = _publish()
+        arena.destroy()
+        arena.destroy()
+
+    def test_fleet_run_leaves_no_segments(self):
+        before = _shm_entries()
+        run_fleet(SPEC, jobs=2)
+        assert _shm_entries() == before
+
+    def test_crashed_worker_leaks_nothing(self):
+        """A worker that dies with views mapped must not take the
+        segment down with it, and the coordinator's destroy() still
+        cleans up."""
+        before = _shm_entries()
+        arena, keys, snaps = _publish()
+        key = keys[0]
+        pid = os.fork()
+        if pid == 0:  # the doomed worker: attach, then die hard
+            arena_get(arena.handle, key)
+            os.kill(os.getpid(), signal.SIGKILL)
+        os.waitpid(pid, 0)
+        # Segment still alive and readable after the worker's death...
+        _detach_all()
+        survivor = arena_get(arena.handle, key)
+        assert survivor is not None
+        assert bytes(survivor.payload) == bytes(snaps[key].payload)
+        # ...and gone after the owner destroys it.
+        _detach_all()
+        arena.destroy()
+        assert _shm_entries() == before
+
+
+class TestMissSemantics:
+    def test_unknown_key_is_a_miss(self):
+        arena, _, _ = _publish()
+        try:
+            _reset_arena_stats()
+            assert arena_get(arena.handle, "no-such-key") is None
+            assert arena_stats()["arena_misses"] == 1
+        finally:
+            arena.destroy()
+
+    def test_unlinked_segment_is_a_miss(self):
+        arena, keys, _ = _publish()
+        handle = arena.handle
+        arena.destroy()
+        _reset_arena_stats()
+        assert arena_get(handle, keys[0]) is None
+        assert arena_stats()["arena_misses"] == 1
+
+    def test_corrupt_payload_is_a_miss_not_an_error(self):
+        arena, keys, _ = _publish()
+        try:
+            entry = arena.handle.entry(keys[0])
+            arena._shm.buf[entry.payload_offset] ^= 0xFF
+            _reset_arena_stats()
+            assert arena_get(arena.handle, keys[0]) is None
+            assert arena_stats()["arena_corrupt"] == 1
+        finally:
+            arena.destroy()
+
+    def test_corrupt_segment_rebuild_is_byte_identical(self, monkeypatch):
+        """End to end: zeroing the published segment degrades every
+        worker to the disk/cold fallback, and the report stays
+        byte-identical (fork-equals-fresh, pinned)."""
+        golden = run_fleet(SPEC, jobs=1).report()
+
+        original = TemplateArena.publish.__func__
+
+        def corrupting_publish(cls, snapshots, delta_bases=None):
+            arena = original(cls, snapshots, delta_bases)
+            if arena is not None:
+                arena._shm.buf[:] = bytes(len(arena._shm.buf))
+            return arena
+
+        monkeypatch.setattr(TemplateArena, "publish",
+                            classmethod(corrupting_publish))
+        corrupted = run_fleet(SPEC, jobs=2, collect_stats=True)
+        assert {k: v for k, v in corrupted.report().items()
+                if k != "cache"} == golden
+        # Workers fell back (disk tier still had the templates).
+        stats = corrupted.cache_stats
+        assert stats["arena_corrupt"] + stats["arena_misses"] > 0
+        assert stats["arena_fallbacks"] > 0
+        assert stats["arena_hits"] == 0
+
+
+class TestZeroCopyAndDeltas:
+    def test_full_entry_payload_is_a_shared_view(self):
+        arena, keys, snaps = _publish()
+        try:
+            got = arena_get(arena.handle, keys[0])
+            assert isinstance(got.payload, memoryview)
+            assert bytes(got.payload) == bytes(snaps[keys[0]].payload)
+            assert got.policy_name == snaps[keys[0]].policy_name
+            assert got.now_ms == snaps[keys[0]].now_ms
+        finally:
+            _detach_all()
+            arena.destroy()
+
+    def test_sibling_policies_are_stored_as_deltas(self):
+        cells = (0, 1, 2)  # first app x all three policies
+        arena, keys, snaps = _publish(cells, delta=True)
+        try:
+            base_entry = arena.handle.entry(keys[0])
+            assert base_entry.base_key is None
+            for ci in (1, 2):
+                entry = arena.handle.entry(keys[ci])
+                assert entry.base_key == keys[0]
+                assert entry.payload_length \
+                    < len(bytes(snaps[keys[ci]].payload))
+                composed = arena_get(arena.handle, keys[ci])
+                assert bytes(composed.payload) \
+                    == bytes(snaps[keys[ci]].payload)
+        finally:
+            _detach_all()
+            arena.destroy()
+
+    def test_restored_template_behaves_identically(self):
+        arena, keys, snaps = _publish()
+        try:
+            via_arena = arena_get(arena.handle, keys[0]).restore()
+            direct = snaps[keys[0]].restore()
+            via_arena.rotate()
+            direct.rotate()
+            via_arena.run_until_idle()
+            direct.run_until_idle()
+            assert via_arena.now_ms == direct.now_ms
+            assert (via_arena.last_handling_ms()
+                    == direct.last_handling_ms())
+        finally:
+            _detach_all()
+            arena.destroy()

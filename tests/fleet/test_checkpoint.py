@@ -1,0 +1,145 @@
+"""Checkpoint/resume: byte-identity, atomicity, refusal semantics.
+
+The contract under test: a fleet run killed at *any* fold boundary and
+resumed from its checkpoint produces a report byte-identical to an
+uninterrupted run; a corrupt checkpoint is a miss (restart, stay
+correct); a checkpoint from a different spec is an error, never a
+silent poisoning.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.errors import FleetError
+from repro.fleet.checkpoint import (
+    CHECKPOINT_SCHEMA_VERSION,
+    FleetCheckpoint,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.engine.fingerprint import fingerprint
+from repro.fleet.faults import FaultPlan
+from repro.fleet.run import FleetSpec, plan_shards, run_fleet
+
+SPEC = FleetSpec(devices_per_cell=4, shard_size=2, oracle_rate=0.25)
+
+
+def _ckpt(path, tmp_path):
+    return str(tmp_path / path)
+
+
+class TestCodec:
+    def test_round_trip(self, tmp_path):
+        path = _ckpt("fleet.ckpt", tmp_path)
+        run_fleet(SPEC, checkpoint_path=path)
+        data = json.loads(open(path).read())
+        assert data["schema"] == CHECKPOINT_SCHEMA_VERSION
+        decoded = FleetCheckpoint.decode(data)
+        assert decoded.encode() == data
+        assert decoded.devices == SPEC.total_devices
+        assert decoded.completed == tuple(
+            range(len(plan_shards(SPEC))))
+
+    def test_save_is_atomic(self, tmp_path):
+        path = _ckpt("fleet.ckpt", tmp_path)
+        run_fleet(SPEC, checkpoint_path=path)
+        # No temp droppings next to the published file.
+        assert os.listdir(tmp_path) == ["fleet.ckpt"]
+
+
+class TestResume:
+    def test_completed_checkpoint_resumes_byte_identically(self, tmp_path):
+        base = run_fleet(SPEC).to_json()
+        path = _ckpt("fleet.ckpt", tmp_path)
+        first = run_fleet(SPEC, checkpoint_path=path)
+        resumed = run_fleet(SPEC, checkpoint_path=path)
+        assert first.to_json() == base
+        assert resumed.to_json() == base
+
+    def test_partial_checkpoint_resumes_byte_identically(
+            self, tmp_path, monkeypatch):
+        """Kill the run after a few folds, resume, compare bytes —
+        including with faults and the oracle enabled."""
+        spec = FleetSpec(devices_per_cell=4, shard_size=2,
+                         oracle_rate=0.25,
+                         faults=FaultPlan(
+                             low_memory_kill_fraction=0.3,
+                             slow_storage_fraction=0.2,
+                             mid_migration_death_fraction=0.2))
+        base = run_fleet(spec).to_json()
+        path = _ckpt("fleet.ckpt", tmp_path)
+
+        import repro.fleet.run as run_module
+
+        real_run_shard = run_module._run_shard
+        calls = {"n": 0}
+
+        def dying_run_shard(*args, **kwargs):
+            if calls["n"] >= 3:
+                raise KeyboardInterrupt  # the "kill"
+            calls["n"] += 1
+            return real_run_shard(*args, **kwargs)
+
+        monkeypatch.setattr(run_module, "_run_shard", dying_run_shard)
+        with pytest.raises(KeyboardInterrupt):
+            run_fleet(spec, checkpoint_path=path, checkpoint_every=1)
+        monkeypatch.setattr(run_module, "_run_shard", real_run_shard)
+
+        ckpt = load_checkpoint(path, fingerprint(spec),
+                               len(plan_shards(spec)))
+        assert ckpt is not None
+        assert 0 < len(ckpt.completed) < len(plan_shards(spec))
+
+        resumed = run_fleet(spec, checkpoint_path=path)
+        assert resumed.to_json() == base
+
+    def test_corrupt_checkpoint_is_a_miss(self, tmp_path):
+        base = run_fleet(SPEC).to_json()
+        path = _ckpt("fleet.ckpt", tmp_path)
+        with open(path, "w") as handle:
+            handle.write('{"schema": 1, "truncated')
+        assert load_checkpoint(path, fingerprint(SPEC),
+                               len(plan_shards(SPEC))) is None
+        restarted = run_fleet(SPEC, checkpoint_path=path)
+        assert restarted.to_json() == base
+
+    def test_future_schema_is_a_miss(self, tmp_path):
+        path = _ckpt("fleet.ckpt", tmp_path)
+        run_fleet(SPEC, checkpoint_path=path)
+        data = json.loads(open(path).read())
+        data["schema"] = CHECKPOINT_SCHEMA_VERSION + 1
+        with open(path, "w") as handle:
+            json.dump(data, handle)
+        assert load_checkpoint(path, fingerprint(SPEC),
+                               len(plan_shards(SPEC))) is None
+
+
+class TestRefusals:
+    def test_other_specs_checkpoint_raises(self, tmp_path):
+        path = _ckpt("fleet.ckpt", tmp_path)
+        run_fleet(SPEC, checkpoint_path=path)
+        other = FleetSpec(devices_per_cell=4, shard_size=2, seed=999)
+        with pytest.raises(FleetError, match="different fleet spec"):
+            run_fleet(other, checkpoint_path=path)
+
+    def test_checkpoint_with_explicit_shards_raises(self, tmp_path):
+        path = _ckpt("fleet.ckpt", tmp_path)
+        with pytest.raises(FleetError, match="shard_ids"):
+            run_fleet(SPEC, checkpoint_path=path, shard_ids=(0,))
+
+    def test_checkpoint_survives_unrelated_save_noise(self, tmp_path):
+        """save_checkpoint never leaves a clobbered file even when the
+        previous checkpoint exists."""
+        path = _ckpt("fleet.ckpt", tmp_path)
+        ckpt = FleetCheckpoint(
+            spec_fingerprint="abc", total_shards=2, completed=(0,),
+            devices=4, cohorts=[], oracle=None)
+        save_checkpoint(path, ckpt)
+        save_checkpoint(path, ckpt)
+        loaded = load_checkpoint(path, "abc", 2)
+        assert loaded.completed == (0,)
+        assert loaded.devices == 4

@@ -1,0 +1,127 @@
+"""Delta snapshots: round-trip byte-identity across policies ± faults.
+
+A device checkpoint stored as ``template + delta`` must recompose to
+the *exact* bytes of the full snapshot — for every policy, whether or
+not the device's journey included kills, slow storage, or
+mid-migration deaths — and the recomposed system must be behaviourally
+indistinguishable from one restored from the full snapshot.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SnapshotError
+from repro.fleet.device import run_device
+from repro.fleet.faults import NO_FAULTS, FaultPlan
+from repro.fleet.population import device_script
+from repro.fleet.run import FleetSpec, capture_template, run_fleet
+from repro.sim.snapshot import DeltaSnapshot, SystemSnapshot
+
+# Kills and mid-migration deaths disturb the journey but leave the
+# externalised inputs shared, so a delta stays possible.  Slow storage
+# does not: it swaps the cost model (an external), which is the guard
+# case pinned in TestGuards below.
+FAULTY = FaultPlan(
+    low_memory_kill_fraction=1.0,
+    mid_migration_death_fraction=1.0,
+)
+
+POLICY_CELLS = [
+    pytest.param(policy, faults, id=f"{policy}-{label}")
+    for policy in ("android10", "runtimedroid", "rchdroid")
+    for label, faults in (("clean", NO_FAULTS), ("faulty", FAULTY))
+]
+
+
+def _diverged_device(policy: str, faults: FaultPlan):
+    """A (template, full-snapshot) pair after one member's journey."""
+    spec = FleetSpec(devices_per_cell=2, shard_size=2,
+                     policies=(policy,), faults=faults)
+    cell_index = 0
+    template = capture_template(spec, cell_index)
+    app, _ = spec.cells()[cell_index]
+    system = template.restore()
+    run_device(
+        system, app,
+        device_script(spec.population, spec.seed, member=0),
+        faults.draw(spec.seed, 0),
+        faults, 0,
+    )
+    return template, SystemSnapshot.capture(system)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("policy,faults", POLICY_CELLS)
+    def test_compose_is_byte_exact(self, policy, faults):
+        template, full = _diverged_device(policy, faults)
+        delta = full.delta_from(template)
+        assert delta.apply(template) == bytes(full.payload)
+        recomposed = delta.to_snapshot(template)
+        assert bytes(recomposed.payload) == bytes(full.payload)
+        assert recomposed.policy_name == full.policy_name
+        assert recomposed.now_ms == full.now_ms
+
+    @pytest.mark.parametrize("policy,faults", POLICY_CELLS)
+    def test_restored_system_is_equivalent(self, policy, faults):
+        template, full = _diverged_device(policy, faults)
+        delta = full.delta_from(template)
+        via_delta = delta.restore(template)
+        via_full = full.restore()
+        via_delta.rotate()
+        via_full.rotate()
+        via_delta.run_until_idle()
+        via_full.run_until_idle()
+        assert via_delta.now_ms == via_full.now_ms
+        assert (via_delta.last_handling_ms()
+                == via_full.last_handling_ms())
+
+    @pytest.mark.parametrize("policy,faults", POLICY_CELLS)
+    def test_wire_format_round_trips(self, policy, faults):
+        template, full = _diverged_device(policy, faults)
+        delta = full.delta_from(template)
+        revived = DeltaSnapshot.from_bytes(delta.to_bytes())
+        assert revived.apply(template) == bytes(full.payload)
+
+    def test_residue_is_smaller_than_the_full_payload(self):
+        template, full = _diverged_device("rchdroid", NO_FAULTS)
+        delta = full.delta_from(template)
+        assert 0 < delta.size_bytes < full.size_bytes
+
+
+class TestGuards:
+    def test_delta_against_the_wrong_template_refuses(self):
+        template, full = _diverged_device("rchdroid", NO_FAULTS)
+        other, _ = _diverged_device("android10", NO_FAULTS)
+        delta = full.delta_from(template)
+        with pytest.raises(SnapshotError):
+            delta.apply(other)
+
+    def test_slow_storage_devices_refuse_delta(self):
+        """Slow storage swaps the cost model — no longer the template's
+        shared external, so a delta would be unsound and is refused."""
+        slow = FaultPlan(slow_storage_fraction=1.0)
+        template, full = _diverged_device("rchdroid", slow)
+        with pytest.raises(SnapshotError, match="forked from"):
+            full.delta_from(template)
+
+    def test_foreign_cell_refuses_delta(self):
+        """A snapshot whose externals are not the template's (different
+        app cell) must refuse rather than emit an unsound delta."""
+        spec = FleetSpec(devices_per_cell=2, shard_size=2,
+                         policies=("rchdroid",))
+        template = capture_template(spec, 0)
+        from repro.fleet.run import build_template
+
+        stranger = SystemSnapshot.capture(
+            build_template(spec, len(spec.policies)))
+        with pytest.raises(SnapshotError, match="forked from"):
+            stranger.delta_from(template)
+
+
+class TestVerifyDeltasMode:
+    def test_verify_deltas_leaves_the_report_byte_identical(self):
+        spec = FleetSpec(devices_per_cell=4, shard_size=2, faults=FAULTY)
+        base = run_fleet(spec).to_json()
+        verified = run_fleet(spec, verify_deltas=True).to_json()
+        assert verified == base

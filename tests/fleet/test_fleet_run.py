@@ -193,10 +193,10 @@ class TestWorkerTemplateCache:
             assert len(shards) == 2
             for shard in shards:
                 _run_shard_task((spec, shard, str(tmp_path), key, None))
-            cached, disk_reads, rebuilds = template_cache_stats()
-            assert cached == 1
-            assert disk_reads == 1
-            assert rebuilds == 0
+            stats = template_cache_stats()
+            assert stats["templates_cached"] == 1
+            assert stats["disk_reads"] == 1
+            assert stats["rebuilds"] == 0
         finally:
             _reset_template_cache()
 
@@ -216,9 +216,9 @@ class TestWorkerTemplateCache:
         try:
             cold = _run_shard_task(
                 (spec, shard, str(tmp_path / "empty"), key, None))
-            cached, disk_reads, rebuilds = template_cache_stats()
-            assert rebuilds == 1
-            assert disk_reads == 0
+            stats = template_cache_stats()
+            assert stats["rebuilds"] == 1
+            assert stats["disk_reads"] == 0
         finally:
             _reset_template_cache()
         assert cold.cohort.row() == warm.cohort.row()
@@ -247,9 +247,9 @@ class TestWorkerTemplateCache:
 
         try:
             cold = _run_shard_task((spec, shard, str(tmp_path), key, None))
-            cached, disk_reads, rebuilds = template_cache_stats()
-            assert rebuilds == 1
-            assert disk_reads == 0
+            stats = template_cache_stats()
+            assert stats["rebuilds"] == 1
+            assert stats["disk_reads"] == 0
         finally:
             _reset_template_cache()
         assert cold.cohort.row() == warm.cohort.row()

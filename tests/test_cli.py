@@ -174,6 +174,75 @@ class TestFleetCli:
         assert "oracle rate must be within [0, 1]" in capsys.readouterr().out
 
 
+class TestFleetCliZeroCopyTier:
+    """PR 7 surface: --jobs auto, --stats, --checkpoint, --verify-deltas,
+    --no-arena — plus the did-you-mean hint on malformed --jobs."""
+
+    def _report_json(self, capsys, tmp_path, extra, name="fleet.json"):
+        import json
+
+        out_path = tmp_path / name
+        args = ["fleet", "--devices", "18", "--seed", "7",
+                "-o", str(out_path), *extra]
+        assert repro_main(args) == 0
+        printed = capsys.readouterr().out
+        return json.loads(out_path.read_text()), printed, out_path
+
+    def test_jobs_auto_runs(self, capsys, tmp_path):
+        report, _, _ = self._report_json(
+            capsys, tmp_path, ["--jobs", "auto"])
+        assert report["fleet"]["devices"] == 18
+
+    def test_jobs_typo_gets_a_did_you_mean_hint(self, capsys):
+        assert repro_main(["fleet", "--jobs", "atuo"]) == 2
+        out = capsys.readouterr().out
+        assert "did you mean 'auto'?" in out
+
+    def test_jobs_garbage_exits_2_without_a_bogus_hint(self, capsys):
+        assert repro_main(["fleet", "--jobs", "many"]) == 2
+        out = capsys.readouterr().out
+        assert "worker count or 'auto'" in out
+        assert "did you mean" not in out
+
+    def test_checkpoint_every_must_be_positive(self, capsys):
+        assert repro_main(["fleet", "--checkpoint-every", "0"]) == 2
+        assert "--checkpoint-every must be >= 1" in capsys.readouterr().out
+
+    def test_stats_surfaces_provisioning_counters(self, capsys, tmp_path):
+        report, printed, _ = self._report_json(
+            capsys, tmp_path, ["--jobs", "1", "--stats"])
+        assert "Template provisioning" in printed
+        assert report["cache"]["captures"] > 0
+        for counter in ("disk_reads", "rebuilds", "arena_hits",
+                        "arena_misses", "arena_fallbacks"):
+            assert counter in report["cache"]
+
+    def test_verify_deltas_and_no_arena_keep_bytes_identical(
+            self, capsys, tmp_path):
+        base, _, base_path = self._report_json(
+            capsys, tmp_path, ["--jobs", "1"], name="base.json")
+        for extra, name in ([["--verify-deltas"], "verified.json"],
+                            [["--no-arena"], "noarena.json"]):
+            report, _, path = self._report_json(
+                capsys, tmp_path, ["--jobs", "1", *extra], name=name)
+            assert path.read_bytes() == base_path.read_bytes()
+
+    def test_checkpointed_run_resumes_identically(self, capsys, tmp_path):
+        base, _, base_path = self._report_json(
+            capsys, tmp_path, ["--jobs", "1"], name="base.json")
+        ckpt = tmp_path / "fleet.ckpt"
+        _, _, first_path = self._report_json(
+            capsys, tmp_path,
+            ["--jobs", "1", "--checkpoint", str(ckpt),
+             "--checkpoint-every", "1"], name="first.json")
+        assert ckpt.exists()
+        _, _, resumed_path = self._report_json(
+            capsys, tmp_path,
+            ["--jobs", "1", "--checkpoint", str(ckpt)], name="resumed.json")
+        assert first_path.read_bytes() == base_path.read_bytes()
+        assert resumed_path.read_bytes() == base_path.read_bytes()
+
+
 class TestOracleCli:
     def test_session_reports_clean_and_writes_json(self, capsys, tmp_path):
         import json
