@@ -33,7 +33,17 @@ Commands:
   JSON report), ``--verify-deltas`` (spot-check the delta-snapshot
   codec on every shard), ``--no-arena`` (disable the shared-memory
   template arena, fall back to per-worker disk reads),
+  ``--workload NAME|FILE`` (a named stationary workload from
+  ``repro workload list``, or a recorded-workload JSON file every
+  member replays), ``--phases NAME`` (a named time-varying phase plan:
+  diurnal phases, rotation storms, update waves, kill cascades),
   ``-o/--output PATH`` (write the canonical JSON report).
+* ``workload``           — the session-IR toolbox (docs/WORKLOAD.md):
+  ``workload list`` names the registries; ``workload show NAME``
+  prints a member's canonical IR dump (``--seed N``, ``--member N``,
+  ``-o PATH`` writes the canonical JSON); ``workload record`` records
+  one traced session and compiles its span stream back to a workload
+  file (``--app NAME``, ``--policy NAME``, ``--seed N``, ``-o PATH``).
 * ``oracle <app>``       — run one cross-policy differential session:
   the same seeded session under every policy, end states and span
   streams diffed and every divergence classified
@@ -71,6 +81,8 @@ def main(argv: list[str]) -> int:
         return fleet_command(argv[1:])
     if command == "oracle":
         return oracle_command(argv[1:])
+    if command == "workload":
+        return workload_command(argv[1:])
     if command == "bench-engine":
         from repro.engine.bench import main as bench_main
 
@@ -84,7 +96,7 @@ def main(argv: list[str]) -> int:
         return experiments_main(argv)
     return _unknown_command(
         command,
-        ["demo", "experiments", "trace", "fleet", "oracle",
+        ["demo", "experiments", "trace", "fleet", "oracle", "workload",
          "bench-engine", *_MODULES],
     )
 
@@ -107,7 +119,8 @@ _FLEET_USAGE = (
     " [--policy NAME]... [--faults F] [--oracle RATE]"
     " [--jobs N|auto] [--shard-size N] [--seed N]"
     " [--checkpoint PATH] [--checkpoint-every N]"
-    " [--stats] [--verify-deltas] [--no-arena] [-o PATH]"
+    " [--stats] [--verify-deltas] [--no-arena]"
+    " [--workload NAME|FILE] [--phases NAME] [-o PATH]"
 )
 
 
@@ -148,6 +161,8 @@ def fleet_command(args: list[str]) -> int:
     collect_stats = False
     verify_deltas = False
     use_arena = True
+    workload_arg: str | None = None
+    phases_arg: str | None = None
     walker = iter(args)
     try:
         for arg in walker:
@@ -178,6 +193,10 @@ def fleet_command(args: list[str]) -> int:
                 verify_deltas = True
             elif arg == "--no-arena":
                 use_arena = False
+            elif arg == "--workload":
+                workload_arg = next(walker)
+            elif arg == "--phases":
+                phases_arg = next(walker)
             elif arg in ("-o", "--output"):
                 out_path = next(walker)
             else:
@@ -204,6 +223,29 @@ def fleet_command(args: list[str]) -> int:
         run_fleet,
     )
 
+    population = None
+    fixed_workload = None
+    plan = None
+    if workload_arg is not None and phases_arg is not None:
+        print("--workload and --phases are mutually exclusive "
+              "(a phase plan carries its own op distributions)")
+        return 2
+    if workload_arg is not None:
+        population, fixed_workload, status = _resolve_fleet_workload(
+            workload_arg
+        )
+        if status:
+            return status
+    if phases_arg is not None:
+        from repro.errors import WorkloadError
+        from repro.workload.library import phase_plan_named
+
+        try:
+            plan = phase_plan_named(phases_arg)
+        except WorkloadError as error:
+            print(f"fleet error: {error}")
+            return 2
+
     cell_count = len(fleet_corpus()) * (len(policies) or 3)
     try:
         spec = FleetSpec(
@@ -214,6 +256,10 @@ def fleet_command(args: list[str]) -> int:
             seed=seed,
             shard_size=shard_size,
             oracle_rate=oracle_rate,
+            population=(population if population is not None
+                        else FleetSpec.population),
+            workload=fixed_workload,
+            phases=plan,
         )
         result = run_fleet(
             spec,
@@ -240,6 +286,222 @@ def fleet_command(args: list[str]) -> int:
         print(f"\nwrote {out_path}")
     if result.oracle is not None and result.oracle.simulator_bugs:
         return 1
+    return 0
+
+
+def _resolve_fleet_workload(value: str):
+    """Resolve ``--workload NAME|FILE`` -> (population, workload, status).
+
+    A path-looking value (``.json`` suffix, a path separator, or an
+    existing file) loads a recorded-workload file; anything else is a
+    registry name.  On failure prints the error and returns status 2.
+    """
+    import os
+
+    from repro.errors import WorkloadError
+
+    if (value.endswith(".json") or os.sep in value
+            or os.path.exists(value)):
+        from repro.workload.codec import load_workload
+
+        try:
+            return None, load_workload(value), 0
+        except WorkloadError as error:
+            print(f"fleet error: {error}")
+            return None, None, 2
+    from repro.workload.library import workload_named
+
+    try:
+        return workload_named(value), None, 0
+    except WorkloadError as error:
+        print(f"fleet error: {error}")
+        print("(named workloads come from 'repro workload list'; a path"
+              " ending in .json replays a recorded workload file)")
+        return None, None, 2
+
+
+# ----------------------------------------------------------------------
+# workload subcommand
+# ----------------------------------------------------------------------
+_WORKLOAD_USAGE = (
+    "usage: python -m repro workload <list|show|record> ...\n"
+    "  workload list\n"
+    "  workload show NAME [--seed N] [--member N] [-o PATH]\n"
+    "  workload record [--app NAME] [--policy NAME] [--workload NAME]"
+    " [--seed N] [--member N] [-o PATH]"
+)
+
+
+def workload_command(args: list[str]) -> int:
+    """The session-IR toolbox: inspect, dump, and record workloads."""
+    if not args:
+        print(_WORKLOAD_USAGE)
+        return 2
+    sub, rest = args[0], args[1:]
+    if sub == "list":
+        return _workload_list()
+    if sub == "show":
+        return _workload_show(rest)
+    if sub == "record":
+        return _workload_record(rest)
+    return _unknown_command(sub, ["list", "show", "record"])
+
+
+def _workload_list() -> int:
+    from repro.workload.library import PHASE_PLANS, WORKLOADS
+
+    print("stationary workloads (fleet --workload NAME):")
+    for name, population in sorted(WORKLOADS.items()):
+        print(f"  {name}: {population.min_ops}-{population.max_ops} ops, "
+              f"gaps {population.min_gap_ms:g}-{population.max_gap_ms:g} ms")
+    print("phase plans (fleet --phases NAME):")
+    for name, plan in sorted(PHASE_PLANS.items()):
+        phases = "+".join(phase.name for phase in plan.phases)
+        events = (", events: " + ", ".join(
+            f"{event.kind}@{event.phase}" for event in plan.events)
+            if plan.events else "")
+        print(f"  {name}: {phases}{events}")
+    return 0
+
+
+def _workload_show(args: list[str]) -> int:
+    name: str | None = None
+    seed = 0x5EED
+    member = 0
+    out_path: str | None = None
+    walker = iter(args)
+    try:
+        for arg in walker:
+            if arg == "--seed":
+                seed = int(next(walker), 0)
+            elif arg == "--member":
+                member = int(next(walker))
+            elif arg in ("-o", "--output"):
+                out_path = next(walker)
+            elif name is None:
+                name = arg
+            else:
+                print(f"unexpected argument {arg!r}")
+                return 2
+    except StopIteration:
+        print("missing value for the last option")
+        return 2
+    except ValueError as error:
+        print(f"bad option value: {error}")
+        return 2
+    if name is None:
+        print(_WORKLOAD_USAGE)
+        return 2
+
+    from repro.workload.library import PHASE_PLANS, WORKLOADS
+    from repro.workload.phases import phased_workload
+
+    if name in WORKLOADS:
+        from repro.fleet.population import device_workload
+
+        workload = device_workload(WORKLOADS[name], seed, member)
+        print(f"workload {name} (member {member}, seed {seed:#x}):")
+    elif name in PHASE_PLANS:
+        plan = PHASE_PLANS[name]
+        workload = phased_workload(plan, seed, member)
+        print(plan.describe())
+        print(f"member {member}, seed {seed:#x}:")
+    else:
+        return _unknown_command(
+            name, sorted([*WORKLOADS, *PHASE_PLANS])
+        )
+    print(workload.describe())
+    print(f"# {workload.op_count()} ops, "
+          f"{workload.config_changes()} config changes, "
+          f"{workload.think_time_ms():.1f} ms think time")
+    if out_path is not None:
+        from repro.workload.codec import save_workload
+
+        try:
+            save_workload(out_path, workload)
+        except OSError as error:
+            print(f"cannot write {out_path}: {error.strerror or error}")
+            return 1
+        print(f"wrote {out_path}")
+    return 0
+
+
+def _workload_record(args: list[str]) -> int:
+    """Record one traced session, compile its spans back to a workload."""
+    app_name = "fleet.notepad"
+    policy = "rchdroid"
+    seed = 0x5EED
+    member = 0
+    source = "config-churn"
+    out_path = "recorded_workload.json"
+    walker = iter(args)
+    try:
+        for arg in walker:
+            if arg == "--app":
+                app_name = next(walker)
+            elif arg == "--policy":
+                policy = next(walker)
+            elif arg == "--workload":
+                source = next(walker)
+            elif arg == "--seed":
+                seed = int(next(walker), 0)
+            elif arg == "--member":
+                member = int(next(walker))
+            elif arg in ("-o", "--output"):
+                out_path = next(walker)
+            else:
+                print(f"unexpected argument {arg!r}")
+                return 2
+    except StopIteration:
+        print("missing value for the last option")
+        return 2
+    except ValueError as error:
+        print(f"bad option value: {error}")
+        return 2
+
+    from repro.engine.batch import POLICIES
+
+    app, known = _oracle_app(app_name)
+    if app is None:
+        return _unknown_command(app_name, known)
+    if policy not in POLICIES:
+        return _unknown_command(policy, sorted(POLICIES))
+
+    from repro.errors import WorkloadError
+    from repro.fleet.population import device_workload
+    from repro.oracle.session import play_session
+    from repro.system import AndroidSystem
+    from repro.trace import replay
+    from repro.trace.tracer import TraceSession
+    from repro.workload.codec import save_workload
+    from repro.workload.library import workload_named
+    from repro.workload.trace_compile import from_trace
+
+    try:
+        population = workload_named(source)
+    except WorkloadError as error:
+        print(f"workload error: {error}")
+        return 2
+    played = device_workload(population, seed, member)
+    with TraceSession() as session:
+        system = AndroidSystem(policy=POLICIES[policy](), seed=seed)
+        system.launch(app)
+        system.run_for(400.0)
+        play_session(system, app, played)
+    spans: list[dict] = []
+    for tracer in session.tracers:
+        spans.extend(replay.snapshot(tracer))
+    recorded = from_trace(spans)
+    try:
+        save_workload(out_path, recorded)
+    except OSError as error:
+        print(f"cannot write {out_path}: {error.strerror or error}")
+        return 1
+    print(f"recorded {app.package} under {policy}: "
+          f"{played.op_count()} ops played -> "
+          f"{recorded.op_count()} ops compiled from "
+          f"{len(spans)} spans")
+    print(f"wrote {out_path}")
     return 0
 
 

@@ -504,9 +504,82 @@ def apply_rss_ceiling(max_rss_mb: int) -> None:
     resource.setrlimit(resource.RLIMIT_AS, (limit, hard))
 
 
+#: Total devices per phase-plan fleet in the phases benchmark.
+PHASES_DEVICES = 180
+#: The storm plan and its quiet comparator (``repro.workload.library``).
+PHASES_STORM_PLAN = "rotation-storm"
+PHASES_IDLE_PLAN = "calm"
+
+
+def bench_fleet_phases(
+    *, seed: int = 0x5EED, devices: int = PHASES_DEVICES,
+    jobs: int = 1,
+) -> dict[str, Any]:
+    """Storm-vs-idle per-policy cost asymmetry (the Fig. 11 regime).
+
+    Runs the same fleet under two time-varying phase plans — a rotation
+    storm and a calm, mostly-idle day — and reports, per policy, the
+    total handling cost per device and the crash/data-loss rates under
+    each.  The gates (see :func:`check_fleet_report`) pin the paper's
+    population-scale story: a storm multiplies every policy's handling
+    cost (``asymmetry`` > 1), and it punishes restart-based handling
+    with *crashes* (stock's crash rate climbs; the transparent policies
+    stay at zero), not just latency.  Reports stay byte-identical
+    across job counts, phased or not.
+    """
+    import math
+
+    from repro.fleet.run import FleetSpec, run_fleet
+    from repro.workload.library import PHASE_PLANS
+
+    cells = len(FleetSpec().cells())
+    per_cell = max(1, math.ceil(devices / cells))
+    section: dict[str, Any] = {
+        "devices": per_cell * cells,
+        "storm_plan": PHASES_STORM_PLAN,
+        "idle_plan": PHASES_IDLE_PLAN,
+        "plans": {},
+        "identical_across_jobs": {},
+    }
+    for plan_name in (PHASES_STORM_PLAN, PHASES_IDLE_PLAN):
+        spec = FleetSpec(
+            devices_per_cell=per_cell, seed=seed,
+            phases=PHASE_PLANS[plan_name],
+        )
+        serial = run_fleet(spec, jobs=1)
+        sharded = run_fleet(spec, jobs=max(2, jobs))
+        section["identical_across_jobs"][plan_name] = (
+            sharded.to_json() == serial.to_json()
+        )
+        plan_rows: dict[str, Any] = {}
+        for row in serial.report()["policies"]:
+            handling = row["handling"]
+            per_device = (handling["mean_ms"] * handling["count"]
+                          / row["devices"]) if row["devices"] else 0.0
+            plan_rows[row["policy"]] = {
+                "handling_events": handling["count"],
+                "handling_mean_ms": handling["mean_ms"],
+                "handling_ms_per_device": round(per_device, 1),
+                "crash_rate": row["crash_rate"],
+                "data_loss_rate": row["data_loss_rate"],
+            }
+        section["plans"][plan_name] = plan_rows
+    storm = section["plans"][PHASES_STORM_PLAN]
+    idle = section["plans"][PHASES_IDLE_PLAN]
+    section["asymmetry"] = {
+        policy: round(
+            storm[policy]["handling_ms_per_device"]
+            / max(idle[policy]["handling_ms_per_device"], 1e-9), 2,
+        )
+        for policy in storm
+    }
+    return section
+
+
 def run_fleet_bench(
     *, jobs: int | None = None, devices: int = DEFAULT_FLEET_DEVICES,
     seed: int = 0x5EED, scaling: bool = True, resume_check: bool = False,
+    phases: bool = True,
 ) -> dict[str, Any]:
     """Produce the full BENCH_fleet.json report structure."""
     if jobs is None:
@@ -523,6 +596,8 @@ def run_fleet_bench(
     }
     if scaling:
         report["scaling"] = bench_fleet_scaling(jobs=jobs, seed=seed)
+    if phases:
+        report["phases"] = bench_fleet_phases(seed=seed, jobs=jobs)
     if resume_check:
         report["resume"] = fleet_resume_check(jobs=max(2, jobs), seed=seed)
     report["ok"] = check_fleet_report(report) == []
@@ -537,10 +612,14 @@ def check_fleet_report(report: dict[str, Any]) -> list[str]:
     per-device cold setup; the delta residue round-trip identical and
     smaller than the full payload; every scaling-curve point completed
     with peak RSS at the largest device count within
-    ``SCALING_RSS_BOUND`` of the smallest (same jobs value); and, when
-    present, the killed-then-resumed report byte-identical to the
-    uninterrupted one.  Wall-clock speedups are reported, not gated —
-    they are properties of the host's core count.
+    ``SCALING_RSS_BOUND`` of the smallest (same jobs value); phased
+    (time-varying) fleets byte-identical across job counts with every
+    policy's storm-vs-idle cost asymmetry above 1 and the crash-rate
+    split intact (stock crashes more under the storm; the transparent
+    policies do not crash at all); and, when present, the
+    killed-then-resumed report byte-identical to the uninterrupted
+    one.  Wall-clock speedups are reported, not gated — they are
+    properties of the host's core count.
     """
     failures: list[str] = []
     data = report["fleet"]
@@ -588,6 +667,40 @@ def check_fleet_report(report: dict[str, Any]) -> list[str]:
                     f"{smallest['devices']} -> {largest['rss_mb']}MB @ "
                     f"{largest['devices']}; bound {SCALING_RSS_BOUND}x)"
                 )
+    phases = report.get("phases")
+    if phases is None:
+        failures.append("fleet: phases section missing")
+    else:
+        for plan, same in phases["identical_across_jobs"].items():
+            if not same:
+                failures.append(
+                    f"phases: {plan} report differs across job counts"
+                )
+        for policy, ratio in phases["asymmetry"].items():
+            if ratio <= 1.0:
+                failures.append(
+                    f"phases: {policy} storm/idle handling asymmetry "
+                    f"{ratio}x not above 1"
+                )
+        storm = phases["plans"][phases["storm_plan"]]
+        idle = phases["plans"][phases["idle_plan"]]
+        stock = "android10"
+        if stock in storm:
+            if storm[stock]["crash_rate"] <= idle[stock]["crash_rate"]:
+                failures.append(
+                    f"phases: {stock} crash rate did not climb under the "
+                    f"storm ({idle[stock]['crash_rate']} -> "
+                    f"{storm[stock]['crash_rate']})"
+                )
+            for policy, row in storm.items():
+                if policy == stock:
+                    continue
+                if row["crash_rate"] >= storm[stock]["crash_rate"]:
+                    failures.append(
+                        f"phases: {policy} storm crash rate "
+                        f"({row['crash_rate']}) not below {stock}'s "
+                        f"({storm[stock]['crash_rate']})"
+                    )
     resume = report.get("resume")
     if resume is not None and not resume["identical"]:
         failures.append(
@@ -634,6 +747,21 @@ def format_fleet_report(report: dict[str, Any]) -> str:
             lines.append(
                 f"  scaling: devices={point.get('devices')} "
                 f"jobs={point.get('jobs')}: FAILED"
+            )
+    phases = report.get("phases")
+    if phases is not None:
+        identical = all(phases["identical_across_jobs"].values())
+        lines.append(
+            f"  phases: {phases['devices']} devices, "
+            f"{phases['storm_plan']} vs {phases['idle_plan']}, "
+            f"byte-identical across jobs: {'yes' if identical else 'NO'}"
+        )
+        storm = phases["plans"][phases["storm_plan"]]
+        for policy in sorted(phases["asymmetry"]):
+            lines.append(
+                f"  phases: {policy}: storm/idle handling asymmetry "
+                f"{phases['asymmetry'][policy]}x, storm crash rate "
+                f"{storm[policy]['crash_rate']}"
             )
     resume = report.get("resume")
     if resume is not None:
@@ -751,6 +879,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     mode = "engine"
     devices = DEFAULT_FLEET_DEVICES
     scaling = True
+    phases = True
     resume_check = False
     max_rss_mb: int | None = None
     while argv:
@@ -765,6 +894,10 @@ def main(argv: Sequence[str] | None = None) -> int:
             devices = int(argv.pop(0))
         elif arg == "--no-scaling":
             scaling = False
+        elif arg == "--phases":
+            phases = True
+        elif arg == "--no-phases":
+            phases = False
         elif arg == "--resume-check":
             resume_check = True
         elif arg == "--max-rss-mb" and argv:
@@ -791,7 +924,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         apply_rss_ceiling(max_rss_mb)
     if mode == "fleet":
         report = run_fleet_bench(jobs=jobs, devices=devices,
-                                 scaling=scaling,
+                                 scaling=scaling, phases=phases,
                                  resume_check=resume_check)
         write_report(report, output or DEFAULT_FLEET_OUTPUT)
         print(format_fleet_report(report))

@@ -57,7 +57,18 @@ class SnapshotError(SimulationError):
 
 class FleetError(SimulationError):
     """The fleet simulator was misconfigured (unknown policy, empty
-    cohort, unknown shard ids, or mismatched partial results)."""
+    cohort, malformed population distribution, unknown shard ids, or
+    mismatched partial results)."""
+
+
+class WorkloadError(SimulationError):
+    """A session workload could not be built, decoded, or replayed.
+
+    Raised by ``repro.workload`` for an unknown op kind in a serialised
+    stream, a wire payload with a wrong format/version or malformed op
+    fields, an invalid phase plan (empty phases, an event pointing past
+    the last phase, a rate outside (0, 1]), or an unknown name in the
+    workload/phase-plan registries."""
 
 
 class OracleError(SimulationError):

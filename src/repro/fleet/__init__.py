@@ -33,6 +33,7 @@ from repro.fleet.population import (
     DEFAULT_POPULATION,
     PopulationSpec,
     device_script,
+    device_workload,
     fleet_corpus,
 )
 from repro.fleet.run import (
@@ -40,6 +41,7 @@ from repro.fleet.run import (
     FleetSpec,
     Shard,
     format_fleet_report,
+    member_workload,
     merge_fleet_results,
     oracle_members,
     plan_shards,
@@ -69,9 +71,11 @@ __all__ = [
     "arena_get",
     "arena_stats",
     "device_script",
+    "device_workload",
     "fleet_corpus",
     "format_fleet_report",
     "load_checkpoint",
+    "member_workload",
     "merge_fleet_results",
     "oracle_members",
     "plan_shards",

@@ -1,12 +1,13 @@
-"""One fleet device: play a session script, audit state, fold to an outcome.
+"""One fleet device: play a session workload, audit state, fold to an outcome.
 
-The driver is the fleet's unit of work.  It receives a freshly forked
+The device is the fleet's unit of work.  It receives a freshly forked
 :class:`~repro.system.AndroidSystem` (or, on the benchmark's cold path,
-a freshly prepared one — byte-identical by the snapshot contract), plays
-the member's script, and reduces everything observed into a small
-:class:`DeviceOutcome` so the executor can recycle the system
-immediately — peak memory stays proportional to one device, not the
-fleet.
+a freshly prepared one — byte-identical by the snapshot contract),
+plays the member's workload through the shared session driver
+(:func:`repro.workload.driver.drive`), and reduces everything observed
+into a small :class:`DeviceOutcome` so the executor can recycle the
+system immediately — peak memory stays proportional to one device, not
+the fleet.
 
 Audit semantics follow ``harness/sessions.py``: after every
 configuration change settles (and after every relaunch), each declared
@@ -21,17 +22,23 @@ additive noise.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Sequence
 
 from repro.fleet.faults import DeviceFaults, FaultPlan, apply_slow_storage
 from repro.fleet.population import template_value
+from repro.workload.driver import (
+    RELAUNCH_SETTLE_MS,
+    DriverProfile,
+    drive,
+    kill_app_process,
+)
+from repro.workload.ir import Kill, Wait, Workload
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.apps.dsl import AppSpec
     from repro.system import AndroidSystem
 
-#: Simulated pause after a relaunch before the post-restart audit.
-RELAUNCH_SETTLE_MS = 200.0
+__all__ = ["DeviceOutcome", "run_device", "RELAUNCH_SETTLE_MS"]
 
 
 @dataclass(frozen=True)
@@ -52,119 +59,70 @@ class DeviceOutcome:
 def run_device(
     system: "AndroidSystem",
     app: "AppSpec",
-    script: tuple[tuple, ...],
+    script: "Workload | Sequence[tuple]",
     faults: DeviceFaults,
     plan: FaultPlan,
     member: int,
 ) -> DeviceOutcome:
-    """Play one member's session on ``system`` and fold it to an outcome."""
+    """Play one member's session on ``system`` and fold it to an outcome.
+
+    ``script`` is a :class:`Workload` IR program (or the legacy op-tuple
+    form, accepted for compatibility and converted losslessly).
+    """
     package = app.package
     if faults.slow_storage:
         apply_slow_storage(system, plan.slow_storage_multiplier)
-    ops = list(script)
+    workload = (script if isinstance(script, Workload)
+                else Workload.from_tuples(script))
+    ops = list(workload.ops)
     if faults.low_memory_kill:
         # Halfway through the session, aligned to an op boundary (the
         # script alternates op, wait, op, wait, ...).
         middle = len(ops) // 2
         middle -= middle % 2
-        ops[middle:middle] = [("kill",), ("wait", 250.0)]
+        ops[middle:middle] = [Kill(), Wait(250.0)]
+    workload = Workload(tuple(ops))
 
-    expected = {slot.name: template_value(slot.name) for slot in app.slots}
-    handling_baseline = len(system.handling_times())
-    loss_events = 0
-    audits = 0
-    process_deaths = 0
-    ops_done = 0
-    pending_audit = False
     death_armed = False
 
-    def audit() -> None:
-        nonlocal loss_events, audits
-        if system.foreground_activity(package) is None:
-            return
-        for slot in app.slots:
-            audits += 1
-            value = system.read_slot(app, slot.name)
-            if value != expected[slot.name]:
-                loss_events += 1
-                # The user re-enters the lost value.
-                system.write_slot(app, slot.name, expected[slot.name])
+    def arm_mid_migration_death() -> None:
+        nonlocal death_armed
+        if not death_armed:
+            death_armed = True
+            system.ctx.scheduler.schedule(
+                plan.mid_migration_delay_ms,
+                lambda: kill_app_process(system, package),
+                label="fleet:mid-migration-death",
+            )
 
-    for op in ops:
-        if system.crashed(package):
-            break
-        kind = op[0]
-        if kind == "wait":
-            system.run_for(op[1])
-            if pending_audit and not system.crashed(package):
-                pending_audit = False
-                audit()
-            continue
-        if system.foreground_activity(package) is None:
-            # Killed earlier (OS or script); the user comes back.
-            process_deaths += 1
-            system.launch(app)
-            system.run_for(RELAUNCH_SETTLE_MS)
-            audit()
-        if kind == "rotate":
-            system.rotate()
-        elif kind == "resize":
-            system.resize(op[1], op[2])
-        elif kind == "locale":
-            system.set_locale(op[1])
-        elif kind == "night":
-            system.set_night_mode(op[1])
-        elif kind == "write":
-            slot = app.slots[op[1] % len(app.slots)]
-            value = f"m{member}.s{op[1]}"
-            system.write_slot(app, slot.name, value)
-            expected[slot.name] = value
-        elif kind == "async":
-            if app.async_script is not None:
-                system.start_async(app)
-        elif kind == "kill":
-            _kill_app_process(system, package)
-        if kind in ("rotate", "resize", "locale", "night"):
-            pending_audit = True
-            if faults.mid_migration_death and not death_armed:
-                death_armed = True
-                system.ctx.scheduler.schedule(
-                    plan.mid_migration_delay_ms,
-                    lambda: _kill_app_process(system, package),
-                    label="fleet:mid-migration-death",
-                )
-        ops_done += 1
-
-    if not system.crashed(package):
-        system.run_until_idle()
-    crashed = system.crashed(package)
-    if not crashed:
-        if system.foreground_activity(package) is None:
-            process_deaths += 1
-        else:
-            audit()
-
-    handling = tuple(
-        duration_ms
-        for duration_ms, _ in system.handling_times()[handling_baseline:]
+    profile = DriverProfile(
+        write_value=lambda step: f"m{member}.s{step}",
+        initial_expected={
+            slot.name: template_value(slot.name) for slot in app.slots
+        },
+        epilogue="audit",
+        on_config_change=(
+            arm_mid_migration_death if faults.mid_migration_death else None
+        ),
     )
-    alive = (not crashed
+    result = drive(system, app, workload, profile)
+
+    alive = (not result.crashed
              and system.foreground_activity(package) is not None)
     memory_mb = system.memory_of(package) if alive else None
     return DeviceOutcome(
         member=member,
-        crashed=crashed,
-        loss_events=loss_events,
-        audits=audits,
-        process_deaths=process_deaths,
-        handling_ms=handling,
+        crashed=result.crashed,
+        loss_events=result.loss_events,
+        audits=result.audits,
+        process_deaths=result.process_deaths,
+        handling_ms=result.handling_ms,
         memory_mb=memory_mb,
-        ops=ops_done,
+        ops=result.ops_played,
         faulted=faults.any,
     )
 
 
 def _kill_app_process(system: "AndroidSystem", package: str) -> None:
-    thread = system.atms.threads.get(package)
-    if thread is not None and thread.process.alive:
-        thread.process.kill()
+    """Legacy alias; the shared driver owns process kills now."""
+    kill_app_process(system, package)

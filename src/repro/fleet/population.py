@@ -8,17 +8,21 @@ Two responsibilities:
   crash modes (stale view update, leaked dialog), so population-level
   crash and data-loss rates are *emergent* from policy semantics, not
   scripted per app.
-* :func:`device_script` — one device's session, drawn from a seeded
+* :func:`device_workload` — one device's session as a
+  :class:`~repro.workload.ir.Workload` IR program, drawn from a seeded
   distribution: rotations, fold/unfold resizes, locale and dark-mode
   switches, state writes, async tasks in flight, background kills, and
-  think-time gaps.  Scripts are keyed by **member index only** (not by
+  think-time gaps.  Sessions are keyed by **member index only** (not by
   cohort), so device *i* performs the identical session under every
   (app, policy) cell — fleet comparisons across policies are therefore
   apples-to-apples.  Everything flows through
   :class:`~repro.sim.rng.DeterministicRng` sub-streams: the same seed
   always produces the same fleet, device by device, op by op.
 
-Script ops are plain value tuples (picklable, snapshot-friendly)::
+The generator core (and :class:`PopulationSpec` itself, validated at
+construction) lives in :mod:`repro.workload.generate`; this module
+re-exports it so fleet callers keep one import site.
+:func:`device_script` is the legacy tuple view of the same program::
 
     ("rotate",) ("resize", w, h) ("locale", "fr-FR") ("night", True)
     ("write", step) ("async",) ("kill",) ("wait", gap_ms)
@@ -31,8 +35,6 @@ device contributes handling data.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 from repro.android.views.inflate import ViewSpec
 from repro.apps.dsl import (
     AppSpec,
@@ -42,100 +44,36 @@ from repro.apps.dsl import (
     filler_views,
     two_orientation_resources,
 )
-from repro.sim.rng import DeterministicRng
+from repro.workload.generate import (  # noqa: F401  (re-exported API)
+    DEFAULT_POPULATION,
+    FOLDED_SIZE,
+    LOCALES,
+    PopulationSpec,
+    SCRIPT_OP_KINDS,
+    UNFOLDED_SIZE,
+    device_workload,
+)
+from repro.workload.ir import CONFIG_CHANGE_KINDS
 
 #: Stable view ids shared by all fleet archetypes.
 SLOT_VIEW_ID = 10
 ASYNC_TARGET_ID = 11
 
-#: Fold/unfold geometry: cover display vs inner display of a foldable.
-FOLDED_SIZE = (1080, 2092)
-UNFOLDED_SIZE = (1812, 2176)
-
-LOCALES = ("en-US", "fr-FR", "de-DE", "ja-JP", "pt-BR")
-
-
-@dataclass(frozen=True)
-class PopulationSpec:
-    """Distribution parameters for per-device session scripts."""
-
-    min_ops: int = 6
-    max_ops: int = 14
-    min_gap_ms: float = 150.0
-    max_gap_ms: float = 2_500.0
-    weights: tuple[tuple[str, float], ...] = (
-        ("rotate", 5.0),
-        ("write", 4.0),
-        ("fold", 2.0),
-        ("async", 2.0),
-        ("locale", 1.0),
-        ("night", 1.0),
-        ("kill", 1.0),
-    )
-
-
-DEFAULT_POPULATION = PopulationSpec()
-
-_CONFIG_CHANGE_OPS = {"rotate", "resize", "locale", "night"}
-
 
 def is_config_change(op: tuple) -> bool:
-    return op[0] in _CONFIG_CHANGE_OPS
-
-
-def _weighted_choice(rng: DeterministicRng,
-                     weights: tuple[tuple[str, float], ...]) -> str:
-    total = sum(weight for _, weight in weights)
-    draw = rng.uniform(0.0, total)
-    cumulative = 0.0
-    for kind, weight in weights:
-        cumulative += weight
-        if draw <= cumulative:
-            return kind
-    return weights[-1][0]
+    return op[0] in CONFIG_CHANGE_KINDS
 
 
 def device_script(
     population: PopulationSpec, seed: int, member: int
 ) -> tuple[tuple, ...]:
-    """The session script of fleet member ``member`` (deterministic)."""
-    rng = DeterministicRng(seed).fork(f"fleet-device-{member}")
-    op_count = rng.randint(population.min_ops, population.max_ops)
-    ops: list[tuple] = []
-    folded = False
-    night = False
-    saw_config_change = False
-    for step in range(op_count):
-        kind = _weighted_choice(rng, population.weights)
-        if kind == "rotate":
-            op: tuple = ("rotate",)
-        elif kind == "fold":
-            folded = not folded
-            width, height = FOLDED_SIZE if folded else UNFOLDED_SIZE
-            op = ("resize", width, height)
-        elif kind == "locale":
-            op = ("locale", rng.choice(LOCALES))
-        elif kind == "night":
-            night = not night
-            op = ("night", night)
-        elif kind == "write":
-            op = ("write", step)
-        elif kind == "async":
-            op = ("async",)
-        else:
-            op = ("kill",)
-        saw_config_change = saw_config_change or is_config_change(op)
-        ops.append(op)
-        ops.append(
-            ("wait",
-             round(rng.uniform(population.min_gap_ms,
-                               population.max_gap_ms), 1))
-        )
-    if not saw_config_change:
-        # Every session exercises the paper's subject at least once.
-        ops.append(("rotate",))
-        ops.append(("wait", 500.0))
-    return tuple(ops)
+    """The session script of fleet member ``member``, as op tuples.
+
+    Same program as :func:`device_workload` (byte-identical tuple
+    encoding, same RNG stream) — kept for callers and tests that speak
+    the tuple wire form.
+    """
+    return device_workload(population, seed, member).to_tuples()
 
 
 def template_value(slot_name: str) -> str:

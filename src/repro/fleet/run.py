@@ -75,10 +75,12 @@ from repro.fleet.faults import NO_FAULTS, FaultPlan
 from repro.fleet.population import (
     DEFAULT_POPULATION,
     PopulationSpec,
-    device_script,
+    device_workload,
     fleet_corpus,
     template_value,
 )
+from repro.workload.ir import Workload
+from repro.workload.phases import PhasePlan, phased_workload
 from repro.harness.report import render_table
 from repro.sim.snapshot import SNAPSHOT_FORMAT_VERSION, SystemSnapshot
 from repro.system import AndroidSystem
@@ -102,6 +104,14 @@ class FleetSpec:
     """Fraction of members that also get a cross-policy differential
     oracle session (digest-only).  0 disables the oracle entirely and
     leaves the report byte-identical to pre-oracle fleets."""
+    workload: "Workload | None" = None
+    """A fixed IR program every member replays (e.g. one compiled from
+    a recorded trace via ``repro.workload.from_trace``).  ``None`` (the
+    default) draws per-member sessions from ``population``/``phases``."""
+    phases: "PhasePlan | None" = None
+    """A time-varying phase plan (``repro.workload.phases``); when set,
+    per-member sessions come from :func:`phased_workload` instead of
+    the stationary ``population`` distribution."""
 
     def __post_init__(self) -> None:
         if not self.apps:
@@ -115,6 +125,22 @@ class FleetSpec:
             raise FleetError("devices_per_cell must be >= 1")
         if self.shard_size < 1:
             raise FleetError("shard_size must be >= 1")
+        if self.workload is not None:
+            if not isinstance(self.workload, Workload):
+                raise FleetError(
+                    "FleetSpec.workload must be a repro.workload Workload, "
+                    f"got {type(self.workload).__name__}"
+                )
+            if self.phases is not None:
+                raise FleetError(
+                    "FleetSpec.workload and FleetSpec.phases are mutually "
+                    "exclusive (a fixed replay cannot also be phased)"
+                )
+        if self.phases is not None and not isinstance(self.phases, PhasePlan):
+            raise FleetError(
+                "FleetSpec.phases must be a repro.workload PhasePlan, "
+                f"got {type(self.phases).__name__}"
+            )
         if self.oracle_rate:
             from repro.oracle.sampler import _check_rate
 
@@ -358,6 +384,21 @@ def _verify_device_delta(
     delta.restore(template)  # must come back to life, not just to bytes
 
 
+def member_workload(spec: FleetSpec, member: int) -> Workload:
+    """Member ``member``'s session IR under ``spec`` (pure in spec+member).
+
+    Three sources, in precedence order: a fixed ``spec.workload``
+    replayed by every member, a time-varying ``spec.phases`` plan, or
+    the stationary ``spec.population`` distribution (the default —
+    byte-identical to the pre-IR ``device_script`` path).
+    """
+    if spec.workload is not None:
+        return spec.workload
+    if spec.phases is not None:
+        return phased_workload(spec.phases, spec.seed, member)
+    return device_workload(spec.population, spec.seed, member)
+
+
 def _run_shard(
     spec: FleetSpec,
     shard: Shard,
@@ -390,7 +431,7 @@ def _run_shard(
             system = template.restore()
         outcome = run_device(
             system, app,
-            device_script(spec.population, spec.seed, member),
+            member_workload(spec, member),
             spec.faults.draw(spec.seed, member),
             spec.faults, member,
         )
@@ -415,7 +456,7 @@ def _run_shard(
         for member in members:
             session = run_oracle_session(
                 app, spec.policies, spec.seed,
-                script=device_script(spec.population, spec.seed, member),
+                script=member_workload(spec, member),
                 member=member, trace=False, prefixes=prefixes,
                 initial_values=initial,
             )

@@ -20,9 +20,10 @@ The oracle session is the differential unit of work:
    policy-independent prefix boundary so the rule table can classify.
 
 The session script defaults to the fleet population's
-:func:`~repro.fleet.population.device_script` (the same seeded ops a
-fleet member plays), with ops the app cannot express (writes without
-slots, asyncs without a script) skipped deterministically.
+:func:`~repro.fleet.population.device_workload` (the same seeded IR a
+fleet member plays, see ``repro.workload``), with ops the app cannot
+express (writes without slots, asyncs without a script) skipped
+deterministically.
 """
 
 from __future__ import annotations
@@ -53,6 +54,12 @@ from repro.trace.hooks import install_tracing
 from repro.trace.tracer import Tracer
 from repro.sim.snapshot import SystemSnapshot
 from repro.system import AndroidSystem
+from repro.workload.driver import (
+    RELAUNCH_SETTLE_MS as _DRIVER_RELAUNCH_SETTLE_MS,
+    DriverProfile,
+    drive,
+)
+from repro.workload.ir import Workload
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.apps.dsl import AppSpec
@@ -60,8 +67,8 @@ if TYPE_CHECKING:  # pragma: no cover
 DEFAULT_POLICIES = ("android10", "runtimedroid", "rchdroid")
 
 #: Simulated pause after a relaunch before the session continues
-#: (mirrors the fleet device driver).
-RELAUNCH_SETTLE_MS = 200.0
+#: (single-sourced from the shared session driver).
+RELAUNCH_SETTLE_MS = _DRIVER_RELAUNCH_SETTLE_MS
 
 #: Post-script drain bound: a session ends when the device goes idle.
 MAX_SPAN_DIFFS = 64
@@ -107,82 +114,63 @@ def capture_prefix(app: "AppSpec", policy: str, seed: int,
 # the session player
 # ----------------------------------------------------------------------
 def play_session(
-    system: AndroidSystem, app: "AppSpec", script: Sequence[tuple],
+    system: AndroidSystem, app: "AppSpec",
+    script: "Workload | Sequence[tuple]",
     initial_values: "dict[str, object] | None" = None,
 ) -> SessionLog:
-    """Drive one policy through the shared op script.
+    """Drive one policy through the shared session IR.
 
-    Mirrors the fleet device driver's semantics with one deliberate
-    difference: a lost value is **never re-entered**.  The fleet
-    measures user pain (count losses, user retypes); the oracle
-    measures *what survived*, so the end-state digest must expose the
-    divergence instead of papering over it.
+    A thin profile over the shared driver
+    (:func:`repro.workload.driver.drive`) with the oracle's deliberate
+    differences from the fleet device profile: a lost value is **never
+    re-entered** (the fleet measures user pain — count losses, user
+    retypes; the oracle measures *what survived*, so the end-state
+    digest must expose the divergence instead of papering over it), no
+    post-settle or post-relaunch audits, writes against a slotless app
+    are skipped uncounted, and the end-of-stream epilogue only counts a
+    late death — it never touches state.
 
     ``initial_values`` seeds the self-audit's expectations (slot name →
     value the prefix wrote); callers forking a prefix that seeded slots
     differently from :func:`build_prefix` — the fleet's cohort
     templates — must pass the values that prefix actually wrote.
     """
-    package = app.package
-    log = SessionLog(handling_baseline=len(system.handling_times()))
+    workload = (script if isinstance(script, Workload)
+                else Workload.from_tuples(script))
+    expected: dict[str, object] = {}
     for slot in app.slots:
         if initial_values is not None:
             if slot.name in initial_values:
-                log.expected[slot.name] = repr(initial_values[slot.name])
+                expected[slot.name] = initial_values[slot.name]
         else:
-            log.expected[slot.name] = repr(f"oracle:{slot.name}")
+            expected[slot.name] = f"oracle:{slot.name}"
 
-    for op in script:
-        if system.crashed(package):
-            break  # the session ends where the user's app died
-        kind = op[0]
-        if kind == "wait":
-            system.run_for(op[1])
-            continue
-        if system.foreground_activity(package) is None:
-            # Killed earlier (script op or policy mishap); the user
-            # comes back and the script continues.
-            log.process_deaths += 1
-            log.relaunches += 1
-            system.launch(app)
-            system.run_for(RELAUNCH_SETTLE_MS)
-        if kind == "rotate":
-            system.rotate()
-        elif kind == "resize":
-            system.resize(op[1], op[2])
-        elif kind == "locale":
-            system.set_locale(op[1])
-        elif kind == "night":
-            system.set_night_mode(op[1])
-        elif kind == "write":
-            if not app.slots:
-                continue  # deterministic skip: nothing to write into
-            slot = app.slots[op[1] % len(app.slots)]
-            value = f"oracle.s{op[1]}"
-            system.write_slot(app, slot.name, value)
-            log.expected[slot.name] = repr(value)
-        elif kind == "async":
-            if app.async_script is not None:
-                system.start_async(app)
-        elif kind == "kill":
-            thread = system.atms.threads.get(package)
-            if thread is not None and thread.process.alive:
-                thread.process.kill()
-        log.ops_played += 1
+    profile = DriverProfile(
+        write_value=lambda step: f"oracle.s{step}",
+        initial_expected=expected,
+        settle_audits=False,
+        relaunch_audit=False,
+        reenter_lost=False,
+        count_empty_writes=False,
+        epilogue="count-death",
+    )
+    result = drive(system, app, workload, profile)
 
-    if not system.crashed(package):
-        system.run_until_idle()
-        if system.foreground_activity(package) is None:
-            log.process_deaths += 1
+    log = SessionLog(handling_baseline=result.handling_baseline)
+    log.expected = {name: repr(value)
+                    for name, value in result.expected.items()}
+    log.process_deaths = result.process_deaths
+    log.relaunches = result.relaunches
+    log.ops_played = result.ops_played
     return log
 
 
-def default_script(app: "AppSpec", seed: int, member: int = 0):
-    """The session ops: the fleet population's seeded device script."""
-    from repro.fleet.population import DEFAULT_POPULATION, device_script
+def default_script(app: "AppSpec", seed: int, member: int = 0) -> "Workload":
+    """The session IR: the fleet population's seeded device workload."""
+    from repro.fleet.population import DEFAULT_POPULATION, device_workload
 
-    del app  # same script for every app — that is the point
-    return device_script(DEFAULT_POPULATION, seed, member)
+    del app  # same session for every app — that is the point
+    return device_workload(DEFAULT_POPULATION, seed, member)
 
 
 # ----------------------------------------------------------------------
@@ -205,7 +193,8 @@ class PolicyRun:
 
 
 def _run_once(
-    prefix: SystemSnapshot, app: "AppSpec", script: Sequence[tuple],
+    prefix: SystemSnapshot, app: "AppSpec",
+    script: "Workload | Sequence[tuple]",
     *, trace: bool,
     initial_values: "dict[str, object] | None" = None,
 ) -> tuple[StateDigest, list[dict]]:
@@ -225,7 +214,8 @@ def _run_once(
 
 
 def run_policy(
-    app: "AppSpec", policy: str, script: Sequence[tuple], seed: int,
+    app: "AppSpec", policy: str,
+    script: "Workload | Sequence[tuple]", seed: int,
     *, trace: bool = True, prefix: SystemSnapshot | None = None,
     initial_values: "dict[str, object] | None" = None,
 ) -> PolicyRun:
@@ -282,7 +272,7 @@ def run_oracle_session(
     policies: Sequence[str] = DEFAULT_POLICIES,
     seed: int = 0x5EED,
     *,
-    script: Sequence[tuple] | None = None,
+    script: "Workload | Sequence[tuple] | None" = None,
     member: int = 0,
     trace: bool = True,
     rules: Sequence[ClassificationRule] = DEFAULT_RULES,

@@ -1,0 +1,105 @@
+"""repro.workload — the one session IR across harness, fleet, and oracle.
+
+Layers:
+
+* :mod:`repro.workload.ir` — typed ops + :class:`Workload` streams.
+* :mod:`repro.workload.codec` — canonical JSON wire form.
+* :mod:`repro.workload.driver` — the single device driver all three
+  consumers replay through (profile-parameterised bookkeeping).
+* :mod:`repro.workload.generate` — seeded stationary generation
+  (:class:`PopulationSpec` -> IR; re-exported by
+  ``repro.fleet.population``).
+* :mod:`repro.workload.phases` — time-varying phase plans with
+  correlated fleet events.
+* :mod:`repro.workload.library` — the named registries the CLI speaks.
+* :mod:`repro.workload.trace_compile` — recorded span streams -> IR.
+
+See docs/WORKLOAD.md for the IR grammar and the phase model.
+"""
+
+from repro.workload.ir import (
+    Audit,
+    CONFIG_CHANGE_KINDS,
+    Kill,
+    Locale,
+    Night,
+    OP_KINDS,
+    Op,
+    Resize,
+    Rotate,
+    StartAsync,
+    Wait,
+    Workload,
+    Write,
+    op_from_dict,
+    op_from_tuple,
+)
+from repro.workload.codec import (
+    WORKLOAD_FORMAT,
+    WORKLOAD_FORMAT_VERSION,
+    load_workload,
+    save_workload,
+    workload_from_dict,
+    workload_from_json,
+    workload_to_dict,
+    workload_to_json,
+)
+from repro.workload.driver import (
+    RELAUNCH_SETTLE_MS,
+    DriveResult,
+    DriverProfile,
+    drive,
+    kill_app_process,
+)
+from repro.workload.generate import (
+    DEFAULT_POPULATION,
+    FOLDED_SIZE,
+    LOCALES,
+    PopulationSpec,
+    SCRIPT_OP_KINDS,
+    SessionState,
+    UNFOLDED_SIZE,
+    device_workload,
+    draw_session_ops,
+)
+from repro.workload.phases import (
+    EVENT_KILL_CASCADE,
+    EVENT_KINDS,
+    EVENT_UPDATE_WAVE,
+    FleetEvent,
+    Phase,
+    PhasePlan,
+    phased_workload,
+)
+from repro.workload.library import (
+    PHASE_PLANS,
+    WORKLOADS,
+    phase_plan_named,
+    workload_named,
+)
+from repro.workload.trace_compile import from_trace
+
+__all__ = [
+    # ir
+    "Op", "Rotate", "Resize", "Locale", "Night", "Write", "StartAsync",
+    "Kill", "Wait", "Audit", "Workload", "OP_KINDS", "CONFIG_CHANGE_KINDS",
+    "op_from_tuple", "op_from_dict",
+    # codec
+    "WORKLOAD_FORMAT", "WORKLOAD_FORMAT_VERSION", "workload_to_dict",
+    "workload_from_dict", "workload_to_json", "workload_from_json",
+    "save_workload", "load_workload",
+    # driver
+    "RELAUNCH_SETTLE_MS", "DriverProfile", "DriveResult", "drive",
+    "kill_app_process",
+    # generate
+    "PopulationSpec", "DEFAULT_POPULATION", "FOLDED_SIZE", "UNFOLDED_SIZE",
+    "LOCALES", "SCRIPT_OP_KINDS", "SessionState", "draw_session_ops",
+    "device_workload",
+    # phases
+    "EVENT_UPDATE_WAVE", "EVENT_KILL_CASCADE", "EVENT_KINDS", "Phase",
+    "FleetEvent", "PhasePlan", "phased_workload",
+    # library
+    "WORKLOADS", "PHASE_PLANS", "workload_named", "phase_plan_named",
+    # trace
+    "from_trace",
+]

@@ -1,0 +1,81 @@
+"""Canonical wire codec for workloads.
+
+The JSON form is canonical — sorted keys, no whitespace — so two equal
+workloads always serialise to identical bytes (the same discipline as
+``FleetResult.to_json``).  Decoding validates the envelope (format tag
+and version) and every op record, raising :class:`WorkloadError` with
+the offending record named; it never half-decodes.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.errors import WorkloadError
+from repro.workload.ir import Workload, op_from_dict
+
+__all__ = [
+    "WORKLOAD_FORMAT",
+    "WORKLOAD_FORMAT_VERSION",
+    "workload_to_dict",
+    "workload_from_dict",
+    "workload_to_json",
+    "workload_from_json",
+    "save_workload",
+    "load_workload",
+]
+
+WORKLOAD_FORMAT = "repro.workload"
+WORKLOAD_FORMAT_VERSION = 1
+
+
+def workload_to_dict(workload: Workload) -> dict:
+    return {
+        "format": WORKLOAD_FORMAT,
+        "version": WORKLOAD_FORMAT_VERSION,
+        "ops": [op.to_dict() for op in workload.ops],
+    }
+
+
+def workload_from_dict(data: dict) -> Workload:
+    if not isinstance(data, dict):
+        raise WorkloadError(f"workload payload must be a JSON object, got {type(data).__name__}")
+    if data.get("format") != WORKLOAD_FORMAT:
+        raise WorkloadError(
+            f"not a workload payload: format={data.get('format')!r} (want {WORKLOAD_FORMAT!r})"
+        )
+    if data.get("version") != WORKLOAD_FORMAT_VERSION:
+        raise WorkloadError(
+            f"unsupported workload format version {data.get('version')!r} "
+            f"(this build reads version {WORKLOAD_FORMAT_VERSION})"
+        )
+    ops = data.get("ops")
+    if not isinstance(ops, list):
+        raise WorkloadError("workload payload has no 'ops' list")
+    return Workload(tuple(op_from_dict(record) for record in ops))
+
+
+def workload_to_json(workload: Workload) -> str:
+    """Canonical JSON: byte-identical for equal workloads."""
+    return json.dumps(workload_to_dict(workload), sort_keys=True, separators=(",", ":"))
+
+
+def workload_from_json(text: str) -> Workload:
+    try:
+        data = json.loads(text)
+    except (ValueError, TypeError) as exc:
+        raise WorkloadError(f"workload payload is not valid JSON: {exc}") from exc
+    return workload_from_dict(data)
+
+
+def save_workload(path: str | Path, workload: Workload) -> None:
+    Path(path).write_text(workload_to_json(workload) + "\n", encoding="utf-8")
+
+
+def load_workload(path: str | Path) -> Workload:
+    try:
+        text = Path(path).read_text(encoding="utf-8")
+    except OSError as exc:
+        raise WorkloadError(f"cannot read workload file {path}: {exc}") from exc
+    return workload_from_json(text)

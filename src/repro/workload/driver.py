@@ -1,0 +1,211 @@
+"""The one device driver: replay a workload against a live system.
+
+Previously three loops replayed "a session" with subtly different
+bookkeeping — the fleet device loop (``repro.fleet.device``), the
+harness day-in-the-life loop (``repro.harness.sessions``), and the
+oracle session player (``repro.oracle.session``).  :func:`drive` is the
+single loop; a :class:`DriverProfile` captures the per-consumer policy
+choices that used to be hard-coded:
+
+* ``write_value`` — the value template for :class:`Write` ops
+  (``m{member}.s{step}`` on fleet devices, ``oracle.s{step}`` in the
+  oracle, ``entry-{step}`` in the harness).
+* ``settle_audits`` — audit every slot after the wait that follows a
+  configuration change (the fleet's post-migration self-check).
+* ``relaunch_audit`` — audit right after relaunching a dead process.
+* ``reenter_lost`` — on a failed audit, re-enter the expected value
+  (the user retyping a lost note); the oracle observes without touching.
+* ``count_empty_writes`` — whether a :class:`Write` against a slotless
+  app still counts as a played op (the oracle skips it uncounted).
+* ``epilogue`` — what happens when the op stream ends: ``"audit"``
+  (drain the scheduler, re-check for late crashes, then audit or count
+  a death — fleet), ``"count-death"`` (drain and count a death, no
+  audit — oracle), or ``"none"`` (stop immediately — harness).
+* ``on_config_change`` — hook fired after each configuration-change op
+  (the fleet arms its mid-migration death fault here).
+
+The exact op-by-op semantics (crash short-circuit, relaunch settle,
+pending-audit-after-wait ordering, expected-value bookkeeping) are
+bit-for-bit those of the pre-IR loops: the migration-guard test pins
+the default fleet report bytes across the refactor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Mapping
+
+from repro.errors import WorkloadError
+from repro.workload.ir import Workload
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.android.system import AndroidSystem
+    from repro.apps.dsl import AppSpec
+
+__all__ = [
+    "RELAUNCH_SETTLE_MS",
+    "DriverProfile",
+    "DriveResult",
+    "drive",
+    "kill_app_process",
+]
+
+#: Settle time after relaunching a dead process before continuing.
+RELAUNCH_SETTLE_MS = 200.0
+
+_EPILOGUES = ("audit", "count-death", "none")
+
+
+def kill_app_process(system: "AndroidSystem", package: str) -> None:
+    """Kill the app process the way the OS would (low-memory / swipe)."""
+    thread = system.atms.threads.get(package)
+    if thread is not None and thread.process.alive:
+        thread.process.kill()
+
+
+@dataclass(frozen=True)
+class DriverProfile:
+    """Per-consumer policy choices for :func:`drive`."""
+
+    write_value: Callable[[int], str]
+    initial_expected: Mapping[str, object] = field(default_factory=dict)
+    settle_audits: bool = True
+    relaunch_audit: bool = True
+    reenter_lost: bool = True
+    count_empty_writes: bool = True
+    epilogue: str = "audit"
+    on_config_change: Callable[[], None] | None = None
+
+    def __post_init__(self) -> None:
+        if self.epilogue not in _EPILOGUES:
+            raise WorkloadError(
+                f"unknown driver epilogue {self.epilogue!r} "
+                f"(known: {', '.join(_EPILOGUES)})"
+            )
+
+
+@dataclass
+class DriveResult:
+    """What one drive observed (superset of all three consumers' needs)."""
+
+    crashed: bool = False
+    loss_events: int = 0
+    audits: int = 0
+    process_deaths: int = 0
+    relaunches: int = 0
+    ops_played: int = 0
+    handling_baseline: int = 0
+    handling_ms: tuple[float, ...] = ()
+    expected: dict[str, object] = field(default_factory=dict)
+    counts: dict[str, int] = field(default_factory=dict)
+
+
+def drive(
+    system: "AndroidSystem",
+    app: "AppSpec",
+    workload: Workload,
+    profile: DriverProfile,
+) -> DriveResult:
+    """Replay ``workload`` against an already-launched ``app``."""
+    package = app.package
+    result = DriveResult(handling_baseline=len(system.handling_times()))
+    result.expected = dict(profile.initial_expected)
+
+    def audit(slot_index: int | None = None) -> None:
+        if system.foreground_activity(package) is None:
+            return
+        slots = (
+            app.slots
+            if slot_index is None
+            else (app.slots[slot_index % len(app.slots)],)
+        )
+        for slot in slots:
+            result.audits += 1
+            value = system.read_slot(app, slot.name)
+            expected = result.expected[slot.name]
+            if value != expected:
+                result.loss_events += 1
+                if profile.reenter_lost:
+                    system.write_slot(app, slot.name, expected)
+
+    pending_audit = False
+    for op in workload.ops:
+        if system.crashed(package):
+            break
+        kind = op.kind
+        if kind == "wait":
+            system.run_for(op.gap_ms)
+            if (
+                profile.settle_audits
+                and pending_audit
+                and not system.crashed(package)
+            ):
+                pending_audit = False
+                audit()
+            continue
+        if system.foreground_activity(package) is None:
+            result.process_deaths += 1
+            result.relaunches += 1
+            system.launch(app)
+            system.run_for(RELAUNCH_SETTLE_MS)
+            if profile.relaunch_audit:
+                audit()
+        if kind == "rotate":
+            system.rotate()
+        elif kind == "resize":
+            system.resize(op.width, op.height)
+        elif kind == "locale":
+            system.set_locale(op.locale)
+        elif kind == "night":
+            system.set_night_mode(op.enabled)
+        elif kind == "write":
+            if not app.slots:
+                if not profile.count_empty_writes:
+                    continue
+            else:
+                index = op.step if op.slot is None else op.slot
+                slot = app.slots[index % len(app.slots)]
+                value = profile.write_value(op.step)
+                system.write_slot(app, slot.name, value)
+                result.expected[slot.name] = value
+        elif kind == "async":
+            if app.async_script is not None:
+                system.start_async(app)
+        elif kind == "kill":
+            kill_app_process(system, package)
+        elif kind == "audit":
+            audit(op.slot)
+        else:  # pragma: no cover - OP_KINDS and this dispatch move together
+            raise WorkloadError(f"driver cannot play op kind {kind!r}")
+        if op.is_config_change:
+            pending_audit = True
+            if profile.on_config_change is not None:
+                profile.on_config_change()
+        result.ops_played += 1
+        result.counts[kind] = result.counts.get(kind, 0) + 1
+
+    crashed_before = system.crashed(package)
+    if profile.epilogue == "none":
+        result.crashed = crashed_before
+    else:
+        if not crashed_before:
+            system.run_until_idle()
+        result.crashed = system.crashed(package)
+        if profile.epilogue == "audit":
+            if not result.crashed:
+                if system.foreground_activity(package) is None:
+                    result.process_deaths += 1
+                else:
+                    audit()
+        else:  # "count-death": the oracle counts, never touches
+            if (
+                not crashed_before
+                and system.foreground_activity(package) is None
+            ):
+                result.process_deaths += 1
+
+    result.handling_ms = tuple(
+        duration
+        for duration, _ in system.handling_times()[result.handling_baseline:]
+    )
+    return result

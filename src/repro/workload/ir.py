@@ -1,0 +1,275 @@
+"""The session IR: typed ops with think-time gaps.
+
+A *workload* is the one representation of "a user session" shared by
+the three consumers that used to encode it separately: the fleet's
+seeded per-member scripts (``repro.fleet.population``), the harness's
+day-in-the-life loop (``repro.harness.sessions``), and the differential
+oracle's session player (``repro.oracle.session``).  Each op is a small
+frozen value type; a :class:`Workload` is an immutable stream of them.
+
+Two wire forms exist:
+
+* **op tuples** — the compact ``("rotate",)`` / ``("wait", 512.3)``
+  form the fleet generator has always produced.  ``to_tuples`` /
+  ``from_tuples`` round-trip it losslessly, so pre-IR call sites (and
+  the tests pinning the generator's exact output) keep working.
+* **canonical JSON** — see ``repro.workload.codec``.
+
+Both the tuple form and the dataclasses themselves pickle, so workloads
+cross process-pool boundaries unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import ClassVar, Iterator
+
+from repro.errors import WorkloadError
+
+__all__ = [
+    "Op",
+    "Rotate",
+    "Resize",
+    "Locale",
+    "Night",
+    "Write",
+    "StartAsync",
+    "Kill",
+    "Wait",
+    "Audit",
+    "Workload",
+    "OP_KINDS",
+    "CONFIG_CHANGE_KINDS",
+    "op_from_tuple",
+    "op_from_dict",
+]
+
+#: Op kinds that trigger a configuration change (and therefore a
+#: migration / relaunch under the policy being driven).
+CONFIG_CHANGE_KINDS = frozenset({"rotate", "resize", "locale", "night"})
+
+#: kind -> Op subclass, filled by ``_op`` as classes are defined.
+OP_KINDS: dict[str, type["Op"]] = {}
+
+
+def _op(cls: type["Op"]) -> type["Op"]:
+    OP_KINDS[cls.kind] = cls
+    return cls
+
+
+class Op:
+    """Base class for session ops.  Subclasses are frozen dataclasses."""
+
+    kind: ClassVar[str] = ""
+
+    @property
+    def is_config_change(self) -> bool:
+        return self.kind in CONFIG_CHANGE_KINDS
+
+    def to_tuple(self) -> tuple:
+        """The compact op-tuple wire form (``("rotate",)`` style).
+
+        Trailing None fields (optional slot targets) are omitted so the
+        tuple form stays byte-compatible with the pre-IR generator
+        (``("write", 3)``, not ``("write", 3, None)``).
+        """
+        values = [getattr(self, f.name) for f in fields(self)]  # type: ignore[arg-type]
+        while values and values[-1] is None:
+            values.pop()
+        return (self.kind, *values)
+
+    def to_dict(self) -> dict:
+        """JSON-ready dict: ``{"op": kind, <field>: <value>, ...}``."""
+        out: dict = {"op": self.kind}
+        for f in fields(self):  # type: ignore[arg-type]
+            out[f.name] = getattr(self, f.name)
+        return out
+
+    def describe(self) -> str:
+        """One canonical text line (the ``workload show`` grammar)."""
+        parts = [self.kind]
+        for f in fields(self):  # type: ignore[arg-type]
+            value = getattr(self, f.name)
+            if value is None:
+                continue
+            if isinstance(value, bool):
+                parts.append("on" if value else "off")
+            else:
+                parts.append(str(value))
+        return " ".join(parts)
+
+
+@_op
+@dataclass(frozen=True, slots=True)
+class Rotate(Op):
+    """Rotate the device (portrait <-> landscape)."""
+
+    kind: ClassVar[str] = "rotate"
+
+
+@_op
+@dataclass(frozen=True, slots=True)
+class Resize(Op):
+    """Resize the display (fold/unfold, split-screen, freeform drag)."""
+
+    kind: ClassVar[str] = "resize"
+    width: int = 0
+    height: int = 0
+
+
+@_op
+@dataclass(frozen=True, slots=True)
+class Locale(Op):
+    """Switch the system locale."""
+
+    kind: ClassVar[str] = "locale"
+    locale: str = "en-US"
+
+
+@_op
+@dataclass(frozen=True, slots=True)
+class Night(Op):
+    """Toggle dark mode on or off."""
+
+    kind: ClassVar[str] = "night"
+    enabled: bool = False
+
+
+@_op
+@dataclass(frozen=True, slots=True)
+class Write(Op):
+    """Enter user state.
+
+    ``step`` feeds the driver's value template (``m{member}.s{step}``
+    for fleet devices, ``entry-{step}`` for harness sessions) and, when
+    ``slot`` is None, picks the target slot as ``step % len(slots)``.
+    """
+
+    kind: ClassVar[str] = "write"
+    step: int = 0
+    slot: int | None = None
+
+
+@_op
+@dataclass(frozen=True, slots=True)
+class StartAsync(Op):
+    """Kick off the app's background task (if it declares one)."""
+
+    kind: ClassVar[str] = "async"
+
+
+@_op
+@dataclass(frozen=True, slots=True)
+class Kill(Op):
+    """Kill the app process (low-memory kill / swipe from recents)."""
+
+    kind: ClassVar[str] = "kill"
+
+
+@_op
+@dataclass(frozen=True, slots=True)
+class Wait(Op):
+    """Think time: advance simulated time by ``gap_ms``."""
+
+    kind: ClassVar[str] = "wait"
+    gap_ms: float = 0.0
+
+
+@_op
+@dataclass(frozen=True, slots=True)
+class Audit(Op):
+    """Read the app's slots back and compare against the last write.
+
+    A mismatch is a *loss event* and the driver may re-enter the value
+    (the harness user retyping a lost note).  ``slot`` narrows the audit
+    to one slot index; None audits every slot.
+    """
+
+    kind: ClassVar[str] = "audit"
+    slot: int | None = None
+
+
+def op_from_tuple(raw: tuple) -> Op:
+    """Decode one op tuple; raises :class:`WorkloadError` on bad input."""
+    if not raw:
+        raise WorkloadError("empty op tuple")
+    kind = raw[0]
+    cls = OP_KINDS.get(kind)
+    if cls is None:
+        known = ", ".join(sorted(OP_KINDS))
+        raise WorkloadError(f"unknown op kind {kind!r} (known: {known})")
+    names = [f.name for f in fields(cls)]  # type: ignore[arg-type]
+    args = raw[1:]
+    if len(args) > len(names):
+        raise WorkloadError(
+            f"op {kind!r} takes at most {len(names)} field(s), got {len(args)}"
+        )
+    try:
+        return cls(*args)
+    except TypeError as exc:
+        raise WorkloadError(f"malformed {kind!r} op tuple {raw!r}: {exc}") from exc
+
+
+def op_from_dict(data: dict) -> Op:
+    """Decode one op dict (the JSON wire form)."""
+    if not isinstance(data, dict) or "op" not in data:
+        raise WorkloadError(f"op record must be a dict with an 'op' key, got {data!r}")
+    kind = data["op"]
+    cls = OP_KINDS.get(kind)
+    if cls is None:
+        known = ", ".join(sorted(OP_KINDS))
+        raise WorkloadError(f"unknown op kind {kind!r} (known: {known})")
+    names = {f.name for f in fields(cls)}  # type: ignore[arg-type]
+    extra = set(data) - names - {"op"}
+    if extra:
+        raise WorkloadError(
+            f"op {kind!r} has unknown field(s) {sorted(extra)!r} (known: {sorted(names)!r})"
+        )
+    try:
+        return cls(**{name: data[name] for name in names if name in data})
+    except TypeError as exc:
+        raise WorkloadError(f"malformed {kind!r} op record {data!r}: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class Workload:
+    """An immutable typed op stream — one user session."""
+
+    ops: tuple[Op, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "ops", tuple(self.ops))
+        for op in self.ops:
+            if not isinstance(op, Op):
+                raise WorkloadError(f"workload ops must be Op instances, got {op!r}")
+
+    def __iter__(self) -> Iterator[Op]:
+        return iter(self.ops)
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    # -- summary ----------------------------------------------------
+
+    def op_count(self) -> int:
+        """Number of non-wait ops (the fleet's historical ``ops`` count)."""
+        return sum(1 for op in self.ops if op.kind != "wait")
+
+    def config_changes(self) -> int:
+        return sum(1 for op in self.ops if op.is_config_change)
+
+    def think_time_ms(self) -> float:
+        return sum(op.gap_ms for op in self.ops if isinstance(op, Wait))
+
+    # -- wire forms -------------------------------------------------
+
+    def to_tuples(self) -> tuple[tuple, ...]:
+        return tuple(op.to_tuple() for op in self.ops)
+
+    @classmethod
+    def from_tuples(cls, script) -> "Workload":
+        return cls(tuple(op_from_tuple(tuple(raw)) for raw in script))
+
+    def describe(self) -> str:
+        """Canonical multi-line IR dump (one op per line)."""
+        return "\n".join(op.describe() for op in self.ops)

@@ -1,0 +1,157 @@
+"""Named workloads and phase plans (the CLI's vocabulary).
+
+Two registries with disjoint name sets:
+
+* :data:`WORKLOADS` — stationary :class:`PopulationSpec` distributions
+  (``repro fleet --workload NAME``).
+* :data:`PHASE_PLANS` — time-varying :class:`PhasePlan` programs
+  (``repro fleet --phases NAME``).
+
+``repro workload show NAME`` resolves across the union, so the names
+must never collide; :func:`workload_named` / :func:`phase_plan_named`
+raise :class:`WorkloadError` with a did-you-mean hint for unknown
+names (the CLI turns that into its exit-2 discipline).
+"""
+
+from __future__ import annotations
+
+import difflib
+
+from repro.errors import WorkloadError
+from repro.workload.generate import DEFAULT_POPULATION, PopulationSpec
+from repro.workload.phases import (
+    EVENT_KILL_CASCADE,
+    EVENT_UPDATE_WAVE,
+    FleetEvent,
+    Phase,
+    PhasePlan,
+)
+
+__all__ = [
+    "STORM_POPULATION",
+    "IDLE_POPULATION",
+    "CHURN_POPULATION",
+    "WORKLOADS",
+    "PHASE_PLANS",
+    "workload_named",
+    "phase_plan_named",
+]
+
+#: The Fig. 11 regime: rapid-fire rotations and fold toggles with short
+#: think times — the worst case for restart-based handling.
+STORM_POPULATION = PopulationSpec(
+    min_ops=16, max_ops=24,
+    min_gap_ms=40.0, max_gap_ms=220.0,
+    weights=(
+        ("rotate", 10.0),
+        ("fold", 3.0),
+        ("write", 2.0),
+        ("async", 1.0),
+        ("night", 1.0),
+    ),
+)
+
+#: A device left mostly alone: few ops, long gaps, almost no changes.
+IDLE_POPULATION = PopulationSpec(
+    min_ops=2, max_ops=5,
+    min_gap_ms=2_000.0, max_gap_ms=8_000.0,
+    weights=(
+        ("write", 5.0),
+        ("async", 2.0),
+        ("rotate", 1.0),
+        ("night", 1.0),
+    ),
+)
+
+#: Locale/dark-mode churn: the non-geometry configuration dimensions.
+CHURN_POPULATION = PopulationSpec(
+    min_ops=10, max_ops=16,
+    min_gap_ms=200.0, max_gap_ms=900.0,
+    weights=(
+        ("locale", 4.0),
+        ("night", 3.0),
+        ("fold", 3.0),
+        ("rotate", 2.0),
+        ("write", 2.0),
+    ),
+)
+
+WORKLOADS: dict[str, PopulationSpec] = {
+    "default": DEFAULT_POPULATION,
+    "storm": STORM_POPULATION,
+    "idle": IDLE_POPULATION,
+    "config-churn": CHURN_POPULATION,
+}
+
+PHASE_PLANS: dict[str, PhasePlan] = {
+    # A quiet day: two idle segments.  The comparator for the bench's
+    # storm/idle cost-asymmetry gate.
+    "calm": PhasePlan(
+        "calm",
+        phases=(
+            Phase("overnight", IDLE_POPULATION),
+            Phase("standby", IDLE_POPULATION),
+        ),
+    ),
+    # Calm morning, then the Fig. 11 rotation storm.
+    "rotation-storm": PhasePlan(
+        "rotation-storm",
+        phases=(
+            Phase("calm", IDLE_POPULATION),
+            Phase("storm", STORM_POPULATION),
+        ),
+    ),
+    # Overnight idle -> active day -> evening settings churn.
+    "diurnal": PhasePlan(
+        "diurnal",
+        phases=(
+            Phase("night-idle", IDLE_POPULATION),
+            Phase("day-active", DEFAULT_POPULATION),
+            Phase("evening-churn", CHURN_POPULATION),
+        ),
+    ),
+    # An OS update wave lands between two steady phases: every
+    # participating device takes a forced config-change restart.
+    "update-wave": PhasePlan(
+        "update-wave",
+        phases=(
+            Phase("steady", DEFAULT_POPULATION),
+            Phase("post-update", DEFAULT_POPULATION),
+        ),
+        events=(FleetEvent(EVENT_UPDATE_WAVE, phase=0, rate=1.0),),
+    ),
+    # Memory pressure kills 60% of the fleet mid-day.
+    "kill-cascade": PhasePlan(
+        "kill-cascade",
+        phases=(
+            Phase("steady", DEFAULT_POPULATION),
+            Phase("aftermath", IDLE_POPULATION),
+        ),
+        events=(FleetEvent(EVENT_KILL_CASCADE, phase=0, rate=0.6),),
+    ),
+}
+
+assert not set(WORKLOADS) & set(PHASE_PLANS), "registry names must be disjoint"
+
+
+def _lookup(name: str, registry: dict, what: str, also: dict | None = None):
+    if name in registry:
+        return registry[name]
+    pool = sorted(set(registry) | set(also or ()))
+    hint = ""
+    close = difflib.get_close_matches(name, pool, n=1)
+    if close:
+        hint = f" (did you mean {close[0]!r}?)"
+    raise WorkloadError(
+        f"unknown {what} {name!r}; known: {', '.join(pool)}{hint}"
+    )
+
+
+def workload_named(name: str) -> PopulationSpec:
+    """Resolve a stationary workload name or raise with a hint."""
+    return _lookup(name, WORKLOADS, "workload")
+
+
+def phase_plan_named(name: str) -> PhasePlan:
+    """Resolve a phase-plan name or raise with a hint."""
+    return _lookup(name, PHASE_PLANS, "phase plan")

@@ -1,0 +1,199 @@
+"""Time-varying workloads: phases, storms, and correlated fleet events.
+
+A :class:`PhasePlan` is the non-stationary generalisation of a single
+:class:`~repro.workload.generate.PopulationSpec`: an ordered sequence
+of named :class:`Phase` segments (each with its own op distribution —
+an overnight idle phase draws few slow ops, a rotation storm draws
+many fast ones) plus optional :class:`FleetEvent` records modelling
+*correlated* fleet-wide incidents — an OS update wave that forces a
+configuration change on participating devices, or a memory-pressure
+kill cascade.  This is the Fig. 11 regime (frequent-change storms) at
+population scale, per the ROADMAP's "time-varying, trace-driven
+workloads" item.
+
+Determinism contract: :func:`phased_workload` is **pure in
+``(plan, seed, member)``**.  The phase stream and the event stream use
+separate RNG forks, and every event costs a *fixed* number of draws
+per member whether or not the member participates — so changing one
+event's rate (or dropping an event) never reshuffles another event's
+participation or the phase op stream.  This mirrors the fault plan's
+fixed-draw discipline in ``repro.fleet.faults``.
+"""
+
+from __future__ import annotations
+
+import difflib
+from dataclasses import dataclass
+
+from repro.errors import WorkloadError
+from repro.sim.rng import DeterministicRng
+from repro.workload.generate import (
+    LOCALES,
+    PopulationSpec,
+    SessionState,
+    draw_session_ops,
+)
+from repro.workload.ir import Kill, Locale, Op, Rotate, Wait, Workload
+
+__all__ = [
+    "EVENT_UPDATE_WAVE",
+    "EVENT_KILL_CASCADE",
+    "EVENT_KINDS",
+    "Phase",
+    "FleetEvent",
+    "PhasePlan",
+    "phased_workload",
+]
+
+#: An OS update wave: participating devices get a forced locale refresh
+#: plus a configuration-change restart in quick succession.
+EVENT_UPDATE_WAVE = "update-wave"
+#: A memory-pressure cascade: participating devices lose their process.
+EVENT_KILL_CASCADE = "kill-cascade"
+
+EVENT_KINDS = (EVENT_UPDATE_WAVE, EVENT_KILL_CASCADE)
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One named segment of a plan, with its own op distribution."""
+
+    name: str
+    population: PopulationSpec
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise WorkloadError("Phase.name must be non-empty")
+        if not isinstance(self.population, PopulationSpec):
+            raise WorkloadError(
+                f"Phase {self.name!r}: population must be a PopulationSpec, "
+                f"got {type(self.population).__name__}"
+            )
+
+
+@dataclass(frozen=True)
+class FleetEvent:
+    """A correlated fleet-wide incident fired at the end of one phase.
+
+    ``rate`` is the fraction of members that participate; participation
+    is drawn per member from a dedicated RNG fork, so it is identical
+    for member *i* across every (app, policy) cell — the event hits the
+    *same devices* under every policy, which keeps fleet comparisons
+    apples-to-apples.
+    """
+
+    kind: str
+    phase: int
+    rate: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in EVENT_KINDS:
+            hint = ""
+            close = difflib.get_close_matches(str(self.kind), EVENT_KINDS, n=1)
+            if close:
+                hint = f" (did you mean {close[0]!r}?)"
+            raise WorkloadError(
+                f"FleetEvent.kind {self.kind!r} unknown; "
+                f"known: {', '.join(EVENT_KINDS)}{hint}"
+            )
+        if self.phase < 0:
+            raise WorkloadError(
+                f"FleetEvent.phase must be >= 0, got {self.phase}"
+            )
+        if not 0.0 < self.rate <= 1.0:
+            raise WorkloadError(
+                f"FleetEvent.rate must be in (0, 1], got {self.rate!r}"
+            )
+
+
+@dataclass(frozen=True)
+class PhasePlan:
+    """An ordered phase sequence plus correlated events."""
+
+    name: str
+    phases: tuple[Phase, ...]
+    events: tuple[FleetEvent, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise WorkloadError("PhasePlan.name must be non-empty")
+        if not self.phases:
+            raise WorkloadError(
+                f"PhasePlan {self.name!r}: phases must be non-empty"
+            )
+        for phase in self.phases:
+            if not isinstance(phase, Phase):
+                raise WorkloadError(
+                    f"PhasePlan {self.name!r}: phases must be Phase "
+                    f"instances, got {type(phase).__name__}"
+                )
+        for event in self.events:
+            if not isinstance(event, FleetEvent):
+                raise WorkloadError(
+                    f"PhasePlan {self.name!r}: events must be FleetEvent "
+                    f"instances, got {type(event).__name__}"
+                )
+            if event.phase >= len(self.phases):
+                raise WorkloadError(
+                    f"PhasePlan {self.name!r}: event {event.kind!r} fires "
+                    f"after phase {event.phase}, but the plan has only "
+                    f"{len(self.phases)} phase(s)"
+                )
+
+    def describe(self) -> str:
+        lines = [f"plan {self.name}: {len(self.phases)} phase(s), "
+                 f"{len(self.events)} event(s)"]
+        for index, phase in enumerate(self.phases):
+            pop = phase.population
+            lines.append(
+                f"  phase {index} {phase.name}: {pop.min_ops}-{pop.max_ops} "
+                f"ops, gaps {pop.min_gap_ms:g}-{pop.max_gap_ms:g} ms"
+            )
+        for event in self.events:
+            lines.append(
+                f"  event {event.kind} after phase {event.phase} "
+                f"(rate {event.rate:g})"
+            )
+        return "\n".join(lines)
+
+
+def _event_ops(event: FleetEvent, locale_index: int, state: SessionState) -> list[Op]:
+    if event.kind == EVENT_UPDATE_WAVE:
+        # The update applies, refreshes locale resources, and forces a
+        # configuration-change restart shortly after.
+        state.saw_config_change = True
+        return [
+            Locale(LOCALES[locale_index]),
+            Wait(200.0),
+            Rotate(),
+            Wait(400.0),
+        ]
+    # kill cascade: the OS reclaims the process under memory pressure.
+    return [Kill(), Wait(250.0)]
+
+
+def phased_workload(plan: PhasePlan, seed: int, member: int) -> Workload:
+    """Member ``member``'s session under ``plan`` — pure in (seed, member)."""
+    rng = DeterministicRng(seed).fork(f"fleet-phased-{member}")
+    event_rng = DeterministicRng(seed).fork(f"fleet-events-{member}")
+    # Fixed draws: two per event, unconditionally, in declaration order.
+    draws = []
+    for event in plan.events:
+        joined = event_rng.uniform(0.0, 1.0) <= event.rate
+        locale_index = event_rng.randint(0, len(LOCALES) - 1)
+        draws.append((joined, locale_index))
+
+    state = SessionState()
+    ops: list[Op] = []
+    for index, phase in enumerate(plan.phases):
+        count = rng.randint(phase.population.min_ops,
+                            phase.population.max_ops)
+        draw_session_ops(rng, phase.population, state, ops, count)
+        for event, (joined, locale_index) in zip(plan.events, draws):
+            if event.phase != index or not joined:
+                continue
+            ops.extend(_event_ops(event, locale_index, state))
+    if not state.saw_config_change:
+        ops.append(Rotate())
+        ops.append(Wait(500.0))
+    return Workload(tuple(ops))

@@ -1,0 +1,109 @@
+"""Trace -> workload compilation: replay what a real session recorded.
+
+``from_trace(spans)`` maps a recorded span stream (PR 1's tracer — the
+output of ``repro.trace.replay.snapshot`` or a loaded export) back to
+IR ops, so one real recorded session can be amplified into a
+fleet-scale population (``repro fleet --workload recorded.json``).
+This is the XTrace direction from PAPERS.md: derive production
+workloads from production traces.
+
+The compiler keys on the spans the simulator's own hooks emit:
+
+* ``update-configuration`` (ATMS) — its ``change`` arg lists the
+  changed configuration dimensions; the highest-priority dimension
+  picks the op (orientation -> :class:`Rotate`, screenSize ->
+  :class:`Resize` fold toggle, locale -> :class:`Locale` over the
+  standard cycle, uiMode -> :class:`Night` toggle).
+* ``process-kill`` (process) — a :class:`Kill`.
+
+Everything else (launches, lifecycle, looper, scheduler spans) is
+machinery *caused by* the user ops, not a user op itself, and is
+skipped.  The think time between consecutive compiled ops is preserved
+as :class:`Wait` gaps, so the replayed session keeps the recorded
+cadence; a trailing settle wait lets the last change finish handling.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.errors import WorkloadError
+from repro.trace.span import Span
+from repro.workload.generate import FOLDED_SIZE, LOCALES, UNFOLDED_SIZE
+from repro.workload.ir import (
+    Kill,
+    Locale,
+    Night,
+    Op,
+    Resize,
+    Rotate,
+    Wait,
+    Workload,
+)
+
+__all__ = ["from_trace", "TRAILING_SETTLE_MS"]
+
+#: Settle wait appended after the last compiled op.
+TRAILING_SETTLE_MS = 500.0
+
+
+def _as_span_fields(record) -> tuple[str, str, float, dict]:
+    """(name, category, start_ms, args) from a Span or an exported dict."""
+    if isinstance(record, Span):
+        return record.name, record.category, record.start_ms, dict(record.args)
+    if isinstance(record, Mapping):
+        try:
+            return (
+                record["name"],
+                record["category"],
+                float(record["start_ms"]),
+                dict(record.get("args") or {}),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise WorkloadError(
+                f"malformed span record {record!r}: {exc}"
+            ) from exc
+    raise WorkloadError(
+        f"span records must be Span objects or dicts, got {type(record).__name__}"
+    )
+
+
+def from_trace(spans: Iterable) -> Workload:
+    """Compile a recorded span stream into a replayable workload."""
+    events: list[tuple[float, Op]] = []
+    folded = False
+    night = False
+    locale_index = 0
+    for record in spans:
+        name, category, start_ms, args = _as_span_fields(record)
+        if category == "atms" and name == "update-configuration":
+            dims = {d for d in str(args.get("change", "")).split(",") if d}
+            if "orientation" in dims:
+                events.append((start_ms, Rotate()))
+            elif "screenSize" in dims:
+                folded = not folded
+                width, height = FOLDED_SIZE if folded else UNFOLDED_SIZE
+                events.append((start_ms, Resize(width, height)))
+            elif "locale" in dims:
+                locale_index = (locale_index + 1) % len(LOCALES)
+                events.append((start_ms, Locale(LOCALES[locale_index])))
+            elif "uiMode" in dims:
+                night = not night
+                events.append((start_ms, Night(night)))
+            # keyboard / fontScale-only changes have no IR op yet.
+        elif category == "process" and name == "process-kill":
+            events.append((start_ms, Kill()))
+
+    events.sort(key=lambda pair: pair[0])
+    ops: list[Op] = []
+    previous_ms: float | None = None
+    for start_ms, op in events:
+        if previous_ms is not None:
+            gap = round(start_ms - previous_ms, 1)
+            if gap > 0:
+                ops.append(Wait(gap))
+        ops.append(op)
+        previous_ms = start_ms
+    if ops:
+        ops.append(Wait(TRAILING_SETTLE_MS))
+    return Workload(tuple(ops))

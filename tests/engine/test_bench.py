@@ -124,9 +124,48 @@ class TestRequestBuilders:
             == len(requests)
 
 
+def _phases_section(*, identical=True, stock_asym=7.5, fixed_asym=8.4,
+                    stock_storm_crash=0.52, stock_calm_crash=0.12,
+                    fixed_storm_crash=0.0):
+    def rows(per_device_scale, stock_crash):
+        return {
+            "android10": {
+                "handling_events": 800, "handling_mean_ms": 150.0,
+                "handling_ms_per_device": round(
+                    280.0 * (stock_asym if per_device_scale else 1.0), 1),
+                "crash_rate": stock_crash, "data_loss_rate": 0.98,
+            },
+            "rchdroid": {
+                "handling_events": 950, "handling_mean_ms": 92.0,
+                "handling_ms_per_device": round(
+                    175.0 * (fixed_asym if per_device_scale else 1.0), 1),
+                "crash_rate": (fixed_storm_crash if per_device_scale
+                               else 0.0),
+                "data_loss_rate": 0.33,
+            },
+        }
+
+    storm = rows(True, stock_storm_crash)
+    idle = rows(False, stock_calm_crash)
+    return {
+        "devices": 180,
+        "storm_plan": "rotation-storm",
+        "idle_plan": "calm",
+        "plans": {"rotation-storm": storm, "calm": idle},
+        "identical_across_jobs": {"rotation-storm": identical,
+                                  "calm": identical},
+        "asymmetry": {
+            policy: round(
+                storm[policy]["handling_ms_per_device"]
+                / idle[policy]["handling_ms_per_device"], 2)
+            for policy in storm
+        },
+    }
+
+
 def _fleet_report(*, identical=True, spawn_cold=0.4, spawn_forked=0.1,
                   delta_bytes=900, rss_small=25.0, rss_large=27.0,
-                  resume_identical=True):
+                  resume_identical=True, phases=None):
     return {
         "bench": "repro.fleet",
         "host": {"cpu_count": 4, "python": "3.11", "platform": "test"},
@@ -160,6 +199,7 @@ def _fleet_report(*, identical=True, spawn_cold=0.4, spawn_forked=0.1,
             {"devices": 5760, "jobs": 1, "seconds": 12.0,
              "rss_mb": rss_large, "ok": True},
         ],
+        "phases": phases if phases is not None else _phases_section(),
         "resume": {"devices": 2000, "jobs": 2, "killed_mid_run": True,
                    "resume_exit": 0, "identical": resume_identical},
     }
@@ -207,12 +247,43 @@ class TestCheckFleetReport:
         assert any("resumed report differs" in failure
                    for failure in failures)
 
+    def test_missing_phases_section_fails(self):
+        report = _fleet_report()
+        del report["phases"]
+        failures = bench.check_fleet_report(report)
+        assert any("phases section missing" in failure
+                   for failure in failures)
+
+    def test_phased_jobs_divergence_fails(self):
+        failures = bench.check_fleet_report(
+            _fleet_report(phases=_phases_section(identical=False)))
+        assert any("differs across job counts" in failure
+                   for failure in failures)
+
+    def test_flat_storm_asymmetry_fails(self):
+        failures = bench.check_fleet_report(_fleet_report(
+            phases=_phases_section(stock_asym=0.9)))
+        assert any("asymmetry" in failure for failure in failures)
+
+    def test_stock_crash_rate_must_climb_under_the_storm(self):
+        failures = bench.check_fleet_report(_fleet_report(
+            phases=_phases_section(stock_storm_crash=0.1,
+                                   stock_calm_crash=0.12)))
+        assert any("did not climb" in failure for failure in failures)
+
+    def test_transparent_policy_crashing_like_stock_fails(self):
+        failures = bench.check_fleet_report(_fleet_report(
+            phases=_phases_section(fixed_storm_crash=0.6)))
+        assert any("not below" in failure for failure in failures)
+
     def test_format_mentions_spawn_and_identity(self):
         text = bench.format_fleet_report(_fleet_report())
         assert "spawn" in text
         assert "byte-identical to serial: yes" in text
         assert "delta residue" in text
         assert "scaling" in text
+        assert "phases" in text
+        assert "asymmetry" in text
         assert "resume" in text
 
     def test_format_flags_divergence(self):

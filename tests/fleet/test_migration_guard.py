@@ -1,0 +1,68 @@
+"""Migration guard: the IR refactor must not move a single report byte.
+
+These hashes were captured from the pre-``repro.workload`` fleet — the
+one that generated scripts as raw op tuples and drove devices with its
+own loop.  If either pin breaks, the shared driver (or the generator's
+frozen RNG discipline) changed observable behaviour, which silently
+re-seeds every committed baseline.  Fix the regression; do not re-pin
+without understanding exactly which draw or bookkeeping rule moved.
+"""
+
+import hashlib
+
+from repro.fleet import FleetSpec, run_fleet
+from repro.workload.library import PHASE_PLANS
+
+#: sha256 of ``run_fleet(FleetSpec(devices_per_cell=3, shard_size=2),
+#: jobs=1).to_json()`` before the IR refactor.
+SMALL_FLEET_SHA256 = (
+    "c3c97f2c1b0438ef9de62741c18f55370a9cf3c3d9902d7cb3c7ca03a900325b"
+)
+
+#: sha256 of the ext-fleet experiment report (faults + oracle sampling
+#: enabled) before the IR refactor: ``ext_fleet.run(jobs=1).to_json()``.
+EXT_FLEET_SHA256 = (
+    "349d3feae7f82428bfdd68c2aa032676b81955f5483846e43c67711405926803"
+)
+
+
+def sha256(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+class TestPreRefactorBytes:
+    def test_small_fleet_report_is_pinned(self):
+        spec = FleetSpec(devices_per_cell=3, shard_size=2)
+        assert sha256(run_fleet(spec, jobs=1).to_json()) == \
+            SMALL_FLEET_SHA256
+
+    def test_ext_fleet_report_is_pinned(self):
+        from repro.harness.experiments import ext_fleet
+
+        assert sha256(ext_fleet.run(jobs=1).to_json()) == EXT_FLEET_SHA256
+
+
+class TestPhasedDeterminism:
+    """Time-varying fleets honour the same byte-identity contract."""
+
+    def test_identical_across_job_counts(self):
+        spec = FleetSpec(devices_per_cell=3, shard_size=2,
+                         phases=PHASE_PLANS["rotation-storm"])
+        serial = run_fleet(spec, jobs=1).to_json()
+        assert run_fleet(spec, jobs=4).to_json() == serial
+
+    def test_identical_across_checkpoint_resume(self, tmp_path):
+        spec = FleetSpec(devices_per_cell=3, shard_size=2,
+                         phases=PHASE_PLANS["update-wave"])
+        base = run_fleet(spec, jobs=1).to_json()
+        path = str(tmp_path / "phased.ckpt")
+        run_fleet(spec, checkpoint_path=path, checkpoint_every=1)
+        resumed = run_fleet(spec, checkpoint_path=path)
+        assert resumed.to_json() == base
+
+    def test_phases_change_the_report(self):
+        spec = FleetSpec(devices_per_cell=3, shard_size=2)
+        phased = FleetSpec(devices_per_cell=3, shard_size=2,
+                           phases=PHASE_PLANS["rotation-storm"])
+        assert run_fleet(phased, jobs=1).to_json() != \
+            run_fleet(spec, jobs=1).to_json()

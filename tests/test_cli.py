@@ -285,6 +285,125 @@ class TestOracleCli:
         assert "usage" in capsys.readouterr().out
 
 
+class TestFleetWorkloadFlags:
+    def test_named_workload_runs(self, capsys, tmp_path):
+        import json
+
+        out_path = tmp_path / "fleet.json"
+        args = ["fleet", "--devices", "18", "--jobs", "1",
+                "--workload", "storm", "-o", str(out_path)]
+        assert repro_main(args) == 0
+        capsys.readouterr()
+        report = json.loads(out_path.read_text())
+        assert report["fleet"]["devices"] == 18
+
+    def test_workload_file_replays_on_every_member(
+            self, capsys, tmp_path):
+        from repro.workload.codec import save_workload
+        from repro.workload.ir import Rotate, Wait, Workload, Write
+
+        path = tmp_path / "fixed.json"
+        save_workload(path, Workload((
+            Write(0), Wait(200.0), Rotate(), Wait(600.0),
+        )))
+        out_path = tmp_path / "fleet.json"
+        args = ["fleet", "--devices", "9", "--jobs", "1",
+                "--workload", str(path), "-o", str(out_path)]
+        assert repro_main(args) == 0
+        capsys.readouterr()
+
+    def test_phases_plan_runs(self, capsys, tmp_path):
+        out_path = tmp_path / "fleet.json"
+        args = ["fleet", "--devices", "18", "--jobs", "1",
+                "--phases", "rotation-storm", "-o", str(out_path)]
+        assert repro_main(args) == 0
+        assert out_path.exists()
+        capsys.readouterr()
+
+    def test_unknown_workload_name_gets_a_hint(self, capsys):
+        assert repro_main(["fleet", "--workload", "strom"]) == 2
+        out = capsys.readouterr().out
+        assert "fleet error" in out
+        assert "did you mean 'storm'" in out
+
+    def test_unknown_phases_name_is_exit_2(self, capsys):
+        assert repro_main(["fleet", "--phases", "nope"]) == 2
+        assert "fleet error" in capsys.readouterr().out
+
+    def test_workload_and_phases_are_mutually_exclusive(self, capsys):
+        args = ["fleet", "--workload", "storm",
+                "--phases", "rotation-storm"]
+        assert repro_main(args) == 2
+        assert "mutually exclusive" in capsys.readouterr().out
+
+    def test_missing_workload_file_is_exit_2(self, capsys, tmp_path):
+        args = ["fleet", "--workload", str(tmp_path / "nope.json")]
+        assert repro_main(args) == 2
+        assert "fleet error" in capsys.readouterr().out
+
+
+class TestWorkloadCli:
+    def test_list_names_both_registries(self, capsys):
+        assert repro_main(["workload", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("default", "storm", "idle", "config-churn",
+                     "calm", "rotation-storm", "diurnal"):
+            assert name in out
+
+    def test_show_dumps_canonical_ir(self, capsys):
+        assert repro_main(["workload", "show", "storm"]) == 0
+        out = capsys.readouterr().out
+        assert "workload storm" in out
+        assert "config changes" in out
+
+    def test_show_phase_plan_describes_the_plan(self, capsys):
+        assert repro_main(["workload", "show", "rotation-storm"]) == 0
+        out = capsys.readouterr().out
+        assert "plan rotation-storm" in out
+        assert "phase 0" in out
+
+    def test_show_writes_a_loadable_ir_file(self, capsys, tmp_path):
+        from repro.workload.codec import load_workload
+        from repro.workload.generate import device_workload
+        from repro.workload.library import WORKLOADS
+
+        path = tmp_path / "ir.json"
+        args = ["workload", "show", "idle", "--seed", "9",
+                "--member", "3", "-o", str(path)]
+        assert repro_main(args) == 0
+        capsys.readouterr()
+        assert load_workload(path) == device_workload(
+            WORKLOADS["idle"], 9, 3)
+
+    def test_show_unknown_name_lists_candidates(self, capsys):
+        assert repro_main(["workload", "show", "strom"]) == 2
+        assert "storm" in capsys.readouterr().out
+
+    def test_record_compiles_a_traced_session(self, capsys, tmp_path):
+        from repro.workload.codec import load_workload
+
+        path = tmp_path / "recorded.json"
+        args = ["workload", "record", "--seed", "7", "-o", str(path)]
+        assert repro_main(args) == 0
+        out = capsys.readouterr().out
+        assert "ops compiled from" in out
+        recorded = load_workload(path)
+        assert recorded.config_changes() > 0
+
+    def test_record_rejects_unknown_policy(self, capsys):
+        args = ["workload", "record", "--policy", "nope"]
+        assert repro_main(args) == 2
+        capsys.readouterr()
+
+    def test_no_subcommand_prints_usage(self, capsys):
+        assert repro_main(["workload"]) == 2
+        assert "usage" in capsys.readouterr().out
+
+    def test_unknown_subcommand_is_exit_2(self, capsys):
+        assert repro_main(["workload", "nope"]) == 2
+        capsys.readouterr()
+
+
 class TestTraceCli:
     def test_trace_demo_writes_verified_chrome_trace(self, capsys, tmp_path):
         import json

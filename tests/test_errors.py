@@ -64,7 +64,8 @@ class TestSubsystemErrorTaxonomy:
             and issubclass(getattr(errors_module, name), Exception)
         }
         for expected in ("ReplayDivergenceError", "EngineError",
-                         "SnapshotError", "FleetError", "OracleError"):
+                         "SnapshotError", "FleetError", "OracleError",
+                         "WorkloadError"):
             assert expected in public
 
 
@@ -75,10 +76,11 @@ def _subsystem_errors():
         OracleError,
         ReplayDivergenceError,
         SnapshotError,
+        WorkloadError,
     )
 
     return [ReplayDivergenceError, EngineError, SnapshotError,
-            FleetError, OracleError]
+            FleetError, OracleError, WorkloadError]
 
 
 @pytest.mark.parametrize("exc_type", _subsystem_errors())

@@ -1,0 +1,147 @@
+"""The shared device driver: profile semantics across consumers."""
+
+import pytest
+
+from repro import Android10Policy, RCHDroidPolicy
+from repro.android.views.inflate import ViewSpec
+from repro.apps.dsl import AppSpec, StateSlot, StorageKind, \
+    two_orientation_resources
+from repro.errors import WorkloadError
+from repro.system import AndroidSystem
+from repro.workload.driver import DriverProfile, DriveResult, drive
+from repro.workload.ir import (
+    Audit,
+    Kill,
+    Rotate,
+    Wait,
+    Workload,
+    Write,
+)
+
+
+def slot_app() -> AppSpec:
+    return AppSpec(
+        package="drv.app", label="d",
+        resources=two_orientation_resources(
+            "main", [ViewSpec("TextView", view_id=10)]
+        ),
+        slots=(StateSlot("note", StorageKind.VIEW_ATTR,
+                         view_id=10, attr="text"),),
+    )
+
+
+def launched(policy_factory, app, seed=7):
+    system = AndroidSystem(policy=policy_factory(), seed=seed)
+    system.launch(app)
+    system.run_for(300.0)
+    return system
+
+
+def profile(**overrides):
+    defaults = dict(
+        write_value=lambda step: f"v{step}",
+        initial_expected={"note": "v0"},
+    )
+    defaults.update(overrides)
+    return DriverProfile(**defaults)
+
+
+class TestProfileValidation:
+    def test_unknown_epilogue_raises(self):
+        with pytest.raises(WorkloadError, match="epilogue"):
+            profile(epilogue="shrug")
+
+
+class TestDriveSemantics:
+    def test_settle_audit_counts_stock_loss(self):
+        app = slot_app()
+        system = launched(Android10Policy, app)
+        workload = Workload((
+            Write(0, slot=0), Wait(200.0), Rotate(), Wait(600.0),
+        ))
+        result = drive(system, app, workload, profile())
+        assert result.counts["rotate"] == 1
+        assert result.loss_events >= 1       # stock loses the note
+        assert result.audits >= 1
+
+    def test_transparent_policy_loses_nothing(self):
+        app = slot_app()
+        system = launched(RCHDroidPolicy, app)
+        workload = Workload((
+            Write(0, slot=0), Wait(200.0), Rotate(), Wait(600.0),
+        ))
+        result = drive(system, app, workload, profile())
+        assert result.loss_events == 0
+        assert not result.crashed
+
+    def test_reenter_lost_restores_the_expected_value(self):
+        app = slot_app()
+        system = launched(Android10Policy, app)
+        workload = Workload((
+            Write(0, slot=0), Wait(200.0), Rotate(), Wait(600.0),
+        ))
+        drive(system, app, workload, profile())
+        assert system.read_slot(app, "note") == "v0"
+
+    def test_kill_then_op_counts_a_relaunch(self):
+        app = slot_app()
+        system = launched(RCHDroidPolicy, app)
+        workload = Workload((
+            Kill(), Wait(300.0), Write(1, slot=0), Wait(300.0),
+        ))
+        result = drive(system, app, workload, profile())
+        assert result.process_deaths == 1
+        assert result.relaunches == 1
+
+    def test_explicit_audit_targets_one_slot(self):
+        app = slot_app()
+        system = launched(RCHDroidPolicy, app)
+        workload = Workload((Write(1, slot=0), Wait(200.0), Audit(0)))
+        result = drive(
+            system, app, workload,
+            profile(settle_audits=False, relaunch_audit=False,
+                    epilogue="none"),
+        )
+        assert result.audits == 1
+        assert result.loss_events == 0
+
+    def test_none_epilogue_never_drains(self):
+        # "none" stops the clock where the op stream ends; "audit"
+        # drains the scheduler, so its session runs strictly longer.
+        def final_time(epilogue):
+            app = slot_app()
+            system = launched(RCHDroidPolicy, app)
+            result = drive(system, app, Workload((Rotate(),)),
+                           profile(epilogue=epilogue))
+            assert isinstance(result, DriveResult)
+            return system.now_ms
+
+        assert final_time("none") < final_time("audit")
+
+    def test_handling_ms_excludes_prelaunch_events(self):
+        app = slot_app()
+        system = launched(Android10Policy, app)
+        baseline = len(system.handling_times())
+        result = drive(
+            system, app, Workload((Rotate(), Wait(600.0))), profile()
+        )
+        assert result.handling_baseline == baseline
+        assert len(result.handling_ms) >= 1
+
+    def test_empty_write_policy(self):
+        bare = AppSpec(
+            package="drv.bare", label="b",
+            resources=two_orientation_resources("main", []),
+        )
+        counted = drive(
+            launched(RCHDroidPolicy, bare), bare,
+            Workload((Write(0), Wait(100.0))),
+            profile(initial_expected={}),
+        )
+        skipped = drive(
+            launched(RCHDroidPolicy, bare), bare,
+            Workload((Write(0), Wait(100.0))),
+            profile(initial_expected={}, count_empty_writes=False),
+        )
+        assert counted.counts.get("write") == 1
+        assert "write" not in skipped.counts

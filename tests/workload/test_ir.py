@@ -1,0 +1,169 @@
+"""Session IR: op value types, wire forms, and codec round-trips."""
+
+import pickle
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workload.codec import (
+    WORKLOAD_FORMAT,
+    WORKLOAD_FORMAT_VERSION,
+    load_workload,
+    save_workload,
+    workload_from_dict,
+    workload_from_json,
+    workload_to_dict,
+    workload_to_json,
+)
+from repro.workload.ir import (
+    CONFIG_CHANGE_KINDS,
+    OP_KINDS,
+    Audit,
+    Kill,
+    Locale,
+    Night,
+    Op,
+    Resize,
+    Rotate,
+    StartAsync,
+    Wait,
+    Workload,
+    Write,
+    op_from_dict,
+    op_from_tuple,
+)
+
+#: At least one instance of every registered op kind, with non-default
+#: field values where the kind has fields.
+SAMPLE_OPS = (
+    Rotate(),
+    Resize(1812, 2176),
+    Locale("ja-JP"),
+    Night(True),
+    Write(3),
+    Write(7, slot=0),
+    StartAsync(),
+    Kill(),
+    Wait(512.3),
+    Audit(),
+    Audit(1),
+)
+
+
+def test_samples_cover_every_registered_kind():
+    assert {op.kind for op in SAMPLE_OPS} == set(OP_KINDS)
+
+
+class TestOpWireForms:
+    @pytest.mark.parametrize("op", SAMPLE_OPS, ids=lambda op: op.describe())
+    def test_tuple_round_trip(self, op):
+        assert op_from_tuple(op.to_tuple()) == op
+
+    @pytest.mark.parametrize("op", SAMPLE_OPS, ids=lambda op: op.describe())
+    def test_dict_round_trip(self, op):
+        assert op_from_dict(op.to_dict()) == op
+
+    @pytest.mark.parametrize("op", SAMPLE_OPS, ids=lambda op: op.describe())
+    def test_pickle_round_trip(self, op):
+        assert pickle.loads(pickle.dumps(op)) == op
+
+    def test_trailing_none_slot_is_stripped(self):
+        # Byte-compat with the pre-IR generator's tuples.
+        assert Write(3).to_tuple() == ("write", 3)
+        assert Write(3, slot=0).to_tuple() == ("write", 3, 0)
+        assert Audit().to_tuple() == ("audit",)
+
+    def test_unknown_kind_tuple_raises(self):
+        with pytest.raises(WorkloadError, match="unknown op kind"):
+            op_from_tuple(("teleport",))
+
+    def test_overlong_tuple_raises(self):
+        with pytest.raises(WorkloadError, match="at most"):
+            op_from_tuple(("rotate", 90))
+
+    def test_empty_tuple_raises(self):
+        with pytest.raises(WorkloadError, match="empty"):
+            op_from_tuple(())
+
+    def test_unknown_dict_field_raises(self):
+        with pytest.raises(WorkloadError, match="unknown field"):
+            op_from_dict({"op": "wait", "gap_ms": 1.0, "speed": 2})
+
+    def test_dict_without_op_key_raises(self):
+        with pytest.raises(WorkloadError, match="'op' key"):
+            op_from_dict({"gap_ms": 1.0})
+
+    def test_config_change_kinds(self):
+        flagged = {op.kind for op in SAMPLE_OPS if op.is_config_change}
+        assert flagged == CONFIG_CHANGE_KINDS
+
+
+class TestWorkload:
+    def test_rejects_non_op_entries(self):
+        with pytest.raises(WorkloadError, match="Op instances"):
+            Workload((("rotate",),))
+
+    def test_tuples_round_trip(self):
+        workload = Workload(SAMPLE_OPS)
+        assert Workload.from_tuples(workload.to_tuples()) == workload
+
+    def test_pickle_round_trip(self):
+        workload = Workload(SAMPLE_OPS)
+        assert pickle.loads(pickle.dumps(workload)) == workload
+
+    def test_summaries(self):
+        workload = Workload((Rotate(), Wait(100.0), Write(0), Wait(50.5)))
+        assert len(workload) == 4
+        assert workload.op_count() == 2          # waits excluded
+        assert workload.config_changes() == 1
+        assert workload.think_time_ms() == 150.5
+
+    def test_describe_one_line_per_op(self):
+        text = Workload((Rotate(), Night(True), Wait(100.0))).describe()
+        assert text.splitlines() == ["rotate", "night on", "wait 100.0"]
+
+
+class TestCodec:
+    def test_json_round_trip_every_kind(self):
+        workload = Workload(SAMPLE_OPS)
+        assert workload_from_json(workload_to_json(workload)) == workload
+
+    def test_canonical_json_is_stable(self):
+        workload = Workload(SAMPLE_OPS)
+        assert workload_to_json(workload) == workload_to_json(
+            Workload(SAMPLE_OPS)
+        )
+
+    def test_envelope_fields(self):
+        data = workload_to_dict(Workload((Rotate(),)))
+        assert data["format"] == WORKLOAD_FORMAT
+        assert data["version"] == WORKLOAD_FORMAT_VERSION
+
+    def test_wrong_format_raises(self):
+        with pytest.raises(WorkloadError, match="not a workload"):
+            workload_from_dict({"format": "repro.fleet", "version": 1,
+                                "ops": []})
+
+    def test_wrong_version_raises(self):
+        with pytest.raises(WorkloadError, match="version"):
+            workload_from_dict({"format": WORKLOAD_FORMAT, "version": 99,
+                                "ops": []})
+
+    def test_missing_ops_raises(self):
+        with pytest.raises(WorkloadError, match="'ops' list"):
+            workload_from_dict({"format": WORKLOAD_FORMAT,
+                                "version": WORKLOAD_FORMAT_VERSION})
+
+    def test_invalid_json_raises(self):
+        with pytest.raises(WorkloadError, match="not valid JSON"):
+            workload_from_json("{nope")
+
+    def test_file_round_trip(self, tmp_path):
+        path = tmp_path / "w.json"
+        workload = Workload(SAMPLE_OPS)
+        save_workload(path, workload)
+        assert load_workload(path) == workload
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(WorkloadError, match="cannot read"):
+            load_workload(tmp_path / "nope.json")

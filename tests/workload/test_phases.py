@@ -1,0 +1,131 @@
+"""Time-varying workloads: phase plans, correlated events, purity."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workload.generate import PopulationSpec
+from repro.workload.ir import Kill, Locale, Rotate
+from repro.workload.library import (
+    PHASE_PLANS,
+    WORKLOADS,
+    phase_plan_named,
+    workload_named,
+)
+from repro.workload.phases import (
+    EVENT_KILL_CASCADE,
+    EVENT_UPDATE_WAVE,
+    FleetEvent,
+    Phase,
+    PhasePlan,
+    phased_workload,
+)
+
+CALM = PopulationSpec(min_ops=2, max_ops=4, min_gap_ms=100.0,
+                      max_gap_ms=400.0)
+
+
+def plan(events=()):
+    return PhasePlan("test", (Phase("a", CALM), Phase("b", CALM)),
+                     tuple(events))
+
+
+class TestValidation:
+    def test_empty_plan_raises(self):
+        with pytest.raises(WorkloadError, match="non-empty"):
+            PhasePlan("p", ())
+
+    def test_unnamed_phase_raises(self):
+        with pytest.raises(WorkloadError, match="name"):
+            Phase("", CALM)
+
+    def test_phase_needs_a_population(self):
+        with pytest.raises(WorkloadError, match="PopulationSpec"):
+            Phase("a", {"min_ops": 2})
+
+    def test_unknown_event_kind_gets_a_hint(self):
+        with pytest.raises(WorkloadError, match="did you mean"):
+            FleetEvent("update-waves", phase=0)
+
+    def test_event_rate_bounds(self):
+        with pytest.raises(WorkloadError, match="rate"):
+            FleetEvent(EVENT_UPDATE_WAVE, phase=0, rate=0.0)
+        with pytest.raises(WorkloadError, match="rate"):
+            FleetEvent(EVENT_UPDATE_WAVE, phase=0, rate=1.5)
+
+    def test_event_past_the_last_phase_raises(self):
+        with pytest.raises(WorkloadError, match="only 2 phase"):
+            plan([FleetEvent(EVENT_UPDATE_WAVE, phase=2)])
+
+
+class TestPhasedWorkload:
+    def test_pure_in_plan_seed_member(self):
+        p = plan([FleetEvent(EVENT_KILL_CASCADE, phase=0, rate=0.5)])
+        assert phased_workload(p, 0x5EED, 3) == phased_workload(p, 0x5EED, 3)
+
+    def test_members_differ(self):
+        p = plan()
+        sessions = {phased_workload(p, 0x5EED, m) for m in range(10)}
+        assert len(sessions) > 1
+
+    def test_update_wave_at_full_rate_hits_every_member(self):
+        p = plan([FleetEvent(EVENT_UPDATE_WAVE, phase=0, rate=1.0)])
+        for member in range(10):
+            ops = phased_workload(p, 0x5EED, member).ops
+            assert any(isinstance(op, Locale) for op in ops)
+
+    def test_kill_cascade_at_partial_rate_hits_a_strict_subset(self):
+        base = plan()
+        p = plan([FleetEvent(EVENT_KILL_CASCADE, phase=0, rate=0.5)])
+        hit = sum(
+            len(phased_workload(p, 0x5EED, m)) > len(
+                phased_workload(base, 0x5EED, m))
+            for m in range(40)
+        )
+        assert 0 < hit < 40
+
+    def test_event_rate_change_never_reshuffles_other_events(self):
+        # The fixed-draw discipline: each event costs the same number of
+        # RNG draws whether or not the member joins, so re-rating event
+        # #0 cannot change who participates in event #1.
+        def cascade_members(first_rate):
+            p = plan([
+                FleetEvent(EVENT_UPDATE_WAVE, phase=0, rate=first_rate),
+                FleetEvent(EVENT_KILL_CASCADE, phase=1, rate=0.5),
+            ])
+            return {
+                m for m in range(40)
+                if any(isinstance(op, Kill)
+                       for op in phased_workload(p, 0x5EED, m))
+            }
+
+        assert cascade_members(0.1) == cascade_members(0.9)
+
+    def test_every_session_ends_config_changed(self):
+        # The rotate fallback from the stationary generator carries over.
+        p = PhasePlan("idle-only", (
+            Phase("a", PopulationSpec(min_ops=0, max_ops=0)),
+        ))
+        ops = phased_workload(p, 0x5EED, 0).ops
+        assert any(isinstance(op, Rotate) for op in ops)
+
+
+class TestLibrary:
+    def test_registries_are_disjoint(self):
+        assert not set(WORKLOADS) & set(PHASE_PLANS)
+
+    def test_named_lookups(self):
+        for name in WORKLOADS:
+            workload_named(name)
+        for name in PHASE_PLANS:
+            assert phase_plan_named(name).name == name
+
+    def test_unknown_name_gets_a_hint(self):
+        with pytest.raises(WorkloadError, match="did you mean 'storm'"):
+            workload_named("strom")
+        with pytest.raises(WorkloadError, match="did you mean"):
+            phase_plan_named("rotation-strom")
+
+    def test_plan_describe_lists_phases_and_events(self):
+        text = PHASE_PLANS["update-wave"].describe()
+        assert "phase 0" in text
+        assert "event update-wave" in text

@@ -1,0 +1,113 @@
+"""Trace -> workload compilation (the amplification direction)."""
+
+import pytest
+
+from repro.engine.batch import POLICIES
+from repro.errors import WorkloadError
+from repro.fleet.population import fleet_corpus
+from repro.oracle.session import play_session
+from repro.system import AndroidSystem
+from repro.trace import replay
+from repro.trace.tracer import TraceSession
+from repro.workload.generate import LOCALES, device_workload
+from repro.workload.ir import Kill, Locale, Night, Resize, Rotate, Wait
+from repro.workload.library import workload_named
+from repro.workload.trace_compile import TRAILING_SETTLE_MS, from_trace
+
+
+def config_span(start_ms, change):
+    return {"name": "update-configuration", "category": "atms",
+            "start_ms": start_ms, "args": {"change": change}}
+
+
+def kill_span(start_ms):
+    return {"name": "process-kill", "category": "process",
+            "start_ms": start_ms, "args": {}}
+
+
+class TestFromTraceSynthetic:
+    def test_empty_trace_is_an_empty_workload(self):
+        assert len(from_trace([])) == 0
+
+    def test_each_dimension_maps_to_its_op(self):
+        workload = from_trace([
+            config_span(100.0, "orientation"),
+            config_span(300.0, "screenSize"),
+            config_span(500.0, "locale"),
+            config_span(700.0, "uiMode"),
+            kill_span(900.0),
+        ])
+        kinds = [type(op) for op in workload.ops if not isinstance(op, Wait)]
+        assert kinds == [Rotate, Resize, Locale, Night, Kill]
+
+    def test_gaps_preserve_the_recorded_cadence(self):
+        workload = from_trace([
+            config_span(100.0, "orientation"),
+            config_span(350.5, "orientation"),
+        ])
+        waits = [op.gap_ms for op in workload.ops if isinstance(op, Wait)]
+        assert waits == [250.5, TRAILING_SETTLE_MS]
+
+    def test_orientation_wins_over_secondary_dimensions(self):
+        workload = from_trace([
+            config_span(100.0, "orientation,screenSize,locale"),
+        ])
+        assert isinstance(workload.ops[0], Rotate)
+
+    def test_locales_cycle_through_the_standard_set(self):
+        workload = from_trace([
+            config_span(100.0 * (i + 1), "locale") for i in range(3)
+        ])
+        chosen = [op.locale for op in workload.ops
+                  if isinstance(op, Locale)]
+        assert chosen == [LOCALES[1], LOCALES[2], LOCALES[3]]
+
+    def test_keyboard_only_changes_are_skipped(self):
+        assert len(from_trace([config_span(100.0, "keyboard")])) == 0
+
+    def test_unsorted_spans_are_ordered_by_time(self):
+        workload = from_trace([
+            kill_span(500.0),
+            config_span(100.0, "orientation"),
+        ])
+        assert isinstance(workload.ops[0], Rotate)
+
+    def test_malformed_record_raises(self):
+        with pytest.raises(WorkloadError, match="malformed span"):
+            from_trace([{"category": "atms"}])
+        with pytest.raises(WorkloadError, match="Span objects or dicts"):
+            from_trace([("atms", 0.0)])
+
+
+class TestFromTraceRecorded:
+    def test_recorded_demo_session_compiles_and_replays(self):
+        """Record a real traced session, compile it, replay the result."""
+        app = fleet_corpus()[0]
+        population = workload_named("config-churn")
+        source = device_workload(population, 0x5EED, 0)
+        with TraceSession() as session:
+            system = AndroidSystem(policy=POLICIES["rchdroid"](), seed=7)
+            system.launch(app)
+            system.run_for(400.0)
+            play_session(system, app, source)
+        spans = []
+        for tracer in session.tracers:
+            spans.extend(replay.snapshot(tracer))
+
+        recorded = from_trace(spans)
+        # Every recorded config change made it back into the IR.
+        assert recorded.config_changes() == sum(
+            1 for s in spans
+            if s.get("category") == "atms"
+            and s.get("name") == "update-configuration"
+            and not set(str(s.get("args", {}).get("change", "")
+                            ).split(",")) <= {"keyboard", "fontScale", ""}
+        )
+        assert recorded.config_changes() > 0
+
+        # The compiled workload replays cleanly under another policy.
+        replay_system = AndroidSystem(policy=POLICIES["android10"](), seed=7)
+        replay_system.launch(app)
+        replay_system.run_for(400.0)
+        log = play_session(replay_system, app, recorded)
+        assert log.ops_played == recorded.op_count()
