@@ -37,7 +37,22 @@ Commands:
   ``repro workload list``, or a recorded-workload JSON file every
   member replays), ``--phases NAME`` (a named time-varying phase plan:
   diurnal phases, rotation storms, update waves, kill cascades),
+  ``--daemon URL`` (run the fleet on a ``repro serve`` daemon —
+  byte-identical report, warm templates; falls back in-process when
+  the daemon is unreachable), ``--events-log PATH`` (with
+  ``--daemon``: record the raw streamed event lines),
   ``-o/--output PATH`` (write the canonical JSON report).
+* ``serve``              — run the simulation daemon: a long-lived
+  process owning a persistent worker pool, snapshot/result caches,
+  and a resident shared-memory template arena, serving concurrent
+  fleet/oracle/experiment jobs over HTTP + JSON lines with streaming
+  partial reports, fair multi-tenant scheduling, and cancellation
+  (docs/SERVE.md).  Options: ``--port P`` (0 = ephemeral), ``--host
+  H``, ``--jobs N|auto``, ``--root PATH`` (persistent state dir; the
+  default is a scratch dir removed at shutdown), ``--ready-file
+  PATH`` (write ``{"url", "pid"}`` once listening), ``--stream-every
+  N``, ``--template-budget-mb N``; ``serve --stop URL`` asks a
+  running daemon to shut down.
 * ``workload``           — the session-IR toolbox (docs/WORKLOAD.md):
   ``workload list`` names the registries; ``workload show NAME``
   prints a member's canonical IR dump (``--seed N``, ``--member N``,
@@ -51,8 +66,10 @@ Commands:
   docs/ORACLE.md).  Apps come from the fleet corpus or the 27-app
   corpus, by package or name.  Options: ``--policy NAME`` (repeatable;
   default all three), ``--seed N``, ``--member N`` (session script
-  variant), ``-o/--output PATH`` (write the JSON report).  Exits 1 if
-  any divergence classifies as SIMULATOR_BUG.
+  variant), ``--daemon URL`` (run the session on a ``repro serve``
+  daemon, falling back in-process), ``-o/--output PATH`` (write the
+  JSON report).  Exits 1 if any divergence classifies as
+  SIMULATOR_BUG.
 * ``<experiment>``       — run one experiment (e.g. ``fig10``, ``table3``).
   Options: ``--jobs N|auto`` (parallel workers, default auto), ``--no-cache``
   (skip the ``.repro-cache/`` result cache), ``--cache-root PATH``,
@@ -83,6 +100,10 @@ def main(argv: list[str]) -> int:
         return oracle_command(argv[1:])
     if command == "workload":
         return workload_command(argv[1:])
+    if command == "serve":
+        from repro.serve.server import main as serve_main
+
+        return serve_main(argv[1:])
     if command == "bench-engine":
         from repro.engine.bench import main as bench_main
 
@@ -97,7 +118,7 @@ def main(argv: list[str]) -> int:
     return _unknown_command(
         command,
         ["demo", "experiments", "trace", "fleet", "oracle", "workload",
-         "bench-engine", *_MODULES],
+         "serve", "bench-engine", *_MODULES],
     )
 
 
@@ -120,7 +141,8 @@ _FLEET_USAGE = (
     " [--jobs N|auto] [--shard-size N] [--seed N]"
     " [--checkpoint PATH] [--checkpoint-every N]"
     " [--stats] [--verify-deltas] [--no-arena]"
-    " [--workload NAME|FILE] [--phases NAME] [-o PATH]"
+    " [--workload NAME|FILE] [--phases NAME]"
+    " [--daemon URL] [--events-log PATH] [-o PATH]"
 )
 
 
@@ -163,6 +185,8 @@ def fleet_command(args: list[str]) -> int:
     use_arena = True
     workload_arg: str | None = None
     phases_arg: str | None = None
+    daemon_url: str | None = None
+    events_log: str | None = None
     walker = iter(args)
     try:
         for arg in walker:
@@ -197,6 +221,10 @@ def fleet_command(args: list[str]) -> int:
                 workload_arg = next(walker)
             elif arg == "--phases":
                 phases_arg = next(walker)
+            elif arg == "--daemon":
+                daemon_url = next(walker)
+            elif arg == "--events-log":
+                events_log = next(walker)
             elif arg in ("-o", "--output"):
                 out_path = next(walker)
             else:
@@ -210,57 +238,68 @@ def fleet_command(args: list[str]) -> int:
         print(f"bad option value: {error}")
         return 2
 
-    import math
-
-    from repro.errors import FleetError, OracleError
+    from repro.errors import (
+        FleetError,
+        OracleError,
+        ServeError,
+        WorkloadError,
+    )
     from repro.fleet import (
         DEFAULT_CHECKPOINT_EVERY,
-        FaultPlan,
-        FleetSpec,
-        NO_FAULTS,
-        fleet_corpus,
         format_fleet_report,
         run_fleet,
     )
+    from repro.serve.protocol import fleet_spec_from_params
 
-    population = None
-    fixed_workload = None
-    plan = None
     if workload_arg is not None and phases_arg is not None:
         print("--workload and --phases are mutually exclusive "
               "(a phase plan carries its own op distributions)")
         return 2
+
+    # The params dict is the one spec description both execution paths
+    # share: the daemon client ships it over the wire, the in-process
+    # path feeds it to the same fleet_spec_from_params — so a daemon
+    # run can never mean a different fleet than a local one.
+    params: dict = {
+        "devices": devices,
+        "faults": faults_fraction,
+        "oracle": oracle_rate,
+        "seed": seed,
+        "shard_size": shard_size,
+    }
+    if policies:
+        params["policies"] = policies
     if workload_arg is not None:
-        population, fixed_workload, status = _resolve_fleet_workload(
-            workload_arg
-        )
+        fragment, status = _resolve_fleet_workload(workload_arg)
         if status:
             return status
+        params.update(fragment)
     if phases_arg is not None:
-        from repro.errors import WorkloadError
-        from repro.workload.library import phase_plan_named
+        params["phases"] = phases_arg
 
-        try:
-            plan = phase_plan_named(phases_arg)
-        except WorkloadError as error:
-            print(f"fleet error: {error}")
+    if daemon_url is not None:
+        local_only = [flag for flag, given in [
+            ("--checkpoint", checkpoint_path is not None),
+            ("--checkpoint-every", checkpoint_every is not None),
+            ("--stats", collect_stats),
+            ("--verify-deltas", verify_deltas),
+            ("--no-arena", not use_arena),
+            ("--jobs", jobs is not None),
+        ] if given]
+        if local_only:
+            print("these options run in-process and do not combine "
+                  f"with --daemon: {', '.join(local_only)}")
             return 2
+        from repro.serve.client import DaemonClient
 
-    cell_count = len(fleet_corpus()) * (len(policies) or 3)
+        client = DaemonClient(daemon_url)
+        if client.available():
+            return _fleet_via_daemon(client, params, out_path, events_log)
+        print(f"note: daemon {daemon_url} unreachable; "
+              "running in-process", file=sys.stderr)
+
     try:
-        spec = FleetSpec(
-            policies=tuple(policies) if policies else FleetSpec.policies,
-            devices_per_cell=max(1, math.ceil(devices / cell_count)),
-            faults=(FaultPlan.uniform(faults_fraction)
-                    if faults_fraction else NO_FAULTS),
-            seed=seed,
-            shard_size=shard_size,
-            oracle_rate=oracle_rate,
-            population=(population if population is not None
-                        else FleetSpec.population),
-            workload=fixed_workload,
-            phases=plan,
-        )
+        spec = fleet_spec_from_params(params)
         result = run_fleet(
             spec,
             jobs=jobs,
@@ -272,7 +311,7 @@ def fleet_command(args: list[str]) -> int:
             verify_deltas=verify_deltas,
             collect_stats=collect_stats,
         )
-    except (FleetError, OracleError) as error:
+    except (FleetError, OracleError, WorkloadError, ServeError) as error:
         print(f"fleet error: {error}")
         return 2
     print(format_fleet_report(result))
@@ -289,13 +328,66 @@ def fleet_command(args: list[str]) -> int:
     return 0
 
 
+def _fleet_via_daemon(client, params: dict, out_path: "str | None",
+                      events_log: "str | None") -> int:
+    """Run a fleet job on the daemon and print the identical report.
+
+    Every streamed event line is optionally appended to ``events_log``
+    (raw canonical JSON lines — what CI's prefix assertions read); the
+    terminal event's ``report_json`` is the same canonical bytes the
+    in-process path would have written.
+    """
+    import json
+
+    from repro.errors import ServeError
+    from repro.fleet import format_fleet_report
+
+    log = None
+    final: dict = {}
+    try:
+        if events_log is not None:
+            log = open(events_log, "w", encoding="utf-8")
+        job_id = client.submit("fleet", params)
+        for event in client.events(job_id):
+            if log is not None:
+                log.write(json.dumps(event, sort_keys=True,
+                                     separators=(",", ":")) + "\n")
+            final = event
+    except ServeError as error:
+        print(f"fleet error: {error}")
+        return 2
+    finally:
+        if log is not None:
+            log.close()
+    if final.get("event") == "error":
+        print(f"fleet error: {final.get('message', 'job failed')}")
+        return 2
+    if final.get("event") == "cancelled":
+        print("fleet error: job was cancelled on the daemon")
+        return 3
+    report_json = final["report_json"]
+    print(format_fleet_report(json.loads(report_json)))
+    if out_path is not None:
+        try:
+            with open(out_path, "w", encoding="utf-8") as handle:
+                handle.write(report_json + "\n")
+        except OSError as error:
+            print(f"cannot write {out_path}: {error.strerror or error}")
+            return 1
+        print(f"\nwrote {out_path}")
+    return int(final.get("exit", 0))
+
+
 def _resolve_fleet_workload(value: str):
-    """Resolve ``--workload NAME|FILE`` -> (population, workload, status).
+    """Resolve ``--workload NAME|FILE`` -> (params fragment, status).
 
     A path-looking value (``.json`` suffix, a path separator, or an
-    existing file) loads a recorded-workload file; anything else is a
-    registry name.  On failure prints the error and returns status 2.
+    existing file) loads a recorded-workload file and returns its
+    envelope inline (``workload_ir`` — what the daemon client ships);
+    anything else is validated as a registry name and passed by name.
+    On failure prints the error and returns status 2.
     """
+    import json
     import os
 
     from repro.errors import WorkloadError
@@ -305,19 +397,26 @@ def _resolve_fleet_workload(value: str):
         from repro.workload.codec import load_workload
 
         try:
-            return None, load_workload(value), 0
+            load_workload(value)  # full validation, CLI-side errors
+            with open(value, encoding="utf-8") as handle:
+                return {"workload_ir": json.load(handle)}, 0
+        except (OSError, ValueError) as error:
+            print(f"fleet error: cannot read workload file "
+                  f"{value}: {error}")
+            return {}, 2
         except WorkloadError as error:
             print(f"fleet error: {error}")
-            return None, None, 2
+            return {}, 2
     from repro.workload.library import workload_named
 
     try:
-        return workload_named(value), None, 0
+        workload_named(value)  # validate the name CLI-side for the hint
+        return {"workload": value}, 0
     except WorkloadError as error:
         print(f"fleet error: {error}")
         print("(named workloads come from 'repro workload list'; a path"
               " ending in .json replays a recorded workload file)")
-        return None, None, 2
+        return {}, 2
 
 
 # ----------------------------------------------------------------------
@@ -529,6 +628,7 @@ def oracle_command(args: list[str]) -> int:
     seed = 0x5EED
     member = 0
     out_path: str | None = None
+    daemon_url: str | None = None
     walker = iter(args)
     try:
         for arg in walker:
@@ -538,6 +638,8 @@ def oracle_command(args: list[str]) -> int:
                 seed = int(next(walker), 0)
             elif arg == "--member":
                 member = int(next(walker))
+            elif arg == "--daemon":
+                daemon_url = next(walker)
             elif arg in ("-o", "--output"):
                 out_path = next(walker)
             elif target is None and not arg.startswith("-"):
@@ -546,7 +648,7 @@ def oracle_command(args: list[str]) -> int:
                 print(f"unexpected argument {arg!r}")
                 print(
                     "usage: python -m repro oracle <app> [--policy NAME]..."
-                    " [--seed N] [--member N] [-o PATH]"
+                    " [--seed N] [--member N] [--daemon URL] [-o PATH]"
                 )
                 return 2
     except StopIteration:
@@ -566,11 +668,26 @@ def oracle_command(args: list[str]) -> int:
 
     if target is None:
         print("usage: python -m repro oracle <app> [--policy NAME]..."
-              " [--seed N] [--member N] [-o PATH]")
+              " [--seed N] [--member N] [--daemon URL] [-o PATH]")
         return 2
     app, known = _oracle_app(target)
     if app is None:
         return _unknown_command(target, known)
+
+    if daemon_url is not None:
+        from repro.serve.client import DaemonClient
+
+        client = DaemonClient(daemon_url)
+        if client.available():
+            return _oracle_via_daemon(client, {
+                "app": target,
+                **({"policies": policies} if policies else {}),
+                "seed": seed,
+                "member": member,
+            }, out_path)
+        print(f"note: daemon {daemon_url} unreachable; "
+              "running in-process", file=sys.stderr)
+
     try:
         session = run_oracle_session(
             app,
@@ -592,6 +709,32 @@ def oracle_command(args: list[str]) -> int:
             return 1
         print(f"\nwrote {out_path}")
     return 0 if report.clean else 1
+
+
+def _oracle_via_daemon(client, params: dict,
+                       out_path: "str | None") -> int:
+    """Run one differential session on the daemon; same text, same
+    report bytes, same exit code as the in-process path."""
+    from repro.errors import ServeError
+
+    try:
+        final = client.run("oracle", params)
+    except ServeError as error:
+        print(f"oracle error: {error}")
+        return 2
+    if final.get("event") != "done":
+        print(f"oracle error: {final.get('message', 'job failed')}")
+        return 2
+    print(final["text"])
+    if out_path is not None:
+        try:
+            with open(out_path, "w", encoding="utf-8") as handle:
+                handle.write(final["report_json"] + "\n")
+        except OSError as error:
+            print(f"cannot write {out_path}: {error.strerror or error}")
+            return 1
+        print(f"\nwrote {out_path}")
+    return int(final.get("exit", 0))
 
 
 # ----------------------------------------------------------------------

@@ -877,7 +877,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     output: str | None = None
     check = False
     mode = "engine"
-    devices = DEFAULT_FLEET_DEVICES
+    devices: int | None = None
     scaling = True
     phases = True
     resume_check = False
@@ -915,15 +915,31 @@ def main(argv: Sequence[str] | None = None) -> int:
             from repro.__main__ import fleet_command
 
             return fleet_command(argv)
-        elif arg in ("engine", "fleet"):
+        elif arg in ("engine", "fleet", "serve"):
             mode = arg
         else:
             print(f"bench-engine: unknown argument {arg!r}", file=sys.stderr)
             return 2
     if max_rss_mb is not None:
         apply_rss_ceiling(max_rss_mb)
-    if mode == "fleet":
-        report = run_fleet_bench(jobs=jobs, devices=devices,
+    if mode == "serve":
+        # Daemon benchmark lives with the daemon; same report/check/
+        # write conventions, its own default output file.
+        from repro.serve.bench import (
+            DEFAULT_SERVE_OUTPUT,
+            check_serve_report,
+            format_serve_report,
+            run_serve_bench,
+        )
+
+        report = run_serve_bench(devices=devices)  # None = bench default
+        write_report(report, output or DEFAULT_SERVE_OUTPUT)
+        print(format_serve_report(report))
+        failures = check_serve_report(report)
+    elif mode == "fleet":
+        report = run_fleet_bench(jobs=jobs,
+                                 devices=(devices if devices is not None
+                                          else DEFAULT_FLEET_DEVICES),
                                  scaling=scaling, phases=phases,
                                  resume_check=resume_check)
         write_report(report, output or DEFAULT_FLEET_OUTPUT)
@@ -934,7 +950,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         write_report(report, output or DEFAULT_OUTPUT)
         print(format_report(report))
         failures = check_report(report)
-    print(f"wrote {output or (DEFAULT_FLEET_OUTPUT if mode == 'fleet' else DEFAULT_OUTPUT)}")
+    default_out = {"fleet": DEFAULT_FLEET_OUTPUT, "engine": DEFAULT_OUTPUT}.get(mode)
+    if default_out is None:
+        from repro.serve.bench import DEFAULT_SERVE_OUTPUT as default_out
+    print(f"wrote {output or default_out}")
     for failure in failures:
         print(f"CHECK FAILED: {failure}", file=sys.stderr)
     return 1 if (check and failures) else 0

@@ -71,6 +71,16 @@ class WorkloadError(SimulationError):
     workload/phase-plan registries."""
 
 
+class ServeError(SimulationError):
+    """The simulation daemon (or its client) was misused or unreachable.
+
+    Raised by ``repro.serve`` for a malformed job request (unknown kind,
+    bad parameter types, an unresolvable app), an unknown job id, a
+    protocol violation on the wire (non-JSON event line, truncated
+    stream), or a client operation against a daemon that cannot be
+    reached when no fallback applies."""
+
+
 class OracleError(SimulationError):
     """The differential oracle was misconfigured or could not run.
 

@@ -46,6 +46,7 @@ from __future__ import annotations
 import atexit
 import hashlib
 from dataclasses import dataclass
+from typing import Sequence
 
 from repro.sim.snapshot import (
     SNAPSHOT_FORMAT_VERSION,
@@ -98,6 +99,13 @@ class ArenaEntry:
     """sha256 hex of the *resolved* (composed, for deltas) payload."""
     base_key: str | None = None
     """Set when the payload blob is a bdiff patch against this entry."""
+    segment: str = ""
+    """Segment holding this entry; empty = the handle's own segment.
+
+    Batch arenas pack every template into one segment, so their entries
+    leave this blank.  The daemon's :class:`ResidentArena` gives each
+    template its own refcounted segment and composes per-job handles
+    out of them, so its entries carry the segment name explicitly."""
 
 
 @dataclass(frozen=True)
@@ -298,7 +306,8 @@ def arena_get(handle: "ArenaHandle | None", key: str) -> SystemSnapshot | None:
     if handle is None:
         return None
     entry = handle.entry(key)
-    shm = _attach(handle.name) if entry is not None else None
+    shm = (_attach(entry.segment or handle.name)
+           if entry is not None else None)
     if entry is None or shm is None:
         _STATS["arena_misses"] += 1
         return None
@@ -337,3 +346,200 @@ def arena_get(handle: "ArenaHandle | None", key: str) -> SystemSnapshot | None:
     _STATS["arena_hits"] += 1
     return SystemSnapshot(payload, externals, policy_name=policy_name,
                           now_ms=now_ms)
+
+
+# ----------------------------------------------------------------------
+# resident arena: daemon-owned, refcounted, evictable
+# ----------------------------------------------------------------------
+#: Default budget for resident template bytes (segments with zero
+#: references beyond this get evicted, least-recently-used first).
+DEFAULT_RESIDENT_BUDGET = 256 * 1024 * 1024
+
+
+@dataclass
+class _Resident:
+    """One template's segment inside a :class:`ResidentArena`."""
+
+    shm: object
+    entry: ArenaEntry
+    size: int
+    refs: int = 0
+    last_use: int = 0
+
+
+class ResidentArena:
+    """Long-lived template arena for the simulation daemon.
+
+    Where :class:`TemplateArena` packs one batch's templates into a
+    single segment and unlinks it when the coordinator's run ends, the
+    resident arena keeps **one segment per template**, refcounted by
+    the jobs that hold a handle over it, and evicts explicitly: a
+    segment is unlinked only when nothing references it and the
+    resident byte budget demands room (LRU first), or at daemon
+    shutdown (:meth:`destroy`).  Templates stay warm across requests —
+    the whole point of fleet-as-a-service.
+
+    Only full payloads are stored (no sibling deltas): eviction must
+    never be able to strand a delta entry whose base is gone.
+
+    Not thread-safe by design — the daemon drives it from one event
+    loop.  Failure modes mirror the batch arena: no shared memory on
+    the host means :meth:`publish` returns ``False`` and jobs fall back
+    to the disk store, byte-identically.
+    """
+
+    def __init__(self, budget_bytes: int = DEFAULT_RESIDENT_BUDGET):
+        self.budget_bytes = budget_bytes
+        self._resident: dict[str, _Resident] = {}
+        self._clock = 0
+        self.warm_hits = 0
+        self.publishes = 0
+        self.evictions = 0
+
+    # ------------------------------------------------------------------
+    def __contains__(self, key: str) -> bool:
+        return key in self._resident
+
+    def __len__(self) -> int:
+        return len(self._resident)
+
+    @property
+    def resident_bytes(self) -> int:
+        return sum(res.size for res in self._resident.values())
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "resident_templates": len(self._resident),
+            "resident_bytes": self.resident_bytes,
+            "template_publishes": self.publishes,
+            "template_warm_hits": self.warm_hits,
+            "template_evictions": self.evictions,
+        }
+
+    # ------------------------------------------------------------------
+    def warm(self, key: str) -> bool:
+        """Touch ``key`` if resident (counts a warm hit); else ``False``.
+
+        The daemon's provisioning check: a ``True`` here means the next
+        job reuses the template without any rebuild, disk read, or new
+        segment — the reuse the serve benchmark gates on.
+        """
+        if key not in self._resident:
+            return False
+        self._touch(key)
+        self.warm_hits += 1
+        return True
+
+    def publish(self, key: str, snap: SystemSnapshot) -> bool:
+        """Make ``key`` resident (no-op if it already is).
+
+        Returns ``True`` when the template is resident afterwards;
+        ``False`` when this host has no usable shared memory (callers
+        degrade to the disk store).  Re-publishing an existing key
+        counts as a warm hit, not a write.
+        """
+        if key in self._resident:
+            self._touch(key)
+            self.warm_hits += 1
+            return True
+        if not arena_available():
+            return False
+        meta = dumps((
+            SNAPSHOT_FORMAT_VERSION,
+            snap.policy_name,
+            snap.now_ms,
+            snap.externals,
+        ))
+        payload = bytes(snap.payload)
+        digest = hashlib.sha256(payload).hexdigest()
+        total = len(meta) + len(payload)
+        try:
+            from multiprocessing import shared_memory
+
+            shm = shared_memory.SharedMemory(create=True, size=max(1, total))
+        except Exception:
+            return False
+        shm.buf[:len(meta)] = meta
+        shm.buf[len(meta):total] = payload
+        entry = ArenaEntry(
+            meta_offset=0,
+            meta_length=len(meta),
+            payload_offset=len(meta),
+            payload_length=len(payload),
+            digest=digest,
+            segment=shm.name,
+        )
+        self._resident[key] = _Resident(shm=shm, entry=entry, size=total)
+        self._touch(key)
+        self.publishes += 1
+        self.evict()
+        return True
+
+    def acquire(self, keys: "Sequence[str]") -> ArenaHandle | None:
+        """A handle over ``keys`` with one reference taken on each.
+
+        Every key must be resident (``publish`` first); a job holds the
+        handle for its whole run, so none of its templates can be
+        evicted underneath it.  Returns ``None`` for an empty key set.
+        """
+        entries = []
+        for key in keys:
+            resident = self._resident[key]
+            resident.refs += 1
+            self._touch(key)
+            entries.append((key, resident.entry))
+        if not entries:
+            return None
+        return ArenaHandle(name="", entries=tuple(entries))
+
+    def release(self, keys: "Sequence[str]") -> None:
+        """Drop one reference per key (evicted keys are ignored)."""
+        for key in keys:
+            resident = self._resident.get(key)
+            if resident is not None and resident.refs > 0:
+                resident.refs -= 1
+        self.evict()
+
+    # ------------------------------------------------------------------
+    def evict(self, *, all_idle: bool = False) -> int:
+        """Unlink unreferenced segments: LRU-first beyond the budget,
+        or every idle one when ``all_idle`` is set.  Returns the count.
+
+        A worker mid-restore on an evicted segment keeps its own
+        mapping alive (POSIX unlink semantics); a *later* attach simply
+        misses and falls back to the disk store — eviction can slow a
+        job down, never corrupt it.
+        """
+        evicted = 0
+        idle = sorted(
+            (key for key, res in self._resident.items() if res.refs == 0),
+            key=lambda key: self._resident[key].last_use,
+        )
+        for key in idle:
+            if not all_idle and self.resident_bytes <= self.budget_bytes:
+                break
+            self._unlink(key)
+            evicted += 1
+        self.evictions += evicted
+        return evicted
+
+    def destroy(self) -> None:
+        """Unlink every segment, referenced or not (daemon shutdown)."""
+        for key in list(self._resident):
+            self._unlink(key)
+
+    # ------------------------------------------------------------------
+    def _touch(self, key: str) -> None:
+        self._clock += 1
+        self._resident[key].last_use = self._clock
+
+    def _unlink(self, key: str) -> None:
+        resident = self._resident.pop(key)
+        try:
+            resident.shm.close()
+        except Exception:
+            pass
+        try:
+            resident.shm.unlink()
+        except Exception:
+            pass

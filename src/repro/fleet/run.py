@@ -237,6 +237,12 @@ def capture_template(spec: FleetSpec, cell_index: int) -> SystemSnapshot:
 # per-worker template cache (one arena attach / disk read per worker
 # process, not per fork — see tests/fleet/test_fleet_run.py)
 # ----------------------------------------------------------------------
+#: Most templates kept hot per process.  Batch runs never get near it;
+#: the bound exists for daemon-lifetime workers (repro.serve), whose
+#: processes outlive any one spec and would otherwise accrete every
+#: template they ever touched.  Eviction is LRU (dict order, re-inserted
+#: on hit); an evicted template is simply re-read from arena or disk.
+_TEMPLATE_CACHE_CAP = 64
 _TEMPLATE_CACHE: dict[tuple[str, str], SystemSnapshot] = {}
 _TEMPLATE_DISK_READS = 0
 _TEMPLATE_REBUILDS = 0
@@ -280,6 +286,8 @@ def _load_worker_template(
     spec: FleetSpec,
     cell_index: int,
     arena: "ArenaHandle | None" = None,
+    *,
+    persist: bool = False,
 ) -> SystemSnapshot:
     """The cell's template: cache, arena, disk, or a cold rebuild.
 
@@ -288,23 +296,36 @@ def _load_worker_template(
     crashed coordinator — templates are a pure optimisation under the
     fork-equals-fresh contract, so the worst case is rebuilding the
     snapshot cold, byte-identical and merely slower.
+
+    ``persist`` additionally publishes a cold rebuild to the disk store
+    at ``root`` — the coordinator-side serial path uses it so a later
+    run (or a daemon's next request) finds the template warm.  Workers
+    never persist; the coordinator owns the store's contents.
     """
     global _TEMPLATE_DISK_READS, _TEMPLATE_REBUILDS, _ARENA_FALLBACKS
     cache_key = (str(root), key)
     snap = _TEMPLATE_CACHE.get(cache_key)
-    if snap is None:
-        if arena is not None:
-            snap = arena_get(arena, key)
-            if snap is None:
-                _ARENA_FALLBACKS += 1
+    if snap is not None:
+        # Re-insert on hit so dict order stays LRU for the cap below.
+        _TEMPLATE_CACHE[cache_key] = _TEMPLATE_CACHE.pop(cache_key)
+        return snap
+    if arena is not None:
+        snap = arena_get(arena, key)
         if snap is None:
-            snap = SnapshotStore(root=root)._read_disk(key)
-            if snap is None:
-                snap = capture_template(spec, cell_index)
-                _TEMPLATE_REBUILDS += 1
-            else:
-                _TEMPLATE_DISK_READS += 1
-        _TEMPLATE_CACHE[cache_key] = snap
+            _ARENA_FALLBACKS += 1
+    if snap is None:
+        store = SnapshotStore(root=root)
+        snap = store._read_disk(key)
+        if snap is None:
+            snap = capture_template(spec, cell_index)
+            _TEMPLATE_REBUILDS += 1
+            if persist:
+                store.put(key, snap)
+        else:
+            _TEMPLATE_DISK_READS += 1
+    _TEMPLATE_CACHE[cache_key] = snap
+    while len(_TEMPLATE_CACHE) > _TEMPLATE_CACHE_CAP:
+        _TEMPLATE_CACHE.pop(next(iter(_TEMPLATE_CACHE)))
     return snap
 
 
@@ -795,12 +816,28 @@ def run_fleet(
         )
 
         if workers <= 1 or len(todo) <= 1 or not use_templates:
+            # Serial bypass: a resolved jobs of 1 (explicit --jobs 1, or
+            # --jobs auto on a one-core host) skips the process pool
+            # entirely — no pool spawn, no arena publish, no per-task
+            # pickling.  BENCH_fleet.json's forced-pool `sharded` row
+            # shows why: on one core the pool costs more than it buys.
+            # With a snapshot_root the bypass still provisions templates
+            # through the store (memory -> disk -> rebuild-and-persist),
+            # so long-lived callers like the serve daemon stay warm
+            # across serial runs too.
             templates: dict[int, SystemSnapshot | None] = {}
             for cell_index in all_cells:
-                templates[cell_index] = (
-                    capture_template(spec, cell_index)
-                    if use_templates else None
-                )
+                if not use_templates:
+                    templates[cell_index] = None
+                elif snapshot_root is not None:
+                    templates[cell_index] = _load_worker_template(
+                        snapshot_root, template_key(spec, cell_index),
+                        spec, cell_index, persist=True,
+                    )
+                else:
+                    templates[cell_index] = capture_template(
+                        spec, cell_index
+                    )
             for shard in todo:
                 outcome = _run_shard(
                     spec, shard, templates[shard.cell_index],
@@ -960,8 +997,14 @@ def _run_sharded(
 # ----------------------------------------------------------------------
 # report formatting
 # ----------------------------------------------------------------------
-def format_fleet_report(result: FleetResult) -> str:
-    report = result.report()
+def format_fleet_report(result: "FleetResult | dict") -> str:
+    """Human tables for a fleet result — or for its report dict.
+
+    Accepting the parsed report (``json.loads(result.to_json())``) lets
+    the daemon's thin client render the identical tables from the wire
+    bytes alone, without reconstructing accumulator objects.
+    """
+    report = result if isinstance(result, dict) else result.report()
     meta = report["fleet"]
 
     def cells(row: dict, with_app: bool) -> list:

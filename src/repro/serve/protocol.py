@@ -1,0 +1,235 @@
+"""Wire protocol of the simulation daemon: job params and event lines.
+
+One rule keeps the daemon honest: **the server and the CLI build specs
+through the same functions**.  ``python -m repro fleet`` and a daemon
+job both construct their :class:`~repro.fleet.run.FleetSpec` via
+:func:`fleet_spec_from_params`, so a spec can never mean two different
+fleets depending on which path ran it — the precondition for the
+byte-identity gate in ``BENCH_serve.json``.
+
+Job params are plain JSON objects (everything a request needs travels
+by value; recorded workloads ship inline as their canonical envelope).
+Events are JSON objects streamed one per line (JSON lines); the stream
+for a job always ends with a terminal event (``done``, ``cancelled``,
+or ``error``), and ``partial`` events carry the canonical report of the
+shards folded so far — a monotone refinement whose last step equals the
+final report byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any
+
+from repro.errors import ServeError
+
+PROTOCOL_VERSION = 1
+
+#: Job kinds the daemon executes.  ``fleet`` and ``oracle`` mirror the
+#: CLI subcommands; ``experiment`` runs a named engine-bench request
+#: set (``fig14``/``table5``/``probes``) through the daemon's shared
+#: result cache.
+JOB_KINDS = ("fleet", "oracle", "experiment")
+
+_FLEET_PARAM_KEYS = frozenset({
+    "devices", "policies", "faults", "oracle", "seed", "shard_size",
+    "workload", "workload_ir", "phases",
+})
+_ORACLE_PARAM_KEYS = frozenset({"app", "policies", "seed", "member"})
+_EXPERIMENT_PARAM_KEYS = frozenset({"experiment", "seed"})
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ServeError(message)
+
+
+def _int_param(params: dict, key: str, default: int) -> int:
+    value = params.get(key, default)
+    _require(isinstance(value, int) and not isinstance(value, bool),
+             f"param {key!r} must be an integer, "
+             f"got {type(value).__name__}")
+    return value
+
+
+def _float_param(params: dict, key: str, default: float) -> float:
+    value = params.get(key, default)
+    _require(isinstance(value, (int, float))
+             and not isinstance(value, bool),
+             f"param {key!r} must be a number, "
+             f"got {type(value).__name__}")
+    return float(value)
+
+
+def _policies_param(params: dict) -> tuple[str, ...]:
+    value = params.get("policies") or []
+    _require(isinstance(value, list)
+             and all(isinstance(p, str) for p in value),
+             "param 'policies' must be a list of policy names")
+    return tuple(value)
+
+
+def check_job_params(kind: str, params: Any) -> dict:
+    """Validate a job request's shape; raises :class:`ServeError`.
+
+    Shape only — semantic validation (unknown policy, bad rate) happens
+    when the spec is built, in the same exception types the CLI sees.
+    """
+    _require(kind in JOB_KINDS,
+             f"unknown job kind {kind!r}; known: {list(JOB_KINDS)}")
+    if params is None:
+        params = {}
+    _require(isinstance(params, dict), "job params must be a JSON object")
+    allowed = {
+        "fleet": _FLEET_PARAM_KEYS,
+        "oracle": _ORACLE_PARAM_KEYS,
+        "experiment": _EXPERIMENT_PARAM_KEYS,
+    }[kind]
+    unknown = set(params) - allowed
+    _require(not unknown,
+             f"unknown {kind} params {sorted(unknown)}; "
+             f"known: {sorted(allowed)}")
+    if kind == "oracle":
+        _require(isinstance(params.get("app"), str),
+                 "oracle jobs need an 'app' string param")
+    if kind == "experiment":
+        _require(isinstance(params.get("experiment"), str),
+                 "experiment jobs need an 'experiment' name param")
+    return params
+
+
+# ----------------------------------------------------------------------
+# fleet params -> FleetSpec (shared by the CLI and the daemon)
+# ----------------------------------------------------------------------
+def fleet_spec_from_params(params: dict):
+    """Build the :class:`~repro.fleet.run.FleetSpec` a params dict names.
+
+    The one spec-construction path: ``repro fleet`` packs its parsed
+    flags into this params shape and so does the daemon client, so both
+    sides derive cell sizing (``devices`` is the fleet total, split
+    across cells exactly as the CLI always has) and workload resolution
+    identically.  Raises :class:`ServeError` for malformed params and
+    the underlying ``FleetError``/``WorkloadError``/``OracleError`` for
+    semantically bad ones — the same errors, whichever side builds it.
+    """
+    from repro.fleet import FaultPlan, FleetSpec, NO_FAULTS, fleet_corpus
+
+    check_job_params("fleet", params)
+    devices = _int_param(params, "devices", 120)
+    policies = _policies_param(params)
+    faults_fraction = _float_param(params, "faults", 0.0)
+    oracle_rate = _float_param(params, "oracle", 0.0)
+    seed = _int_param(params, "seed", 0x5EED)
+    shard_size = _int_param(params, "shard_size", 32)
+
+    workload_name = params.get("workload")
+    workload_ir = params.get("workload_ir")
+    phases_name = params.get("phases")
+    _require(workload_name is None or isinstance(workload_name, str),
+             "param 'workload' must be a registry name string")
+    _require(workload_ir is None or isinstance(workload_ir, dict),
+             "param 'workload_ir' must be a workload envelope object")
+    _require(phases_name is None or isinstance(phases_name, str),
+             "param 'phases' must be a phase-plan name string")
+    given = [key for key in ("workload", "workload_ir", "phases")
+             if params.get(key) is not None]
+    _require(len(given) <= 1,
+             f"params {given} are mutually exclusive")
+
+    population = None
+    fixed_workload = None
+    plan = None
+    if workload_name is not None:
+        from repro.workload.library import workload_named
+
+        population = workload_named(workload_name)
+    elif workload_ir is not None:
+        from repro.workload.codec import workload_from_dict
+
+        fixed_workload = workload_from_dict(workload_ir)
+    elif phases_name is not None:
+        from repro.workload.library import phase_plan_named
+
+        plan = phase_plan_named(phases_name)
+
+    cell_count = len(fleet_corpus()) * (len(policies) or 3)
+    return FleetSpec(
+        policies=policies if policies else FleetSpec.policies,
+        devices_per_cell=max(1, math.ceil(devices / cell_count)),
+        faults=(FaultPlan.uniform(faults_fraction)
+                if faults_fraction else NO_FAULTS),
+        seed=seed,
+        shard_size=shard_size,
+        oracle_rate=oracle_rate,
+        population=(population if population is not None
+                    else FleetSpec.population),
+        workload=fixed_workload,
+        phases=plan,
+    )
+
+
+def fleet_params_fingerprint(params: dict) -> str:
+    """Stable identity of a fleet request (defaults applied), for the
+    daemon's warm-path bookkeeping and bench reporting."""
+    from repro.engine.fingerprint import fingerprint
+
+    normalized = {
+        "devices": _int_param(params, "devices", 120),
+        "policies": list(_policies_param(params)),
+        "faults": _float_param(params, "faults", 0.0),
+        "oracle": _float_param(params, "oracle", 0.0),
+        "seed": _int_param(params, "seed", 0x5EED),
+        "shard_size": _int_param(params, "shard_size", 32),
+        "workload": params.get("workload"),
+        "workload_ir": params.get("workload_ir"),
+        "phases": params.get("phases"),
+    }
+    return fingerprint(["repro.serve.fleet", PROTOCOL_VERSION, normalized])
+
+
+def resolve_app(name: str):
+    """Resolve an app by package or label across both corpora.
+
+    Returns ``(app, known_names)`` exactly like the CLI's resolver —
+    ``app`` is ``None`` when unknown, ``known_names`` feeds the
+    did-you-mean hint on both sides of the wire.
+    """
+    from repro.apps.appset27 import build_appset27
+    from repro.fleet import fleet_corpus
+
+    by_key: dict[str, Any] = {}
+    for app in [*fleet_corpus(), *build_appset27()]:
+        by_key[app.package.lower()] = app
+        by_key[app.label.lower()] = app
+    return by_key.get(name.lower()), sorted(by_key)
+
+
+# ----------------------------------------------------------------------
+# event lines
+# ----------------------------------------------------------------------
+TERMINAL_EVENTS = ("done", "cancelled", "error")
+
+
+def encode_event(event: dict) -> bytes:
+    """One canonical JSON line (sorted keys, no whitespace)."""
+    return (json.dumps(event, sort_keys=True, separators=(",", ":"))
+            + "\n").encode("utf-8")
+
+
+def decode_event(line: "bytes | str") -> dict:
+    """Parse one event line; raises :class:`ServeError` on junk."""
+    if isinstance(line, bytes):
+        try:
+            line = line.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise ServeError(f"event line is not UTF-8: {exc}") from exc
+    try:
+        event = json.loads(line)
+    except ValueError as exc:
+        raise ServeError(
+            f"event line is not JSON: {line[:80]!r}"
+        ) from exc
+    if not isinstance(event, dict) or "event" not in event:
+        raise ServeError(f"malformed event (no 'event' field): {line[:80]!r}")
+    return event

@@ -1,0 +1,727 @@
+"""The simulation daemon: ``python -m repro serve``.
+
+One asyncio process owns everything the batch paths normally rebuild
+per invocation — a :class:`~repro.engine.pool.PersistentPool` of
+workers, a disk :class:`~repro.engine.snapshots.SnapshotStore` and
+:class:`~repro.engine.cache.ResultCache`, and a refcounted
+:class:`~repro.fleet.arena.ResidentArena` of cohort templates — and
+serves jobs over a minimal HTTP/1.1 + JSON-lines protocol:
+
+* ``POST /jobs``                — submit ``{"kind", "params", "client"}``;
+  responds with the job id.
+* ``GET /jobs/<id>/events``     — stream the job's events, one JSON
+  object per line; history replays first, so a late subscriber reads
+  the identical stream.  Ends with a terminal event (``done`` /
+  ``cancelled`` / ``error``), then EOF.
+* ``GET /jobs/<id>``            — one-shot job snapshot.
+* ``DELETE /jobs/<id>``         — cancel: pending units are dropped,
+  in-flight results discarded, template references released.
+* ``GET /status``               — daemon counters (resident arena,
+  cache sizes, pool shape) for monitoring and the bench's warm gates.
+* ``POST /shutdown``            — graceful stop: acknowledge, then
+  drain the pool, destroy the arena, remove owned scratch state.
+
+Scheduling is shard-granular and client-fair (``serve/queue.py``);
+results are byte-identical to the CLI by construction, because the
+spec builder, the shard executor, and the accumulators are the very
+same functions the CLI runs (``serve/protocol.py``, ``serve/tasks.py``).
+
+The HTTP layer is deliberately hand-rolled on ``asyncio.start_server``:
+one request per connection, ``Connection: close`` everywhere, bodies
+by ``Content-Length`` — small enough to audit, and free of any
+dependency the container does not already have.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import shutil
+import tempfile
+from typing import Any
+
+from repro.engine.batch import _resolve_jobs
+from repro.engine.cache import ResultCache
+from repro.engine.pool import PersistentPool
+from repro.engine.snapshots import SnapshotStore
+from repro.errors import (
+    FleetError,
+    OracleError,
+    ServeError,
+    SimulationError,
+    WorkloadError,
+)
+from repro.fleet.arena import DEFAULT_RESIDENT_BUDGET, ResidentArena
+from repro.serve import tasks
+from repro.serve.protocol import (
+    PROTOCOL_VERSION,
+    check_job_params,
+    encode_event,
+    fleet_spec_from_params,
+    resolve_app,
+)
+from repro.serve.queue import FairScheduler, Job
+
+#: Emit a ``partial`` event every this many shard folds (and always on
+#: the last one).  Streams stay light for huge fleets without going
+#: silent on small ones.
+DEFAULT_STREAM_EVERY = 4
+
+_BAD_REQUEST = (ServeError, FleetError, OracleError, WorkloadError)
+
+
+class _FleetState:
+    """Coordinator-side accumulation of one fleet job."""
+
+    def __init__(self, spec, shards, oracle_cells, keys):
+        from repro.fleet.aggregate import CohortAccumulator
+
+        self.spec = spec
+        self.shards = shards
+        self.oracle_cells = oracle_cells
+        self.keys = keys  # cell_index -> template key (all needed cells)
+        self.cohorts = [CohortAccumulator(app.package, policy)
+                        for app, policy in spec.cells()]
+        self.oracle = None
+        self.completed: set[int] = set()
+        self.devices = 0
+        self.captures_pending: set[int] = set()
+        self.handle = None
+        self.acquired: tuple[str, ...] = ()
+        self.folds_since_partial = 0
+
+    def partial_result(self):
+        from repro.fleet.run import FleetResult
+
+        return FleetResult(
+            seed=self.spec.seed,
+            shard_size=self.spec.shard_size,
+            total_shards=len(self.shards),
+            shard_ids=tuple(sorted(self.completed)),
+            devices=self.devices,
+            cohorts=self.cohorts,
+            oracle_rate=self.spec.oracle_rate,
+            oracle=self.oracle,
+        )
+
+
+class Daemon:
+    """All daemon state plus the per-kind job drivers."""
+
+    def __init__(
+        self,
+        *,
+        jobs: "int | str" = "auto",
+        root: str | None = None,
+        stream_every: int = DEFAULT_STREAM_EVERY,
+        template_budget: int = DEFAULT_RESIDENT_BUDGET,
+    ):
+        self.workers = _resolve_jobs(jobs, os.cpu_count() or 1)
+        self._owns_root = root is None
+        self.root = root or tempfile.mkdtemp(prefix="repro-serve-")
+        os.makedirs(self.root, exist_ok=True)
+        self.template_root = os.path.join(self.root, "templates")
+        self.store = SnapshotStore(root=self.template_root)
+        self.cache = ResultCache(root=os.path.join(self.root, "results"))
+        self.resident = ResidentArena(template_budget)
+        self.pool = PersistentPool(self.workers)
+        self.scheduler = FairScheduler()
+        self.jobs: dict[str, Job] = {}
+        self.stream_every = max(1, stream_every)
+        self.counters = {
+            "jobs_submitted": 0,
+            "jobs_done": 0,
+            "jobs_cancelled": 0,
+            "jobs_failed": 0,
+            "units_run": 0,
+        }
+        self._inflight = 0
+        self._stopping = asyncio.Event()
+
+    # ------------------------------------------------------------------
+    # job submission (runs on the event loop; must not simulate)
+    # ------------------------------------------------------------------
+    def submit(self, kind: str, params: dict, client: str) -> Job:
+        """Validate, register, and stage a job; raises on bad requests."""
+        params = check_job_params(kind, params)
+        job = Job(kind, params, client)
+        prepare = {
+            "fleet": self._prepare_fleet,
+            "oracle": self._prepare_oracle,
+            "experiment": self._prepare_experiment,
+        }[kind]
+        # "accepted" is emitted before prepare so it is always event 0
+        # of the stream; a prepare failure raises before the job is
+        # registered, so the orphaned event is never observable.
+        job.emit("accepted", kind=kind, client=client)
+        prepare(job)
+        self.jobs[job.job_id] = job
+        self.counters["jobs_submitted"] += 1
+        job.state = "running"
+        self.scheduler.add(job)
+        self._pump()
+        # A job whose units were all served from caches is already done.
+        self._maybe_finalize(job)
+        return job
+
+    # --- fleet ---------------------------------------------------------
+    def _prepare_fleet(self, job: Job) -> None:
+        from repro.fleet.run import (
+            oracle_cell_indices,
+            oracle_members,
+            plan_shards,
+            template_key,
+        )
+
+        spec = fleet_spec_from_params(job.params)
+        shards = plan_shards(spec)
+        oracle_cells = {
+            shard.shard_id: oracle_cell_indices(spec, shard)
+            for shard in shards if oracle_members(spec, shard)
+        }
+        all_cells = sorted(
+            {shard.cell_index for shard in shards}.union(
+                cell for mapping in oracle_cells.values()
+                for cell in mapping.values()
+            )
+        )
+        keys = {cell: template_key(spec, cell) for cell in all_cells}
+        state = _FleetState(spec, shards, oracle_cells, keys)
+        job.fleet = state
+
+        # Provision templates: resident arena (warm) -> disk store ->
+        # capture in the pool.  Shard units wait until every template
+        # is resident, so a cold cell is built exactly once instead of
+        # once per worker.
+        for cell_index, key in keys.items():
+            if self.resident.warm(key):
+                continue
+            snap = self.store._read_disk(key)
+            if snap is not None:
+                # Disk-warm: publish best-effort; with no usable shared
+                # memory the workers read the store directly instead.
+                self.resident.publish(key, snap)
+                continue
+            state.captures_pending.add(cell_index)
+            job.add_unit(tasks.capture_template_unit, (spec, cell_index),
+                         tag=f"capture:{cell_index}")
+        job.emit("started", kind="fleet", shards=len(shards),
+                 devices=spec.total_devices,
+                 cold_templates=len(state.captures_pending))
+        if not state.captures_pending:
+            self._stage_fleet_shards(job)
+
+    def _stage_fleet_shards(self, job: Job) -> None:
+        """All templates resident: take references, queue shard units."""
+        from repro.fleet.run import steal_order
+
+        state = job.fleet
+        wanted = [key for key in state.keys.values()
+                  if key in self.resident]
+        state.handle = self.resident.acquire(wanted)
+        state.acquired = tuple(wanted)
+
+        def oracle_keys(shard):
+            mapping = state.oracle_cells.get(shard.shard_id)
+            if not mapping:
+                return None
+            return {policy: (cell, state.keys[cell])
+                    for policy, cell in mapping.items()}
+
+        for shard in steal_order(state.shards):
+            job.add_unit(
+                tasks.run_shard_unit,
+                (state.spec, shard, self.template_root,
+                 state.keys[shard.cell_index], oracle_keys(shard),
+                 state.handle),
+                tag=f"shard:{shard.shard_id}",
+            )
+        job.no_more_units = True
+
+    def _fleet_result(self, job: Job, tag: str, result: Any) -> None:
+        state = job.fleet
+        if tag.startswith("capture:"):
+            cell_index = int(tag.split(":", 1)[1])
+            key = state.keys[cell_index]
+            self.store.put(key, result)
+            self.resident.publish(key, result)
+            state.captures_pending.discard(cell_index)
+            if not state.captures_pending:
+                self._stage_fleet_shards(job)
+            return
+        shard_id = int(tag.split(":", 1)[1])
+        shard = state.shards[shard_id]
+        state.cohorts[shard.cell_index].merge(result.cohort)
+        if result.oracle is not None:
+            if state.oracle is None:
+                from repro.fleet.aggregate import OracleAccumulator
+
+                state.oracle = OracleAccumulator()
+            state.oracle.merge(result.oracle)
+        state.completed.add(shard_id)
+        state.devices += shard.devices
+        state.folds_since_partial += 1
+        done = len(state.completed) == len(state.shards)
+        if state.folds_since_partial >= self.stream_every and not done:
+            state.folds_since_partial = 0
+            partial = state.partial_result()
+            job.emit("partial", covered_shards=len(state.completed),
+                     devices=state.devices,
+                     report_json=partial.to_json())
+
+    def _finalize_fleet(self, job: Job) -> None:
+        from repro.fleet.aggregate import OracleAccumulator
+
+        state = job.fleet
+        self._release_fleet(job)
+        if state.spec.oracle_rate > 0.0 and state.oracle is None:
+            state.oracle = OracleAccumulator()
+        result = state.partial_result()
+        exit_code = 1 if (result.oracle is not None
+                          and result.oracle.simulator_bugs) else 0
+        job.result = result.to_json()
+        job.emit("done", covered_shards=len(state.completed),
+                 devices=state.devices, report_json=job.result,
+                 exit=exit_code)
+
+    def _release_fleet(self, job: Job) -> None:
+        state = getattr(job, "fleet", None)
+        if state is not None and state.acquired:
+            self.resident.release(state.acquired)
+            state.acquired = ()
+
+    # --- oracle --------------------------------------------------------
+    def _prepare_oracle(self, job: Job) -> None:
+        from repro.oracle.session import DEFAULT_POLICIES
+
+        params = job.params
+        app, known = resolve_app(params["app"])
+        if app is None:
+            raise ServeError(
+                f"unknown app {params['app']!r}; known: {known}"
+            )
+        policies = tuple(params.get("policies") or DEFAULT_POLICIES)
+        seed = params.get("seed", 0x5EED)
+        member = params.get("member", 0)
+        job.add_unit(tasks.run_oracle_unit,
+                     (app, policies, seed, member), tag="oracle")
+        job.no_more_units = True
+
+    def _oracle_result(self, job: Job, tag: str, result: Any) -> None:
+        report_json, clean, text = result
+        job.result = report_json
+        job.oracle_done = (report_json, clean, text)
+
+    def _finalize_oracle(self, job: Job) -> None:
+        report_json, clean, text = job.oracle_done
+        job.emit("done", report_json=report_json, text=text,
+                 exit=0 if clean else 1)
+
+    # --- experiment ----------------------------------------------------
+    def _prepare_experiment(self, job: Job) -> None:
+        from repro.engine.bench import _REQUEST_BUILDERS
+
+        name = job.params["experiment"]
+        if name not in _REQUEST_BUILDERS:
+            raise ServeError(
+                f"unknown experiment {name!r}; "
+                f"known: {sorted(_REQUEST_BUILDERS)}"
+            )
+        seed = job.params.get("seed", 0x5EED)
+        requests = _REQUEST_BUILDERS[name](seed)
+        job.exp_results: list = [None] * len(requests)
+        job.exp_keys = [request.cache_key() for request in requests]
+        job.exp_hits = 0
+        for position, request in enumerate(requests):
+            hit, value = self.cache.get(job.exp_keys[position])
+            if hit:
+                job.exp_results[position] = value
+                job.exp_hits += 1
+            else:
+                job.add_unit(tasks.run_experiment_unit, request,
+                             tag=f"run:{position}")
+        job.no_more_units = True
+
+    def _experiment_result(self, job: Job, tag: str, result: Any) -> None:
+        position = int(tag.split(":", 1)[1])
+        job.exp_results[position] = result
+        self.cache.put(job.exp_keys[position], result)
+
+    def _finalize_experiment(self, job: Job) -> None:
+        from repro.engine.codec import encode_result
+        from repro.engine.fingerprint import fingerprint
+
+        digest = fingerprint([
+            json.dumps(encode_result(result), sort_keys=True,
+                       separators=(",", ":"))
+            for result in job.exp_results
+        ])
+        job.result = digest
+        job.emit("done", experiment=job.params["experiment"],
+                 runs=len(job.exp_results), cache_hits=job.exp_hits,
+                 digest=digest, exit=0)
+
+    # ------------------------------------------------------------------
+    # the unit pump
+    # ------------------------------------------------------------------
+    def _pump(self) -> None:
+        """Fill free pool slots from the fair scheduler."""
+        while (self._inflight < self.workers
+               and not self._stopping.is_set()):
+            picked = self.scheduler.next_unit()
+            if picked is None:
+                return
+            job, unit = picked
+            self._inflight += 1
+            asyncio.ensure_future(self._run_unit(job, unit))
+
+    async def _run_unit(self, job: Job, unit) -> None:
+        fn, payload, tag = unit
+        error: str | None = None
+        result = None
+        try:
+            result = await asyncio.wrap_future(
+                self.pool.submit(fn, payload)
+            )
+        except SimulationError as exc:
+            error = str(exc)
+        except Exception as exc:  # worker died, pickling, ...
+            error = f"{type(exc).__name__}: {exc}"
+        finally:
+            self._inflight -= 1
+            self.counters["units_run"] += 1
+            job.unit_done()
+        if job.terminal:
+            # Cancelled while this unit ran: discard the result; the
+            # job's accumulators stay exactly as the cancel event left
+            # them.
+            self._maybe_retire(job)
+        elif error is not None:
+            self._fail(job, f"unit {tag}: {error}")
+        else:
+            handler = {
+                "fleet": self._fleet_result,
+                "oracle": self._oracle_result,
+                "experiment": self._experiment_result,
+            }[job.kind]
+            try:
+                handler(job, tag, result)
+            except SimulationError as exc:
+                self._fail(job, str(exc))
+            else:
+                self._maybe_finalize(job)
+        self._pump()
+
+    def _maybe_finalize(self, job: Job) -> None:
+        if job.terminal or not job.drained:
+            return
+        finalize = {
+            "fleet": self._finalize_fleet,
+            "oracle": self._finalize_oracle,
+            "experiment": self._finalize_experiment,
+        }[job.kind]
+        finalize(job)
+        job.finish("done")
+        self.counters["jobs_done"] += 1
+        self.scheduler.discard(job)
+
+    def _fail(self, job: Job, message: str) -> None:
+        job.units.clear()
+        job.no_more_units = True
+        self._release_fleet(job)
+        job.emit("error", message=message, exit=2)
+        job.finish("error")
+        self.counters["jobs_failed"] += 1
+        self.scheduler.discard(job)
+
+    def cancel(self, job: Job) -> bool:
+        """Drop the job's pending work and release its templates."""
+        if not job.cancel():
+            return False
+        self._release_fleet(job)
+        job.emit("cancelled", exit=3)
+        job.finish("cancelled")
+        self.counters["jobs_cancelled"] += 1
+        self._maybe_retire(job)
+        self._pump()
+        return True
+
+    def _maybe_retire(self, job: Job) -> None:
+        if job.terminal and job.in_flight == 0:
+            self.scheduler.discard(job)
+
+    # ------------------------------------------------------------------
+    def status(self) -> dict:
+        return {
+            "protocol": PROTOCOL_VERSION,
+            "pid": os.getpid(),
+            "workers": self.workers,
+            "pool": {
+                "alive": self.pool.alive,
+                "using_threads": self.pool.using_threads,
+                "respawns": self.pool.respawns,
+            },
+            "inflight_units": self._inflight,
+            "jobs": {job_id: job.state
+                     for job_id, job in self.jobs.items()},
+            "resident": self.resident.stats(),
+            "result_cache_entries": len(self.cache),
+            "counters": dict(self.counters),
+        }
+
+    def shutdown(self) -> None:
+        """Synchronous teardown: pool, arena, owned scratch state.
+
+        After this returns nothing of the daemon is left on the host —
+        no worker processes, no ``/dev/shm`` segments, and (when the
+        root was daemon-owned) no scratch directory.
+        """
+        self._stopping.set()
+        for job in list(self.scheduler.jobs()):
+            self.cancel(job)
+        self.pool.shutdown()
+        self.resident.destroy()
+        if self._owns_root:
+            shutil.rmtree(self.root, ignore_errors=True)
+
+
+# ----------------------------------------------------------------------
+# the HTTP layer
+# ----------------------------------------------------------------------
+class _Server:
+    def __init__(self, daemon: Daemon):
+        self.daemon = daemon
+        self._closing = asyncio.Event()
+
+    # -- response helpers ----------------------------------------------
+    @staticmethod
+    def _head(status: int, content_type: str,
+              length: "int | None") -> bytes:
+        reason = {200: "OK", 400: "Bad Request", 404: "Not Found",
+                  405: "Method Not Allowed"}.get(status, "OK")
+        lines = [
+            f"HTTP/1.1 {status} {reason}",
+            f"Content-Type: {content_type}",
+            "Connection: close",
+        ]
+        if length is not None:
+            lines.append(f"Content-Length: {length}")
+        return ("\r\n".join(lines) + "\r\n\r\n").encode("ascii")
+
+    def _json(self, writer, status: int, payload: dict) -> None:
+        body = (json.dumps(payload, sort_keys=True,
+                           separators=(",", ":")) + "\n").encode("utf-8")
+        writer.write(self._head(status, "application/json", len(body)))
+        writer.write(body)
+
+    # -- request handling ----------------------------------------------
+    async def handle(self, reader, writer) -> None:
+        try:
+            request_line = await reader.readline()
+            parts = request_line.decode("ascii", "replace").split()
+            if len(parts) < 2:
+                return
+            method, target = parts[0], parts[1]
+            headers: dict[str, str] = {}
+            while True:
+                line = await reader.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    break
+                name, _, value = line.decode("ascii", "replace") \
+                                     .partition(":")
+                headers[name.strip().lower()] = value.strip()
+            length = int(headers.get("content-length", "0") or 0)
+            body = await reader.readexactly(length) if length else b""
+            await self._route(method, target, body, writer)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        except Exception as exc:  # never kill the accept loop
+            try:
+                self._json(writer, 400, {"error": f"{exc}"})
+            except Exception:
+                pass
+        finally:
+            try:
+                await writer.drain()
+                writer.close()
+            except Exception:
+                pass
+
+    async def _route(self, method: str, target: str, body: bytes,
+                     writer) -> None:
+        daemon = self.daemon
+        if method == "GET" and target == "/status":
+            return self._json(writer, 200, daemon.status())
+        if method == "POST" and target == "/shutdown":
+            self._json(writer, 200, {"ok": True})
+            self._closing.set()
+            return
+        if method == "POST" and target == "/jobs":
+            try:
+                request = json.loads(body.decode("utf-8") or "{}")
+                if not isinstance(request, dict):
+                    raise ServeError("request body must be a JSON object")
+                job = daemon.submit(
+                    request.get("kind", ""),
+                    request.get("params") or {},
+                    str(request.get("client") or "anon"),
+                )
+            except _BAD_REQUEST as exc:
+                return self._json(writer, 400, {"error": str(exc)})
+            except ValueError as exc:
+                return self._json(writer, 400,
+                                  {"error": f"bad JSON body: {exc}"})
+            return self._json(writer, 200,
+                              {"job": job.job_id, "state": job.state})
+        if target.startswith("/jobs/"):
+            tail = target[len("/jobs/"):]
+            job_id, _, sub = tail.partition("/")
+            job = daemon.jobs.get(job_id)
+            if job is None:
+                return self._json(writer, 404,
+                                  {"error": f"unknown job {job_id!r}"})
+            if method == "GET" and sub == "events":
+                return await self._stream(job, writer)
+            if method == "GET" and not sub:
+                return self._json(writer, 200, {
+                    "job": job.job_id, "kind": job.kind,
+                    "client": job.client, "state": job.state,
+                    "events": len(job.events),
+                })
+            if method == "DELETE" and not sub:
+                changed = daemon.cancel(job)
+                return self._json(writer, 200, {
+                    "job": job.job_id, "state": job.state,
+                    "cancelled": changed,
+                })
+        self._json(writer, 405 if target.startswith("/jobs") else 404,
+                   {"error": f"cannot {method} {target}"})
+
+    async def _stream(self, job: Job, writer) -> None:
+        """Replay history, then live events, until a terminal one."""
+        writer.write(self._head(200, "application/x-ndjson", None))
+        queue: asyncio.Queue = asyncio.Queue()
+        history = job.subscribe(queue.put_nowait)
+        try:
+            terminal = False
+            for event in history:
+                writer.write(encode_event(event))
+                terminal = terminal or event["event"] in (
+                    "done", "cancelled", "error")
+            await writer.drain()
+            while not terminal:
+                event = await queue.get()
+                writer.write(encode_event(event))
+                await writer.drain()
+                terminal = event["event"] in ("done", "cancelled", "error")
+        finally:
+            job.unsubscribe(queue.put_nowait)
+
+
+# ----------------------------------------------------------------------
+# entry point
+# ----------------------------------------------------------------------
+_USAGE = (
+    "usage: python -m repro serve [--port P] [--host H] [--jobs N|auto]\n"
+    "                             [--root PATH] [--ready-file PATH]\n"
+    "                             [--stream-every N]"
+    " [--template-budget-mb N]\n"
+    "       python -m repro serve --stop URL"
+)
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    argv = list(argv or [])
+    host = "127.0.0.1"
+    port = 0
+    jobs: "int | str" = "auto"
+    root: str | None = None
+    ready_file: str | None = None
+    stream_every = DEFAULT_STREAM_EVERY
+    budget = DEFAULT_RESIDENT_BUDGET
+    stop_url: str | None = None
+    walker = iter(argv)
+    try:
+        for arg in walker:
+            if arg == "--port":
+                port = int(next(walker))
+            elif arg == "--host":
+                host = next(walker)
+            elif arg == "--jobs":
+                from repro.__main__ import _parse_jobs
+
+                jobs = _parse_jobs(next(walker))
+            elif arg == "--root":
+                root = next(walker)
+            elif arg == "--ready-file":
+                ready_file = next(walker)
+            elif arg == "--stream-every":
+                stream_every = int(next(walker))
+            elif arg == "--template-budget-mb":
+                budget = int(next(walker)) * 1024 * 1024
+            elif arg == "--stop":
+                stop_url = next(walker)
+            elif arg in ("-h", "--help"):
+                print(_USAGE)
+                return 0
+            else:
+                print(f"unexpected argument {arg!r}")
+                print(_USAGE)
+                return 2
+    except StopIteration:
+        print("missing value for the last option")
+        return 2
+    except ValueError as error:
+        print(f"bad option value: {error}")
+        return 2
+
+    if stop_url is not None:
+        from repro.serve.client import DaemonClient
+
+        try:
+            DaemonClient(stop_url).shutdown()
+        except ServeError as error:
+            print(f"serve error: {error}")
+            return 1
+        print(f"asked {stop_url} to shut down")
+        return 0
+
+    return asyncio.run(_serve(host, port, jobs, root, ready_file,
+                              stream_every, budget))
+
+
+async def _serve(host, port, jobs, root, ready_file, stream_every,
+                 budget) -> int:
+    daemon = Daemon(jobs=jobs, root=root, stream_every=stream_every,
+                    template_budget=budget)
+    front = _Server(daemon)
+    try:
+        server = await asyncio.start_server(front.handle, host, port)
+    except OSError as error:
+        print(f"cannot listen on {host}:{port}: "
+              f"{error.strerror or error}")
+        daemon.shutdown()
+        return 1
+    bound_port = server.sockets[0].getsockname()[1]
+    url = f"http://{host}:{bound_port}"
+    print(f"repro daemon serving on {url} "
+          f"({daemon.workers} worker{'s' if daemon.workers != 1 else ''})",
+          flush=True)
+    if ready_file is not None:
+        payload = json.dumps({"url": url, "pid": os.getpid()})
+        tmp = ready_file + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(payload + "\n")
+        os.replace(tmp, ready_file)
+    try:
+        async with server:
+            await front._closing.wait()
+    except (KeyboardInterrupt, asyncio.CancelledError):
+        pass
+    finally:
+        server.close()
+        await server.wait_closed()
+        daemon.shutdown()
+    print("repro daemon stopped", flush=True)
+    return 0

@@ -1,0 +1,71 @@
+"""PersistentPool: lazy spawn, self-healing, idempotent shutdown.
+
+The daemon's pool must outlive any single job *and* any single worker:
+a SIGKILLed worker breaks one ``concurrent.futures`` executor, and the
+pool's contract is that the next submit quietly replaces it.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+
+from repro.engine.pool import PersistentPool
+
+
+def _double(value):
+    return value * 2
+
+
+def _pid(_ignored):
+    return os.getpid()
+
+
+def _die(_ignored):  # pragma: no cover - killed before returning
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+def test_pool_is_lazy_until_first_submit():
+    pool = PersistentPool(2)
+    assert not pool.alive
+    try:
+        assert pool.submit(_double, 21).result(timeout=60) == 42
+        assert pool.alive
+    finally:
+        pool.shutdown()
+    assert not pool.alive
+
+
+def test_workers_persist_across_submissions():
+    pool = PersistentPool(1)
+    try:
+        first = pool.submit(_pid, None).result(timeout=60)
+        second = pool.submit(_pid, None).result(timeout=60)
+        assert first == second  # same warm worker, not a respawn
+        assert pool.respawns == 0
+    finally:
+        pool.shutdown()
+
+
+def test_broken_pool_respawns_on_next_submit():
+    pool = PersistentPool(1)
+    try:
+        future = pool.submit(_die, None)
+        # The task's own future fails (its worker is gone)...
+        assert isinstance(future.exception(timeout=60), Exception)
+        # ...but the pool recovers: the next submit respawns and runs.
+        assert pool.submit(_double, 4).result(timeout=60) == 8
+        assert pool.respawns >= 1
+    finally:
+        pool.shutdown()
+
+
+def test_shutdown_is_idempotent_and_submit_revives():
+    pool = PersistentPool(1)
+    pool.submit(_double, 1).result(timeout=60)
+    pool.shutdown()
+    pool.shutdown()
+    try:
+        assert pool.submit(_double, 3).result(timeout=60) == 6
+    finally:
+        pool.shutdown()

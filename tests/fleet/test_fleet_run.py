@@ -336,3 +336,47 @@ class TestFleetOracle:
         expected = apps * len(sample_members(
             self.RATE.seed, range(self.RATE.devices_per_cell), 0.5))
         assert result.oracle.sessions == expected
+
+
+class TestSerialBypass:
+    """A resolved jobs of 1 must skip the process pool entirely (PR 9):
+    no pool spawn, no arena publish, no per-task pickling — and with a
+    snapshot_root the bypass still keeps the template store warm for
+    long-lived callers like the serve daemon."""
+
+    def test_jobs_1_never_reaches_the_pool(self, monkeypatch):
+        import repro.fleet.run as fleet_run
+
+        def boom(*args, **kwargs):
+            raise AssertionError("jobs=1 must not enter _run_sharded")
+
+        expected = run_fleet(SMALL, jobs=4).to_json()
+        monkeypatch.setattr(fleet_run, "_run_sharded", boom)
+        assert run_fleet(SMALL, jobs=1).to_json() == expected
+
+    def test_single_shard_bypasses_even_with_many_jobs(self, monkeypatch):
+        import repro.fleet.run as fleet_run
+
+        one_shard = FleetSpec(devices_per_cell=1, shard_size=64,
+                              policies=("android10",))
+        # One shard per cell, but restrict to one shard total.
+        ids = [plan_shards(one_shard)[0].shard_id]
+        monkeypatch.setattr(
+            fleet_run, "_run_sharded",
+            lambda *a, **k: (_ for _ in ()).throw(AssertionError()),
+        )
+        run_fleet(one_shard, jobs=8, shard_ids=ids)
+
+    def test_bypass_with_snapshot_root_warms_the_store(self, tmp_path):
+        _reset_template_cache()
+        root = str(tmp_path / "templates")
+        first = run_fleet(SMALL, jobs=1, snapshot_root=root)
+        assert template_cache_stats()["rebuilds"] > 0
+
+        _reset_template_cache()
+        second = run_fleet(SMALL, jobs=1, snapshot_root=root)
+        stats = template_cache_stats()
+        assert stats["rebuilds"] == 0  # everything came from the store
+        assert stats["disk_reads"] > 0
+        assert second.to_json() == first.to_json()
+        _reset_template_cache()

@@ -1,0 +1,173 @@
+"""Job lifecycle and shard-granular fairness, tested synchronously.
+
+``repro.serve.queue`` is deliberately asyncio-free so these properties
+— event history replay, cancellation semantics, round-robin across
+clients with FIFO within one — can be pinned with plain pulls, no event
+loop, no races.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ServeError
+from repro.serve.queue import FairScheduler, Job
+
+
+def _noop(payload):
+    return payload
+
+
+def _job(client="anon", units=0, kind="fleet") -> Job:
+    job = Job(kind, {}, client=client)
+    for index in range(units):
+        job.add_unit(_noop, index, tag=f"unit:{index}")
+    return job
+
+
+class TestJobLifecycle:
+    def test_ids_are_unique_and_state_starts_queued(self):
+        first, second = _job(), _job()
+        assert first.job_id != second.job_id
+        assert first.state == "queued" and not first.terminal
+
+    def test_drained_requires_no_more_units_flag(self):
+        job = _job(units=1)
+        assert not job.drained
+        fn, payload, tag = job.next_unit()
+        assert (fn, payload, tag) == (_noop, 0, "unit:0")
+        job.unit_done()
+        assert not job.drained  # driver has not sealed the unit set
+        job.no_more_units = True
+        assert job.drained
+
+    def test_unit_done_without_in_flight_raises(self):
+        with pytest.raises(ServeError, match="unit_done"):
+            _job().unit_done()
+
+    def test_finish_rejects_non_terminal_states(self):
+        job = _job()
+        with pytest.raises(ServeError, match="terminal"):
+            job.finish("running")
+        job.finish("done")
+        assert job.state == "done" and job.terminal
+
+    def test_events_are_numbered_history(self):
+        job = _job()
+        job.emit("accepted", kind="fleet")
+        record = job.emit("started", shards=4)
+        assert record == {"event": "started", "job": job.job_id,
+                          "seq": 1, "shards": 4}
+        assert [event["seq"] for event in job.events] == [0, 1]
+
+    def test_late_subscriber_replays_then_receives_live(self):
+        job = _job()
+        job.emit("accepted")
+        job.emit("started")
+        seen: list[dict] = []
+        history = job.subscribe(seen.append)
+        job.emit("partial", covered_shards=1)
+        stream = history + seen
+        assert [event["event"] for event in stream] == \
+            ["accepted", "started", "partial"]
+        job.unsubscribe(seen.append)
+        job.emit("done")
+        assert len(seen) == 1
+
+    def test_subscribe_after_terminal_gets_history_only(self):
+        job = _job()
+        job.emit("accepted")
+        job.finish("done")
+        history = job.subscribe(lambda event: None)
+        assert len(history) == 1
+        assert job.subscribers == []
+
+
+class TestCancellation:
+    def test_cancel_drops_pending_units_and_seals_the_job(self):
+        job = _job(units=3)
+        job.next_unit()  # one in flight: cannot be recalled
+        assert job.cancel() is True
+        assert job.state == "cancelled"
+        assert not job.units and job.no_more_units
+        assert job.in_flight == 1  # still running; server discards it
+
+    def test_cancel_twice_reports_already_terminal(self):
+        job = _job()
+        assert job.cancel() is True
+        assert job.cancel() is False
+
+    def test_cancelled_job_accepts_no_new_units(self):
+        job = _job()
+        job.cancel()
+        job.add_unit(_noop, 0)
+        assert not job.units
+        assert job.next_unit() is None
+
+
+class TestFairScheduler:
+    def test_round_robin_across_clients(self):
+        """One unit per turn per client: the small job from client B
+        finishes long before client A's big job runs dry."""
+        scheduler = FairScheduler()
+        big = _job(client="alice", units=6)
+        small = _job(client="bob", units=2)
+        scheduler.add(big)
+        scheduler.add(small)
+        order = []
+        while True:
+            pulled = scheduler.next_unit()
+            if pulled is None:
+                break
+            job, unit = pulled
+            job.unit_done()
+            order.append(job.client)
+        assert order[:4] == ["alice", "bob", "alice", "bob"]
+        assert order[4:] == ["alice"] * 4
+
+    def test_fifo_within_one_client(self):
+        scheduler = FairScheduler()
+        first = _job(client="alice", units=2)
+        second = _job(client="alice", units=2)
+        scheduler.add(first)
+        scheduler.add(second)
+        pulls = [scheduler.next_unit()[0] for _ in range(4)]
+        assert pulls == [first, first, second, second]
+
+    def test_stalled_job_does_not_block_its_clients_later_jobs(self):
+        """A job momentarily out of ready units (e.g. waiting on its
+        template captures) yields its client's turn to the next job."""
+        scheduler = FairScheduler()
+        stalled = _job(client="alice", units=0)
+        ready = _job(client="alice", units=1)
+        scheduler.add(stalled)
+        scheduler.add(ready)
+        job, _unit = scheduler.next_unit()
+        assert job is ready
+
+    def test_cancelled_jobs_yield_nothing(self):
+        scheduler = FairScheduler()
+        job = _job(client="alice", units=3)
+        scheduler.add(job)
+        job.cancel()
+        assert scheduler.next_unit() is None
+        assert not scheduler.has_ready_units()
+
+    def test_discard_retires_empty_clients_from_the_ring(self):
+        scheduler = FairScheduler()
+        job = _job(client="alice", units=1)
+        scheduler.add(job)
+        assert len(scheduler) == 1
+        scheduler.discard(job)
+        assert len(scheduler) == 0
+        assert scheduler.jobs() == []
+        assert scheduler.next_unit() is None
+        scheduler.discard(job)  # idempotent
+
+    def test_has_ready_units_tracks_queues(self):
+        scheduler = FairScheduler()
+        job = _job(client="alice", units=1)
+        scheduler.add(job)
+        assert scheduler.has_ready_units()
+        job.next_unit()
+        assert not scheduler.has_ready_units()

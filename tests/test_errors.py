@@ -65,7 +65,7 @@ class TestSubsystemErrorTaxonomy:
         }
         for expected in ("ReplayDivergenceError", "EngineError",
                          "SnapshotError", "FleetError", "OracleError",
-                         "WorkloadError"):
+                         "WorkloadError", "ServeError"):
             assert expected in public
 
 
@@ -75,12 +75,13 @@ def _subsystem_errors():
         FleetError,
         OracleError,
         ReplayDivergenceError,
+        ServeError,
         SnapshotError,
         WorkloadError,
     )
 
     return [ReplayDivergenceError, EngineError, SnapshotError,
-            FleetError, OracleError, WorkloadError]
+            FleetError, OracleError, WorkloadError, ServeError]
 
 
 @pytest.mark.parametrize("exc_type", _subsystem_errors())
