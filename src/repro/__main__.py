@@ -70,6 +70,17 @@ Commands:
   daemon, falling back in-process), ``-o/--output PATH`` (write the
   JSON report).  Exits 1 if any divergence classifies as
   SIMULATOR_BUG.
+* ``hunt``               — rule-guided bug hunting over a taxonomy-
+  generated app corpus (docs/HUNT.md): static rules predict where each
+  policy should fail, a suspicion-guided search proves each prediction
+  by simulation, and delta debugging shrinks every confirmed finding to
+  a locally minimal repro.  ``hunt rules`` lists the rule catalog.
+  Options: ``--apps N`` (corpus size, default 100), ``--seed N``,
+  ``--policy NAME`` (repeatable; default all three), ``--jobs N|auto``,
+  ``--no-cache`` (skip the result cache), ``--daemon URL`` (run the
+  hunt on a ``repro serve`` daemon, falling back in-process),
+  ``-o/--output PATH`` (write the canonical JSON report).  Exits 1 on
+  any SIMULATOR_BUG classification.
 * ``<experiment>``       — run one experiment (e.g. ``fig10``, ``table3``).
   Options: ``--jobs N|auto`` (parallel workers, default auto), ``--no-cache``
   (skip the ``.repro-cache/`` result cache), ``--cache-root PATH``,
@@ -100,6 +111,8 @@ def main(argv: list[str]) -> int:
         return oracle_command(argv[1:])
     if command == "workload":
         return workload_command(argv[1:])
+    if command == "hunt":
+        return hunt_command(argv[1:])
     if command == "serve":
         from repro.serve.server import main as serve_main
 
@@ -118,7 +131,7 @@ def main(argv: list[str]) -> int:
     return _unknown_command(
         command,
         ["demo", "experiments", "trace", "fleet", "oracle", "workload",
-         "serve", "bench-engine", *_MODULES],
+         "hunt", "serve", "bench-engine", *_MODULES],
     )
 
 
@@ -724,6 +737,155 @@ def _oracle_via_daemon(client, params: dict,
         return 2
     if final.get("event") != "done":
         print(f"oracle error: {final.get('message', 'job failed')}")
+        return 2
+    print(final["text"])
+    if out_path is not None:
+        try:
+            with open(out_path, "w", encoding="utf-8") as handle:
+                handle.write(final["report_json"] + "\n")
+        except OSError as error:
+            print(f"cannot write {out_path}: {error.strerror or error}")
+            return 1
+        print(f"\nwrote {out_path}")
+    return int(final.get("exit", 0))
+
+
+# ----------------------------------------------------------------------
+# hunt subcommand
+# ----------------------------------------------------------------------
+_HUNT_USAGE = (
+    "usage: python -m repro hunt [rules] [--apps N] [--seed N]"
+    " [--policy NAME]... [--jobs N|auto] [--no-cache]"
+    " [--daemon URL] [-o PATH]"
+)
+
+_HUNT_SUBCOMMANDS = ["rules"]
+
+
+def hunt_command(args: list[str]) -> int:
+    """Hunt the generated corpus; print (optionally write) the report."""
+    subcommand: str | None = None
+    apps = 100
+    seed: int | None = None
+    policies: list[str] = []
+    jobs: "int | str | None" = None
+    use_cache = True
+    daemon_url: str | None = None
+    out_path: str | None = None
+    walker = iter(args)
+    try:
+        for arg in walker:
+            if arg == "--apps":
+                apps = int(next(walker))
+            elif arg == "--seed":
+                seed = int(next(walker), 0)
+            elif arg == "--policy":
+                policies.append(next(walker))
+            elif arg == "--jobs":
+                jobs = _parse_jobs(next(walker))
+            elif arg == "--no-cache":
+                use_cache = False
+            elif arg == "--daemon":
+                daemon_url = next(walker)
+            elif arg in ("-o", "--output"):
+                out_path = next(walker)
+            elif subcommand is None and not arg.startswith("-"):
+                subcommand = arg
+            else:
+                print(f"unexpected argument {arg!r}")
+                print(_HUNT_USAGE)
+                return 2
+    except StopIteration:
+        print("missing value for the last option")
+        return 2
+    except ValueError as error:
+        print(f"bad option value: {error}")
+        return 2
+
+    if subcommand is not None and subcommand not in _HUNT_SUBCOMMANDS:
+        return _unknown_command(subcommand, _HUNT_SUBCOMMANDS)
+
+    from repro.engine.batch import POLICIES
+
+    for policy in policies:
+        if policy not in POLICIES:
+            return _unknown_command(policy, sorted(POLICIES))
+
+    if subcommand == "rules":
+        from repro.hunt import rule_catalog
+
+        for row in rule_catalog():
+            print(f"{row['name']:<22s} severity {row['severity']}  "
+                  f"{row['description']}")
+        return 0
+
+    from repro.errors import HuntError
+    from repro.hunt import format_hunt_report, run_hunt
+    from repro.hunt.generator import DEFAULT_CORPUS_SEED
+
+    # One params dict describes the hunt to both execution paths, the
+    # fleet/oracle convention: the daemon client ships it verbatim, the
+    # in-process fallback feeds the same values to HuntSettings.
+    params: dict = {
+        "apps": apps,
+        "seed": DEFAULT_CORPUS_SEED if seed is None else seed,
+    }
+    if policies:
+        params["policies"] = policies
+
+    if daemon_url is not None:
+        local_only = [flag for flag, given in [
+            ("--jobs", jobs is not None),
+            ("--no-cache", not use_cache),
+        ] if given]
+        if local_only:
+            print("these options run in-process and do not combine "
+                  f"with --daemon: {', '.join(local_only)}")
+            return 2
+        from repro.serve.client import DaemonClient
+
+        client = DaemonClient(daemon_url)
+        if client.available():
+            return _hunt_via_daemon(client, params, out_path)
+        print(f"note: daemon {daemon_url} unreachable; "
+              "running in-process", file=sys.stderr)
+
+    try:
+        import dataclasses
+
+        from repro.serve.protocol import hunt_settings_from_params
+
+        settings = dataclasses.replace(
+            hunt_settings_from_params(params), jobs=jobs, cache=use_cache
+        )
+        report = run_hunt(settings)
+    except HuntError as error:
+        print(f"hunt error: {error}")
+        return 2
+    print(format_hunt_report(report))
+    if out_path is not None:
+        try:
+            with open(out_path, "w", encoding="utf-8") as handle:
+                handle.write(report.to_json() + "\n")
+        except OSError as error:
+            print(f"cannot write {out_path}: {error.strerror or error}")
+            return 1
+        print(f"\nwrote {out_path}")
+    return 0 if report.clean else 1
+
+
+def _hunt_via_daemon(client, params: dict, out_path: "str | None") -> int:
+    """Run the hunt on the daemon; same text, same report bytes, same
+    exit code as the in-process path."""
+    from repro.errors import ServeError
+
+    try:
+        final = client.run("hunt", params)
+    except ServeError as error:
+        print(f"hunt error: {error}")
+        return 2
+    if final.get("event") != "done":
+        print(f"hunt error: {final.get('message', 'job failed')}")
         return 2
     print(final["text"])
     if out_path is not None:

@@ -46,6 +46,7 @@ from repro.engine.fingerprint import CACHE_SCHEMA_VERSION, fingerprint
 from repro.engine.scenarios import (
     KIND_GC,
     KIND_HANDLING,
+    KIND_HUNT,
     KIND_ISSUE,
     KIND_PROBE,
     KIND_SCALABILITY,
@@ -124,6 +125,13 @@ class RunRequest:
         policy: str, app: "AppSpec", seed: int = 0x5EED, **kwargs: Any
     ) -> "RunRequest":
         return RunRequest(KIND_PROBE, policy, app, seed,
+                          tuple(sorted(kwargs.items())))
+
+    @staticmethod
+    def hunt(
+        policy: str, app: "AppSpec", seed: int = 0x5EED, **kwargs: Any
+    ) -> "RunRequest":
+        return RunRequest(KIND_HUNT, policy, app, seed,
                           tuple(sorted(kwargs.items())))
 
     def cache_key(self, schema_version: int = CACHE_SCHEMA_VERSION) -> str:

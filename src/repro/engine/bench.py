@@ -915,7 +915,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             from repro.__main__ import fleet_command
 
             return fleet_command(argv)
-        elif arg in ("engine", "fleet", "serve"):
+        elif arg in ("engine", "fleet", "serve", "hunt"):
             mode = arg
         else:
             print(f"bench-engine: unknown argument {arg!r}", file=sys.stderr)
@@ -936,6 +936,20 @@ def main(argv: Sequence[str] | None = None) -> int:
         write_report(report, output or DEFAULT_SERVE_OUTPUT)
         print(format_serve_report(report))
         failures = check_serve_report(report)
+    elif mode == "hunt":
+        # Bug-hunter benchmark lives with the hunter; ``--devices``
+        # doubles as its corpus size to keep the flag surface small.
+        from repro.hunt.bench import (
+            DEFAULT_HUNT_OUTPUT,
+            check_hunt_bench,
+            format_hunt_bench,
+            run_hunt_bench,
+        )
+
+        report = run_hunt_bench(apps=devices)  # None = bench default
+        write_report(report, output or DEFAULT_HUNT_OUTPUT)
+        print(format_hunt_bench(report))
+        failures = check_hunt_bench(report)
     elif mode == "fleet":
         report = run_fleet_bench(jobs=jobs,
                                  devices=(devices if devices is not None
@@ -951,7 +965,9 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(format_report(report))
         failures = check_report(report)
     default_out = {"fleet": DEFAULT_FLEET_OUTPUT, "engine": DEFAULT_OUTPUT}.get(mode)
-    if default_out is None:
+    if default_out is None and mode == "hunt":
+        from repro.hunt.bench import DEFAULT_HUNT_OUTPUT as default_out
+    elif default_out is None:
         from repro.serve.bench import DEFAULT_SERVE_OUTPUT as default_out
     print(f"wrote {output or default_out}")
     for failure in failures:

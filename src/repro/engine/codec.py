@@ -21,10 +21,16 @@ ISSUE = "issue"
 GC = "gc"
 SCALABILITY = "scalability"
 PROBE = "probe"
+HUNT = "hunt"
 
 
 def encode_result(result: Any) -> dict[str, Any]:
     """Result dataclass → JSON-able payload (the disk-cache unit)."""
+    # Function-level import: ``repro.hunt`` reaches back into the engine
+    # (its search stage drives run_batch), so a module-scope import here
+    # would close an import cycle through the hunt package init.
+    from repro.hunt.session import HuntProbe
+
     if isinstance(result, HandlingMeasurement):
         return {
             "type": HANDLING,
@@ -83,11 +89,27 @@ def encode_result(result: Any) -> dict[str, Any]:
             "memory_mb": result.memory_mb,
             "handling_count": result.handling_count,
         }
+    if isinstance(result, HuntProbe):
+        return {
+            "type": HUNT,
+            "package": result.package,
+            "policy": result.policy,
+            "script": [list(op) for op in result.script],
+            "crashed": result.crashed,
+            "crash_kinds": list(result.crash_kinds),
+            "lost_slots": list(result.lost_slots),
+            "relaunches": result.relaunches,
+            "process_deaths": result.process_deaths,
+            "ops_played": result.ops_played,
+            "digest_json": result.digest_json,
+        }
     raise EngineError(f"cannot encode result of type {type(result).__name__}")
 
 
 def decode_result(payload: dict[str, Any]) -> Any:
     """Inverse of :func:`encode_result`."""
+    from repro.hunt.session import HuntProbe
+
     kind = payload.get("type")
     if kind == HANDLING:
         return HandlingMeasurement(
@@ -141,5 +163,18 @@ def decode_result(payload: dict[str, Any]) -> Any:
             async_update_visible=payload["async_update_visible"],
             memory_mb=payload["memory_mb"],
             handling_count=payload["handling_count"],
+        )
+    if kind == HUNT:
+        return HuntProbe(
+            package=payload["package"],
+            policy=payload["policy"],
+            script=tuple(tuple(op) for op in payload["script"]),
+            crashed=payload["crashed"],
+            crash_kinds=tuple(payload["crash_kinds"]),
+            lost_slots=tuple(payload["lost_slots"]),
+            relaunches=payload["relaunches"],
+            process_deaths=payload["process_deaths"],
+            ops_played=payload["ops_played"],
+            digest_json=payload["digest_json"],
         )
     raise EngineError(f"cannot decode cached payload of type {kind!r}")

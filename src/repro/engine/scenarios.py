@@ -25,12 +25,14 @@ from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from repro.harness import runner, scenarios
+from repro.hunt import session as hunt_session
 
 KIND_HANDLING = "handling"
 KIND_ISSUE = "issue"
 KIND_GC = "gc"
 KIND_SCALABILITY = "scalability"
 KIND_PROBE = "probe"
+KIND_HUNT = "hunt-session"
 
 
 @dataclass(frozen=True)
@@ -111,5 +113,12 @@ SCENARIOS: dict[str, ScenarioSpec] = {
         prepare=runner.prepare_probe,
         finish=runner.finish_probe,
         divergent=frozenset({"audit_delay_ms"}),
+    ),
+    KIND_HUNT: ScenarioSpec(
+        kind=KIND_HUNT,
+        run=hunt_session.run_hunt_session,
+        prepare=hunt_session.prepare_hunt,
+        finish=hunt_session.finish_hunt,
+        divergent=frozenset({"script"}),
     ),
 }

@@ -81,6 +81,15 @@ class ServeError(SimulationError):
     reached when no fallback applies."""
 
 
+class HuntError(SimulationError):
+    """The bug hunter was misconfigured or lost an internal invariant.
+
+    Raised by ``repro.hunt`` for a malformed suspicion (unknown failure
+    mode, a loss prediction naming no slot), a shrink state machine fed
+    the wrong number of probe outcomes or an empty script, or hunt
+    settings naming an unknown policy or rule."""
+
+
 class OracleError(SimulationError):
     """The differential oracle was misconfigured or could not run.
 

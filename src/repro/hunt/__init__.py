@@ -1,0 +1,52 @@
+"""repro.hunt — rule-guided bug hunting over a generated app corpus.
+
+The hand-scripted corpora top out at 127 apps (27 benchmark + 100
+popular).  This package scales scenario discovery past that fixed set
+with four stages that share the workload IR end to end:
+
+1. :mod:`repro.hunt.generator` — a seeded, taxonomy-driven ``AppSpec``
+   generator (state-durability ladder × async-callback modes ×
+   lifecycle-hook omissions), pure in ``(seed, index)``;
+2. :mod:`repro.hunt.rules` — pluggable static rules over ``AppSpec``
+   structure that emit ranked :class:`~repro.hunt.rules.Suspicion`
+   records naming the op sequence expected to provoke each failure;
+3. :mod:`repro.hunt.search` — a suspicion-guided search loop that
+   compiles candidate workloads, runs them through the engine's
+   cached/parallel batch tier, and confirms each prediction against the
+   oracle's :class:`~repro.oracle.digest.StateDigest` self-audit;
+4. :mod:`repro.hunt.shrink` — delta debugging over the op stream that
+   reduces every confirmed finding to a locally minimal repro.
+
+``python -m repro hunt`` is the CLI surface; ``docs/HUNT.md`` is the
+narrative.
+"""
+
+from repro.hunt.generator import generate_app, generate_corpus
+from repro.hunt.report import HuntReport, format_hunt_report
+from repro.hunt.rules import (
+    DEFAULT_RULES,
+    Rule,
+    Suspicion,
+    inspect_corpus,
+    rule_catalog,
+)
+from repro.hunt.search import Finding, HuntSettings, run_hunt
+from repro.hunt.session import HuntProbe
+from repro.hunt.shrink import shrink_finding
+
+__all__ = [
+    "DEFAULT_RULES",
+    "Finding",
+    "HuntProbe",
+    "HuntReport",
+    "HuntSettings",
+    "Rule",
+    "Suspicion",
+    "format_hunt_report",
+    "generate_app",
+    "generate_corpus",
+    "inspect_corpus",
+    "rule_catalog",
+    "run_hunt",
+    "shrink_finding",
+]

@@ -1,0 +1,219 @@
+"""Taxonomy-driven app generator, pure in ``(seed, index)``.
+
+Each generated app is one point in the product of the taxonomies the
+corpus papers enumerate:
+
+* the **state-durability ladder** (``StorageKind``): view attribute →
+  bare activity field → custom instance state → application singleton →
+  persisted preferences, per slot;
+* **async-callback modes**: none, a background task that mutates a view
+  on completion, or one that shows a dialog;
+* **lifecycle-hook omissions**: whether the app implements
+  ``onSaveInstanceState`` and whether it self-handles configuration
+  changes in its manifest.
+
+Purity contract: ``generate_app(seed, index)`` derives every draw from
+``DeterministicRng(seed).fork(f"hunt-app-{index}")``, and all dimensions
+are drawn unconditionally in a fixed order before the spec is built.
+Regenerating app *i* therefore never reshuffles app *i+1*, the same
+``(seed, index)`` is byte-identical across runs and job counts, and the
+corpus can be materialised lazily, shard by shard.
+
+The ``issue`` field on each spec is ground-truth *metadata* derived from
+the structural draw (it keeps ``AppSpec.validate()`` honest and makes
+reports readable); the hunt rules never read it — they re-derive their
+predictions from structure alone.
+"""
+
+from __future__ import annotations
+
+from repro.android.views.inflate import ViewSpec
+from repro.apps.dsl import (
+    AppSpec,
+    AsyncScript,
+    IssueKind,
+    StateSlot,
+    StorageKind,
+    filler_views,
+    two_orientation_resources,
+)
+from repro.android.views.widgets import WIDGET_TYPES
+from repro.sim.rng import DeterministicRng
+
+__all__ = [
+    "ASYNC_VIEW_ID",
+    "DEFAULT_CORPUS_SEED",
+    "STATE_VIEW_BASE",
+    "generate_app",
+    "generate_corpus",
+]
+
+#: Default corpus seed (matches the repo-wide 0x5EED convention).
+DEFAULT_CORPUS_SEED = 0x5EED
+
+#: View id of slot *i* is ``STATE_VIEW_BASE + i``.
+STATE_VIEW_BASE = 20
+
+#: View id the async callback mutates (update mode).
+ASYNC_VIEW_ID = 40
+
+#: State-widget palette: (view type, state attribute).  EditText.text is
+#: the one stock-auto-saved entry — it seeds the corpus with apps that
+#: look suspicious but are actually safe, so rules must discriminate.
+_WIDGETS = (
+    ("TextView", "text"),
+    ("ListView", "checked_item"),
+    ("ScrollView", "selector_position"),
+    ("SeekBar", "progress"),
+    ("CheckBox", "checked"),
+    ("EditText", "text"),
+)
+
+#: Durability ladder, weighted: view-attribute state dominates real
+#: apps, the rarer rungs stay frequent enough that every taxonomy cell
+#: is populated within a few hundred draws.
+_STORAGE_LADDER = (
+    (StorageKind.VIEW_ATTR,) * 8
+    + (StorageKind.BARE_FIELD,) * 3
+    + (StorageKind.CUSTOM_SAVED,) * 3
+    + (StorageKind.APPLICATION,) * 3
+    + (StorageKind.PERSISTED,) * 3
+)
+
+#: Async-callback modes, weighted.
+_ASYNC_LADDER = ("none",) * 10 + ("update",) * 6 + ("dialog",) * 4
+
+_MAX_SLOTS = 3
+
+
+def _auto_saved(view_type: str, attr: str) -> bool:
+    """Does the stock per-view save function preserve this attribute?"""
+    return attr in WIDGET_TYPES[view_type].AUTO_SAVED_ATTRS
+
+
+def _ground_truth_issue(
+    slots: tuple[StateSlot, ...],
+    slot_widgets: dict[int, tuple[str, str]],
+    async_mode: str,
+    implements_on_save: bool,
+    handles_config_changes: bool,
+) -> tuple[IssueKind, str]:
+    """Most severe structural hazard, as descriptive metadata."""
+    if handles_config_changes:
+        return IssueKind.SELF_HANDLED, "self-handles configuration changes"
+    if async_mode == "update":
+        return IssueKind.ASYNC_CRASH, (
+            "background callback mutates a view it captured before the"
+            " configuration change"
+        )
+    if async_mode == "dialog":
+        return IssueKind.ASYNC_DIALOG_LEAK, (
+            "background callback shows a dialog on a destroyed activity"
+        )
+    for index, slot in enumerate(slots):
+        if slot.storage is StorageKind.BARE_FIELD or (
+            slot.storage is StorageKind.CUSTOM_SAVED
+            and not implements_on_save
+        ):
+            return IssueKind.BARE_FIELD_LOSS, (
+                f"slot {slot.name!r} lives on the activity instance and"
+                " is never saved"
+            )
+    for index, slot in enumerate(slots):
+        if slot.storage is StorageKind.VIEW_ATTR:
+            view_type, attr = slot_widgets[index]
+            if not _auto_saved(view_type, attr):
+                return IssueKind.VIEW_STATE_LOSS, (
+                    f"slot {slot.name!r} rides {view_type}.{attr}, which"
+                    " stock save/restore does not cover"
+                )
+    return IssueKind.NONE, "no hazardous pattern drawn"
+
+
+def generate_app(seed: int, index: int) -> AppSpec:
+    """Generate app ``index`` of the corpus keyed by ``seed``.
+
+    Pure: the same ``(seed, index)`` always yields an equal spec, and
+    adjacent indices are independent (each app forks its own rng stream
+    off the corpus seed, so no draw here consumes another app's stream).
+    """
+    rng = DeterministicRng(seed).fork(f"hunt-app-{index}")
+
+    # Fixed draw order; every dimension is drawn unconditionally so the
+    # stream never depends on an earlier draw's value.
+    slot_count = rng.randint(1, _MAX_SLOTS)
+    storage_draws = [rng.choice(_STORAGE_LADDER) for _ in range(_MAX_SLOTS)]
+    widget_draws = [rng.choice(_WIDGETS) for _ in range(_MAX_SLOTS)]
+    async_mode = rng.choice(_ASYNC_LADDER)
+    async_duration_ms = rng.uniform(200.0, 600.0)
+    implements_on_save = rng.uniform(0.0, 1.0) < 0.5
+    handles_config_changes = rng.uniform(0.0, 1.0) < 0.08
+    filler_count = rng.randint(6, 16)
+    resource_factor = rng.uniform(0.8, 1.6)
+    logic_cost_ms = rng.uniform(4.0, 28.0)
+    extra_heap_mb = rng.uniform(16.0, 64.0)
+    ui_complexity = rng.uniform(0.6, 1.8)
+    app_loc = rng.randint(900, 60_000)
+
+    slots: list[StateSlot] = []
+    slot_widgets: dict[int, tuple[str, str]] = {}
+    widgets: list[ViewSpec] = []
+    for i in range(slot_count):
+        storage = storage_draws[i]
+        name = f"slot{i}"
+        if storage is StorageKind.VIEW_ATTR:
+            view_type, attr = widget_draws[i]
+            slot_widgets[i] = (view_type, attr)
+            view_id = STATE_VIEW_BASE + i
+            widgets.append(ViewSpec(view_type, view_id=view_id))
+            slots.append(
+                StateSlot(name, storage, view_id=view_id, attr=attr)
+            )
+        else:
+            slots.append(StateSlot(name, storage))
+    widgets.append(ViewSpec("TextView", view_id=ASYNC_VIEW_ID))
+    widgets.extend(filler_views(filler_count, start_id=100))
+
+    async_script = None
+    if async_mode == "update":
+        async_script = AsyncScript(
+            "hunt-bg",
+            async_duration_ms,
+            updates=((ASYNC_VIEW_ID, "text", "hunt-async-done"),),
+        )
+    elif async_mode == "dialog":
+        async_script = AsyncScript(
+            "hunt-bg", async_duration_ms, shows_dialog=True
+        )
+
+    issue, description = _ground_truth_issue(
+        tuple(slots), slot_widgets, async_mode,
+        implements_on_save, handles_config_changes,
+    )
+
+    spec = AppSpec(
+        package=f"hunt.app{index:05d}",
+        label=f"Hunt App {index}",
+        resources=two_orientation_resources(
+            "main", widgets, resource_factor=resource_factor
+        ),
+        logic_cost_ms=logic_cost_ms,
+        extra_heap_mb=extra_heap_mb,
+        ui_complexity=ui_complexity,
+        handles_config_changes=handles_config_changes,
+        implements_on_save=implements_on_save,
+        slots=tuple(slots),
+        async_script=async_script,
+        issue=issue,
+        issue_description=description,
+        app_loc=app_loc,
+    )
+    spec.validate()
+    return spec
+
+
+def generate_corpus(
+    seed: int = DEFAULT_CORPUS_SEED, count: int = 100
+) -> list[AppSpec]:
+    """The first ``count`` apps of the corpus keyed by ``seed``."""
+    return [generate_app(seed, index) for index in range(count)]

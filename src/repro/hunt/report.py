@@ -1,0 +1,137 @@
+"""The hunt's canonical report: predictions vs. proofs, per policy.
+
+A :class:`HuntReport` is built once, from values that depend only on
+the corpus seed and the probe outcomes — never on wall-clock time, job
+count, or cache state — so its canonical JSON is byte-identical across
+``--jobs`` settings and across warm/cold caches (CI ``cmp``s exactly
+this).  The shape follows the oracle report: integer folds, sorted
+collections, ``to_json`` with a fixed construction order, a ``clean``
+flag the CLI exit code mirrors.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+__all__ = ["HuntReport", "format_hunt_report"]
+
+
+@dataclass
+class HuntReport:
+    """Everything one hunt concluded, in canonical plain values."""
+
+    seed: int
+    app_count: int
+    policies: tuple[str, ...]
+    rules: tuple[str, ...]
+    suspicions: int = 0
+    apps_with_suspicions: int = 0
+    search_probes: int = 0
+    shrink_probes: int = 0
+    by_policy: dict[str, dict[str, int]] = field(default_factory=dict)
+    """Per policy: predicted / confirmed / observed_losses /
+    observed_crashes / unpredicted (integer folds)."""
+    by_rule: dict[str, dict[str, int]] = field(default_factory=dict)
+    """Per rule: suspicions emitted / predictions / confirmed."""
+    findings: list[dict] = field(default_factory=list)
+    """One entry per confirmed (suspicion, policy): package, rule,
+    policy, expects, slot, script, shrunk, shrunk_minimal, crash_kinds,
+    lost_slots."""
+    simulator_bugs: list[str] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    @property
+    def clean(self) -> bool:
+        """No simulator bugs: the hunt never caught the simulator lying."""
+        return not self.simulator_bugs
+
+    def recall(self, policy: str) -> float | None:
+        """Confirmed / predicted for one policy (None when untested)."""
+        row = self.by_policy.get(policy)
+        if row is None or row["predicted"] == 0:
+            return None
+        return row["confirmed"] / row["predicted"]
+
+    def to_dict(self) -> dict:
+        by_policy = {}
+        for policy in sorted(self.by_policy):
+            row = dict(sorted(self.by_policy[policy].items()))
+            recall = self.recall(policy)
+            row["recall"] = None if recall is None else round(recall, 4)
+            by_policy[policy] = row
+        return {
+            "hunt": {
+                "seed": self.seed,
+                "apps": self.app_count,
+                "policies": sorted(self.policies),
+                "rules": sorted(self.rules),
+                "suspicions": self.suspicions,
+                "apps_with_suspicions": self.apps_with_suspicions,
+                "search_probes": self.search_probes,
+                "shrink_probes": self.shrink_probes,
+            },
+            "by_policy": by_policy,
+            "by_rule": {
+                rule: dict(sorted(self.by_rule[rule].items()))
+                for rule in sorted(self.by_rule)
+            },
+            "findings": sorted(
+                self.findings,
+                key=lambda f: (f["package"], f["rule"], f["policy"]),
+            ),
+            "simulator_bugs": sorted(self.simulator_bugs),
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=False)
+
+
+def _script_text(ops: list) -> str:
+    return " ".join(
+        ":".join(str(part) for part in op if part is not None) or op[0]
+        for op in (tuple(op) for op in ops)
+    )
+
+
+def format_hunt_report(report: HuntReport) -> str:
+    """Human rendering of a hunt report."""
+    lines = [
+        f"hunt: {report.app_count} generated apps (seed {report.seed}), "
+        f"{report.suspicions} suspicions across "
+        f"{report.apps_with_suspicions} apps, "
+        f"{report.search_probes} search + {report.shrink_probes} shrink "
+        "probes",
+    ]
+    for policy in sorted(report.by_policy):
+        row = report.by_policy[policy]
+        recall = report.recall(policy)
+        recall_text = "n/a" if recall is None else f"{recall:.2f}"
+        lines.append(
+            f"  {policy:<14s} predicted {row['predicted']:>4d}  "
+            f"confirmed {row['confirmed']:>4d}  recall {recall_text:>4s}  "
+            f"losses {row['observed_losses']:>4d}  "
+            f"crashes {row['observed_crashes']:>4d}"
+        )
+    shown = sorted(
+        report.findings,
+        key=lambda f: (f["package"], f["rule"], f["policy"]),
+    )[:5]
+    for finding in shown:
+        slot = f" slot={finding['slot']}" if finding.get("slot") else ""
+        lines.append(
+            f"  finding {finding['package']} [{finding['rule']}] "
+            f"{finding['policy']}{slot}: "
+            f"{len(finding['script'])} ops -> "
+            f"{len(finding['shrunk'])} ({_script_text(finding['shrunk'])})"
+        )
+    if len(report.findings) > len(shown):
+        lines.append(
+            f"  ... {len(report.findings) - len(shown)} more findings"
+        )
+    if report.simulator_bugs:
+        lines.append(f"  SIMULATOR BUGS ({len(report.simulator_bugs)}):")
+        lines.extend(f"    {bug}" for bug in report.simulator_bugs)
+    else:
+        lines.append("  simulator bugs: none")
+    return "\n".join(lines)

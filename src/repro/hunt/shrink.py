@@ -1,0 +1,199 @@
+"""Delta debugging over the op stream: minimal repros from findings.
+
+Classic ddmin, restructured as a *round-synchronised state machine* so
+the search loop can shrink every confirmed finding in lockstep: each
+global round collects one batch of candidate scripts from all still-
+active shrinkers, probes them through ``run_batch`` (parallel across
+findings, cached across rounds), and feeds the outcomes back.  The
+result is deterministic in the probe outcomes alone — the accepted
+candidate is always the *first* reproducing one in generation order —
+so reports stay byte-identical across job counts.
+
+Phases per shrinker:
+
+1. **chunk removal** — drop complements of chunks of size *n*, halving
+   *n* down to 1 (ddmin's reduction ladder);
+2. **op simplification** — halve ``wait`` gaps while the repro holds
+   (a 400 ms settle that still reproduces at 50 ms tells the reader
+   timing is not of the essence);
+3. **verify** — re-test every single-op removal; all must fail to
+   reproduce, which is the local 1-minimality guarantee the report
+   asserts (if one reproduces — possible after simplification shifted
+   timings — the shrinker loops back to chunk phase).
+
+Every accepted step is re-validated by an actual probe; nothing is
+assumed about op semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import HuntError
+
+__all__ = ["ScriptShrinker", "shrink_finding"]
+
+_MIN_WAIT_MS = 50.0
+
+_CHUNKS = "chunks"
+_SIMPLIFY = "simplify"
+_VERIFY = "verify"
+_DONE = "done"
+
+
+def _without(script: tuple, indices: set[int]) -> tuple:
+    return tuple(op for i, op in enumerate(script) if i not in indices)
+
+
+class ScriptShrinker:
+    """One finding's shrink, advanced one candidate round at a time.
+
+    Drive it with::
+
+        while not shrinker.done:
+            candidates = shrinker.candidates()
+            shrinker.advance([reproduces(c) for c in candidates])
+
+    where ``reproduces`` probes a candidate script and applies the
+    finding's confirmation predicate.  ``shrinker.current`` is then a
+    locally 1-minimal reproducing script, and ``shrinker.minimal``
+    records that the final verify pass proved it.
+    """
+
+    def __init__(self, script: Sequence[tuple]):
+        if not script:
+            raise HuntError("cannot shrink an empty script")
+        self.current: tuple[tuple, ...] = tuple(tuple(op) for op in script)
+        self.probes = 0
+        self.minimal = False
+        self._phase = _CHUNKS
+        self._chunk = max(1, len(self.current) // 2)
+        self._pending: list[tuple[tuple, ...]] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def done(self) -> bool:
+        return self._phase == _DONE
+
+    def candidates(self) -> list[tuple[tuple, ...]]:
+        """This round's candidate scripts, in deterministic order."""
+        if self._phase == _DONE:
+            return []
+        if self._phase == _CHUNKS:
+            self._pending = self._chunk_candidates()
+        elif self._phase == _SIMPLIFY:
+            self._pending = self._simplify_candidates()
+        else:
+            self._pending = self._verify_candidates()
+        return list(self._pending)
+
+    def advance(self, outcomes: Sequence[bool]) -> None:
+        """Feed back reproduction outcomes for the last candidate round."""
+        if len(outcomes) != len(self._pending):
+            raise HuntError(
+                f"shrinker fed {len(outcomes)} outcomes for "
+                f"{len(self._pending)} candidates"
+            )
+        self.probes += len(outcomes)
+        accepted = next(
+            (i for i, reproduced in enumerate(outcomes) if reproduced), None
+        )
+        if self._phase == _CHUNKS:
+            self._advance_chunks(accepted)
+        elif self._phase == _SIMPLIFY:
+            self._advance_simplify(accepted)
+        else:
+            self._advance_verify(outcomes)
+        self._pending = []
+        # A phase may open on an empty candidate set (e.g. a 1-op script
+        # has no chunk complements); skip ahead without a probe round.
+        while self._phase != _DONE and not self.candidates():
+            if self._phase == _CHUNKS:
+                self._advance_chunks(None)
+            elif self._phase == _SIMPLIFY:
+                self._advance_simplify(None)
+            else:
+                self._advance_verify(())
+            self._pending = []
+
+    # ------------------------------------------------------------------
+    # chunk removal
+    # ------------------------------------------------------------------
+    def _chunk_candidates(self) -> list[tuple[tuple, ...]]:
+        size = min(self._chunk, max(1, len(self.current) - 1))
+        out = []
+        for start in range(0, len(self.current), size):
+            indices = set(range(start, min(start + size, len(self.current))))
+            if len(indices) < len(self.current):
+                out.append(_without(self.current, indices))
+        return out
+
+    def _advance_chunks(self, accepted: int | None) -> None:
+        if accepted is not None:
+            size = min(self._chunk, max(1, len(self.current) - 1))
+            start = accepted * size
+            indices = set(range(start, min(start + size, len(self.current))))
+            self.current = _without(self.current, indices)
+            self._chunk = max(1, min(self._chunk, len(self.current) // 2))
+            return
+        if self._chunk > 1:
+            self._chunk //= 2
+            return
+        self._phase = _SIMPLIFY
+
+    # ------------------------------------------------------------------
+    # op simplification
+    # ------------------------------------------------------------------
+    def _simplify_candidates(self) -> list[tuple[tuple, ...]]:
+        out = []
+        for i, op in enumerate(self.current):
+            if op[0] == "wait" and float(op[1]) / 2.0 >= _MIN_WAIT_MS:
+                halved = ("wait", float(op[1]) / 2.0)
+                out.append(
+                    self.current[:i] + (halved,) + self.current[i + 1:]
+                )
+        return out
+
+    def _advance_simplify(self, accepted: int | None) -> None:
+        if accepted is not None:
+            self.current = self._pending[accepted]
+            return
+        self._phase = _VERIFY
+
+    # ------------------------------------------------------------------
+    # 1-minimality verification
+    # ------------------------------------------------------------------
+    def _verify_candidates(self) -> list[tuple[tuple, ...]]:
+        return [
+            _without(self.current, {i}) for i in range(len(self.current))
+        ]
+
+    def _advance_verify(self, outcomes: Sequence[bool]) -> None:
+        if any(outcomes):
+            # Simplification shifted timings enough that a removal now
+            # reproduces; take it and re-run the reduction ladder.
+            accepted = next(
+                i for i, reproduced in enumerate(outcomes) if reproduced
+            )
+            self.current = self._pending[accepted]
+            self._phase = _CHUNKS
+            self._chunk = max(1, len(self.current) // 2)
+            return
+        self.minimal = True
+        self._phase = _DONE
+
+
+def shrink_finding(script, reproduces) -> tuple[tuple[tuple, ...], int, bool]:
+    """Convenience serial driver: shrink one script to a local minimum.
+
+    ``reproduces(candidate_script) -> bool`` probes one candidate.
+    Returns ``(minimal_script, probes_spent, verified_minimal)``.  The
+    search loop uses :class:`ScriptShrinker` directly to batch rounds
+    across findings; this wrapper is the single-finding API (and the
+    one the docs' worked example drives).
+    """
+    shrinker = ScriptShrinker(script)
+    while not shrinker.done:
+        outcomes = [reproduces(c) for c in shrinker.candidates()]
+        shrinker.advance(outcomes)
+    return shrinker.current, shrinker.probes, shrinker.minimal

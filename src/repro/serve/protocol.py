@@ -26,11 +26,11 @@ from repro.errors import ServeError
 
 PROTOCOL_VERSION = 1
 
-#: Job kinds the daemon executes.  ``fleet`` and ``oracle`` mirror the
-#: CLI subcommands; ``experiment`` runs a named engine-bench request
-#: set (``fig14``/``table5``/``probes``) through the daemon's shared
-#: result cache.
-JOB_KINDS = ("fleet", "oracle", "experiment")
+#: Job kinds the daemon executes.  ``fleet``, ``oracle``, and ``hunt``
+#: mirror the CLI subcommands; ``experiment`` runs a named engine-bench
+#: request set (``fig14``/``table5``/``probes``) through the daemon's
+#: shared result cache.
+JOB_KINDS = ("fleet", "oracle", "experiment", "hunt")
 
 _FLEET_PARAM_KEYS = frozenset({
     "devices", "policies", "faults", "oracle", "seed", "shard_size",
@@ -38,6 +38,7 @@ _FLEET_PARAM_KEYS = frozenset({
 })
 _ORACLE_PARAM_KEYS = frozenset({"app", "policies", "seed", "member"})
 _EXPERIMENT_PARAM_KEYS = frozenset({"experiment", "seed"})
+_HUNT_PARAM_KEYS = frozenset({"apps", "policies", "seed"})
 
 
 def _require(condition: bool, message: str) -> None:
@@ -85,6 +86,7 @@ def check_job_params(kind: str, params: Any) -> dict:
         "fleet": _FLEET_PARAM_KEYS,
         "oracle": _ORACLE_PARAM_KEYS,
         "experiment": _EXPERIMENT_PARAM_KEYS,
+        "hunt": _HUNT_PARAM_KEYS,
     }[kind]
     unknown = set(params) - allowed
     _require(not unknown,
@@ -166,6 +168,29 @@ def fleet_spec_from_params(params: dict):
                     else FleetSpec.population),
         workload=fixed_workload,
         phases=plan,
+    )
+
+
+# ----------------------------------------------------------------------
+# hunt params -> HuntSettings (shared by the CLI and the daemon)
+# ----------------------------------------------------------------------
+def hunt_settings_from_params(params: dict):
+    """Build the :class:`~repro.hunt.search.HuntSettings` a params dict
+    names — the one construction path both the daemon and the CLI's
+    in-process fallback use, so a daemon hunt can never mean a different
+    corpus or policy set than a local one.  Local-only execution knobs
+    (``jobs``, ``cache``) are not params; callers layer them on with
+    :func:`dataclasses.replace`.
+    """
+    from repro.hunt.generator import DEFAULT_CORPUS_SEED
+    from repro.hunt.search import HuntSettings
+
+    check_job_params("hunt", params)
+    policies = _policies_param(params)
+    return HuntSettings(
+        apps=_int_param(params, "apps", 100),
+        seed=_int_param(params, "seed", DEFAULT_CORPUS_SEED),
+        **({"policies": policies} if policies else {}),
     )
 
 

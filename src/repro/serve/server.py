@@ -47,6 +47,7 @@ from repro.engine.pool import PersistentPool
 from repro.engine.snapshots import SnapshotStore
 from repro.errors import (
     FleetError,
+    HuntError,
     OracleError,
     ServeError,
     SimulationError,
@@ -59,6 +60,7 @@ from repro.serve.protocol import (
     check_job_params,
     encode_event,
     fleet_spec_from_params,
+    hunt_settings_from_params,
     resolve_app,
 )
 from repro.serve.queue import FairScheduler, Job
@@ -68,7 +70,8 @@ from repro.serve.queue import FairScheduler, Job
 #: silent on small ones.
 DEFAULT_STREAM_EVERY = 4
 
-_BAD_REQUEST = (ServeError, FleetError, OracleError, WorkloadError)
+_BAD_REQUEST = (ServeError, FleetError, HuntError, OracleError,
+                WorkloadError)
 
 
 class _FleetState:
@@ -150,6 +153,7 @@ class Daemon:
             "fleet": self._prepare_fleet,
             "oracle": self._prepare_oracle,
             "experiment": self._prepare_experiment,
+            "hunt": self._prepare_hunt,
         }[kind]
         # "accepted" is emitted before prepare so it is always event 0
         # of the stream; a prepare failure raises before the job is
@@ -318,6 +322,24 @@ class Daemon:
         job.emit("done", report_json=report_json, text=text,
                  exit=0 if clean else 1)
 
+    # --- hunt ----------------------------------------------------------
+    def _prepare_hunt(self, job: Job) -> None:
+        # Settings are built here, on submit, so a malformed request
+        # (unknown policy, apps < 1) is a 400 — not a failed unit.
+        settings = hunt_settings_from_params(job.params)
+        job.add_unit(tasks.run_hunt_unit, settings, tag="hunt")
+        job.no_more_units = True
+
+    def _hunt_result(self, job: Job, tag: str, result: Any) -> None:
+        report_json, clean, text = result
+        job.result = report_json
+        job.hunt_done = (report_json, clean, text)
+
+    def _finalize_hunt(self, job: Job) -> None:
+        report_json, clean, text = job.hunt_done
+        job.emit("done", report_json=report_json, text=text,
+                 exit=0 if clean else 1)
+
     # --- experiment ----------------------------------------------------
     def _prepare_experiment(self, job: Job) -> None:
         from repro.engine.bench import _REQUEST_BUILDERS
@@ -404,6 +426,7 @@ class Daemon:
                 "fleet": self._fleet_result,
                 "oracle": self._oracle_result,
                 "experiment": self._experiment_result,
+                "hunt": self._hunt_result,
             }[job.kind]
             try:
                 handler(job, tag, result)
@@ -420,6 +443,7 @@ class Daemon:
             "fleet": self._finalize_fleet,
             "oracle": self._finalize_oracle,
             "experiment": self._finalize_experiment,
+            "hunt": self._finalize_hunt,
         }[job.kind]
         finalize(job)
         job.finish("done")

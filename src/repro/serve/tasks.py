@@ -20,6 +20,7 @@ __all__ = [
     "capture_template_unit",
     "run_oracle_unit",
     "run_experiment_unit",
+    "run_hunt_unit",
 ]
 
 #: Fleet shard unit: payload ``(spec, shard, root, key, oracle_keys,
@@ -64,6 +65,26 @@ def run_oracle_unit(payload):
     session = run_oracle_session(app, policies, seed, member=member)
     report = report_for([session])
     return report.to_json(), report.clean, format_oracle_report(report)
+
+
+def run_hunt_unit(payload):
+    """One full hunt over the generated corpus, reported canonically.
+
+    ``payload`` is a :class:`~repro.hunt.search.HuntSettings`; returns
+    ``(report_json, clean, text)`` where ``report_json`` is the
+    canonical ``HuntReport.to_json()`` string — the byte identity the
+    CLI's ``repro hunt -o`` writes — and ``text`` the human summary the
+    CLI prints.  The hunt runs its probe batches in-process here
+    (``jobs=1``): the daemon's scheduler owns the pool, and a worker
+    spawning its own grandchild pool would fight it for cores.
+    """
+    import dataclasses
+
+    from repro.hunt import format_hunt_report, run_hunt
+
+    settings = dataclasses.replace(payload, jobs=1)
+    report = run_hunt(settings)
+    return report.to_json(), report.clean, format_hunt_report(report)
 
 
 def run_experiment_unit(payload):

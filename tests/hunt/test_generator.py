@@ -1,0 +1,70 @@
+"""Determinism and coverage of the taxonomy-driven app generator."""
+
+from repro.apps.dsl import IssueKind
+from repro.engine.fingerprint import fingerprint
+from repro.hunt.generator import (
+    DEFAULT_CORPUS_SEED,
+    generate_app,
+    generate_corpus,
+)
+
+
+class TestDeterminism:
+    def test_same_seed_and_index_is_byte_identical(self):
+        first = generate_app(DEFAULT_CORPUS_SEED, 17)
+        second = generate_app(DEFAULT_CORPUS_SEED, 17)
+        assert fingerprint(first) == fingerprint(second)
+        assert first.package == second.package
+        assert first.issue is second.issue
+
+    def test_corpus_regenerates_identically(self):
+        first = generate_corpus(DEFAULT_CORPUS_SEED, 40)
+        second = generate_corpus(DEFAULT_CORPUS_SEED, 40)
+        assert ([fingerprint(app) for app in first]
+                == [fingerprint(app) for app in second])
+
+    def test_adjacent_indices_are_independent(self):
+        """Generating app i alone equals app i of the full corpus: each
+        index forks its own rng stream, so corpus slicing, sharding, and
+        regeneration never shift neighbours."""
+        corpus = generate_corpus(DEFAULT_CORPUS_SEED, 10)
+        for index in (0, 3, 9):
+            alone = generate_app(DEFAULT_CORPUS_SEED, index)
+            assert fingerprint(alone) == fingerprint(corpus[index])
+
+    def test_different_seeds_diverge(self):
+        assert (fingerprint(generate_app(1, 0))
+                != fingerprint(generate_app(2, 0)))
+
+
+class TestCorpusShape:
+    def test_packages_are_unique_and_indexed(self):
+        corpus = generate_corpus(DEFAULT_CORPUS_SEED, 25)
+        packages = [app.package for app in corpus]
+        assert len(set(packages)) == 25
+        assert packages[7] == "hunt.app00007"
+
+    def test_every_issue_kind_appears(self):
+        """The taxonomy ladder covers all generated issue kinds within a
+        modest corpus — no dimension is starved."""
+        corpus = generate_corpus(DEFAULT_CORPUS_SEED, 200)
+        kinds = {app.issue for app in corpus}
+        assert {
+            IssueKind.NONE,
+            IssueKind.SELF_HANDLED,
+            IssueKind.BARE_FIELD_LOSS,
+            IssueKind.VIEW_STATE_LOSS,
+            IssueKind.ASYNC_CRASH,
+            IssueKind.ASYNC_DIALOG_LEAK,
+        } <= kinds
+
+    def test_specs_validate(self):
+        for app in generate_corpus(DEFAULT_CORPUS_SEED, 15):
+            app.validate()
+
+    def test_self_handled_apps_declare_the_flag(self):
+        corpus = generate_corpus(DEFAULT_CORPUS_SEED, 200)
+        flagged = [app for app in corpus
+                   if app.issue is IssueKind.SELF_HANDLED]
+        assert flagged
+        assert all(app.handles_config_changes for app in flagged)

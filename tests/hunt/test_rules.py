@@ -1,0 +1,132 @@
+"""Unit tests for the static hunting rules and Suspicion records."""
+
+import dataclasses
+
+import pytest
+
+from repro.apps.dsl import IssueKind, StorageKind
+from repro.errors import HuntError
+from repro.hunt.generator import DEFAULT_CORPUS_SEED, generate_corpus
+from repro.hunt.rules import (
+    DEFAULT_RULES,
+    BareFieldRule,
+    MidMigrationWriteRule,
+    MissingOnSaveRule,
+    Rule,
+    StaleAsyncRule,
+    Suspicion,
+    inspect_corpus,
+    rank_suspicions,
+    rule_catalog,
+)
+
+
+def _corpus(count=120):
+    return generate_corpus(DEFAULT_CORPUS_SEED, count)
+
+
+class TestSuspicionRecord:
+    def test_loss_without_a_slot_is_a_hunt_error(self):
+        with pytest.raises(HuntError, match="names no slot"):
+            Suspicion(rule="r", package="p", severity=1,
+                      expects="loss", policies=("android10",),
+                      ops=(("rotate",),))
+
+    def test_unknown_failure_mode_is_a_hunt_error(self):
+        with pytest.raises(HuntError, match="expects"):
+            Suspicion(rule="r", package="p", severity=1,
+                      expects="hang", policies=("android10",),
+                      ops=(("rotate",),))
+
+    def test_ranking_is_severity_first_then_stable(self):
+        crash = Suspicion(rule="a", package="z", severity=4,
+                          expects="crash", policies=("android10",),
+                          ops=(("rotate",),))
+        loss = Suspicion(rule="b", package="a", severity=1,
+                         expects="loss", policies=("android10",),
+                         ops=(("rotate",),), slot="slot0")
+        assert rank_suspicions([loss, crash]) == [crash, loss]
+
+
+class TestBuiltinRules:
+    def test_catalog_names_every_default_rule(self):
+        names = {row["name"] for row in rule_catalog()}
+        assert names == {rule.name for rule in DEFAULT_RULES}
+        assert all(row["description"] for row in rule_catalog())
+
+    def test_self_handled_apps_raise_no_suspicions(self):
+        handled = [app for app in _corpus()
+                   if app.handles_config_changes]
+        assert handled
+        assert inspect_corpus(handled) == []
+
+    def test_bare_field_rule_names_the_bare_slot(self):
+        for app in _corpus():
+            for suspicion in BareFieldRule().inspect(app):
+                slot = next(s for s in app.slots
+                            if s.name == suspicion.slot)
+                assert slot.storage is StorageKind.BARE_FIELD
+                assert suspicion.expects == "loss"
+                assert set(suspicion.policies) == {
+                    "android10", "rchdroid"}
+
+    def test_missing_on_save_is_gated_on_the_hook(self):
+        rule = MissingOnSaveRule()
+        for app in _corpus():
+            if app.implements_on_save:
+                assert rule.inspect(app) == []
+
+    def test_stale_async_rule_predicts_stock_crashes(self):
+        fired = 0
+        for app in _corpus():
+            for suspicion in StaleAsyncRule().inspect(app):
+                fired += 1
+                assert suspicion.expects == "crash"
+                assert suspicion.policies == ("android10",)
+                assert suspicion.ops[0] == ("async",)
+        assert fired
+
+    def test_mid_migration_rule_skips_auto_saved_widgets(self):
+        """EditText.text is auto-saved by the stock bundle; the rule
+        must only flag view attributes the save function skips."""
+        rule = MidMigrationWriteRule()
+        for app in _corpus():
+            for suspicion in rule.inspect(app):
+                slot = next(s for s in app.slots
+                            if s.name == suspicion.slot)
+                assert slot.storage is StorageKind.VIEW_ATTR
+                assert not Rule.auto_saved(app, slot)
+
+    def test_rules_never_read_ground_truth(self):
+        """Predictions come from structure alone: erasing the generator's
+        issue label changes nothing."""
+        corpus = _corpus(40)
+        blinded = [dataclasses.replace(app, issue=IssueKind.NONE)
+                   for app in corpus]
+        plain = [(s.rule, s.package, s.expects, s.slot)
+                 for s in inspect_corpus(corpus)]
+        blind = [(s.rule, s.package, s.expects, s.slot)
+                 for s in inspect_corpus(blinded)]
+        assert plain == blind
+
+
+class TestCustomRules:
+    def test_a_custom_rule_joins_the_inspection(self):
+        class EveryAppRule(Rule):
+            name = "everything-is-sus"
+            severity = 9
+
+            def inspect(self, app):
+                return [Suspicion(
+                    rule=self.name, package=app.package,
+                    severity=self.severity, expects="crash",
+                    policies=("android10",), ops=(("rotate",),),
+                )]
+
+        corpus = _corpus(5)
+        suspicions = inspect_corpus(corpus, (*DEFAULT_RULES,
+                                             EveryAppRule()))
+        custom = [s for s in suspicions if s.rule == "everything-is-sus"]
+        assert len(custom) == 5
+        # Severity 9 outranks every built-in prediction.
+        assert suspicions[0].rule == "everything-is-sus"

@@ -1,0 +1,98 @@
+"""Search-stage tests: confirmation, shrinking, determinism, settings."""
+
+import pytest
+
+from repro.errors import HuntError
+from repro.hunt.rules import Suspicion
+from repro.hunt.search import HuntSettings, candidate_scripts, run_hunt
+
+
+@pytest.fixture(scope="module")
+def small_report():
+    """One 20-app hunt, shared across the module's read-only asserts."""
+    return run_hunt(HuntSettings(apps=20, jobs=1, cache=False))
+
+
+class TestHuntSettings:
+    def test_corpus_size_floor(self):
+        with pytest.raises(HuntError, match="corpus size"):
+            HuntSettings(apps=0)
+
+    def test_empty_policy_set_is_rejected(self):
+        with pytest.raises(HuntError, match="at least one policy"):
+            HuntSettings(policies=())
+
+    def test_unknown_policy_is_rejected_with_known_list(self):
+        with pytest.raises(HuntError, match="rchdroid"):
+            HuntSettings(policies=("nosuch",))
+
+    def test_duplicate_policy_is_rejected(self):
+        with pytest.raises(HuntError, match="duplicate"):
+            HuntSettings(policies=("android10", "android10"))
+
+
+class TestCandidateEscalation:
+    def test_ladder_shares_the_rule_ops_as_prefix(self):
+        suspicion = Suspicion(
+            rule="r", package="p", severity=1, expects="crash",
+            policies=("android10",), ops=(("async",), ("rotate",)),
+        )
+        ladder = candidate_scripts(suspicion)
+        assert ladder[0] == suspicion.ops
+        assert all(c[:len(suspicion.ops)] == suspicion.ops
+                   for c in ladder)
+        assert len(ladder) >= 2
+
+
+class TestSmallHunt:
+    def test_predictions_are_confirmed(self, small_report):
+        for policy in ("android10", "rchdroid"):
+            row = small_report.by_policy[policy]
+            assert row["predicted"] > 0
+            assert row["confirmed"] == row["predicted"]
+            assert small_report.recall(policy) == 1.0
+
+    def test_runtimedroid_control_stays_silent(self, small_report):
+        row = small_report.by_policy["runtimedroid"]
+        assert row["predicted"] == 0
+        assert row["observed_losses"] == 0
+        assert row["observed_crashes"] == 0
+        assert small_report.recall("runtimedroid") is None
+
+    def test_no_simulator_bugs(self, small_report):
+        assert small_report.clean
+        assert small_report.simulator_bugs == []
+
+    def test_every_finding_ships_a_minimal_repro(self, small_report):
+        assert small_report.findings
+        for finding in small_report.findings:
+            assert finding["shrunk"]
+            assert finding["shrunk_minimal"]
+            assert len(finding["shrunk"]) <= len(finding["script"])
+            if finding["expects"] == "loss":
+                assert finding["slot"] in finding["lost_slots"]
+            else:
+                assert finding["crash_kinds"]
+
+    def test_findings_are_canonically_ordered(self, small_report):
+        keys = [(f["package"], f["rule"], f["policy"])
+                for f in small_report.to_dict()["findings"]]
+        assert keys == sorted(keys)
+
+
+class TestDeterminism:
+    def test_rerun_is_byte_identical(self, small_report):
+        again = run_hunt(HuntSettings(apps=20, jobs=1, cache=False))
+        assert again.to_json() == small_report.to_json()
+
+    def test_job_count_does_not_change_the_report(self, small_report):
+        threaded = run_hunt(HuntSettings(apps=20, jobs=2, cache=False))
+        assert threaded.to_json() == small_report.to_json()
+
+    def test_policy_subset_hunts_only_those_policies(self):
+        report = run_hunt(HuntSettings(
+            apps=10, jobs=1, cache=False,
+            policies=("android10", "runtimedroid"),
+        ))
+        assert set(report.by_policy) == {"android10", "runtimedroid"}
+        assert report.clean

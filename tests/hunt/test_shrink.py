@@ -1,0 +1,94 @@
+"""Delta-debugging unit tests against synthetic predicates."""
+
+import pytest
+
+from repro.errors import HuntError
+from repro.hunt.shrink import ScriptShrinker, shrink_finding
+
+
+def _ops(n):
+    return tuple(("op", i) for i in range(n))
+
+
+def _subset_predicate(required):
+    """Reproduces iff every required op survives in the candidate."""
+    def reproduces(script):
+        return set(required) <= set(script)
+    return reproduces
+
+
+class TestShrinkFinding:
+    @pytest.mark.parametrize("size", [1, 2, 5, 8, 13])
+    def test_single_required_op_reduces_to_one(self, size):
+        script = _ops(size)
+        needed = (script[size // 2],)
+        shrunk, probes, minimal = shrink_finding(
+            script, _subset_predicate(needed))
+        assert shrunk == needed
+        assert minimal
+
+    def test_scattered_required_ops_all_survive(self):
+        script = _ops(12)
+        needed = (script[1], script[6], script[11])
+        shrunk, _, minimal = shrink_finding(
+            script, _subset_predicate(needed))
+        assert set(shrunk) == set(needed)
+        assert minimal
+
+    def test_result_is_locally_one_minimal(self):
+        script = _ops(9)
+        needed = (script[0], script[4])
+        predicate = _subset_predicate(needed)
+        shrunk, _, minimal = shrink_finding(script, predicate)
+        assert minimal
+        for i in range(len(shrunk)):
+            removed = shrunk[:i] + shrunk[i + 1:]
+            assert not predicate(removed)
+
+    def test_wait_gaps_are_halved_to_the_floor(self):
+        script = (("write", 0), ("wait", 400.0), ("rotate",))
+
+        def reproduces(candidate):
+            return ("write", 0) in candidate and ("rotate",) in candidate
+
+        shrunk, _, minimal = shrink_finding(script, reproduces)
+        assert minimal
+        assert shrunk == (("write", 0), ("rotate",))
+
+    def test_wait_that_matters_is_only_simplified_while_it_holds(self):
+        script = (("rotate",), ("wait", 400.0))
+
+        def reproduces(candidate):
+            waits = [op for op in candidate if op[0] == "wait"]
+            return (("rotate",) in candidate and waits
+                    and waits[0][1] >= 100.0)
+
+        shrunk, _, minimal = shrink_finding(script, reproduces)
+        assert minimal
+        assert shrunk == (("rotate",), ("wait", 100.0))
+
+
+class TestScriptShrinkerStateMachine:
+    def test_empty_script_is_a_hunt_error(self):
+        with pytest.raises(HuntError, match="empty script"):
+            ScriptShrinker(())
+
+    def test_wrong_outcome_count_is_a_hunt_error(self):
+        shrinker = ScriptShrinker(_ops(4))
+        shrinker.candidates()
+        with pytest.raises(HuntError, match="outcomes"):
+            shrinker.advance([True])
+
+    def test_first_reproducing_candidate_wins(self):
+        """Acceptance is by generation order, not by size or by which
+        probe finished first — the determinism the report relies on."""
+        shrinker = ScriptShrinker(_ops(4))
+        candidates = shrinker.candidates()
+        shrinker.advance([True] * len(candidates))
+        assert shrinker.current == candidates[0]
+
+    def test_probe_count_is_accounted(self):
+        script = _ops(6)
+        _, probes, _ = shrink_finding(
+            script, _subset_predicate((script[2],)))
+        assert probes > 0

@@ -31,7 +31,7 @@ from repro.serve.protocol import (
 
 class TestCheckJobParams:
     def test_known_kinds(self):
-        assert set(JOB_KINDS) == {"fleet", "oracle", "experiment"}
+        assert set(JOB_KINDS) == {"fleet", "oracle", "experiment", "hunt"}
 
     def test_unknown_kind_rejected(self):
         with pytest.raises(ServeError, match="unknown job kind"):

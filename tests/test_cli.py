@@ -439,6 +439,74 @@ class TestTraceCli:
         assert "needs a path" in capsys.readouterr().out
 
 
+class TestHuntCli:
+    def test_hunt_runs_and_writes_canonical_report(self, capsys, tmp_path):
+        import json
+
+        out_path = tmp_path / "hunt.json"
+        args = ["hunt", "--apps", "6", "--jobs", "1", "--no-cache",
+                "-o", str(out_path)]
+        assert repro_main(args) == 0
+        printed = capsys.readouterr().out
+        assert "generated apps" in printed
+        assert "simulator bugs: none" in printed
+        report = json.loads(out_path.read_text())
+        assert report["hunt"]["apps"] == 6
+        assert report["simulator_bugs"] == []
+        assert set(report["by_policy"]) == {
+            "android10", "rchdroid", "runtimedroid"}
+
+    def test_hunt_rules_lists_the_catalog(self, capsys):
+        assert repro_main(["hunt", "rules"]) == 0
+        printed = capsys.readouterr().out
+        for rule in ("bare-field-state", "missing-on-save",
+                     "stale-async-ref", "mid-migration-write"):
+            assert rule in printed
+
+    def test_unknown_subcommand_gets_a_hint(self, capsys):
+        assert repro_main(["hunt", "rulez"]) == 2
+        out = capsys.readouterr().out
+        assert "unknown command 'rulez'" in out
+        assert "did you mean 'rules'" in out
+
+    def test_unknown_flag_exits_2_with_usage(self, capsys):
+        assert repro_main(["hunt", "--frobnicate"]) == 2
+        out = capsys.readouterr().out
+        assert "unexpected argument '--frobnicate'" in out
+        assert "usage" in out
+
+    def test_unknown_policy_gets_a_hint(self, capsys):
+        assert repro_main(["hunt", "--policy", "androld10"]) == 2
+        out = capsys.readouterr().out
+        assert "unknown command 'androld10'" in out
+        assert "did you mean 'android10'" in out
+
+    def test_option_missing_its_value_exits_2(self, capsys):
+        assert repro_main(["hunt", "--apps"]) == 2
+        assert "missing value" in capsys.readouterr().out
+
+    def test_bad_apps_value_exits_2(self, capsys):
+        assert repro_main(["hunt", "--apps", "several"]) == 2
+        assert "bad option value" in capsys.readouterr().out
+
+    def test_daemon_rejects_local_only_flags(self, capsys):
+        args = ["hunt", "--daemon", "http://127.0.0.1:1",
+                "--jobs", "2", "--no-cache"]
+        assert repro_main(args) == 2
+        out = capsys.readouterr().out
+        assert "--jobs" in out
+        assert "--no-cache" in out
+
+    def test_unreachable_daemon_falls_back_in_process(
+            self, capsys, tmp_path):
+        out_path = tmp_path / "hunt.json"
+        args = ["hunt", "--apps", "4", "--daemon", "http://127.0.0.1:1",
+                "-o", str(out_path)]
+        assert repro_main(args) == 0
+        assert "generated apps" in capsys.readouterr().out
+        assert out_path.exists()
+
+
 def test_readme_quickstart_snippet_executes():
     """The README's quickstart code block must actually run."""
     import re

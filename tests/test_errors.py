@@ -65,7 +65,7 @@ class TestSubsystemErrorTaxonomy:
         }
         for expected in ("ReplayDivergenceError", "EngineError",
                          "SnapshotError", "FleetError", "OracleError",
-                         "WorkloadError", "ServeError"):
+                         "WorkloadError", "ServeError", "HuntError"):
             assert expected in public
 
 
@@ -73,6 +73,7 @@ def _subsystem_errors():
     from repro.errors import (
         EngineError,
         FleetError,
+        HuntError,
         OracleError,
         ReplayDivergenceError,
         ServeError,
@@ -81,7 +82,8 @@ def _subsystem_errors():
     )
 
     return [ReplayDivergenceError, EngineError, SnapshotError,
-            FleetError, OracleError, WorkloadError, ServeError]
+            FleetError, OracleError, WorkloadError, ServeError,
+            HuntError]
 
 
 @pytest.mark.parametrize("exc_type", _subsystem_errors())
